@@ -1,0 +1,119 @@
+// Command coic-bench regenerates every table and figure of the CoIC
+// reproduction: Figure 2a, Figure 2b, and the ablation experiments listed
+// in DESIGN.md. Output is aligned text by default, CSV with -csv.
+//
+// Usage:
+//
+//	coic-bench                     # run everything
+//	coic-bench -experiment fig2a   # one experiment
+//	coic-bench -experiment fig2b -csv > fig2b.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	coic "github.com/edge-immersion/coic"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, finegrained, pano, privacy, qoe")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
+	flag.Parse()
+
+	p := coic.DefaultParams()
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	runners := []struct {
+		name string
+		run  func() (*coic.Table, error)
+	}{
+		{"fig2a", func() (*coic.Table, error) {
+			rows, err := coic.RunFig2a(p)
+			if err != nil {
+				return nil, err
+			}
+			return coic.Fig2aTable(rows), nil
+		}},
+		{"fig2b", func() (*coic.Table, error) {
+			rows, err := coic.RunFig2b(p)
+			if err != nil {
+				return nil, err
+			}
+			return coic.Fig2bTable(rows), nil
+		}},
+		{"hitratio", func() (*coic.Table, error) {
+			return coic.RunHitRatio(scaled(p), []int{1, 2, 4, 8, 16, 32}, 0.7, p.Seed)
+		}},
+		{"policy", func() (*coic.Table, error) {
+			return coic.RunPolicyAblation(scaled(p), []int{1, 4, 16, 64}, p.Seed)
+		}},
+		{"threshold", func() (*coic.Table, error) {
+			return coic.RunThresholdSweep(p,
+				[]float64{0.02, 0.05, 0.08, 0.12, 0.2, 0.3, 0.5}, 32), nil
+		}},
+		{"index", func() (*coic.Table, error) {
+			return coic.RunIndexAblation(64, []int{100, 1000, 10000, 50000}, 200, p.Seed), nil
+		}},
+		{"coop", func() (*coic.Table, error) {
+			return coic.RunCooperation(scaled(p), []int{2, 4, 8}, 12)
+		}},
+		{"finegrained", func() (*coic.Table, error) {
+			return coic.RunFinegrained(p, []int{1, 4, 16, 64}, 256), nil
+		}},
+		{"pano", func() (*coic.Table, error) {
+			return coic.RunPanoStreaming(scaled(p), 8, 40)
+		}},
+		{"privacy", func() (*coic.Table, error) {
+			return coic.RunPrivacy(scaled(p), []int{0, 2, 3, 5, 8}, p.Seed)
+		}},
+		{"qoe", func() (*coic.Table, error) {
+			return coic.RunQoE(scaled(p), 12, p.Seed)
+		}},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *experiment != "all" && *experiment != r.name {
+			continue
+		}
+		ran++
+		table, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coic-bench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := table.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "coic-bench: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := table.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "coic-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "coic-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+// scaled shrinks per-request payloads for the trace-driven ablations,
+// which replay thousands of requests; the full-size figures (fig2a,
+// fig2b) keep paper-scale payloads.
+func scaled(p coic.Params) coic.Params {
+	p.CameraW, p.CameraH = 256, 256
+	p.DNNInput = 32
+	p.PanoWidth = 512
+	p.MobileGFLOPS *= 4
+	return p
+}

@@ -1,0 +1,90 @@
+// Command coic-client plays the mobile device against a live edge: it
+// issues recognition, render or panorama requests and prints wall-clock
+// latency statistics. The -shape flag conditions the client-edge link the
+// way the paper's 802.11ac + tc setup does.
+//
+// Usage:
+//
+//	coic-client -edge localhost:9091 -task recognize -n 20
+//	coic-client -edge localhost:9091 -task render -model scene/1073kb -mode origin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	coic "github.com/edge-immersion/coic"
+)
+
+func main() {
+	edge := flag.String("edge", "localhost:9091", "edge address")
+	mode := flag.String("mode", "coic", "coic or origin")
+	task := flag.String("task", "recognize", "recognize, render or pano")
+	model := flag.String("model", "", "model id for -task render (default: per-class annotations)")
+	video := flag.String("video", "demo-video", "video id for -task pano")
+	n := flag.Int("n", 10, "number of requests")
+	shape := flag.String("shape", "", `tc-style spec for the client->edge link, e.g. "rate 200mbit delay 1ms"`)
+	flag.Parse()
+
+	m := coic.ModeCoIC
+	if *mode == "origin" {
+		m = coic.ModeOrigin
+	}
+	p := coic.DefaultParams()
+	cli, err := coic.Dial(*edge, p, m, coic.ShapeSpec(*shape))
+	if err != nil {
+		log.Fatalf("coic-client: %v", err)
+	}
+	defer cli.Close()
+
+	classes := []coic.Class{
+		coic.ClassStopSign, coic.ClassCar, coic.ClassAvatar, coic.ClassTree,
+	}
+	var total, min, max time.Duration
+	for i := 0; i < *n; i++ {
+		var lat time.Duration
+		var err error
+		switch *task {
+		case "recognize":
+			class := classes[i%len(classes)]
+			res, rlat, rerr := cli.Recognize(class, uint64(1000+i))
+			lat, err = rlat, rerr
+			if err == nil {
+				fmt.Printf("#%02d recognize %-14s -> %-14s conf=%.2f  %8.1fms\n",
+					i, class, res.Label, res.Confidence, ms(lat))
+			}
+		case "render":
+			id := *model
+			if id == "" {
+				id = coic.AnnotationModelID(classes[i%len(classes)])
+			}
+			lat, err = cli.Render(id)
+			if err == nil {
+				fmt.Printf("#%02d render %-24s %8.1fms\n", i, id, ms(lat))
+			}
+		case "pano":
+			lat, err = cli.Pano(*video, i, coic.Viewport{Yaw: float64(i) * 0.3, FOV: 1.6})
+			if err == nil {
+				fmt.Printf("#%02d pano %s frame %-4d %8.1fms\n", i, *video, i, ms(lat))
+			}
+		default:
+			log.Fatalf("coic-client: unknown task %q", *task)
+		}
+		if err != nil {
+			log.Fatalf("coic-client: request %d: %v", i, err)
+		}
+		total += lat
+		if min == 0 || lat < min {
+			min = lat
+		}
+		if lat > max {
+			max = lat
+		}
+	}
+	fmt.Printf("\n%d requests (%s, %s): mean=%.1fms min=%.1fms max=%.1fms\n",
+		*n, *task, *mode, ms(total/time.Duration(*n)), ms(min), ms(max))
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

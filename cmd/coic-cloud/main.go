@@ -1,0 +1,30 @@
+// Command coic-cloud runs the CoIC cloud tier: the full recognition DNN,
+// the 3D model repository, and the VR panorama source, served over TCP.
+//
+// Usage:
+//
+//	coic-cloud -listen :9090
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	coic "github.com/edge-immersion/coic"
+)
+
+func main() {
+	listen := flag.String("listen", ":9090", "address to serve on")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("coic-cloud: %v", err)
+	}
+	fmt.Printf("coic-cloud: serving on %s\n", ln.Addr())
+	if err := coic.ServeCloud(ln, coic.DefaultParams()); err != nil {
+		log.Fatalf("coic-cloud: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Command coic-edge runs the CoIC mobile-edge tier: the IC cache plus
+// miss forwarding to the cloud, served over TCP. The -cloud-shape flag
+// plays the role of the paper's tc conditioning on the edge-cloud link.
+//
+// Usage:
+//
+//	coic-edge -listen :9091 -cloud localhost:9090 -cloud-shape "rate 20mbit delay 10ms"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	coic "github.com/edge-immersion/coic"
+)
+
+func main() {
+	listen := flag.String("listen", ":9091", "address to serve clients on")
+	cloud := flag.String("cloud", "localhost:9090", "cloud address to forward misses to")
+	cloudShape := flag.String("cloud-shape", "", `tc-style spec for the edge->cloud link, e.g. "rate 20mbit delay 10ms"`)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("coic-edge: %v", err)
+	}
+	fmt.Printf("coic-edge: serving on %s, cloud at %s\n", ln.Addr(), *cloud)
+	if err := coic.ServeEdge(ln, coic.DefaultParams(), *cloud, coic.ShapeSpec(*cloudShape)); err != nil {
+		log.Fatalf("coic-edge: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command coic-trace generates and inspects CoIC workload traces: the
+// user populations, Zipf popularity and spatial locality behind the
+// trace-driven experiments. Traces serialise as JSON lines, so they can
+// be versioned, diffed and replayed.
+//
+// Usage:
+//
+//	coic-trace -users 16 -duration 60s -locality 0.7 > workload.jsonl
+//	coic-trace -analyze workload.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/trace"
+)
+
+func main() {
+	users := flag.Int("users", 8, "population size")
+	cells := flag.Int("cells", 4, "number of locations")
+	duration := flag.Duration("duration", 30*time.Second, "trace length")
+	rate := flag.Float64("rate", 1, "requests/second per user")
+	objects := flag.Int("objects", 64, "object universe size")
+	alpha := flag.Float64("alpha", 0.9, "Zipf popularity exponent")
+	locality := flag.Float64("locality", 0.7, "probability of requesting the cell hot set")
+	hotset := flag.Int("hotset", 8, "objects per cell hot set")
+	move := flag.Float64("move", 0.05, "per-request relocation probability")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	analyze := flag.String("analyze", "", "analyze an existing JSONL trace instead of generating")
+	flag.Parse()
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			log.Fatalf("coic-trace: %v", err)
+		}
+		defer f.Close()
+		events, err := trace.ReadJSONL(f)
+		if err != nil {
+			log.Fatalf("coic-trace: %v", err)
+		}
+		printStats(trace.Analyze(events))
+		return
+	}
+
+	events, err := trace.Generate(trace.Config{
+		Users: *users, Cells: *cells, Duration: *duration,
+		RatePerUser: *rate, Objects: *objects, ZipfAlpha: *alpha,
+		Locality: *locality, HotSetSize: *hotset, MoveProb: *move,
+		TaskMix: trace.TaskMix{Recognize: 0.5, Render: 0.3, Pano: 0.2},
+		Seed:    *seed,
+	})
+	if err != nil {
+		log.Fatalf("coic-trace: %v", err)
+	}
+	if err := trace.WriteJSONL(os.Stdout, events); err != nil {
+		log.Fatalf("coic-trace: %v", err)
+	}
+	printStats(trace.Analyze(events))
+}
+
+func printStats(st trace.Stats) {
+	fmt.Fprintf(os.Stderr, "events=%d users=%d unique_objects=%d span=%v redundancy=%.1f%%\n",
+		st.Events, st.Users, st.UniqueObjs, st.Duration.Round(time.Millisecond), st.RedundantPct)
+	for task, n := range st.PerTask {
+		fmt.Fprintf(os.Stderr, "  %-10s %d\n", task, n)
+	}
+}

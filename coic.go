@@ -1,0 +1,333 @@
+// Package coic is a reproduction of "Immersion on the Edge: A Cooperative
+// Framework for Mobile Immersive Computing" (Lai, Cui, Wang, Hu —
+// SIGCOMM Posters & Demos 2018): an edge cache for computation-intensive
+// Immersive Computing tasks, keyed by feature descriptors so that similar
+// or redundant work across applications and users is shared instead of
+// recomputed in the cloud.
+//
+// The package is a facade over the internal implementation. A System
+// wires a mobile Client, an Edge cache and a Cloud over a simulated
+// network and executes recognition / 3D-rendering / VR-panorama tasks in
+// deterministic virtual time; the Run* functions regenerate every figure
+// of the paper plus this reproduction's ablations. The same protocol also
+// runs over real TCP via ServeCloud / ServeEdge / Dial (see cmd/).
+package coic
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/core"
+	"github.com/edge-immersion/coic/internal/feature"
+	"github.com/edge-immersion/coic/internal/netsim"
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/track"
+	"github.com/edge-immersion/coic/internal/vision"
+)
+
+// Re-exported types: the public API speaks these names; the internal
+// packages own the implementations.
+type (
+	// Params carries every calibration constant of the reproduction.
+	Params = core.Params
+	// Breakdown decomposes one request's latency.
+	Breakdown = core.Breakdown
+	// Mode selects CoIC or the paper's Origin baseline.
+	Mode = core.Mode
+	// Condition is a (B_M→E, B_E→C) network condition from Figure 2a.
+	Condition = netsim.Condition
+	// Class is a recognisable object category.
+	Class = vision.Class
+	// Viewport is a VR viewing direction.
+	Viewport = pano.Viewport
+	// Outcome classifies a cache lookup (miss / exact / similar).
+	Outcome = cache.Outcome
+)
+
+// Execution modes.
+const (
+	ModeOrigin = core.ModeOrigin
+	ModeCoIC   = core.ModeCoIC
+)
+
+// Object classes recognisable by the reference model.
+const (
+	ClassStopSign     = vision.ClassStopSign
+	ClassCar          = vision.ClassCar
+	ClassAvatar       = vision.ClassAvatar
+	ClassTree         = vision.ClassTree
+	ClassBuilding     = vision.ClassBuilding
+	ClassTrafficLight = vision.ClassTrafficLight
+	ClassPerson       = vision.ClassPerson
+	ClassDog          = vision.ClassDog
+)
+
+// On-device tracking (never cached, per the paper: tracking is cheap
+// enough to run locally between recognitions).
+type (
+	// Frame is a raw RGBA camera frame.
+	Frame = vision.Frame
+	// Tracker follows a template across frames on the device.
+	Tracker = track.Tracker
+	// Box is a tracked region in pixel coordinates.
+	Box = track.Box
+)
+
+// NewTracker starts tracking the target box in the first frame.
+func NewTracker(first *Frame, target Box, searchRadius int) (*Tracker, error) {
+	return track.New(first, target, searchRadius)
+}
+
+// CaptureFrame renders what the client's camera sees: an object of the
+// given class under a viewSeed-derived viewpoint. AR examples use it to
+// drive the recognise-then-track loop.
+func (s *System) CaptureFrame(client int, class Class, viewSeed uint64) (*Frame, error) {
+	sess, err := s.session(client)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Client.CaptureFrame(class, viewSeed), nil
+}
+
+// DefaultParams returns the calibrated reproduction parameters
+// (see DESIGN.md for the calibration rationale).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Fig2aConditions returns the five network conditions of Figure 2a.
+func Fig2aConditions() []Condition { return netsim.Fig2aConditions() }
+
+// AnnotationModelID names the AR overlay model served after recognising
+// an object of the given class.
+func AnnotationModelID(class Class) string {
+	return core.AnnotationModelID(class.String())
+}
+
+// SceneModelID names a Figure 2b ladder model by its size in KB (one of
+// 231, 1073, 1949, 7050, 13072, 15053).
+func SceneModelID(kb int) string { return core.Fig2bModelID(kb) }
+
+// Config assembles a System.
+type Config struct {
+	// Params defaults to DefaultParams() when zero-valued.
+	Params Params
+	// Condition defaults to the 200/20 Mbps mid-sweep condition.
+	Condition Condition
+	// CachePolicy selects eviction: "lru" (default), "lfu", "fifo",
+	// "gdsf".
+	CachePolicy string
+	// Index selects the descriptor matcher: "linear" (default) or
+	// "lsh".
+	Index string
+	// Clients is how many mobile clients to attach (default 1).
+	Clients int
+	// PrivacyK enables the k-anonymity sharing gate: cached results are
+	// only shared with strangers once K distinct users have requested
+	// them (0 or 1 disables; see the A-privacy ablation).
+	PrivacyK int
+}
+
+// System is an assembled CoIC deployment in virtual time: clients, one
+// edge, one cloud, and the network between them.
+type System struct {
+	Params    Params
+	Condition Condition
+
+	cloud    *core.Cloud
+	edge     *core.Edge
+	topo     *netsim.Topology
+	sessions []*core.Session
+	now      time.Time
+}
+
+// New builds a System from cfg. Unset fields default sensibly.
+func New(cfg Config) (*System, error) {
+	p := cfg.Params
+	if p.CameraW == 0 { // zero value: caller wants defaults
+		p = DefaultParams()
+	}
+	cond := cfg.Condition
+	if cond.MobileEdge == 0 {
+		cond = Condition{Name: "200/20", MobileEdge: 200, EdgeCloud: 20}
+	}
+	var opts []core.EdgeOption
+	switch cfg.CachePolicy {
+	case "", "lru":
+	case "lfu":
+		opts = append(opts, core.WithCachePolicy(cache.NewLFU()))
+	case "fifo":
+		opts = append(opts, core.WithCachePolicy(cache.NewFIFO()))
+	case "gdsf":
+		opts = append(opts, core.WithCachePolicy(cache.NewGDSF()))
+	default:
+		return nil, fmt.Errorf("coic: unknown cache policy %q", cfg.CachePolicy)
+	}
+	switch cfg.Index {
+	case "", "linear":
+	case "lsh":
+		opts = append(opts, core.WithCacheIndex(feature.NewLSH(64, 8, 12, p.Seed)))
+	default:
+		return nil, fmt.Errorf("coic: unknown index %q", cfg.Index)
+	}
+	if cfg.PrivacyK > 1 {
+		opts = append(opts, core.WithPrivacyK(cfg.PrivacyK))
+	}
+
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	s := &System{
+		Params:    p,
+		Condition: cond,
+		cloud:     core.NewCloud(p),
+		edge:      core.NewEdge(p, opts...),
+		topo:      netsim.NewTopology(cond, p.Seed),
+		now:       time.Date(2018, 8, 20, 9, 0, 0, 0, time.UTC),
+	}
+	for i := 0; i < clients; i++ {
+		client := core.NewClient(i, p)
+		s.sessions = append(s.sessions, core.NewSession(client, s.edge, s.cloud, s.topo))
+	}
+	return s, nil
+}
+
+// Now reports the system's virtual time.
+func (s *System) Now() time.Time { return s.now }
+
+// Advance moves virtual time forward (requests issued later see an idle
+// network again).
+func (s *System) Advance(d time.Duration) { s.now = s.now.Add(d) }
+
+func (s *System) session(client int) (*core.Session, error) {
+	if client < 0 || client >= len(s.sessions) {
+		return nil, fmt.Errorf("coic: client %d of %d", client, len(s.sessions))
+	}
+	return s.sessions[client], nil
+}
+
+// Recognize runs one recognition task for the given client: observe an
+// object of `class` from a viewpoint derived from viewSeed, and resolve
+// its label through the CoIC protocol (or straight offload in
+// ModeOrigin). The returned label/annotation comes from the real DNN.
+func (s *System) Recognize(client int, class Class, viewSeed uint64, mode Mode) (Breakdown, RecognitionResult, error) {
+	sess, err := s.session(client)
+	if err != nil {
+		return Breakdown{}, RecognitionResult{}, err
+	}
+	b, res, err := sess.Recognize(s.now, class, viewSeed, mode)
+	if err != nil {
+		return b, RecognitionResult{}, err
+	}
+	s.now = b.End
+	return b, RecognitionResult{
+		Label:             res.Label,
+		Confidence:        float64(res.Confidence),
+		AnnotationModelID: res.AnnotationModelID,
+	}, nil
+}
+
+// RecognitionResult is the public form of a recognition answer.
+type RecognitionResult struct {
+	Label             string
+	Confidence        float64
+	AnnotationModelID string
+}
+
+// Render runs one 3D model load-and-draw task for the given client.
+func (s *System) Render(client int, modelID string, mode Mode) (Breakdown, error) {
+	sess, err := s.session(client)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b, err := sess.Render(s.now, modelID, mode)
+	if err != nil {
+		return b, err
+	}
+	s.now = b.End
+	return b, nil
+}
+
+// Pano runs one VR panorama fetch-and-crop task for the given client.
+func (s *System) Pano(client int, videoID string, frame int, vp Viewport, mode Mode) (Breakdown, error) {
+	sess, err := s.session(client)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b, err := sess.Pano(s.now, videoID, frame, vp, mode)
+	if err != nil {
+		return b, err
+	}
+	s.now = b.End
+	return b, nil
+}
+
+// CacheStats reports the edge cache's hit ratio and resident bytes.
+func (s *System) CacheStats() (hitRatio float64, usedBytes int64, entries int) {
+	st := s.edge.Stats()
+	storeStats, _ := s.edge.Cache.Stats()
+	return st.HitRatio(), storeStats.BytesUsed, storeStats.Entries
+}
+
+// SaveCache snapshots the edge cache (all resident IC results with their
+// descriptors) so a restarted edge can start warm.
+func (s *System) SaveCache(w io.Writer) error { return s.edge.Cache.Snapshot(w) }
+
+// LoadCache restores a snapshot written by SaveCache into the edge cache,
+// returning how many entries were adopted (oversized ones are skipped).
+func (s *System) LoadCache(r io.Reader) (int, error) { return s.edge.Cache.Restore(r) }
+
+// --- real-socket deployment ------------------------------------------
+
+// ServeCloud runs a CoIC cloud on ln until the listener closes.
+func ServeCloud(ln net.Listener, p Params) error {
+	srv := &core.CloudServer{Cloud: core.NewCloud(p)}
+	return srv.Serve(ln)
+}
+
+// ShapeSpec is a tc-style link spec ("rate 90mbit delay 5ms"), applied as
+// a token-bucket shaper; empty means unshaped.
+type ShapeSpec string
+
+func (s ShapeSpec) wrapper() (core.ConnWrapper, error) {
+	if s == "" {
+		return nil, nil
+	}
+	cfg, err := netsim.ParseTC(string(s))
+	if err != nil {
+		return nil, err
+	}
+	return func(c net.Conn) net.Conn {
+		return netsim.NewShaper(c, cfg.BandwidthBPS, cfg.PropDelay)
+	}, nil
+}
+
+// ServeEdge runs a CoIC edge on ln, forwarding misses to cloudAddr.
+// cloudShape conditions the edge→cloud uplink (the B_E→C knob).
+func ServeEdge(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec) error {
+	wrap, err := cloudShape.wrapper()
+	if err != nil {
+		return err
+	}
+	srv := &core.EdgeServer{
+		Edge:      core.NewEdge(p),
+		CloudAddr: cloudAddr,
+		WrapCloud: wrap,
+	}
+	return srv.Serve(ln)
+}
+
+// Client drives requests against a live edge over TCP.
+type Client = core.TCPClient
+
+// Dial connects a mobile client to a running edge. clientShape conditions
+// the client→edge link (the B_M→E knob).
+func Dial(edgeAddr string, p Params, mode Mode, clientShape ShapeSpec) (*Client, error) {
+	wrap, err := clientShape.wrapper()
+	if err != nil {
+		return nil, err
+	}
+	return core.DialEdge(edgeAddr, core.NewClient(0, p), mode, wrap)
+}

@@ -1,0 +1,259 @@
+package coic
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig shrinks payloads so public-API tests stay fast (mirrors
+// internal/core testParams).
+func testConfig() Config {
+	p := DefaultParams()
+	p.CameraW, p.CameraH = 128, 128
+	p.DNNInput = 32
+	p.PanoWidth = 256
+	p.MobileGFLOPS = 28
+	return Config{Params: p}
+}
+
+func TestSystemQuickPath(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, res1, err := sys.Recognize(0, ClassStopSign, 1, ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Label == "" || res1.AnnotationModelID == "" {
+		t.Fatalf("empty result %+v", res1)
+	}
+	sys.Advance(time.Second)
+	b2, res2, err := sys.Recognize(0, ClassStopSign, 2, ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Label != res1.Label {
+		t.Fatal("labels diverge across cache hit")
+	}
+	if b2.Total() >= b1.Total() {
+		t.Fatalf("second request (%v) not faster than first (%v)", b2.Total(), b1.Total())
+	}
+	hitRatio, used, entries := sys.CacheStats()
+	if hitRatio <= 0 || used <= 0 || entries == 0 {
+		t.Fatalf("cache stats: %v %v %v", hitRatio, used, entries)
+	}
+}
+
+func TestSystemRenderAndPano(t *testing.T) {
+	sys, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Render(0, AnnotationModelID(ClassCar), ModeCoIC); err != nil {
+		t.Fatal(err)
+	}
+	sys.Advance(time.Second)
+	b, err := sys.Render(0, AnnotationModelID(ClassCar), ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Outcome.String() != "exact" {
+		t.Fatalf("outcome %v", b.Outcome)
+	}
+	if _, err := sys.Pano(0, "v", 1, Viewport{FOV: 1.5}, ModeCoIC); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiClientSharing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Clients = 3
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Recognize(0, ClassDog, 1, ModeCoIC); err != nil {
+		t.Fatal(err)
+	}
+	sys.Advance(time.Second)
+	b, _, err := sys.Recognize(2, ClassDog, 2, ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Outcome.String() == "miss" {
+		t.Fatal("user 2 did not benefit from user 0's work")
+	}
+	if _, _, err := sys.Recognize(9, ClassDog, 3, ModeCoIC); err == nil {
+		t.Fatal("out-of-range client accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{CachePolicy: "belady"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := New(Config{Index: "faiss"}); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+	for _, policy := range []string{"lru", "lfu", "fifo", "gdsf"} {
+		cfg := testConfig()
+		cfg.CachePolicy = policy
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("policy %s rejected: %v", policy, err)
+		}
+	}
+	cfg := testConfig()
+	cfg.Index = "lsh"
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("lsh index rejected: %v", err)
+	}
+}
+
+func TestLSHIndexSystemStillHits(t *testing.T) {
+	cfg := testConfig()
+	cfg.Index = "lsh"
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Recognize(0, ClassTree, 1, ModeCoIC); err != nil {
+		t.Fatal(err)
+	}
+	sys.Advance(time.Second)
+	b, _, err := sys.Recognize(0, ClassTree, 2, ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Outcome.String() == "miss" {
+		t.Fatal("LSH-backed cache missed a near-duplicate")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	tab := RunThresholdSweep(testConfig().Params, []float64{0.05, 0.12, 0.3}, 4)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "threshold") {
+		t.Fatalf("table output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "true_hit_rate") {
+		t.Fatal("CSV missing header")
+	}
+}
+
+func TestIndexAblationTable(t *testing.T) {
+	tab := RunIndexAblation(32, []int{100, 500}, 20, 1)
+	rows := tab.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestFinegrainedTable(t *testing.T) {
+	p := testConfig().Params
+	tab := RunFinegrained(p, []int{2}, 10)
+	rows := tab.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestServeAndDialPublicAPI(t *testing.T) {
+	p := testConfig().Params
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudLn.Close()
+	go ServeCloud(cloudLn, p)
+
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edgeLn.Close()
+	go ServeEdge(edgeLn, p, cloudLn.Addr().String(), "")
+
+	cli, err := Dial(edgeLn.Addr().String(), p, ModeCoIC, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, lat, err := cli.Recognize(ClassAvatar, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label == "" || lat <= 0 {
+		t.Fatalf("result %+v lat %v", res, lat)
+	}
+
+	// A shaped dial with a bad spec must fail loudly.
+	if _, err := Dial(edgeLn.Addr().String(), p, ModeCoIC, "warp 9"); err == nil {
+		t.Fatal("bad shape spec accepted")
+	}
+}
+
+func TestSceneAndAnnotationIDs(t *testing.T) {
+	if AnnotationModelID(ClassCar) != "annotation/car" {
+		t.Fatal(AnnotationModelID(ClassCar))
+	}
+	if SceneModelID(231) != "scene/231kb" {
+		t.Fatal(SceneModelID(231))
+	}
+}
+
+func TestCacheSaveLoadAcrossSystems(t *testing.T) {
+	cfg := testConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm system A's cache with one of everything.
+	if _, _, err := a.Recognize(0, ClassBuilding, 1, ModeCoIC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Render(0, AnnotationModelID(ClassBuilding), ModeCoIC); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := a.SaveCache(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh system ("restarted edge") starts warm after LoadCache.
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.LoadCache(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("restored %d entries, want >= 2", n)
+	}
+	bd, _, err := b.Recognize(0, ClassBuilding, 2, ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Outcome.String() == "miss" {
+		t.Fatal("restored cache did not serve a warm recognition")
+	}
+	rd, err := b.Render(0, AnnotationModelID(ClassBuilding), ModeCoIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Outcome.String() != "exact" {
+		t.Fatalf("restored cache render outcome: %v", rd.Outcome)
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: assemble a CoIC system, issue the same recognition from two
+// "users", and watch the second one come back from the edge cache instead
+// of the cloud. Then do the same for a 3D model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	coic "github.com/edge-immersion/coic"
+)
+
+func main() {
+	// Two mobile clients behind one edge on the paper's mid-sweep
+	// network (200 Mbps to the edge, 20 Mbps edge to cloud).
+	sys, err := coic.New(coic.Config{Clients: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== recognition ==")
+	// User 0 looks at a stop sign. Cold cache: the request goes to the
+	// cloud (a CoIC "cache miss").
+	b, res, err := sys.Recognize(0, coic.ClassStopSign, 42, coic.ModeCoIC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user 0: %-9s -> %q (%.0f%% conf) in %v\n",
+		b.Outcome, res.Label, res.Confidence*100, b.Total().Round(time.Millisecond))
+
+	// User 1 looks at the same sign from a different angle moments
+	// later. The descriptor lands within the similarity threshold and
+	// the edge answers directly.
+	sys.Advance(2 * time.Second)
+	b, res, err = sys.Recognize(1, coic.ClassStopSign, 99, coic.ModeCoIC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user 1: %-9s -> %q (%.0f%% conf) in %v\n",
+		b.Outcome, res.Label, res.Confidence*100, b.Total().Round(time.Millisecond))
+
+	// The Origin baseline (full offload, no cache) for comparison.
+	sys.Advance(2 * time.Second)
+	b, _, err = sys.Recognize(1, coic.ClassStopSign, 7, coic.ModeOrigin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("origin: %-9s -> cloud round trip in %v\n", "baseline", b.Total().Round(time.Millisecond))
+
+	fmt.Println("\n== 3D model loading ==")
+	model := coic.SceneModelID(1073) // a ~1 MB scene model
+	for _, who := range []int{0, 1} {
+		sys.Advance(2 * time.Second)
+		b, err := sys.Render(who, model, coic.ModeCoIC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %d: %-9s loaded %s in %v\n",
+			who, b.Outcome, model, b.Total().Round(time.Millisecond))
+	}
+
+	hitRatio, used, entries := sys.CacheStats()
+	fmt.Printf("\nedge cache: hit ratio %.2f, %d entries, %.1f MB resident\n",
+		hitRatio, entries, float64(used)/(1<<20))
+}

@@ -1,0 +1,62 @@
+// VR streaming: several users watch the same panoramic VR video through
+// one edge. The cloud renders each panoramic frame once; every other
+// viewer's fetch hits the edge cache, and each client crops its own
+// viewport locally (the paper's third workload, after FlashBack/Furion).
+//
+//	go run ./examples/vr-streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	coic "github.com/edge-immersion/coic"
+)
+
+func main() {
+	const viewers = 4
+	sys, err := coic.New(coic.Config{Clients: viewers})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	video := "rollercoaster"
+	var cloudFetches, edgeHits int
+	var firstUserTotal, otherUsersTotal time.Duration
+
+	for frame := 0; frame < 6; frame++ {
+		for user := 0; user < viewers; user++ {
+			// Every viewer looks somewhere different; the panorama is
+			// shared, the crop is personal.
+			vp := coic.Viewport{
+				Yaw:   float64(user)*1.5 - 2.2,
+				Pitch: 0.1 * float64(user%3),
+				FOV:   1.6,
+			}
+			b, err := sys.Pano(user, video, frame, vp, coic.ModeCoIC)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if b.Outcome.String() == "miss" {
+				cloudFetches++
+			} else {
+				edgeHits++
+			}
+			if user == 0 {
+				firstUserTotal += b.Total()
+			} else {
+				otherUsersTotal += b.Total()
+			}
+		}
+		sys.Advance(33 * time.Millisecond) // next frame at 30 fps
+	}
+
+	fmt.Printf("%d viewers x 6 frames of %q\n", viewers, video)
+	fmt.Printf("cloud renders: %d (one per frame)\n", cloudFetches)
+	fmt.Printf("edge hits:     %d (every other view)\n", edgeHits)
+	fmt.Printf("first viewer mean:  %v/frame\n",
+		(firstUserTotal / 6).Round(time.Millisecond))
+	fmt.Printf("other viewers mean: %v/frame\n",
+		(otherUsersTotal / (6 * (viewers - 1))).Round(time.Millisecond))
+}

@@ -1,0 +1,451 @@
+package coic
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/core"
+	"github.com/edge-immersion/coic/internal/dnn"
+	"github.com/edge-immersion/coic/internal/feature"
+	"github.com/edge-immersion/coic/internal/metrics"
+	"github.com/edge-immersion/coic/internal/netsim"
+	"github.com/edge-immersion/coic/internal/tensor"
+	"github.com/edge-immersion/coic/internal/trace"
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/wire"
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// Table is a renderable experiment result (text or CSV).
+type Table = metrics.Table
+
+// Fig2aRow and Fig2bRow are the structured results behind the paper's two
+// figures.
+type (
+	Fig2aRow = core.Fig2aRow
+	Fig2bRow = core.Fig2bRow
+)
+
+// TraceConfig parameterises synthetic workloads for the ablations.
+type TraceConfig = trace.Config
+
+// TaskMix weights recognition/render/pano tasks in a workload.
+type TaskMix = trace.TaskMix
+
+// RunFig2a regenerates Figure 2a (recognition latency across network
+// conditions).
+func RunFig2a(p Params) ([]Fig2aRow, error) { return core.RunFig2a(p) }
+
+// RunFig2b regenerates Figure 2b (model load latency across sizes).
+func RunFig2b(p Params) ([]Fig2bRow, error) { return core.RunFig2b(p) }
+
+// RunFig2bSizes runs Figure 2b over a subset of the size ladder.
+func RunFig2bSizes(p Params, sizesKB []int) ([]Fig2bRow, error) {
+	return core.RunFig2bSizes(p, sizesKB)
+}
+
+func msCol(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// Fig2aTable renders Figure 2a rows the way the paper's chart is read:
+// one row per network condition, one column per bar.
+func Fig2aTable(rows []Fig2aRow) *Table {
+	t := metrics.NewTable(
+		"Figure 2a — recognition latency (ms): Origin vs CoIC Cache Hit vs Cache Miss",
+		"condition", "origin_ms", "hit_ms", "miss_ms", "reduction_%")
+	var maxRed float64
+	for _, r := range rows {
+		red := r.Reduction() * 100
+		if red > maxRed {
+			maxRed = red
+		}
+		t.AddRow(r.Condition.String(), msCol(r.Origin.Total()), msCol(r.Hit.Total()),
+			msCol(r.Miss.Total()), fmt.Sprintf("%.2f", red))
+	}
+	t.AddNote("paper reports up to 52.28%% reduction; this reproduction peaks at %.2f%%", maxRed)
+	return t
+}
+
+// Fig2bTable renders Figure 2b rows.
+func Fig2bTable(rows []Fig2bRow) *Table {
+	t := metrics.NewTable(
+		"Figure 2b — 3D model load latency (ms): Origin vs CoIC Cache Hit vs Cache Miss",
+		"model_KB", "objx_KB", "cmf_KB", "origin_ms", "hit_ms", "miss_ms", "reduction_%")
+	var maxRed float64
+	for _, r := range rows {
+		red := r.Reduction() * 100
+		if red > maxRed {
+			maxRed = red
+		}
+		t.AddRow(r.ModelKB, r.OBJXBytes/1024, r.CMFBytes/1024,
+			msCol(r.Origin.Total()), msCol(r.Hit.Total()), msCol(r.Miss.Total()),
+			fmt.Sprintf("%.2f", red))
+	}
+	t.AddNote("paper reports up to 75.86%% reduction; this reproduction peaks at %.2f%%", maxRed)
+	return t
+}
+
+// RunHitRatio measures cache hit ratio and mean latency as the number of
+// co-located users grows (the §1.2 redundancy claim made quantitative).
+func RunHitRatio(p Params, userCounts []int, locality float64, seed uint64) (*Table, error) {
+	t := metrics.NewTable(
+		fmt.Sprintf("T-hit — hit ratio vs co-located users (locality=%.2f)", locality),
+		"users", "events", "hit_ratio", "coic_mean_ms", "origin_mean_ms", "speedup")
+	for _, users := range userCounts {
+		events, err := trace.Generate(trace.Config{
+			Users: users, Cells: 4, Duration: 30 * time.Second,
+			RatePerUser: 1, Objects: 64, ZipfAlpha: 0.8,
+			Locality: locality, HotSetSize: 8,
+			TaskMix: trace.TaskMix{Recognize: 0.5, Render: 0.3, Pano: 0.2},
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		coicRes, err := core.RunTrace(p, cond200, events, ModeCoIC)
+		if err != nil {
+			return nil, err
+		}
+		originRes, err := core.RunTrace(p, cond200, events, ModeOrigin)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(originRes.All.Mean()) / float64(coicRes.All.Mean())
+		t.AddRow(users, coicRes.Events,
+			fmt.Sprintf("%.3f", coicRes.HitRatio()),
+			msCol(coicRes.All.Mean()), msCol(originRes.All.Mean()),
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	return t, nil
+}
+
+var cond200 = Condition{Name: "200/20", MobileEdge: 200, EdgeCloud: 20}
+
+// RunPolicyAblation compares eviction policies on one trace across cache
+// capacities (the paper's "simple cache management policy" axis).
+func RunPolicyAblation(p Params, capacitiesMB []int, seed uint64) (*Table, error) {
+	events, err := trace.Generate(trace.Config{
+		Users: 12, Cells: 3, Duration: 40 * time.Second,
+		RatePerUser: 1, Objects: 96, ZipfAlpha: 0.9,
+		Locality: 0.6, HotSetSize: 10,
+		TaskMix: trace.TaskMix{Recognize: 0.4, Render: 0.4, Pano: 0.2},
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	policies := []struct {
+		name string
+		mk   func() cache.Policy
+	}{
+		{"lru", cache.NewLRU}, {"lfu", cache.NewLFU},
+		{"fifo", cache.NewFIFO}, {"gdsf", cache.NewGDSF},
+	}
+	t := metrics.NewTable("A-policy — eviction policy vs hit ratio",
+		"capacity_MB", "policy", "hit_ratio", "mean_ms", "evictions")
+	for _, mb := range capacitiesMB {
+		for _, pol := range policies {
+			pp := p
+			pp.EdgeCacheBytes = int64(mb) << 20
+			res, err := core.RunTrace(pp, cond200, events, ModeCoIC, core.WithCachePolicy(pol.mk()))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(mb, pol.name,
+				fmt.Sprintf("%.3f", res.HitRatio()),
+				msCol(res.All.Mean()),
+				res.Events-res.Errors)
+		}
+	}
+	return t, nil
+}
+
+// RunThresholdSweep measures descriptor separation: true-hit vs false-hit
+// rates across candidate similarity thresholds.
+func RunThresholdSweep(p Params, thresholds []float64, pairs int) *Table {
+	pts := core.RunThresholdSweep(p, thresholds, pairs)
+	t := metrics.NewTable("A-threshold — similarity threshold sensitivity",
+		"threshold", "true_hit_rate", "false_hit_rate")
+	for _, pt := range pts {
+		t.AddRow(fmt.Sprintf("%.3f", pt.Threshold),
+			fmt.Sprintf("%.3f", pt.TruePositive),
+			fmt.Sprintf("%.3f", pt.FalsePositive))
+	}
+	t.AddNote("configured threshold: %.3f", p.Threshold)
+	return t
+}
+
+// RunIndexAblation compares exact linear scan against LSH lookup cost as
+// the number of cached descriptors grows, measuring real wall-clock
+// lookup time and LSH recall.
+func RunIndexAblation(dim int, sizes []int, queries int, seed uint64) *Table {
+	t := metrics.NewTable("A-index — descriptor index lookup cost",
+		"cached_vectors", "linear_us", "lsh_us", "lsh_recall")
+	rng := xrand.New(seed)
+	mkVec := func() []float32 {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		return feature.NewVector(v).Vec
+	}
+	for _, n := range sizes {
+		lin := feature.NewLinear()
+		lsh := feature.NewLSH(dim, 8, 14, seed)
+		vecs := make([][]float32, n)
+		for i := 0; i < n; i++ {
+			vecs[i] = mkVec()
+			lin.Add(uint64(i+1), vecs[i])
+			lsh.Add(uint64(i+1), vecs[i])
+		}
+		qs := make([][]float32, queries)
+		want := make([]uint64, queries)
+		for i := range qs {
+			target := rng.Intn(n)
+			q := make([]float32, dim)
+			copy(q, vecs[target])
+			q[0] += 0.01
+			qs[i] = feature.NewVector(q).Vec
+			want[i] = uint64(target + 1)
+		}
+		start := time.Now()
+		for _, q := range qs {
+			lin.Nearest(q)
+		}
+		linPer := time.Since(start) / time.Duration(queries)
+
+		recall := 0
+		start = time.Now()
+		for i, q := range qs {
+			if id, _, ok := lsh.Nearest(q); ok && id == want[i] {
+				recall++
+			}
+		}
+		lshPer := time.Since(start) / time.Duration(queries)
+
+		t.AddRow(n,
+			fmt.Sprintf("%.1f", float64(linPer)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f", float64(lshPer)/float64(time.Microsecond)),
+			fmt.Sprintf("%.2f", float64(recall)/float64(queries)))
+	}
+	return t
+}
+
+// RunCooperation measures the effect of edge-to-edge peering: users
+// behind different edges requesting overlapping content, with and
+// without cooperation.
+func RunCooperation(p Params, edgeCounts []int, requestsPerEdge int) (*Table, error) {
+	t := metrics.NewTable("A-coop — edge-to-edge cooperation",
+		"edges", "peered", "hit_ratio", "peer_hits", "cloud_fetches")
+	for _, n := range edgeCounts {
+		for _, peered := range []bool{false, true} {
+			hitRatio, peerHits, cloudFetches, err := runCoop(p, n, requestsPerEdge, peered)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, peered, fmt.Sprintf("%.3f", hitRatio), peerHits, cloudFetches)
+		}
+	}
+	return t, nil
+}
+
+func runCoop(p Params, edges, requestsPerEdge int, peered bool) (float64, uint64, int, error) {
+	cloud := core.NewCloud(p)
+	es := make([]*core.Edge, edges)
+	for i := range es {
+		es[i] = core.NewEdge(p)
+	}
+	if peered {
+		for i := range es {
+			for j := range es {
+				if i != j {
+					es[i].Peer(es[j])
+				}
+			}
+		}
+	}
+	at := time.Date(2018, 8, 20, 9, 0, 0, 0, time.UTC)
+	cloudFetches := 0
+	modelIDs := []string{AnnotationModelID(ClassCar), AnnotationModelID(ClassTree), AnnotationModelID(ClassDog)}
+	var totalLookups, totalHits uint64
+	for i := 0; i < edges; i++ {
+		topo := netsim.NewTopology(cond200, p.Seed+uint64(i))
+		sess := core.NewSession(core.NewClient(i, p), es[i], cloud, topo)
+		for r := 0; r < requestsPerEdge; r++ {
+			// Every edge's users want the same popular content.
+			b, err := sess.Render(at.Add(time.Duration(r)*time.Second), modelIDs[r%len(modelIDs)], ModeCoIC)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if b.Cloud > 0 {
+				cloudFetches++
+			}
+		}
+	}
+	var peerHits uint64
+	for _, e := range es {
+		st := e.Stats()
+		peerHits += st.PeerHits
+		for _, v := range st.Lookups {
+			totalLookups += v
+		}
+		for _, v := range st.Exact {
+			totalHits += v
+		}
+		for _, v := range st.Similar {
+			totalHits += v
+		}
+	}
+	ratio := 0.0
+	if totalLookups > 0 {
+		ratio = float64(totalHits) / float64(totalLookups)
+	}
+	return ratio, peerHits, cloudFetches, nil
+}
+
+// RunFinegrained measures the paper's future-work extension: per-DNN-layer
+// result reuse. A pool of inputs with repetition runs through a plain
+// network and a layer-memoised one; the table reports layer hit rate and
+// real compute speedup.
+func RunFinegrained(p Params, poolSizes []int, requests int) *Table {
+	t := metrics.NewTable("A-layer — fine-grained per-layer DNN caching (future work §4)",
+		"distinct_inputs", "requests", "layer_hit_rate", "plain_ms", "cached_ms", "speedup")
+	net := dnn.NewEdgeNet(vision.ClassNames, p.DNNInput, p.Seed)
+	for _, pool := range poolSizes {
+		inputs := make([]*tensor.Tensor, pool)
+		for i := range inputs {
+			frame := vision.RenderObject(vision.Class(i%int(vision.NumClasses)), vision.CanonicalView(), 64, 64)
+			inputs[i] = vision.ToTensor(frame, p.DNNInput)
+		}
+		start := time.Now()
+		for r := 0; r < requests; r++ {
+			net.Forward(inputs[r%pool])
+		}
+		plain := time.Since(start)
+
+		cr := dnn.NewCachedRunner(net, 0)
+		start = time.Now()
+		for r := 0; r < requests; r++ {
+			cr.Forward(inputs[r%pool])
+		}
+		cached := time.Since(start)
+		hits, misses := cr.Stats()
+		rate := float64(hits) / float64(hits+misses)
+		t.AddRow(pool, requests,
+			fmt.Sprintf("%.2f", rate),
+			msCol(plain), msCol(cached),
+			fmt.Sprintf("%.2fx", float64(plain)/float64(cached)))
+	}
+	return t
+}
+
+// RunPanoStreaming measures the VR path: N users watching the same video
+// through one edge, CoIC vs Origin.
+func RunPanoStreaming(p Params, users, framesPerUser int) (*Table, error) {
+	t := metrics.NewTable("A-pano — shared VR panorama streaming",
+		"mode", "users", "frames", "mean_ms", "p95_ms", "hit_ratio")
+	for _, mode := range []Mode{ModeOrigin, ModeCoIC} {
+		events, err := trace.Generate(trace.Config{
+			Users: users, Cells: 1, Duration: time.Duration(framesPerUser) * 200 * time.Millisecond,
+			RatePerUser: 5, Objects: 2, Locality: 1, HotSetSize: 2,
+			TaskMix: trace.TaskMix{Pano: 1},
+			Seed:    p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.RunTrace(p, cond200, events, mode)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mode.String(), users, res.Events,
+			msCol(res.All.Mean()), msCol(res.All.P95()),
+			fmt.Sprintf("%.3f", res.HitRatio()))
+	}
+	return t, nil
+}
+
+// RunPrivacy measures the privacy/utility trade-off of the k-anonymity
+// sharing gate (this reproduction's take on the paper's §4
+// "security/privacy protection" future work): higher K withholds more
+// cross-user sharing, lowering the hit ratio.
+func RunPrivacy(p Params, ks []int, seed uint64) (*Table, error) {
+	events, err := trace.Generate(trace.Config{
+		Users: 12, Cells: 2, Duration: 30 * time.Second,
+		RatePerUser: 1, Objects: 24, ZipfAlpha: 0.9,
+		Locality: 0.8, HotSetSize: 6,
+		TaskMix: trace.TaskMix{Recognize: 0.4, Render: 0.4, Pano: 0.2},
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("A-privacy — k-anonymity sharing gate vs cache utility",
+		"privacy_k", "hit_ratio", "blocked", "mean_ms")
+	for _, k := range ks {
+		var opts []core.EdgeOption
+		if k > 1 {
+			opts = append(opts, core.WithPrivacyK(k))
+		}
+		res, err := core.RunTrace(p, cond200, events, ModeCoIC, opts...)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k,
+			fmt.Sprintf("%.3f", res.HitRatio()),
+			res.Edge.PrivacyBlocked,
+			msCol(res.All.Mean()))
+	}
+	t.AddNote("K=0 disables the gate; blocked = hits withheld from strangers")
+	return t, nil
+}
+
+// RunQoE scores a mixed workload on the paper's own currency — quality of
+// experience — per task and mode, using per-task latency-MOS curves
+// (internal/metrics/qoe.go). This is the summary view of "improve QoE of
+// immersive computing by cooperatively sharing ... intermediate IC
+// results".
+func RunQoE(p Params, users int, seed uint64) (*Table, error) {
+	events, err := trace.Generate(trace.Config{
+		Users: users, Cells: 3, Duration: 30 * time.Second,
+		RatePerUser: 1, Objects: 48, ZipfAlpha: 0.9,
+		Locality: 0.7, HotSetSize: 8,
+		TaskMix: trace.TaskMix{Recognize: 0.4, Render: 0.3, Pano: 0.3},
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("QoE — mean opinion score (1-5) per task, %d users", users),
+		"task", "origin_qoe", "coic_qoe", "origin_p95_ms", "coic_p95_ms")
+	coicRes, err := core.RunTrace(p, cond200, events, ModeCoIC)
+	if err != nil {
+		return nil, err
+	}
+	originRes, err := core.RunTrace(p, cond200, events, ModeOrigin)
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		task wire.Task
+		q    metrics.QoE
+	}{
+		{wire.TaskRecognize, metrics.QoERecognition},
+		{wire.TaskRender, metrics.QoERender},
+		{wire.TaskPano, metrics.QoEPano},
+	}
+	for _, r := range rows {
+		o, c := originRes.PerTask[r.task], coicRes.PerTask[r.task]
+		t.AddRow(r.task.String(),
+			fmt.Sprintf("%.2f", r.q.MeanScore(o)),
+			fmt.Sprintf("%.2f", r.q.MeanScore(c)),
+			msCol(o.P95()), msCol(c.P95()))
+	}
+	return t, nil
+}
+
+// GenerateTrace builds a workload trace for custom experiments.
+func GenerateTrace(cfg TraceConfig) ([]trace.Event, error) { return trace.Generate(cfg) }

@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/feature"
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// BenchmarkStorePut measures insertion with LRU eviction under steady
+// churn.
+func BenchmarkStorePut(b *testing.B) {
+	s := NewStore(1<<20, NewLRU())
+	v := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("k%d", i%4096), v, 1)
+	}
+}
+
+// BenchmarkStoreGetHit measures the hot-path read.
+func BenchmarkStoreGetHit(b *testing.B) {
+	s := NewStore(1<<20, NewLRU())
+	s.Put("k", make([]byte, 1024), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get("k")
+	}
+}
+
+// BenchmarkSimilarityLookup measures the edge's per-request descriptor
+// match (exact map probe + vector index search) at a realistic cache
+// population.
+func BenchmarkSimilarityLookup(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("resident=%d", n), func(b *testing.B) {
+			sc := NewSimilarity(SimilarityConfig{Capacity: 1 << 30, Threshold: 0.12})
+			rng := xrand.New(1)
+			var last feature.Descriptor
+			for i := 0; i < n; i++ {
+				v := make([]float32, 64)
+				for j := range v {
+					v[j] = float32(rng.NormFloat64())
+				}
+				last = feature.NewVector(v)
+				sc.Insert(last, make([]byte, 64), 1)
+			}
+			q := make([]float32, 64)
+			copy(q, last.Vec)
+			q[0] += 0.01
+			query := feature.NewVector(q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Lookup(query)
+			}
+		})
+	}
+}

@@ -1,0 +1,282 @@
+// Package cache implements the CoIC edge IC-cache: a byte-capacity store
+// with pluggable eviction policies, plus the SimilarityCache that fronts
+// it with feature-descriptor matching (exact hashes for models/panoramas,
+// thresholded nearest-neighbour search for DNN feature vectors).
+//
+// The paper ships a "simple cache management policy" and names richer
+// management as future work; the Policy interface here makes the policy an
+// ablation axis (the A-policy experiment compares LRU, LFU, FIFO and
+// GDSF on identical traces).
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+)
+
+// Policy decides which resident entry to evict. Implementations are not
+// safe for concurrent use on their own — Store serialises all calls under
+// its lock.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// OnInsert records that key became resident with the given size in
+	// bytes and a recomputation cost estimate (higher = more valuable).
+	OnInsert(key string, size int64, cost float64)
+	// OnAccess records a hit on key.
+	OnAccess(key string)
+	// OnRemove records that key left the cache (eviction or deletion).
+	OnRemove(key string)
+	// Victim proposes the key to evict next. ok is false when the policy
+	// tracks nothing.
+	Victim() (key string, ok bool)
+}
+
+// lruPolicy evicts the least recently used entry.
+type lruPolicy struct {
+	order *list.List // front = most recent
+	items map[string]*list.Element
+	touch bool // false = FIFO (insertion order only)
+	name  string
+}
+
+// NewLRU returns a least-recently-used policy.
+func NewLRU() Policy {
+	return &lruPolicy{order: list.New(), items: map[string]*list.Element{}, touch: true, name: "lru"}
+}
+
+// NewFIFO returns a first-in-first-out policy (insertion order, accesses
+// ignored).
+func NewFIFO() Policy {
+	return &lruPolicy{order: list.New(), items: map[string]*list.Element{}, touch: false, name: "fifo"}
+}
+
+func (p *lruPolicy) Name() string { return p.name }
+
+func (p *lruPolicy) OnInsert(key string, size int64, cost float64) {
+	if el, ok := p.items[key]; ok {
+		p.order.MoveToFront(el)
+		return
+	}
+	p.items[key] = p.order.PushFront(key)
+}
+
+func (p *lruPolicy) OnAccess(key string) {
+	if !p.touch {
+		return
+	}
+	if el, ok := p.items[key]; ok {
+		p.order.MoveToFront(el)
+	}
+}
+
+func (p *lruPolicy) OnRemove(key string) {
+	if el, ok := p.items[key]; ok {
+		p.order.Remove(el)
+		delete(p.items, key)
+	}
+}
+
+func (p *lruPolicy) Victim() (string, bool) {
+	el := p.order.Back()
+	if el == nil {
+		return "", false
+	}
+	return el.Value.(string), true
+}
+
+// lfuPolicy evicts the least frequently used entry, breaking frequency
+// ties by least recent insertion.
+type lfuPolicy struct {
+	h     lfuHeap
+	items map[string]*lfuItem
+	seq   uint64
+}
+
+type lfuItem struct {
+	key   string
+	freq  uint64
+	seq   uint64 // tie-break: smaller = older
+	index int
+}
+
+type lfuHeap []*lfuItem
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *lfuHeap) Push(x any) {
+	it := x.(*lfuItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// NewLFU returns a least-frequently-used policy.
+func NewLFU() Policy {
+	return &lfuPolicy{items: map[string]*lfuItem{}}
+}
+
+func (p *lfuPolicy) Name() string { return "lfu" }
+
+func (p *lfuPolicy) OnInsert(key string, size int64, cost float64) {
+	if it, ok := p.items[key]; ok {
+		it.freq++
+		heap.Fix(&p.h, it.index)
+		return
+	}
+	p.seq++
+	it := &lfuItem{key: key, freq: 1, seq: p.seq}
+	p.items[key] = it
+	heap.Push(&p.h, it)
+}
+
+func (p *lfuPolicy) OnAccess(key string) {
+	if it, ok := p.items[key]; ok {
+		it.freq++
+		heap.Fix(&p.h, it.index)
+	}
+}
+
+func (p *lfuPolicy) OnRemove(key string) {
+	if it, ok := p.items[key]; ok {
+		heap.Remove(&p.h, it.index)
+		delete(p.items, key)
+	}
+}
+
+func (p *lfuPolicy) Victim() (string, bool) {
+	if len(p.h) == 0 {
+		return "", false
+	}
+	return p.h[0].key, true
+}
+
+// gdsfPolicy implements Greedy-Dual-Size-Frequency: priority =
+// ageFloor + freq·cost/size. Small, expensive, popular entries survive;
+// the age floor (the priority of the last victim) prevents one-hit
+// wonders from starving the cache forever. A natural fit for IC results,
+// whose sizes span three orders of magnitude (a label vs a 15 MB model).
+type gdsfPolicy struct {
+	h     gdsfHeap
+	items map[string]*gdsfItem
+	floor float64
+	seq   uint64
+}
+
+type gdsfItem struct {
+	key      string
+	freq     float64
+	cost     float64
+	size     int64
+	priority float64
+	seq      uint64
+	index    int
+}
+
+type gdsfHeap []*gdsfItem
+
+func (h gdsfHeap) Len() int { return len(h) }
+func (h gdsfHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h gdsfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *gdsfHeap) Push(x any) {
+	it := x.(*gdsfItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *gdsfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// NewGDSF returns a Greedy-Dual-Size-Frequency policy.
+func NewGDSF() Policy {
+	return &gdsfPolicy{items: map[string]*gdsfItem{}}
+}
+
+func (p *gdsfPolicy) Name() string { return "gdsf" }
+
+func (p *gdsfPolicy) priorityOf(it *gdsfItem) float64 {
+	size := it.size
+	if size <= 0 {
+		size = 1
+	}
+	cost := it.cost
+	if cost <= 0 {
+		cost = 1
+	}
+	return p.floor + it.freq*cost/float64(size)
+}
+
+func (p *gdsfPolicy) OnInsert(key string, size int64, cost float64) {
+	if it, ok := p.items[key]; ok {
+		it.freq++
+		it.size, it.cost = size, cost
+		it.priority = p.priorityOf(it)
+		heap.Fix(&p.h, it.index)
+		return
+	}
+	p.seq++
+	it := &gdsfItem{key: key, freq: 1, cost: cost, size: size, seq: p.seq}
+	it.priority = p.priorityOf(it)
+	p.items[key] = it
+	heap.Push(&p.h, it)
+}
+
+func (p *gdsfPolicy) OnAccess(key string) {
+	if it, ok := p.items[key]; ok {
+		it.freq++
+		it.priority = p.priorityOf(it)
+		heap.Fix(&p.h, it.index)
+	}
+}
+
+func (p *gdsfPolicy) OnRemove(key string) {
+	it, ok := p.items[key]
+	if !ok {
+		return
+	}
+	// Ageing: the floor rises to the victim's priority, but only when the
+	// removal is an actual eviction (heap head). Raising it on arbitrary
+	// deletions would let one unlucky Delete of a hot entry inflate every
+	// future priority.
+	if it.index == 0 && it.priority > p.floor {
+		p.floor = it.priority
+	}
+	heap.Remove(&p.h, it.index)
+	delete(p.items, key)
+}
+
+func (p *gdsfPolicy) Victim() (string, bool) {
+	if len(p.h) == 0 {
+		return "", false
+	}
+	return p.h[0].key, true
+}

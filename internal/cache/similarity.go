@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"sync"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// Outcome classifies a SimilarityCache lookup for metrics.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	// OutcomeMiss: no cached result is usable.
+	OutcomeMiss Outcome = iota
+	// OutcomeExact: descriptor key matched byte-for-byte (hash
+	// descriptors, or an identical feature vector).
+	OutcomeExact
+	// OutcomeSimilar: a vector descriptor matched within the distance
+	// threshold — the cross-user redundancy CoIC is built around.
+	OutcomeSimilar
+)
+
+// String names the outcome for experiment output.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeExact:
+		return "exact"
+	case OutcomeSimilar:
+		return "similar"
+	default:
+		return "miss"
+	}
+}
+
+// LookupResult describes how a lookup resolved.
+type LookupResult struct {
+	Outcome Outcome
+	// Distance is the descriptor distance for OutcomeSimilar (0 for
+	// exact hits, undefined for misses).
+	Distance float64
+	// Key is the store key of the matched entry on hits (the queried
+	// descriptor's own key for exact hits, the neighbour's for similar
+	// hits). Callers use it to attach per-entry metadata, e.g. the
+	// privacy gate's contributor sets.
+	Key string
+}
+
+// Hit reports whether a cached value was returned.
+func (r LookupResult) Hit() bool { return r.Outcome != OutcomeMiss }
+
+// SimilarityCache is the edge IC cache of the paper's Figure 1: a value
+// store keyed by feature descriptor, where vector descriptors also match
+// approximately. "If the distance between the new feature descriptor and
+// another one in the cache is under a certain threshold, CoIC determines
+// that the computation result is already in the cache."
+type SimilarityCache struct {
+	store     *Store
+	index     feature.Index
+	threshold float64
+
+	mu     sync.Mutex
+	ids    map[string]uint64 // store key -> vector id
+	keys   map[uint64]string // vector id -> store key
+	descs  map[string][]byte // store key -> marshalled descriptor (for Snapshot)
+	nextID uint64
+
+	// Logical query counters. The store's own Stats count raw store
+	// operations (a similarity hit shows up there as one miss plus one
+	// hit); these count one outcome per Lookup, which is what experiment
+	// hit ratios are computed from.
+	queries  uint64
+	exactHit uint64
+	simHits  uint64
+}
+
+// SimilarityConfig assembles a SimilarityCache.
+type SimilarityConfig struct {
+	// Capacity is the byte budget of the underlying store.
+	Capacity int64
+	// Policy is the eviction policy (NewLRU() when nil).
+	Policy Policy
+	// Index matches vector descriptors (feature.NewLinear() when nil).
+	Index feature.Index
+	// Threshold is the maximum L2 distance at which two unit-norm
+	// descriptors are treated as the same computation.
+	Threshold float64
+	// StoreOptions pass through to the store (clock, TTL).
+	StoreOptions []StoreOption
+}
+
+// NewSimilarity builds the cache. The store's eviction callback is wired
+// to keep the vector index consistent with residency.
+func NewSimilarity(cfg SimilarityConfig) *SimilarityCache {
+	if cfg.Policy == nil {
+		cfg.Policy = NewLRU()
+	}
+	if cfg.Index == nil {
+		cfg.Index = feature.NewLinear()
+	}
+	sc := &SimilarityCache{
+		index:     cfg.Index,
+		threshold: cfg.Threshold,
+		ids:       map[string]uint64{},
+		keys:      map[uint64]string{},
+		descs:     map[string][]byte{},
+	}
+	opts := append([]StoreOption{WithOnEvict(sc.dropKey)}, cfg.StoreOptions...)
+	sc.store = NewStore(cfg.Capacity, cfg.Policy, opts...)
+	return sc
+}
+
+// dropKey unlinks an evicted store key from the vector index. Called by
+// the store outside its lock.
+func (sc *SimilarityCache) dropKey(key string) {
+	sc.mu.Lock()
+	delete(sc.descs, key)
+	id, ok := sc.ids[key]
+	if ok {
+		delete(sc.ids, key)
+		delete(sc.keys, id)
+	}
+	sc.mu.Unlock()
+	if ok {
+		sc.index.Remove(id)
+	}
+}
+
+// Lookup resolves a descriptor to a cached value. Exact key matches win;
+// vector descriptors then fall back to nearest-neighbour search within the
+// threshold.
+func (sc *SimilarityCache) Lookup(desc feature.Descriptor) ([]byte, LookupResult) {
+	sc.mu.Lock()
+	sc.queries++
+	sc.mu.Unlock()
+	if v, ok := sc.store.Get(desc.Key()); ok {
+		sc.mu.Lock()
+		sc.exactHit++
+		sc.mu.Unlock()
+		return v, LookupResult{Outcome: OutcomeExact, Key: desc.Key()}
+	}
+	if desc.Kind != feature.KindVector {
+		return nil, LookupResult{Outcome: OutcomeMiss}
+	}
+	id, dist, ok := sc.index.Nearest(desc.Vec)
+	if !ok || dist > sc.threshold {
+		return nil, LookupResult{Outcome: OutcomeMiss}
+	}
+	sc.mu.Lock()
+	key, known := sc.keys[id]
+	sc.mu.Unlock()
+	if !known {
+		return nil, LookupResult{Outcome: OutcomeMiss}
+	}
+	v, ok := sc.store.Get(key)
+	if !ok {
+		// Entry raced out between index lookup and fetch; treat as miss.
+		return nil, LookupResult{Outcome: OutcomeMiss}
+	}
+	sc.mu.Lock()
+	sc.simHits++
+	sc.mu.Unlock()
+	return v, LookupResult{Outcome: OutcomeSimilar, Distance: dist, Key: key}
+}
+
+// QueryStats reports logical lookup counters: total queries, exact hits
+// and similarity hits. HitRatio for experiments is
+// (exact+similar)/queries.
+func (sc *SimilarityCache) QueryStats() (queries, exact, similar uint64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.queries, sc.exactHit, sc.simHits
+}
+
+// Insert caches value under the descriptor with a recomputation-cost hint
+// for cost-aware policies. Vector descriptors are also registered in the
+// similarity index. Returns ErrTooLarge when the value can never fit.
+func (sc *SimilarityCache) Insert(desc feature.Descriptor, value []byte, cost float64) error {
+	key := desc.Key()
+	descBytes, derr := desc.Marshal()
+	if derr != nil {
+		return derr
+	}
+	sc.mu.Lock()
+	sc.descs[key] = descBytes
+	sc.mu.Unlock()
+	var id uint64
+	isVec := desc.Kind == feature.KindVector
+	if isVec {
+		sc.mu.Lock()
+		if old, ok := sc.ids[key]; ok {
+			// Re-insert under the same key: retire the old vector id.
+			delete(sc.keys, old)
+			sc.index.Remove(old)
+		}
+		sc.nextID++
+		id = sc.nextID
+		sc.ids[key] = id
+		sc.keys[id] = key
+		sc.mu.Unlock()
+		sc.index.Add(id, desc.Vec)
+	}
+	if err := sc.store.Put(key, value, cost); err != nil {
+		if isVec {
+			sc.dropKey(key)
+		}
+		return err
+	}
+	return nil
+}
+
+// Stats reports raw store counters plus the similarity-hit count. Note
+// the store counts operations, not logical queries — use QueryStats for
+// hit ratios.
+func (sc *SimilarityCache) Stats() (Stats, uint64) {
+	sc.mu.Lock()
+	sim := sc.simHits
+	sc.mu.Unlock()
+	return sc.store.Stats(), sim
+}
+
+// Store exposes the underlying store for capacity/len inspection.
+func (sc *SimilarityCache) Store() *Store { return sc.store }
+
+// Threshold reports the configured similarity threshold.
+func (sc *SimilarityCache) Threshold() float64 { return sc.threshold }
+
+// IndexLen reports how many vectors the similarity index holds; tests use
+// it to assert index/store consistency.
+func (sc *SimilarityCache) IndexLen() int { return sc.index.Len() }

@@ -1,0 +1,103 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2018, 8, 20, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewVirtual(start)
+	v.Sleep(150 * time.Millisecond)
+	if got, want := v.Now(), start.Add(150*time.Millisecond); !got.Equal(want) {
+		t.Fatalf("after Sleep: Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualSleepIgnoresNonPositive(t *testing.T) {
+	start := time.Unix(100, 0)
+	v := NewVirtual(start)
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("non-positive Sleep moved clock: %v", got)
+	}
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	start := time.Unix(0, 0)
+	v := NewVirtual(start)
+	target := start.Add(3 * time.Second)
+	v.AdvanceTo(target)
+	if got := v.Now(); !got.Equal(target) {
+		t.Fatalf("AdvanceTo: Now() = %v, want %v", got, target)
+	}
+	// Backwards is a no-op.
+	v.AdvanceTo(start)
+	if got := v.Now(); !got.Equal(target) {
+		t.Fatalf("AdvanceTo moved backwards: %v", got)
+	}
+}
+
+func TestVirtualMonotonicProperty(t *testing.T) {
+	// Property: any sequence of Sleep calls leaves the clock exactly at
+	// start + sum(max(d,0)) and never earlier than where it began.
+	f := func(deltas []int32) bool {
+		start := time.Unix(1000, 0)
+		v := NewVirtual(start)
+		var want time.Duration
+		for _, d := range deltas {
+			dur := time.Duration(d) * time.Microsecond
+			v.Sleep(dur)
+			if dur > 0 {
+				want += dur
+			}
+		}
+		return v.Now().Equal(start.Add(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualConcurrentSleepTotals(t *testing.T) {
+	// Concurrent sleeps must all be accounted for (no lost updates).
+	v := NewVirtual(time.Unix(0, 0))
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				v.Sleep(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(0, 0).Add(workers * perWorker * time.Microsecond)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("concurrent sleeps lost updates: Now() = %v, want %v", got, want)
+	}
+}
+
+func TestRealClockProgresses(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("real clock did not progress: %v then %v", a, b)
+	}
+	c.Sleep(-time.Hour) // must not block
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// Mode selects between the CoIC framework and the paper's baseline.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeOrigin offloads the complete IC task to the cloud with no
+	// cache — "an origin version which offloads complete IC tasks to the
+	// cloud without cache as the baseline".
+	ModeOrigin Mode = iota
+	// ModeCoIC runs the full CoIC protocol: descriptor extraction, edge
+	// cache lookup, miss forwarding, result insertion.
+	ModeCoIC
+)
+
+// String names the mode the way the paper's figures label it.
+func (m Mode) String() string {
+	if m == ModeOrigin {
+		return "Origin"
+	}
+	return "CoIC"
+}
+
+// Breakdown decomposes one request's latency. Fields are virtual-time
+// durations; Total is their sum, which equals End.Sub(Start).
+type Breakdown struct {
+	Task    wire.Task
+	Mode    Mode
+	Outcome cache.Outcome // miss for origin-mode requests
+
+	// Extract is client-side descriptor extraction (CoIC only).
+	Extract time.Duration
+	// UpME is the client->edge transfer.
+	UpME time.Duration
+	// EdgeProc is cache lookup plus (on misses) insertion.
+	EdgeProc time.Duration
+	// UpEC is the edge->cloud transfer (miss/origin only).
+	UpEC time.Duration
+	// Cloud is cloud-side task execution.
+	Cloud time.Duration
+	// DownEC is the cloud->edge result transfer.
+	DownEC time.Duration
+	// DownME is the edge->client result transfer.
+	DownME time.Duration
+	// ClientProc is client-side result processing: model load + draw,
+	// panorama crop. Zero for recognition (annotation rendering is
+	// measured by the render task).
+	ClientProc time.Duration
+
+	// BytesUp / BytesDown count the client's airtime in each direction.
+	BytesUp, BytesDown int
+
+	Start, End time.Time
+}
+
+// Total is the user-perceived latency of the request.
+func (b Breakdown) Total() time.Duration { return b.End.Sub(b.Start) }
+
+// String summarises the breakdown for logs and examples.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%s/%s %s total=%s (extract=%s upME=%s edge=%s upEC=%s cloud=%s downEC=%s downME=%s client=%s)",
+		b.Mode, b.Task, b.Outcome,
+		ms(b.Total()), ms(b.Extract), ms(b.UpME), ms(b.EdgeProc), ms(b.UpEC),
+		ms(b.Cloud), ms(b.DownEC), ms(b.DownME), ms(b.ClientProc))
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}

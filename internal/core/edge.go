@@ -1,0 +1,307 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/feature"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// Edge is the mobile-edge node of Figure 1: it holds the IC cache keyed
+// by feature descriptor and either answers requests from it or forwards
+// them to the cloud. One Edge serves many clients; cooperation across
+// users falls out of the shared cache, and cooperation across edges is
+// the optional peer list.
+type Edge struct {
+	Params Params
+	Cache  *cache.SimilarityCache
+
+	// PrivacyK is the k-anonymity gate on cross-user sharing, this
+	// reproduction's take on the paper's "security/privacy protection"
+	// future work: a cached result is only served to a user other than
+	// its contributors once at least PrivacyK distinct users have
+	// requested it. Below the threshold, other users miss (and add
+	// themselves as contributors via the insert path); a user always
+	// sees their own cached results. 0 or 1 disables the gate.
+	PrivacyK int
+
+	mu    sync.Mutex
+	peers []*Edge
+	stats EdgeStats
+	// inserters tracks which users computed (and inserted) each entry;
+	// interest tracks every distinct user who has asked for it. The gate
+	// opens once len(interest) reaches PrivacyK — content K users
+	// demonstrably want is no longer attributable to any one of them.
+	inserters map[string]map[int]struct{}
+	interest  map[string]map[int]struct{}
+}
+
+// EdgeStats counts per-task outcomes at the edge.
+type EdgeStats struct {
+	Lookups  map[wire.Task]uint64
+	Exact    map[wire.Task]uint64
+	Similar  map[wire.Task]uint64
+	Misses   map[wire.Task]uint64
+	PeerHits uint64
+	Inserts  uint64
+	// PrivacyBlocked counts hits withheld by the k-anonymity gate.
+	PrivacyBlocked uint64
+}
+
+func newEdgeStats() EdgeStats {
+	return EdgeStats{
+		Lookups: map[wire.Task]uint64{},
+		Exact:   map[wire.Task]uint64{},
+		Similar: map[wire.Task]uint64{},
+		Misses:  map[wire.Task]uint64{},
+	}
+}
+
+// EdgeOption configures an Edge.
+type EdgeOption func(*Edge)
+
+// WithCachePolicy overrides the default LRU eviction policy.
+func WithCachePolicy(p cache.Policy) EdgeOption {
+	return func(e *Edge) {
+		e.Cache = cache.NewSimilarity(cache.SimilarityConfig{
+			Capacity:  e.Params.EdgeCacheBytes,
+			Policy:    p,
+			Threshold: e.Params.Threshold,
+		})
+	}
+}
+
+// WithCacheIndex overrides the vector index (e.g. feature.NewLSH for the
+// A-index ablation).
+func WithCacheIndex(idx feature.Index) EdgeOption {
+	return func(e *Edge) {
+		e.Cache = cache.NewSimilarity(cache.SimilarityConfig{
+			Capacity:  e.Params.EdgeCacheBytes,
+			Index:     idx,
+			Threshold: e.Params.Threshold,
+		})
+	}
+}
+
+// WithCacheCapacity overrides the capacity in bytes.
+func WithCacheCapacity(capacity int64) EdgeOption {
+	return func(e *Edge) {
+		e.Params.EdgeCacheBytes = capacity
+		e.Cache = cache.NewSimilarity(cache.SimilarityConfig{
+			Capacity:  capacity,
+			Threshold: e.Params.Threshold,
+		})
+	}
+}
+
+// WithPrivacyK enables the k-anonymity sharing gate.
+func WithPrivacyK(k int) EdgeOption {
+	return func(e *Edge) { e.PrivacyK = k }
+}
+
+// NewEdge builds an edge with the configured IC cache.
+func NewEdge(p Params, opts ...EdgeOption) *Edge {
+	e := &Edge{
+		Params: p,
+		Cache: cache.NewSimilarity(cache.SimilarityConfig{
+			Capacity:  p.EdgeCacheBytes,
+			Threshold: p.Threshold,
+		}),
+		stats:     newEdgeStats(),
+		inserters: map[string]map[int]struct{}{},
+		interest:  map[string]map[int]struct{}{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Peer registers other edges for cooperative lookup. Peering is
+// symmetric only if both sides call Peer.
+func (e *Edge) Peer(others ...*Edge) {
+	e.mu.Lock()
+	e.peers = append(e.peers, others...)
+	e.mu.Unlock()
+}
+
+// LookupResult describes where an edge lookup resolved.
+type LookupResult struct {
+	Value   []byte
+	Outcome cache.Outcome
+	// Distance is the descriptor distance on similar hits.
+	Distance float64
+	// FromPeer is set when a peer edge supplied the value.
+	FromPeer bool
+	// Cost is the virtual edge processing time consumed.
+	Cost time.Duration
+}
+
+// Hit reports whether a usable cached value was found.
+func (r LookupResult) Hit() bool { return r.Outcome != cache.OutcomeMiss }
+
+// Lookup queries the cache anonymously (no privacy gating); it is the
+// path the TCP server uses, where user identity is not authenticated.
+func (e *Edge) Lookup(task wire.Task, desc feature.Descriptor) LookupResult {
+	return e.LookupAs(anonymousUser, task, desc)
+}
+
+// anonymousUser marks lookups without an authenticated identity; the
+// privacy gate treats every anonymous request as a fresh stranger.
+const anonymousUser = -1
+
+// LookupAs queries the local cache for user, then peers (one extra lookup
+// cost per peer consulted). A peer hit is copied into the local cache so
+// the next local request hits directly — the cooperative sharing of the
+// paper's title. When PrivacyK is set, results contributed by fewer than
+// K distinct users are withheld from strangers.
+func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) LookupResult {
+	e.mu.Lock()
+	e.stats.Lookups[task]++
+	peers := append([]*Edge(nil), e.peers...)
+	e.mu.Unlock()
+
+	cost := e.Params.EdgeLookupTime
+	if v, res := e.Cache.Lookup(desc); res.Hit() {
+		if !e.shareAllowed(user, res.Key) {
+			e.mu.Lock()
+			e.stats.PrivacyBlocked++
+			e.stats.Misses[task]++
+			e.mu.Unlock()
+			return LookupResult{Outcome: cache.OutcomeMiss, Cost: cost}
+		}
+		e.mu.Lock()
+		if res.Outcome == cache.OutcomeExact {
+			e.stats.Exact[task]++
+		} else {
+			e.stats.Similar[task]++
+		}
+		e.mu.Unlock()
+		return LookupResult{Value: v, Outcome: res.Outcome, Distance: res.Distance, Cost: cost}
+	}
+	for _, p := range peers {
+		cost += p.Params.EdgeLookupTime
+		if v, res := p.Cache.Lookup(desc); res.Hit() {
+			if !p.shareAllowed(user, res.Key) {
+				continue
+			}
+			// Adopt the result locally (cooperative fill).
+			_ = e.Cache.Insert(desc, v, 1)
+			e.mu.Lock()
+			e.stats.PeerHits++
+			if res.Outcome == cache.OutcomeExact {
+				e.stats.Exact[task]++
+			} else {
+				e.stats.Similar[task]++
+			}
+			e.mu.Unlock()
+			return LookupResult{
+				Value: v, Outcome: res.Outcome, Distance: res.Distance,
+				FromPeer: true, Cost: cost,
+			}
+		}
+	}
+	e.mu.Lock()
+	e.stats.Misses[task]++
+	e.mu.Unlock()
+	return LookupResult{Outcome: cache.OutcomeMiss, Cost: cost}
+}
+
+// shareAllowed applies the k-anonymity gate. A user may read an entry if
+// they inserted it themselves, or once PrivacyK distinct users have
+// previously requested it (the membership check runs before the caller
+// is registered, so the gate genuinely withholds the first K-1
+// strangers). Blocked requests register interest, moving the entry
+// toward unlocking.
+func (e *Edge) shareAllowed(user int, key string) bool {
+	if e.PrivacyK <= 1 {
+		return true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if user != anonymousUser {
+		if _, mine := e.inserters[key][user]; mine {
+			return true
+		}
+	}
+	allowed := len(e.interest[key]) >= e.PrivacyK
+	if user != anonymousUser {
+		if e.interest[key] == nil {
+			e.interest[key] = map[int]struct{}{}
+		}
+		e.interest[key][user] = struct{}{}
+	}
+	return allowed
+}
+
+// Insert stores a task result anonymously.
+func (e *Edge) Insert(desc feature.Descriptor, value []byte, costHint float64) time.Duration {
+	return e.InsertAs(anonymousUser, desc, value, costHint)
+}
+
+// InsertAs stores a task result under its descriptor on behalf of user,
+// returning the virtual insertion cost. Values too large for the cache
+// are silently skipped (the request already has its answer; caching is
+// best-effort).
+func (e *Edge) InsertAs(user int, desc feature.Descriptor, value []byte, costHint float64) time.Duration {
+	if err := e.Cache.Insert(desc, value, costHint); err == nil {
+		e.mu.Lock()
+		e.stats.Inserts++
+		if user != anonymousUser {
+			key := desc.Key()
+			if e.inserters[key] == nil {
+				e.inserters[key] = map[int]struct{}{}
+			}
+			e.inserters[key][user] = struct{}{}
+			if e.interest[key] == nil {
+				e.interest[key] = map[int]struct{}{}
+			}
+			e.interest[key][user] = struct{}{}
+		}
+		e.mu.Unlock()
+	}
+	return e.Params.EdgeInsertTime
+}
+
+// Stats returns a snapshot of edge counters.
+func (e *Edge) Stats() EdgeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := newEdgeStats()
+	for k, v := range e.stats.Lookups {
+		out.Lookups[k] = v
+	}
+	for k, v := range e.stats.Exact {
+		out.Exact[k] = v
+	}
+	for k, v := range e.stats.Similar {
+		out.Similar[k] = v
+	}
+	for k, v := range e.stats.Misses {
+		out.Misses[k] = v
+	}
+	out.PeerHits = e.stats.PeerHits
+	out.Inserts = e.stats.Inserts
+	out.PrivacyBlocked = e.stats.PrivacyBlocked
+	return out
+}
+
+// HitRatio reports (exact+similar)/lookups across all tasks.
+func (s EdgeStats) HitRatio() float64 {
+	var hits, total uint64
+	for _, v := range s.Lookups {
+		total += v
+	}
+	for _, v := range s.Exact {
+		hits += v
+	}
+	for _, v := range s.Similar {
+		hits += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

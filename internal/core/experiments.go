@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/dnn"
+	"github.com/edge-immersion/coic/internal/feature"
+	"github.com/edge-immersion/coic/internal/metrics"
+	"github.com/edge-immersion/coic/internal/netsim"
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/sim"
+	"github.com/edge-immersion/coic/internal/trace"
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// epoch anchors all virtual-time experiments.
+var epoch = time.Date(2018, 8, 20, 9, 0, 0, 0, time.UTC)
+
+// Fig2aRow is one network condition of Figure 2a: recognition latency for
+// the Origin baseline, a CoIC cache hit and a CoIC cache miss.
+type Fig2aRow struct {
+	Condition netsim.Condition
+	Origin    Breakdown
+	Hit       Breakdown
+	Miss      Breakdown
+}
+
+// Reduction is the paper's headline metric: the relative latency saving
+// of a cache hit over the origin baseline.
+func (r Fig2aRow) Reduction() float64 {
+	o := r.Origin.Total()
+	if o == 0 {
+		return 0
+	}
+	return 1 - float64(r.Hit.Total())/float64(o)
+}
+
+// RunFig2a regenerates Figure 2a: one recognition request per mode per
+// network condition. The "miss" request runs first on a cold cache (and
+// fills it); the "hit" request observes the same object from a different
+// viewpoint, exercising the similarity match; the origin request bypasses
+// the cache. Each measurement runs on freshly reset links so queueing
+// from one mode cannot pollute another.
+func RunFig2a(p Params) ([]Fig2aRow, error) {
+	cloud := NewCloud(p)
+	var rows []Fig2aRow
+	for _, cond := range netsim.Fig2aConditions() {
+		topo := netsim.NewTopology(cond, p.Seed)
+		edge := NewEdge(p)
+		client := NewClient(0, p)
+		sess := NewSession(client, edge, cloud, topo)
+
+		const class = vision.ClassStopSign
+		// Cold cache: this is the Cache Miss bar (and it fills the cache).
+		miss, missRes, err := sess.Recognize(epoch, class, 1001, ModeCoIC)
+		if err != nil {
+			return nil, fmt.Errorf("fig2a %s miss: %w", cond.Name, err)
+		}
+		if miss.Outcome != cache.OutcomeMiss {
+			return nil, fmt.Errorf("fig2a %s: cold request was not a miss (%v)", cond.Name, miss.Outcome)
+		}
+
+		// Same object, different viewpoint: the Cache Hit bar.
+		topo.Reset()
+		hit, hitRes, err := sess.Recognize(epoch, class, 2002, ModeCoIC)
+		if err != nil {
+			return nil, fmt.Errorf("fig2a %s hit: %w", cond.Name, err)
+		}
+		if hit.Outcome == cache.OutcomeMiss {
+			return nil, fmt.Errorf("fig2a %s: warm request missed — threshold %v too tight", cond.Name, p.Threshold)
+		}
+		if hitRes.Label != missRes.Label {
+			return nil, fmt.Errorf("fig2a %s: cached label %q != cloud label %q", cond.Name, hitRes.Label, missRes.Label)
+		}
+
+		// Origin baseline.
+		topo.Reset()
+		origin, _, err := sess.Recognize(epoch, class, 3003, ModeOrigin)
+		if err != nil {
+			return nil, fmt.Errorf("fig2a %s origin: %w", cond.Name, err)
+		}
+
+		rows = append(rows, Fig2aRow{Condition: cond, Origin: origin, Hit: hit, Miss: miss})
+	}
+	return rows, nil
+}
+
+// Fig2bRow is one model size of Figure 2b: load latency for Origin, hit
+// and miss.
+type Fig2bRow struct {
+	ModelKB   int
+	OBJXBytes int
+	CMFBytes  int
+	Origin    Breakdown
+	Hit       Breakdown
+	Miss      Breakdown
+}
+
+// Reduction mirrors Fig2aRow.Reduction for the rendering task.
+func (r Fig2bRow) Reduction() float64 {
+	o := r.Origin.Total()
+	if o == 0 {
+		return 0
+	}
+	return 1 - float64(r.Hit.Total())/float64(o)
+}
+
+// Fig2bCondition is the fixed network condition used for Figure 2b
+// (the paper does not vary the network in 2b; 200/20 sits mid-sweep).
+var Fig2bCondition = netsim.Condition{Name: "200/20", MobileEdge: 200, EdgeCloud: 20}
+
+// RunFig2b regenerates Figure 2b: load latency of the full model-size
+// ladder under Origin / Cache Hit / Cache Miss.
+func RunFig2b(p Params) ([]Fig2bRow, error) {
+	return RunFig2bSizes(p, Fig2bModelKB)
+}
+
+// RunFig2bSizes runs the Figure 2b experiment over a custom subset of the
+// ladder (tests use a trimmed one; the harness runs all six sizes).
+func RunFig2bSizes(p Params, sizesKB []int) ([]Fig2bRow, error) {
+	cloud := NewCloud(p)
+	var rows []Fig2bRow
+	for _, kb := range sizesKB {
+		id := Fig2bModelID(kb)
+		topo := netsim.NewTopology(Fig2bCondition, p.Seed)
+		edge := NewEdge(p)
+		client := NewClient(0, p)
+		sess := NewSession(client, edge, cloud, topo)
+
+		miss, err := sess.Render(epoch, id, ModeCoIC)
+		if err != nil {
+			return nil, fmt.Errorf("fig2b %dKB miss: %w", kb, err)
+		}
+		if miss.Outcome != cache.OutcomeMiss {
+			return nil, fmt.Errorf("fig2b %dKB: cold request was not a miss", kb)
+		}
+
+		topo.Reset()
+		hit, err := sess.Render(epoch, id, ModeCoIC)
+		if err != nil {
+			return nil, fmt.Errorf("fig2b %dKB hit: %w", kb, err)
+		}
+		if hit.Outcome != cache.OutcomeExact {
+			return nil, fmt.Errorf("fig2b %dKB: warm request was %v, want exact hit", kb, hit.Outcome)
+		}
+
+		topo.Reset()
+		origin, err := sess.Render(epoch, id, ModeOrigin)
+		if err != nil {
+			return nil, fmt.Errorf("fig2b %dKB origin: %w", kb, err)
+		}
+
+		objx, cmf, err := cloud.ModelSizes(id)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig2bRow{
+			ModelKB: kb, OBJXBytes: objx, CMFBytes: cmf,
+			Origin: origin, Hit: hit, Miss: miss,
+		})
+	}
+	return rows, nil
+}
+
+// SimResult aggregates a trace-driven multi-user simulation.
+type SimResult struct {
+	Events   int
+	Errors   int
+	PerTask  map[wire.Task]*metrics.Histogram
+	All      *metrics.Histogram
+	Outcomes map[cache.Outcome]int
+	Edge     EdgeStats
+	// SimulatedSpan is the virtual time covered by the trace replay.
+	SimulatedSpan time.Duration
+}
+
+// HitRatio reports the share of CoIC lookups answered from cache.
+func (r *SimResult) HitRatio() float64 { return r.Edge.HitRatio() }
+
+// RunTrace replays a workload trace through one edge with any number of
+// users, using the discrete-event engine so requests contend for links
+// and share the cache in timestamp order.
+func RunTrace(p Params, cond netsim.Condition, events []trace.Event, mode Mode, opts ...EdgeOption) (*SimResult, error) {
+	cloud := NewCloud(p)
+	edge := NewEdge(p, opts...)
+	topo := netsim.NewTopology(cond, p.Seed)
+
+	// All clients share trunk weights (one network build, many users).
+	full := dnn.NewEdgeNet(p.Classes(), p.DNNInput, p.Seed)
+	trunk := full.Trunk()
+	clients := map[int]*Client{}
+	sessions := map[int]*Session{}
+	clientFor := func(user int) *Session {
+		if s, ok := sessions[user]; ok {
+			return s
+		}
+		c := &Client{ID: user, Params: p, Trunk: trunk}
+		clients[user] = c
+		s := NewSession(c, edge, cloud, topo)
+		sessions[user] = s
+		return s
+	}
+
+	res := &SimResult{
+		PerTask:  map[wire.Task]*metrics.Histogram{},
+		All:      &metrics.Histogram{},
+		Outcomes: map[cache.Outcome]int{},
+	}
+	for _, task := range []wire.Task{wire.TaskRecognize, wire.TaskRender, wire.TaskPano} {
+		res.PerTask[task] = &metrics.Histogram{}
+	}
+
+	eng := sim.New(epoch)
+	// Traces render the per-class annotation models: realistic AR
+	// overlays, and small enough that a long trace stays cheap to
+	// replay (the Figure 2b ladder is exercised by RunFig2b).
+	renderModels := cloud.AnnotationModelIDs()
+	var lastEnd time.Time
+	for _, ev := range events {
+		ev := ev
+		eng.Schedule(epoch.Add(ev.At), func() {
+			sess := clientFor(ev.User)
+			var (
+				b   Breakdown
+				err error
+			)
+			switch ev.Task {
+			case wire.TaskRecognize:
+				class := vision.Class(ev.Object % int(vision.NumClasses))
+				b, _, err = sess.Recognize(eng.Now(), class, ev.ViewSeed, mode)
+			case wire.TaskRender:
+				id := renderModels[ev.Object%len(renderModels)]
+				b, err = sess.Render(eng.Now(), id, mode)
+			case wire.TaskPano:
+				video := fmt.Sprintf("video-%d", ev.Object%4)
+				vp := pano.Viewport{Yaw: float64(ev.ViewSeed%628) / 100, FOV: 1.6}
+				b, err = sess.Pano(eng.Now(), video, ev.Frame, vp, mode)
+			default:
+				err = fmt.Errorf("core: unknown task %v", ev.Task)
+			}
+			res.Events++
+			if err != nil {
+				res.Errors++
+				return
+			}
+			res.PerTask[ev.Task].Record(b.Total())
+			res.All.Record(b.Total())
+			res.Outcomes[b.Outcome]++
+			if b.End.After(lastEnd) {
+				lastEnd = b.End
+			}
+		})
+	}
+	eng.Run()
+	res.Edge = edge.Stats()
+	if !lastEnd.IsZero() {
+		res.SimulatedSpan = lastEnd.Sub(epoch)
+	}
+	return res, nil
+}
+
+// ThresholdPoint is one row of the A-threshold ablation: true-hit and
+// false-hit rates at a candidate similarity threshold.
+type ThresholdPoint struct {
+	Threshold float64
+	// TruePositive: same object (different view) matched.
+	TruePositive float64
+	// FalsePositive: different object matched.
+	FalsePositive float64
+}
+
+// RunThresholdSweep measures descriptor-distance separation: for each
+// candidate threshold, how often do same-object pairs fall inside it
+// (good) and different-object pairs fall inside it (bad). This is the
+// experiment that justifies DefaultParams().Threshold.
+func RunThresholdSweep(p Params, thresholds []float64, pairs int) []ThresholdPoint {
+	client := NewClient(0, p)
+	type sample struct {
+		same bool
+		dist float64
+	}
+	var samples []sample
+	for i := 0; i < pairs; i++ {
+		classA := vision.Class(i % int(vision.NumClasses))
+		frameA := client.CaptureFrame(classA, uint64(9000+i))
+		descA, _ := client.Extract(frameA)
+
+		// Same object, new viewpoint.
+		frameB := client.CaptureFrame(classA, uint64(50000+i))
+		descB, _ := client.Extract(frameB)
+		samples = append(samples, sample{same: true, dist: dist(descA, descB)})
+
+		// Different object.
+		classC := vision.Class((i + 1 + i/int(vision.NumClasses)) % int(vision.NumClasses))
+		frameC := client.CaptureFrame(classC, uint64(90000+i))
+		descC, _ := client.Extract(frameC)
+		samples = append(samples, sample{same: false, dist: dist(descA, descC)})
+	}
+
+	var out []ThresholdPoint
+	for _, th := range thresholds {
+		var tp, tpn, fp, fpn float64
+		for _, s := range samples {
+			if s.same {
+				tpn++
+				if s.dist <= th {
+					tp++
+				}
+			} else {
+				fpn++
+				if s.dist <= th {
+					fp++
+				}
+			}
+		}
+		out = append(out, ThresholdPoint{Threshold: th, TruePositive: tp / tpn, FalsePositive: fp / fpn})
+	}
+	return out
+}
+
+func dist(a, b feature.Descriptor) float64 {
+	return feature.L2Distance(a.Vec, b.Vec)
+}

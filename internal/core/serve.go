@@ -1,0 +1,407 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"net"
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// This file runs the same CoIC protocol over real TCP sockets: the
+// deployment mode of the cmd/ daemons, where tc-style shaping comes from
+// netsim.Shaper and latency is wall-clock. The virtual-time Session is
+// for experiments; these servers are for running the system.
+
+// ConnWrapper optionally wraps accepted/dialed connections (e.g. with a
+// netsim.Shaper); nil means unwrapped.
+type ConnWrapper func(net.Conn) net.Conn
+
+// CloudServer exposes a Cloud over TCP.
+type CloudServer struct {
+	Cloud *Cloud
+	// Wrap shapes each accepted connection when non-nil.
+	Wrap ConnWrapper
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *CloudServer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if s.Wrap != nil {
+			conn = s.Wrap(conn)
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *CloudServer) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			return // connection closed or corrupt; peer re-dials
+		}
+		reply := s.dispatch(msg)
+		if err := wire.WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
+	fail := func(code uint16, format string, args ...any) wire.Message {
+		body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
+		return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
+	}
+	switch msg.Type {
+	case wire.MsgExec:
+		req, err := wire.UnmarshalExecRequest(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad exec: %v", err)
+		}
+		if req.Task != wire.TaskRecognize {
+			return fail(wire.CodeBadRequest, "cloud exec supports recognition only, got %v", req.Task)
+		}
+		result, _, err := s.Cloud.Recognize(req.Payload)
+		if err != nil {
+			return fail(wire.CodeInternal, "recognize: %v", err)
+		}
+		body, _ := (wire.ExecReply{Source: wire.SourceCloud, Result: result}).Marshal()
+		return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
+	case wire.MsgModelFetch:
+		req, err := wire.UnmarshalModelFetch(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad model fetch: %v", err)
+		}
+		data, _, err := s.Cloud.FetchModel(req.ModelID)
+		if err != nil {
+			return fail(wire.CodeUnknownModel, "%v", err)
+		}
+		body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceCloud, Data: data}).Marshal()
+		return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
+	case wire.MsgPanoFetch:
+		req, err := wire.UnmarshalPanoFetch(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad pano fetch: %v", err)
+		}
+		data, _, err := s.Cloud.FetchPano(req.VideoID, int(req.FrameIndex))
+		if err != nil {
+			return fail(wire.CodeInternal, "pano: %v", err)
+		}
+		body, _ := (wire.PanoReply{Source: wire.SourceCloud, Data: data}).Marshal()
+		return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
+	case wire.MsgHello:
+		return wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}
+	default:
+		return fail(wire.CodeBadRequest, "cloud cannot handle %v", msg.Type)
+	}
+}
+
+// EdgeServer exposes an Edge over TCP, forwarding misses to a cloud
+// address over a single multiplexed upstream connection.
+type EdgeServer struct {
+	Edge      *Edge
+	CloudAddr string
+	// WrapClient shapes accepted client connections; WrapCloud shapes
+	// the upstream connection (the tc knobs of the paper's testbed).
+	WrapClient ConnWrapper
+	WrapCloud  ConnWrapper
+
+	mu    sync.Mutex
+	cloud net.Conn
+	seq   uint64
+}
+
+// Serve accepts client connections until the listener is closed.
+func (s *EdgeServer) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if s.WrapClient != nil {
+			conn = s.WrapClient(conn)
+		}
+		go s.handle(conn)
+	}
+}
+
+// roundTripCloud forwards one message upstream and awaits its reply.
+// Requests are serialised on one connection: the edge-cloud link is the
+// bottleneck resource in CoIC anyway, and ordering keeps the code clear.
+func (s *EdgeServer) roundTripCloud(msg wire.Message) (wire.Message, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cloud == nil {
+		conn, err := net.DialTimeout("tcp", s.CloudAddr, 10*time.Second)
+		if err != nil {
+			return wire.Message{}, fmt.Errorf("core: edge cannot reach cloud: %w", err)
+		}
+		if s.WrapCloud != nil {
+			conn = s.WrapCloud(conn)
+		}
+		s.cloud = conn
+	}
+	s.seq++
+	msg.RequestID = s.seq
+	if err := wire.WriteMessage(s.cloud, msg); err != nil {
+		s.cloud.Close()
+		s.cloud = nil
+		return wire.Message{}, err
+	}
+	reply, err := wire.ReadMessage(s.cloud)
+	if err != nil {
+		s.cloud.Close()
+		s.cloud = nil
+		return wire.Message{}, err
+	}
+	return reply, nil
+}
+
+func (s *EdgeServer) handle(conn net.Conn) {
+	defer conn.Close()
+	mode := ModeCoIC
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		var reply wire.Message
+		switch msg.Type {
+		case wire.MsgHello:
+			if len(msg.Body) == 1 && msg.Body[0] == byte(ModeOrigin) {
+				mode = ModeOrigin
+			}
+			reply = wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}
+		default:
+			reply = s.dispatch(msg, mode)
+		}
+		if err := wire.WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
+	fail := func(code uint16, format string, args ...any) wire.Message {
+		body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
+		return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
+	}
+	forward := func() wire.Message {
+		reply, err := s.roundTripCloud(msg)
+		if err != nil {
+			return fail(wire.CodeUnavailable, "cloud: %v", err)
+		}
+		reply.RequestID = msg.RequestID
+		return reply
+	}
+
+	switch msg.Type {
+	case wire.MsgExec:
+		req, err := wire.UnmarshalExecRequest(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad exec: %v", err)
+		}
+		if mode == ModeCoIC {
+			if lr := s.Edge.Lookup(req.Task, req.Desc); lr.Hit() {
+				body, _ := (wire.ExecReply{Source: wire.SourceEdge, Result: lr.Value}).Marshal()
+				return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
+			}
+		}
+		reply := forward()
+		if mode == ModeCoIC && reply.Type == wire.MsgExecReply {
+			if er, err := wire.UnmarshalExecReply(reply.Body); err == nil {
+				s.Edge.Insert(req.Desc, er.Result, 1)
+			}
+		}
+		return reply
+
+	case wire.MsgModelFetch:
+		req, err := wire.UnmarshalModelFetch(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad model fetch: %v", err)
+		}
+		desc := ModelDescriptor(req.ModelID)
+		if mode == ModeCoIC {
+			if lr := s.Edge.Lookup(wire.TaskRender, desc); lr.Hit() {
+				body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceEdge, Data: lr.Value}).Marshal()
+				return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
+			}
+		}
+		reply := forward()
+		if mode == ModeCoIC && reply.Type == wire.MsgModelReply {
+			if mr, err := wire.UnmarshalModelReply(reply.Body); err == nil {
+				s.Edge.Insert(desc, mr.Data, 1)
+			}
+		}
+		return reply
+
+	case wire.MsgPanoFetch:
+		req, err := wire.UnmarshalPanoFetch(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad pano fetch: %v", err)
+		}
+		desc := PanoDescriptor(req.VideoID, int(req.FrameIndex))
+		if mode == ModeCoIC {
+			if lr := s.Edge.Lookup(wire.TaskPano, desc); lr.Hit() {
+				body, _ := (wire.PanoReply{Source: wire.SourceEdge, Data: lr.Value}).Marshal()
+				return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
+			}
+		}
+		reply := forward()
+		if mode == ModeCoIC && reply.Type == wire.MsgPanoReply {
+			if pr, err := wire.UnmarshalPanoReply(reply.Body); err == nil {
+				s.Edge.Insert(desc, pr.Data, 1)
+			}
+		}
+		return reply
+
+	default:
+		return fail(wire.CodeBadRequest, "edge cannot handle %v", msg.Type)
+	}
+}
+
+// TCPClient drives a CoIC client against a live edge over TCP, measuring
+// wall-clock latency (the role of the paper's Pixel phone).
+type TCPClient struct {
+	Client *Client
+	Mode   Mode
+
+	conn  net.Conn
+	reqID uint64
+}
+
+// DialEdge connects a client to an edge server and announces its mode.
+func DialEdge(addr string, client *Client, mode Mode, wrap ConnWrapper) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial edge: %w", err)
+	}
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	t := &TCPClient{Client: client, Mode: mode, conn: conn}
+	hello := wire.Message{Type: wire.MsgHello, RequestID: t.next(), Body: []byte{byte(mode)}}
+	if err := wire.WriteMessage(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := wire.ReadMessage(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Close releases the connection.
+func (t *TCPClient) Close() error { return t.conn.Close() }
+
+func (t *TCPClient) next() uint64 {
+	t.reqID++
+	return t.reqID
+}
+
+func (t *TCPClient) roundTrip(msg wire.Message) (wire.Message, error) {
+	if err := wire.WriteMessage(t.conn, msg); err != nil {
+		return wire.Message{}, err
+	}
+	reply, err := wire.ReadMessage(t.conn)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if reply.Type == wire.MsgError {
+		er, uerr := wire.UnmarshalErrorReply(reply.Body)
+		if uerr != nil {
+			return wire.Message{}, fmt.Errorf("core: malformed error reply: %v", uerr)
+		}
+		return wire.Message{}, fmt.Errorf("core: remote error %d: %s", er.Code, er.Msg)
+	}
+	return reply, nil
+}
+
+// Recognize captures a frame, extracts the descriptor (CoIC mode), ships
+// the request and returns the result with measured wall-clock latency.
+func (t *TCPClient) Recognize(class vision.Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
+	frame := t.Client.CaptureFrame(class, viewSeed)
+	start := time.Now()
+	desc := originDescriptor
+	if t.Mode == ModeCoIC {
+		desc, _ = t.Client.Extract(frame)
+	}
+	body, err := (wire.ExecRequest{Task: wire.TaskRecognize, Desc: desc, Payload: frame.Bytes()}).Marshal()
+	if err != nil {
+		return wire.RecognitionResult{}, 0, err
+	}
+	reply, err := t.roundTrip(wire.Message{Type: wire.MsgExec, RequestID: t.next(), Body: body})
+	if err != nil {
+		return wire.RecognitionResult{}, 0, err
+	}
+	er, err := wire.UnmarshalExecReply(reply.Body)
+	if err != nil {
+		return wire.RecognitionResult{}, 0, err
+	}
+	res, err := wire.UnmarshalRecognitionResult(er.Result)
+	return res, time.Since(start), err
+}
+
+// Render fetches, loads and draws a model, returning measured latency.
+func (t *TCPClient) Render(modelID string) (time.Duration, error) {
+	start := time.Now()
+	body, err := (wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF}).Marshal()
+	if err != nil {
+		return 0, err
+	}
+	reply, err := t.roundTrip(wire.Message{Type: wire.MsgModelFetch, RequestID: t.next(), Body: body})
+	if err != nil {
+		return 0, err
+	}
+	mr, err := wire.UnmarshalModelReply(reply.Body)
+	if err != nil {
+		return 0, err
+	}
+	m, _, err := t.Client.LoadModel(mr.Data)
+	if err != nil {
+		return 0, err
+	}
+	if st, _ := t.Client.Draw(m); st.Pixels == 0 {
+		return 0, fmt.Errorf("core: %q drew nothing", modelID)
+	}
+	return time.Since(start), nil
+}
+
+// Pano fetches a panoramic frame and crops the viewport, returning
+// measured latency.
+func (t *TCPClient) Pano(videoID string, frameIdx int, vp pano.Viewport) (time.Duration, error) {
+	start := time.Now()
+	body, err := (wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx)}).Marshal()
+	if err != nil {
+		return 0, err
+	}
+	reply, err := t.roundTrip(wire.Message{Type: wire.MsgPanoFetch, RequestID: t.next(), Body: body})
+	if err != nil {
+		return 0, err
+	}
+	pr, err := wire.UnmarshalPanoReply(reply.Body)
+	if err != nil {
+		return 0, err
+	}
+	if _, _, err := t.Client.CropPano(pr.Data, vp, 256, 256); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/feature"
+	"github.com/edge-immersion/coic/internal/netsim"
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// Session binds one client to an edge and cloud over a simulated
+// topology and executes IC requests in virtual time. Message sizes are
+// the true wire encodings; compute costs come from Params; transfer times
+// come from the topology's links (with FIFO queueing, so concurrent
+// sessions over the same links contend).
+type Session struct {
+	Client *Client
+	Edge   *Edge
+	Cloud  *Cloud
+	Topo   *netsim.Topology
+
+	reqID uint64
+}
+
+// NewSession wires the three tiers together.
+func NewSession(client *Client, edge *Edge, cloud *Cloud, topo *netsim.Topology) *Session {
+	return &Session{Client: client, Edge: edge, Cloud: cloud, Topo: topo}
+}
+
+func (s *Session) nextID() uint64 {
+	s.reqID++
+	return s.reqID
+}
+
+// originDescriptor is attached to origin-mode requests, which carry no
+// meaningful descriptor (the baseline extracts nothing); the edge never
+// looks at it.
+var originDescriptor = feature.NewHash([]byte("origin"))
+
+// Recognize executes one recognition request and returns the latency
+// breakdown plus the (validated) recognition result.
+func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, mode Mode) (Breakdown, wire.RecognitionResult, error) {
+	b := Breakdown{Task: wire.TaskRecognize, Mode: mode, Start: at, Outcome: cache.OutcomeMiss}
+	frame := s.Client.CaptureFrame(class, viewSeed)
+
+	desc := originDescriptor
+	t := at
+	if mode == ModeCoIC {
+		var extractCost time.Duration
+		desc, extractCost = s.Client.Extract(frame)
+		b.Extract = extractCost
+		t = t.Add(extractCost)
+	}
+
+	req := wire.ExecRequest{Task: wire.TaskRecognize, Desc: desc, Payload: frame.Bytes()}
+	body, err := req.Marshal()
+	if err != nil {
+		return b, wire.RecognitionResult{}, err
+	}
+	upMsg := wire.Message{Type: wire.MsgExec, RequestID: s.nextID(), Body: body}
+	b.BytesUp = upMsg.WireSize()
+
+	tEdge := s.Topo.MobileEdge.Up.Transfer(t, upMsg.WireSize())
+	b.UpME = tEdge.Sub(t)
+	t = tEdge
+
+	var resultBytes []byte
+	if mode == ModeCoIC {
+		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskRecognize, desc)
+		b.EdgeProc += lr.Cost
+		t = t.Add(lr.Cost)
+		if lr.Hit() {
+			b.Outcome = lr.Outcome
+			resultBytes = lr.Value
+		}
+	}
+
+	if resultBytes == nil { // miss or origin: forward the request to the cloud
+		tCloud := s.Topo.EdgeCloud.Up.Transfer(t, upMsg.WireSize())
+		b.UpEC = tCloud.Sub(t)
+		t = tCloud
+
+		res, cloudCost, err := s.Cloud.Recognize(frame.Bytes())
+		if err != nil {
+			return b, wire.RecognitionResult{}, err
+		}
+		b.Cloud = cloudCost
+		t = t.Add(cloudCost)
+		resultBytes = res
+
+		replySize := replyWireSize(wire.SourceCloud, resultBytes)
+		tBack := s.Topo.EdgeCloud.Down.Transfer(t, replySize)
+		b.DownEC = tBack.Sub(t)
+		t = tBack
+
+		if mode == ModeCoIC {
+			insertCost := s.Edge.InsertAs(s.Client.ID, desc, resultBytes, cloudCost.Seconds()*1000)
+			b.EdgeProc += insertCost
+			t = t.Add(insertCost)
+		}
+	}
+
+	replySize := replyWireSize(wire.SourceEdge, resultBytes)
+	b.BytesDown = replySize
+	tClient := s.Topo.MobileEdge.Down.Transfer(t, replySize)
+	b.DownME = tClient.Sub(t)
+	t = tClient
+
+	b.End = t
+	result, err := wire.UnmarshalRecognitionResult(resultBytes)
+	if err != nil {
+		return b, result, fmt.Errorf("core: recognition result corrupt: %w", err)
+	}
+	return b, result, nil
+}
+
+// replyWireSize computes the framed size of an ExecReply carrying result.
+func replyWireSize(source uint8, result []byte) int {
+	body, err := (wire.ExecReply{Source: source, Result: result}).Marshal()
+	if err != nil {
+		panic(err) // length-checked inputs only
+	}
+	return (wire.Message{Type: wire.MsgExecReply, Body: body}).WireSize()
+}
+
+// ModelDescriptor is the cache key for a rendering task: the hash of the
+// required 3D model's identity (paper §2: "the hash value of the required
+// 3D model ... as the feature descriptor").
+func ModelDescriptor(modelID string) feature.Descriptor {
+	return feature.NewHash([]byte("model:" + modelID))
+}
+
+// Render executes one 3D-model load-and-draw task.
+func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, error) {
+	b := Breakdown{Task: wire.TaskRender, Mode: mode, Start: at, Outcome: cache.OutcomeMiss}
+	desc := ModelDescriptor(modelID)
+
+	fetch := wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF}
+	body, err := fetch.Marshal()
+	if err != nil {
+		return b, err
+	}
+	upMsg := wire.Message{Type: wire.MsgModelFetch, RequestID: s.nextID(), Body: body}
+	b.BytesUp = upMsg.WireSize()
+
+	t := s.Topo.MobileEdge.Up.Transfer(at, upMsg.WireSize())
+	b.UpME = t.Sub(at)
+
+	var cmf []byte
+	var source uint8 = wire.SourceCloud
+	if mode == ModeCoIC {
+		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskRender, desc)
+		b.EdgeProc += lr.Cost
+		t = t.Add(lr.Cost)
+		if lr.Hit() {
+			b.Outcome = lr.Outcome
+			cmf = lr.Value
+			source = wire.SourceEdge
+		}
+	}
+
+	if cmf == nil {
+		tCloud := s.Topo.EdgeCloud.Up.Transfer(t, upMsg.WireSize())
+		b.UpEC = tCloud.Sub(t)
+		t = tCloud
+
+		data, cloudCost, err := s.Cloud.FetchModel(modelID)
+		if err != nil {
+			return b, err
+		}
+		b.Cloud = cloudCost
+		t = t.Add(cloudCost)
+		cmf = data
+
+		replySize := modelReplyWireSize(wire.SourceCloud, cmf)
+		tBack := s.Topo.EdgeCloud.Down.Transfer(t, replySize)
+		b.DownEC = tBack.Sub(t)
+		t = tBack
+
+		if mode == ModeCoIC {
+			// The edge caches the loaded (parsed) form: next user skips
+			// both the WAN hop and the cloud-side load.
+			insertCost := s.Edge.InsertAs(s.Client.ID, desc, cmf, cloudCost.Seconds()*1000)
+			b.EdgeProc += insertCost
+			t = t.Add(insertCost)
+		}
+	}
+
+	replySize := modelReplyWireSize(source, cmf)
+	b.BytesDown = replySize
+	tClient := s.Topo.MobileEdge.Down.Transfer(t, replySize)
+	b.DownME = tClient.Sub(t)
+	t = tClient
+
+	// Client-side: load into memory, then draw.
+	m, loadCost, err := s.Client.LoadModel(cmf)
+	if err != nil {
+		return b, err
+	}
+	st, drawCost := s.Client.Draw(m)
+	if st.Pixels == 0 {
+		return b, fmt.Errorf("core: model %q drew no pixels", modelID)
+	}
+	b.ClientProc = loadCost + drawCost
+	b.End = t.Add(b.ClientProc)
+	return b, nil
+}
+
+func modelReplyWireSize(source uint8, cmf []byte) int {
+	body, err := (wire.ModelReply{Format: wire.FormatCMF, Source: source, Data: cmf}).Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return (wire.Message{Type: wire.MsgModelReply, Body: body}).WireSize()
+}
+
+// PanoDescriptor is the cache key for a VR streaming task: the hash of
+// the required panoramic frame's identity.
+func PanoDescriptor(videoID string, frameIdx int) feature.Descriptor {
+	return feature.NewHash([]byte(fmt.Sprintf("pano:%s:%d", videoID, frameIdx)))
+}
+
+// Pano executes one VR panorama fetch-and-crop task.
+func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewport, mode Mode) (Breakdown, error) {
+	b := Breakdown{Task: wire.TaskPano, Mode: mode, Start: at, Outcome: cache.OutcomeMiss}
+	desc := PanoDescriptor(videoID, frameIdx)
+
+	fetch := wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx)}
+	body, err := fetch.Marshal()
+	if err != nil {
+		return b, err
+	}
+	upMsg := wire.Message{Type: wire.MsgPanoFetch, RequestID: s.nextID(), Body: body}
+	b.BytesUp = upMsg.WireSize()
+
+	t := s.Topo.MobileEdge.Up.Transfer(at, upMsg.WireSize())
+	b.UpME = t.Sub(at)
+
+	var rle []byte
+	var source uint8 = wire.SourceCloud
+	if mode == ModeCoIC {
+		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskPano, desc)
+		b.EdgeProc += lr.Cost
+		t = t.Add(lr.Cost)
+		if lr.Hit() {
+			b.Outcome = lr.Outcome
+			rle = lr.Value
+			source = wire.SourceEdge
+		}
+	}
+
+	if rle == nil {
+		tCloud := s.Topo.EdgeCloud.Up.Transfer(t, upMsg.WireSize())
+		b.UpEC = tCloud.Sub(t)
+		t = tCloud
+
+		data, cloudCost, err := s.Cloud.FetchPano(videoID, frameIdx)
+		if err != nil {
+			return b, err
+		}
+		b.Cloud = cloudCost
+		t = t.Add(cloudCost)
+		rle = data
+
+		replySize := panoReplyWireSize(wire.SourceCloud, rle)
+		tBack := s.Topo.EdgeCloud.Down.Transfer(t, replySize)
+		b.DownEC = tBack.Sub(t)
+		t = tBack
+
+		if mode == ModeCoIC {
+			insertCost := s.Edge.InsertAs(s.Client.ID, desc, rle, cloudCost.Seconds()*1000)
+			b.EdgeProc += insertCost
+			t = t.Add(insertCost)
+		}
+	}
+
+	replySize := panoReplyWireSize(source, rle)
+	b.BytesDown = replySize
+	tClient := s.Topo.MobileEdge.Down.Transfer(t, replySize)
+	b.DownME = tClient.Sub(t)
+	t = tClient
+
+	out, cropCost, err := s.Client.CropPano(rle, vp, 256, 256)
+	if err != nil {
+		return b, err
+	}
+	if out.W != 256 {
+		return b, fmt.Errorf("core: bad crop size %d", out.W)
+	}
+	b.ClientProc = cropCost
+	b.End = t.Add(cropCost)
+	return b, nil
+}
+
+func panoReplyWireSize(source uint8, rle []byte) int {
+	body, err := (wire.PanoReply{Source: source, Data: rle}).Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return (wire.Message{Type: wire.MsgPanoReply, Body: body}).WireSize()
+}

@@ -1,0 +1,118 @@
+package core
+
+// Shape tests: assertions that the regenerated figures reproduce the
+// paper's qualitative results. EXPERIMENTS.md records the quantitative
+// comparison; these tests keep the shape from regressing.
+
+import (
+	"testing"
+)
+
+func TestFigure2aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size Figure 2a in -short mode")
+	}
+	p := DefaultParams()
+	rows, err := RunFig2a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d conditions, want 5", len(rows))
+	}
+
+	var maxRed float64
+	prevOrigin := rows[0].Origin.Total() + 1
+	for _, r := range rows {
+		origin, hit, miss := r.Origin.Total(), r.Hit.Total(), r.Miss.Total()
+		// Who wins: hit < origin < miss under every condition.
+		if hit >= origin {
+			t.Errorf("%s: cache hit (%v) not below origin (%v)", r.Condition.Name, hit, origin)
+		}
+		if miss <= origin {
+			t.Errorf("%s: cache miss (%v) not above origin (%v)", r.Condition.Name, miss, origin)
+		}
+		// Miss pays exactly extraction + edge processing over origin
+		// (plus the descriptor bytes, which are noise): check the
+		// overhead structurally rather than as a loose ratio.
+		overhead := miss - origin
+		expected := r.Miss.Extract + r.Miss.EdgeProc
+		if overhead < expected/2 || overhead > expected*2 {
+			t.Errorf("%s: miss overhead %v, expected ≈ extract+edge %v", r.Condition.Name, overhead, expected)
+		}
+		// Origin latency falls as bandwidth grows.
+		if origin >= prevOrigin {
+			t.Errorf("%s: origin latency did not fall with more bandwidth", r.Condition.Name)
+		}
+		prevOrigin = origin
+		if red := r.Reduction(); red > maxRed {
+			maxRed = red
+		}
+	}
+	// Paper: "up to 52.28% recognition latency reduction". Our
+	// calibration lands the maximum in the 45-70% band (see
+	// EXPERIMENTS.md for why the exact figure is not recoverable).
+	if maxRed < 0.45 || maxRed > 0.70 {
+		t.Errorf("max recognition reduction %.1f%% outside the expected band", maxRed*100)
+	}
+	// The most constrained network must be paper-scale (~2.4s origin).
+	if o := rows[0].Origin.Total().Seconds(); o < 1.5 || o > 3.5 {
+		t.Errorf("origin at 90/9 = %.2fs, expected paper-scale ~2.4s", o)
+	}
+}
+
+func TestFigure2bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size Figure 2b in -short mode")
+	}
+	p := DefaultParams()
+	// Trimmed ladder keeps the test under a few seconds; the harness
+	// runs all six sizes.
+	rows, err := RunFig2bSizes(p, []int{231, 1949, 7050})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prevRed := -1.0
+	for _, r := range rows {
+		origin, hit, miss := r.Origin.Total(), r.Hit.Total(), r.Miss.Total()
+		if hit >= origin {
+			t.Errorf("%dKB: hit (%v) not below origin (%v)", r.ModelKB, hit, origin)
+		}
+		if miss < origin {
+			t.Errorf("%dKB: miss (%v) below origin (%v)", r.ModelKB, miss, origin)
+		}
+		// Miss ≈ origin for renders (probe is tiny; no extraction).
+		if float64(miss) > 1.1*float64(origin) {
+			t.Errorf("%dKB: render miss overhead too large", r.ModelKB)
+		}
+		// Source format is bigger than runtime format.
+		if r.OBJXBytes <= r.CMFBytes {
+			t.Errorf("%dKB: OBJX (%d) not larger than CMF (%d)", r.ModelKB, r.OBJXBytes, r.CMFBytes)
+		}
+		// CMF size tracks the paper's ladder within 10%.
+		target := r.ModelKB * 1024
+		if dev := absf(float64(r.CMFBytes-target)) / float64(target); dev > 0.10 {
+			t.Errorf("%dKB: CMF %d deviates %.1f%% from ladder", r.ModelKB, r.CMFBytes, dev*100)
+		}
+		// Reduction grows with model size (the paper's "for 3D models
+		// differed in size" trend).
+		red := r.Reduction()
+		if red <= prevRed {
+			t.Errorf("%dKB: reduction %.1f%% did not grow with size", r.ModelKB, red*100)
+		}
+		prevRed = red
+	}
+	// Paper: "up to 75.86% load latency reduction". The largest model in
+	// the trimmed ladder should already reach the 65-85% band.
+	if prevRed < 0.65 || prevRed > 0.85 {
+		t.Errorf("max load reduction %.1f%% outside the expected band", prevRed*100)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

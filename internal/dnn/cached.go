@@ -1,0 +1,112 @@
+package dnn
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"github.com/edge-immersion/coic/internal/tensor"
+)
+
+// CachedRunner executes a network while memoising per-layer outputs keyed
+// by the hash of each layer's input. This is the paper's "ongoing work":
+// identifying reusable IC workload fine-grained, at the granularity of "the
+// result of a specific DNN layer", instead of whole-task results. When two
+// requests share a prefix of identical activations — same frame uploaded by
+// co-located users, same pre-processed crop — every shared layer is a hit
+// and only the divergent suffix is recomputed.
+type CachedRunner struct {
+	Net *Network
+
+	mu      sync.Mutex
+	entries map[layerKey]*tensor.Tensor
+	maxEnts int
+
+	hits   uint64
+	misses uint64
+}
+
+type layerKey struct {
+	layer int
+	hash  uint64
+}
+
+// NewCachedRunner wraps net with a per-layer memo bounded to maxEntries
+// cached activations (0 means a generous default).
+func NewCachedRunner(net *Network, maxEntries int) *CachedRunner {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	return &CachedRunner{
+		Net:     net,
+		entries: make(map[layerKey]*tensor.Tensor),
+		maxEnts: maxEntries,
+	}
+}
+
+// hashTensor digests a tensor's shape and exact bit pattern.
+func hashTensor(t *tensor.Tensor) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, d := range t.Shape() {
+		binary.LittleEndian.PutUint32(b[:], uint32(d))
+		h.Write(b[:])
+	}
+	for _, f := range t.Data {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(f))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Forward runs the network, reusing memoised layer outputs where the layer
+// input hash matches. Returned tensors are never aliased into the cache:
+// hits are cloned out.
+func (c *CachedRunner) Forward(in *tensor.Tensor) *tensor.Tensor {
+	x := in
+	for i, l := range c.Net.Layers {
+		key := layerKey{layer: i, hash: hashTensor(x)}
+		c.mu.Lock()
+		cached, ok := c.entries[key]
+		c.mu.Unlock()
+		if ok {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			x = cached.Clone()
+			continue
+		}
+		out := l.Forward(x)
+		c.mu.Lock()
+		c.misses++
+		if len(c.entries) < c.maxEnts {
+			c.entries[key] = out.Clone()
+		}
+		c.mu.Unlock()
+		x = out
+	}
+	return x
+}
+
+// Stats reports cumulative layer-level hits and misses.
+func (c *CachedRunner) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops all memoised activations and zeroes the counters.
+func (c *CachedRunner) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[layerKey]*tensor.Tensor)
+	c.hits, c.misses = 0, 0
+}
+
+// Entries reports how many activations are currently memoised.
+func (c *CachedRunner) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,10 @@
+package dnn
+
+import "math"
+
+// exp32 computes e^x in float32. Inference accuracy requirements here are
+// loose (softmax ordering is what matters), so the stdlib float64 exp is
+// plenty and keeps the code portable.
+func exp32(x float32) float32 {
+	return float32(math.Exp(float64(x)))
+}

@@ -1,0 +1,365 @@
+package dnn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/edge-immersion/coic/internal/tensor"
+)
+
+// Binary model format ("CDNN"): the form in which the cloud distributes
+// recognition models to edges and clients.
+//
+//	magic "CDNN" | version u16 | flags u16
+//	name string | inputShape [3]u32 | featureLayer i32
+//	classCount u32 | classes []string
+//	layerCount u32 | layers...
+//	crc32 (IEEE, over everything before it)
+//
+// Strings are u16 length + bytes. A layer is a type tag byte, the layer
+// name, a type-specific config block, then its weight tensors as
+// u32 length + raw float32 LE values.
+const (
+	magicCDNN   = "CDNN"
+	versionCDNN = 1
+)
+
+// Layer type tags. Values are part of the wire format; never reorder.
+const (
+	tagConv2D byte = iota + 1
+	tagReLU
+	tagMaxPool2D
+	tagFlatten
+	tagDense
+	tagSoftmax
+	tagGlobalAvgPool
+)
+
+// ErrBadModel is wrapped by all decode failures.
+var ErrBadModel = errors.New("dnn: malformed model")
+
+// Encode serialises the network. The output is deterministic for a given
+// network, so its hash can serve as a cache key.
+func Encode(w io.Writer, n *Network) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeStr := func(s string) error {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("dnn: string too long (%d)", len(s))
+		}
+		if err := write(uint16(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if _, err := bw.WriteString(magicCDNN); err != nil {
+		return err
+	}
+	if err := write(uint16(versionCDNN)); err != nil {
+		return err
+	}
+	if err := write(uint16(0)); err != nil { // flags, reserved
+		return err
+	}
+	if err := writeStr(n.NetName); err != nil {
+		return err
+	}
+	for _, d := range n.InputShape {
+		if err := write(uint32(d)); err != nil {
+			return err
+		}
+	}
+	if err := write(int32(n.FeatureLayer)); err != nil {
+		return err
+	}
+	if err := write(uint32(len(n.Classes))); err != nil {
+		return err
+	}
+	for _, c := range n.Classes {
+		if err := writeStr(c); err != nil {
+			return err
+		}
+	}
+	if err := write(uint32(len(n.Layers))); err != nil {
+		return err
+	}
+	for _, l := range n.Layers {
+		if err := encodeLayer(bw, write, writeStr, l); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes())); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(n *Network) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, n); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeLayer(bw *bufio.Writer, write func(any) error, writeStr func(string) error, l Layer) error {
+	var tag byte
+	var config []int
+	switch v := l.(type) {
+	case *Conv2D:
+		tag, config = tagConv2D, []int{v.InC, v.OutC, v.Kernel, v.Stride, v.Pad}
+	case *ReLU:
+		tag = tagReLU
+	case *MaxPool2D:
+		tag, config = tagMaxPool2D, []int{v.Kernel, v.Stride}
+	case *Flatten:
+		tag = tagFlatten
+	case *Dense:
+		tag, config = tagDense, []int{v.In, v.Out}
+	case *Softmax:
+		tag = tagSoftmax
+	case *GlobalAvgPool:
+		tag = tagGlobalAvgPool
+	default:
+		return fmt.Errorf("dnn: cannot encode layer type %T", l)
+	}
+	if err := bw.WriteByte(tag); err != nil {
+		return err
+	}
+	if err := writeStr(l.Name()); err != nil {
+		return err
+	}
+	for _, x := range config {
+		if err := write(uint32(x)); err != nil {
+			return err
+		}
+	}
+	for _, p := range l.Params() {
+		if err := write(uint32(p.Len())); err != nil {
+			return err
+		}
+		for _, f := range p.Data {
+			if err := write(math.Float32bits(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Decode reads a complete CDNN model from r. The stream is buffered in
+// full first so the trailing CRC can be verified over the exact payload.
+func Decode(r io.Reader) (*Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read: %v", ErrBadModel, err)
+	}
+	return DecodeBytes(data)
+}
+
+// DecodeBytes parses a CDNN model, verifying magic, version, CRC, and
+// shape chaining.
+func DecodeBytes(data []byte) (*Network, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrBadModel, len(data))
+	}
+	payload, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	stored := binary.LittleEndian.Uint32(crcBytes)
+	if got := crc32.ChecksumIEEE(payload); got != stored {
+		return nil, fmt.Errorf("%w: crc mismatch (stored %08x, computed %08x)", ErrBadModel, stored, got)
+	}
+
+	d := &decoder{buf: payload}
+	if string(d.bytes(4)) != magicCDNN {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadModel)
+	}
+	if v := d.u16(); v != versionCDNN {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModel, v)
+	}
+	d.u16() // flags, reserved
+
+	n := &Network{NetName: d.str()}
+	n.InputShape = []int{int(d.u32()), int(d.u32()), int(d.u32())}
+	n.FeatureLayer = int(int32(d.u32()))
+	classCount := d.u32()
+	if classCount > 1<<16 {
+		return nil, fmt.Errorf("%w: absurd class count %d", ErrBadModel, classCount)
+	}
+	for i := uint32(0); i < classCount && d.err == nil; i++ {
+		n.Classes = append(n.Classes, d.str())
+	}
+	layerCount := d.u32()
+	if layerCount > 1<<10 {
+		return nil, fmt.Errorf("%w: absurd layer count %d", ErrBadModel, layerCount)
+	}
+	for i := uint32(0); i < layerCount && d.err == nil; i++ {
+		l, err := decodeLayer(d)
+		if err != nil {
+			return nil, fmt.Errorf("%w: layer %d: %v", ErrBadModel, i, err)
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, d.err)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadModel, len(d.buf)-d.off)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	return n, nil
+}
+
+// decoder is a cursor over the payload with sticky error handling.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("truncated at offset %d (want %d more bytes)", d.off, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) str() string {
+	n := d.u16()
+	return string(d.bytes(int(n)))
+}
+
+func (d *decoder) floats(n int) []float32 {
+	b := d.bytes(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func decodeLayer(d *decoder) (Layer, error) {
+	tag := d.u8()
+	name := d.str()
+	if d.err != nil {
+		return nil, d.err
+	}
+	loadParams := func(ps ...*tensor.Tensor) error {
+		for _, p := range ps {
+			n := int(d.u32())
+			if d.err != nil {
+				return d.err
+			}
+			if n != p.Len() {
+				return fmt.Errorf("param length %d != expected %d", n, p.Len())
+			}
+			vals := d.floats(n)
+			if d.err != nil {
+				return d.err
+			}
+			copy(p.Data, vals)
+		}
+		return nil
+	}
+	switch tag {
+	case tagConv2D:
+		inC, outC := int(d.u32()), int(d.u32())
+		k, s, p := int(d.u32()), int(d.u32()), int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if inC <= 0 || outC <= 0 || k <= 0 || s <= 0 || p < 0 ||
+			inC > 1<<12 || outC > 1<<12 || k > 64 {
+			return nil, fmt.Errorf("conv %q config out of range", name)
+		}
+		c := NewConv2D(name, inC, outC, k, s, p)
+		return c, loadParams(c.W, c.B)
+	case tagReLU:
+		return &ReLU{LayerName: name}, nil
+	case tagMaxPool2D:
+		k, s := int(d.u32()), int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if k <= 0 || s <= 0 || k > 64 {
+			return nil, fmt.Errorf("pool %q config out of range", name)
+		}
+		return NewMaxPool2D(name, k, s), nil
+	case tagFlatten:
+		return &Flatten{LayerName: name}, nil
+	case tagDense:
+		in, out := int(d.u32()), int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if in <= 0 || out <= 0 || in > 1<<24 || out > 1<<20 {
+			return nil, fmt.Errorf("dense %q config out of range", name)
+		}
+		de := NewDense(name, in, out)
+		return de, loadParams(de.W, de.B)
+	case tagSoftmax:
+		return &Softmax{LayerName: name}, nil
+	case tagGlobalAvgPool:
+		return &GlobalAvgPool{LayerName: name}, nil
+	default:
+		return nil, fmt.Errorf("unknown layer tag %d", tag)
+	}
+}

@@ -1,0 +1,6 @@
+package dnn
+
+import "github.com/edge-immersion/coic/internal/xrand"
+
+// newTestRNG returns the shared deterministic RNG used across dnn tests.
+func newTestRNG() *xrand.RNG { return xrand.New(12345) }

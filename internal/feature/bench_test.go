@@ -1,0 +1,55 @@
+package feature
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+func benchIndex(idx Index, n, dim int, seed uint64) []float32 {
+	rng := xrand.New(seed)
+	var last []float32
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		last = NewVector(v).Vec
+		idx.Add(uint64(i+1), last)
+	}
+	q := make([]float32, dim)
+	copy(q, last)
+	q[0] += 0.01
+	return NewVector(q).Vec
+}
+
+// BenchmarkLinearNearest scales linearly with residency — the default
+// matcher for small edge caches.
+func BenchmarkLinearNearest(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			idx := NewLinear()
+			q := benchIndex(idx, n, 64, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Nearest(q)
+			}
+		})
+	}
+}
+
+// BenchmarkLSHNearest stays near-flat with residency — the metro-scale
+// matcher (A-index ablation).
+func BenchmarkLSHNearest(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			idx := NewLSH(64, 8, 14, 7)
+			q := benchIndex(idx, n, 64, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Nearest(q)
+			}
+		})
+	}
+}

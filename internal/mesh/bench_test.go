@@ -1,0 +1,51 @@
+package mesh
+
+import "testing"
+
+// The two decode benches together quantify the load asymmetry behind
+// Figure 2b: OBJX (text source) parse vs CMF (runtime binary) load.
+
+func benchModel(b *testing.B) *Mesh {
+	b.Helper()
+	return Generate(Spec{Name: "bench", Segments: 24, TextureSize: 64, TextureCount: 2, Displace: 0.03, Seed: 1})
+}
+
+// BenchmarkDecodeOBJX measures the slow source-format parse (cloud-side
+// model load in the Origin baseline).
+func BenchmarkDecodeOBJX(b *testing.B) {
+	data, err := EncodeOBJX(benchModel(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeOBJX(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeCMF measures the fast runtime-format load (what clients
+// pay after an edge hit).
+func BenchmarkDecodeCMF(b *testing.B) {
+	data, err := EncodeCMF(benchModel(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeCMF(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures procedural model synthesis.
+func BenchmarkGenerate(b *testing.B) {
+	spec := Spec{Name: "g", Segments: 16, TextureSize: 32, TextureCount: 1, Seed: 2}
+	for i := 0; i < b.N; i++ {
+		Generate(spec)
+	}
+}

@@ -1,0 +1,201 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// CMF ("CoIC Mesh Format") is the binary runtime format: a header, raw
+// little-endian vertex/triangle buffers, materials, then textures, then a
+// CRC. Loading is a near-memcpy, which is exactly why the edge caches
+// models in this form — the paper's "caching the loaded data in rendering
+// tasks on the edge".
+//
+//	magic "CMF1"
+//	name string(u16+bytes)
+//	vertCount u32 | triCount u32 | matCount u32 | texCount u32
+//	verts: vertCount × (pos 3f32, normal 3f32, u f32, v f32)
+//	tris:  triCount × (a u32, b u32, c u32, mat u32)
+//	mats:  matCount × (name string, r u8, g u8, b u8, texture i32)
+//	texs:  texCount × (name string, w u32, h u32, raw RGB bytes)
+//	crc32 (IEEE, over everything before it)
+const (
+	cmfMagic        = "CMF1"
+	cmfHeaderSize   = 4 + 2 + 16 // magic + empty name + counts
+	cmfVertexSize   = 32
+	cmfTriangleSize = 16
+)
+
+// ErrBadCMF is wrapped by CMF decode failures.
+var ErrBadCMF = errors.New("mesh: malformed CMF")
+
+// EncodeCMF serialises a mesh to the binary runtime format.
+func EncodeCMF(m *Mesh) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	size := cmfEncodedSize(m)
+	buf := make([]byte, 0, size)
+	buf = append(buf, cmfMagic...)
+	buf = appendStr(buf, m.Name)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Verts)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Tris)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Materials)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Textures)))
+	for _, v := range m.Verts {
+		for _, f := range [8]float32{v.Pos.X, v.Pos.Y, v.Pos.Z, v.Normal.X, v.Normal.Y, v.Normal.Z, v.U, v.V} {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(f))
+		}
+	}
+	for _, t := range m.Tris {
+		buf = binary.LittleEndian.AppendUint32(buf, t.A)
+		buf = binary.LittleEndian.AppendUint32(buf, t.B)
+		buf = binary.LittleEndian.AppendUint32(buf, t.C)
+		buf = binary.LittleEndian.AppendUint32(buf, t.Mat)
+	}
+	for _, mat := range m.Materials {
+		buf = appendStr(buf, mat.Name)
+		buf = append(buf, mat.R, mat.G, mat.B)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(mat.Texture))
+	}
+	for _, tex := range m.Textures {
+		buf = appendStr(buf, tex.Name)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tex.W))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tex.H))
+		buf = append(buf, tex.Pix...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+func cmfEncodedSize(m *Mesh) int {
+	size := 4 + 2 + len(m.Name) + 16 +
+		len(m.Verts)*cmfVertexSize + len(m.Tris)*cmfTriangleSize + 4
+	for _, mat := range m.Materials {
+		size += 2 + len(mat.Name) + 3 + 4
+	}
+	for _, tex := range m.Textures {
+		size += 2 + len(tex.Name) + 8 + len(tex.Pix)
+	}
+	return size
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeCMF parses the binary runtime format, verifying CRC and
+// referential integrity.
+func DecodeCMF(data []byte) (*Mesh, error) {
+	if len(data) < cmfHeaderSize+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadCMF, len(data))
+	}
+	payload := data[:len(data)-4]
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != stored {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrBadCMF)
+	}
+	d := &cmfDecoder{buf: payload}
+	if string(d.take(4)) != cmfMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCMF)
+	}
+	m := &Mesh{Name: d.str()}
+	nv, nt := d.u32(), d.u32()
+	nm, nx := d.u32(), d.u32()
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadCMF, d.err)
+	}
+	// Bound counts by the remaining payload so a corrupt header cannot
+	// trigger a huge allocation.
+	if int64(nv)*cmfVertexSize > int64(len(payload)) || int64(nt)*cmfTriangleSize > int64(len(payload)) {
+		return nil, fmt.Errorf("%w: counts exceed payload", ErrBadCMF)
+	}
+	m.Verts = make([]Vertex, nv)
+	for i := range m.Verts {
+		var f [8]float32
+		for j := range f {
+			f[j] = d.f32()
+		}
+		m.Verts[i] = Vertex{
+			Pos:    Vec3{f[0], f[1], f[2]},
+			Normal: Vec3{f[3], f[4], f[5]},
+			U:      f[6], V: f[7],
+		}
+	}
+	m.Tris = make([]Triangle, nt)
+	for i := range m.Tris {
+		m.Tris[i] = Triangle{A: d.u32(), B: d.u32(), C: d.u32(), Mat: d.u32()}
+	}
+	for i := uint32(0); i < nm && d.err == nil; i++ {
+		mat := Material{Name: d.str()}
+		rgb := d.take(3)
+		if rgb != nil {
+			mat.R, mat.G, mat.B = rgb[0], rgb[1], rgb[2]
+		}
+		mat.Texture = int32(d.u32())
+		m.Materials = append(m.Materials, mat)
+	}
+	for i := uint32(0); i < nx && d.err == nil; i++ {
+		tex := Texture{Name: d.str()}
+		tex.W, tex.H = int(d.u32()), int(d.u32())
+		if tex.W <= 0 || tex.H <= 0 || int64(tex.W)*int64(tex.H)*3 > int64(len(payload)) {
+			return nil, fmt.Errorf("%w: texture %d dimensions", ErrBadCMF, i)
+		}
+		pix := d.take(tex.W * tex.H * 3)
+		tex.Pix = append([]uint8(nil), pix...)
+		m.Textures = append(m.Textures, tex)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCMF, d.err)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCMF, len(d.buf)-d.off)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCMF, err)
+	}
+	return m, nil
+}
+
+type cmfDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *cmfDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("truncated at %d (+%d)", d.off, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *cmfDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *cmfDecoder) f32() float32 {
+	return math.Float32frombits(d.u32())
+}
+
+func (d *cmfDecoder) str() string {
+	b := d.take(2)
+	if b == nil {
+		return ""
+	}
+	return string(d.take(int(binary.LittleEndian.Uint16(b))))
+}

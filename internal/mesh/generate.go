@@ -1,0 +1,262 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// Spec parameterises procedural model generation. The generator exists
+// because the paper's 3D assets (the models behind Figure 2b's sizes) are
+// not available: what matters for the experiment is that models of
+// controlled byte size flow through fetch → load → draw, and procedural
+// meshes exercise exactly the same path.
+type Spec struct {
+	// Name labels the model; it also seeds the geometry, so the same
+	// name and parameters always produce the same bytes (hash-keyed
+	// caching depends on this).
+	Name string
+	// Segments controls sphere/torus tessellation (≥ 4).
+	Segments int
+	// TextureSize is the side of each embedded square texture
+	// (0 = untextured).
+	TextureSize int
+	// TextureCount is how many textures to embed.
+	TextureCount int
+	// Displace adds deterministic radial noise, making the mesh look
+	// organic and the normals non-trivial.
+	Displace float32
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Generate builds a deterministic procedural model: a displaced UV sphere
+// body with a torus ring, optional checker/noise textures, and one
+// material per texture. It panics on nonsensical specs (build-time
+// constants in every caller).
+func Generate(spec Spec) *Mesh {
+	if spec.Segments < 4 {
+		panic(fmt.Sprintf("mesh: Segments %d < 4", spec.Segments))
+	}
+	rng := xrand.New(spec.Seed ^ hashName(spec.Name))
+	m := &Mesh{Name: spec.Name}
+
+	// Materials and textures first so triangles can reference them.
+	if spec.TextureCount == 0 || spec.TextureSize == 0 {
+		m.Materials = []Material{{Name: "flat", R: 200, G: 180, B: 150, Texture: -1}}
+	}
+	for i := 0; i < spec.TextureCount && spec.TextureSize > 0; i++ {
+		tex := genTexture(fmt.Sprintf("%s-tex%d", spec.Name, i), spec.TextureSize, rng.Fork(fmt.Sprintf("tex%d", i)))
+		m.Textures = append(m.Textures, tex)
+		m.Materials = append(m.Materials, Material{
+			Name:    fmt.Sprintf("mat%d", i),
+			R:       uint8(120 + rng.Intn(120)),
+			G:       uint8(120 + rng.Intn(120)),
+			B:       uint8(120 + rng.Intn(120)),
+			Texture: int32(i),
+		})
+	}
+
+	addSphere(m, spec.Segments, 1.0, spec.Displace, rng.Fork("sphere"))
+	addTorus(m, spec.Segments, 1.35, 0.18, rng.Fork("torus"))
+	m.RecomputeNormals()
+	if err := m.Validate(); err != nil {
+		panic(err) // generator bug
+	}
+	return m
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// addSphere appends a UV sphere with `seg` latitudinal and 2·seg
+// longitudinal segments, radially displaced by up to displace.
+func addSphere(m *Mesh, seg int, radius, displace float32, rng *xrand.RNG) {
+	base := uint32(len(m.Verts))
+	rows, cols := seg, 2*seg
+	for r := 0; r <= rows; r++ {
+		theta := math.Pi * float64(r) / float64(rows)
+		for c := 0; c <= cols; c++ {
+			phi := 2 * math.Pi * float64(c) / float64(cols)
+			dir := Vec3{
+				float32(math.Sin(theta) * math.Cos(phi)),
+				float32(math.Cos(theta)),
+				float32(math.Sin(theta) * math.Sin(phi)),
+			}
+			rad := radius
+			if displace > 0 {
+				rad += displace * float32(rng.NormFloat64()*0.3)
+			}
+			m.Verts = append(m.Verts, Vertex{
+				Pos:    dir.Scale(rad),
+				Normal: dir,
+				U:      float32(c) / float32(cols),
+				V:      float32(r) / float32(rows),
+			})
+		}
+	}
+	mats := uint32(len(m.Materials))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i0 := base + uint32(r*(cols+1)+c)
+			i1 := i0 + 1
+			i2 := i0 + uint32(cols+1)
+			i3 := i2 + 1
+			mat := uint32(0)
+			if mats > 0 {
+				mat = uint32(r+c) % mats
+			}
+			m.Tris = append(m.Tris,
+				Triangle{A: i0, B: i2, C: i1, Mat: mat},
+				Triangle{A: i1, B: i2, C: i3, Mat: mat},
+			)
+		}
+	}
+}
+
+// addTorus appends a torus (major radius R, tube radius r) around the Y
+// axis.
+func addTorus(m *Mesh, seg int, R, r float32, rng *xrand.RNG) {
+	base := uint32(len(m.Verts))
+	major, minor := 2*seg, seg/2
+	if minor < 3 {
+		minor = 3
+	}
+	for i := 0; i <= major; i++ {
+		u := 2 * math.Pi * float64(i) / float64(major)
+		cu, su := float32(math.Cos(u)), float32(math.Sin(u))
+		for j := 0; j <= minor; j++ {
+			v := 2 * math.Pi * float64(j) / float64(minor)
+			cv, sv := float32(math.Cos(v)), float32(math.Sin(v))
+			pos := Vec3{(R + r*cv) * cu, r * sv, (R + r*cv) * su}
+			normal := Vec3{cv * cu, sv, cv * su}
+			m.Verts = append(m.Verts, Vertex{
+				Pos: pos, Normal: normal,
+				U: float32(i) / float32(major),
+				V: float32(j) / float32(minor),
+			})
+		}
+	}
+	mats := uint32(len(m.Materials))
+	for i := 0; i < major; i++ {
+		for j := 0; j < minor; j++ {
+			i0 := base + uint32(i*(minor+1)+j)
+			i1 := i0 + 1
+			i2 := i0 + uint32(minor+1)
+			i3 := i2 + 1
+			mat := uint32(0)
+			if mats > 0 {
+				mat = uint32(i) % mats
+			}
+			m.Tris = append(m.Tris,
+				Triangle{A: i0, B: i1, C: i2, Mat: mat},
+				Triangle{A: i1, B: i3, C: i2, Mat: mat},
+			)
+		}
+	}
+}
+
+// genTexture renders a deterministic checker-plus-noise RGB texture.
+func genTexture(name string, side int, rng *xrand.RNG) Texture {
+	pix := make([]uint8, side*side*3)
+	baseR, baseG, baseB := 60+rng.Intn(160), 60+rng.Intn(160), 60+rng.Intn(160)
+	cell := side / 8
+	if cell < 1 {
+		cell = 1
+	}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			o := (y*side + x) * 3
+			v := 0
+			if ((x/cell)+(y/cell))%2 == 0 {
+				v = 50
+			}
+			n := int(rng.Range(-10, 10))
+			pix[o] = clamp8(baseR + v + n)
+			pix[o+1] = clamp8(baseG + v + n)
+			pix[o+2] = clamp8(baseB + v + n)
+		}
+	}
+	return Texture{Name: name, W: side, H: side, Pix: pix}
+}
+
+func clamp8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// SpecForTargetSize searches generator parameters so that the CMF
+// encoding of the model lands within about 3% of targetBytes. It
+// reproduces the paper's Figure 2b model-size ladder (231KB…15053KB)
+// without the original assets.
+func SpecForTargetSize(name string, targetBytes int, seed uint64) Spec {
+	spec := Spec{Name: name, Segments: 8, Displace: 0.05, Seed: seed}
+	// Texture budget: ~35% of the target in texture bytes, split into up
+	// to 4 textures, mirrors game-asset proportions and keeps tessellation
+	// from dominating generation time for big models.
+	texBudget := targetBytes * 35 / 100
+	spec.TextureCount = 1 + targetBytes/(4<<20)
+	if spec.TextureCount > 4 {
+		spec.TextureCount = 4
+	}
+	side := int(math.Sqrt(float64(texBudget / (3 * spec.TextureCount))))
+	// Round to a multiple of 8 for the checker pattern; floor at 16.
+	side = side / 8 * 8
+	if side < 16 {
+		side = 16
+		spec.TextureCount = 1
+	}
+	spec.TextureSize = side
+
+	// Binary search the tessellation for the remaining byte budget.
+	lo, hi := 4, 512
+	for lo < hi {
+		mid := (lo + hi) / 2
+		spec.Segments = mid
+		if estimateCMFSize(spec) < targetBytes {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	spec.Segments = lo
+	return spec
+}
+
+// estimateCMFSize predicts the CMF encoding size of a spec without
+// generating the mesh: vertex/triangle counts follow directly from the
+// tessellation parameters.
+func estimateCMFSize(spec Spec) int {
+	seg := spec.Segments
+	rows, cols := seg, 2*seg
+	sphereV := (rows + 1) * (cols + 1)
+	sphereT := rows * cols * 2
+	major, minor := 2*seg, seg/2
+	if minor < 3 {
+		minor = 3
+	}
+	torusV := (major + 1) * (minor + 1)
+	torusT := major * minor * 2
+	verts := sphereV + torusV
+	tris := sphereT + torusT
+	bytes := cmfHeaderSize + verts*cmfVertexSize + tris*cmfTriangleSize
+	texCount := spec.TextureCount
+	if spec.TextureSize == 0 {
+		texCount = 0
+	}
+	bytes += texCount * (spec.TextureSize*spec.TextureSize*3 + 64)
+	bytes += (texCount + 1) * 32 // materials
+	return bytes
+}

@@ -1,0 +1,186 @@
+// Package mesh implements the 3D model substrate for CoIC rendering
+// tasks. The paper's Figure 2b measures "load latency" — fetching a 3D
+// model and loading it into memory before drawing — for models from ~231KB
+// to ~15MB. This package provides:
+//
+//   - mesh types and validation;
+//   - a procedural generator that hits requested byte sizes, replacing the
+//     paper's (unavailable) model assets;
+//   - OBJX, a text source format (what the cloud stores — slow to parse);
+//   - CMF, a binary runtime format (what the edge caches — fast to load).
+//
+// The OBJX→CMF asymmetry is the mechanism behind the paper's claim that
+// caching "the loaded data in rendering tasks on the edge" cuts load
+// latency beyond what bandwidth alone explains.
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component float vector.
+type Vec3 struct{ X, Y, Z float32 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns a scaled by s.
+func (a Vec3) Scale(s float32) Vec3 { return Vec3{a.X * s, a.Y * s, a.Z * s} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float32 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float32 {
+	return float32(math.Sqrt(float64(a.Dot(a))))
+}
+
+// Normalize returns a unit-length copy (zero vectors stay zero).
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Vertex carries position, normal and texture coordinates.
+type Vertex struct {
+	Pos    Vec3
+	Normal Vec3
+	U, V   float32
+}
+
+// Triangle references three vertices by index plus a material slot.
+type Triangle struct {
+	A, B, C uint32
+	Mat     uint32
+}
+
+// Material is a simple diffuse material with an optional texture slot
+// (-1 = untextured).
+type Material struct {
+	Name    string
+	R, G, B uint8
+	Texture int32
+}
+
+// Texture is an embedded RGB image.
+type Texture struct {
+	Name string
+	W, H int
+	Pix  []uint8 // len = W*H*3
+}
+
+// Mesh is a complete 3D model.
+type Mesh struct {
+	Name      string
+	Verts     []Vertex
+	Tris      []Triangle
+	Materials []Material
+	Textures  []Texture
+}
+
+// ErrInvalidMesh is wrapped by Validate failures.
+var ErrInvalidMesh = errors.New("mesh: invalid")
+
+// Validate checks referential integrity: triangle indices in range,
+// material slots valid, texture slots valid, texture buffers sized.
+func (m *Mesh) Validate() error {
+	nv := uint32(len(m.Verts))
+	for i, t := range m.Tris {
+		if t.A >= nv || t.B >= nv || t.C >= nv {
+			return fmt.Errorf("%w: triangle %d references vertex out of range", ErrInvalidMesh, i)
+		}
+		if int(t.Mat) >= len(m.Materials) && len(m.Materials) > 0 {
+			return fmt.Errorf("%w: triangle %d references material %d of %d", ErrInvalidMesh, i, t.Mat, len(m.Materials))
+		}
+	}
+	for i, mat := range m.Materials {
+		if mat.Texture >= 0 && int(mat.Texture) >= len(m.Textures) {
+			return fmt.Errorf("%w: material %d references texture %d of %d", ErrInvalidMesh, i, mat.Texture, len(m.Textures))
+		}
+	}
+	for i, tex := range m.Textures {
+		if tex.W <= 0 || tex.H <= 0 || len(tex.Pix) != tex.W*tex.H*3 {
+			return fmt.Errorf("%w: texture %d has %d bytes for %dx%d", ErrInvalidMesh, i, len(tex.Pix), tex.W, tex.H)
+		}
+	}
+	return nil
+}
+
+// Stats summarises a mesh for logs and experiment tables.
+func (m *Mesh) Stats() string {
+	texBytes := 0
+	for _, t := range m.Textures {
+		texBytes += len(t.Pix)
+	}
+	return fmt.Sprintf("%s: %d verts, %d tris, %d materials, %d textures (%d tex bytes)",
+		m.Name, len(m.Verts), len(m.Tris), len(m.Materials), len(m.Textures), texBytes)
+}
+
+// RecomputeNormals replaces all vertex normals with area-weighted face
+// normal averages; generators call it after displacing vertices.
+func (m *Mesh) RecomputeNormals() {
+	acc := make([]Vec3, len(m.Verts))
+	for _, t := range m.Tris {
+		a, b, c := m.Verts[t.A].Pos, m.Verts[t.B].Pos, m.Verts[t.C].Pos
+		n := b.Sub(a).Cross(c.Sub(a)) // length ∝ 2·area: natural weighting
+		acc[t.A] = acc[t.A].Add(n)
+		acc[t.B] = acc[t.B].Add(n)
+		acc[t.C] = acc[t.C].Add(n)
+	}
+	for i := range m.Verts {
+		n := acc[i].Normalize()
+		if n == (Vec3{}) {
+			// Vertex only touches degenerate triangles (e.g. the pole of
+			// a UV sphere, where a quad edge collapses): keep the
+			// generator-provided normal instead of zeroing it.
+			continue
+		}
+		m.Verts[i].Normal = n
+	}
+}
+
+// Bounds returns the axis-aligned bounding box (zero mesh: zeros).
+func (m *Mesh) Bounds() (min, max Vec3) {
+	if len(m.Verts) == 0 {
+		return
+	}
+	min, max = m.Verts[0].Pos, m.Verts[0].Pos
+	for _, v := range m.Verts[1:] {
+		if v.Pos.X < min.X {
+			min.X = v.Pos.X
+		}
+		if v.Pos.Y < min.Y {
+			min.Y = v.Pos.Y
+		}
+		if v.Pos.Z < min.Z {
+			min.Z = v.Pos.Z
+		}
+		if v.Pos.X > max.X {
+			max.X = v.Pos.X
+		}
+		if v.Pos.Y > max.Y {
+			max.Y = v.Pos.Y
+		}
+		if v.Pos.Z > max.Z {
+			max.Z = v.Pos.Z
+		}
+	}
+	return
+}

@@ -1,0 +1,267 @@
+package mesh
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func tinyMesh() *Mesh {
+	return &Mesh{
+		Name: "tri",
+		Verts: []Vertex{
+			{Pos: Vec3{0, 0, 0}, Normal: Vec3{0, 0, 1}, U: 0, V: 0},
+			{Pos: Vec3{1, 0, 0}, Normal: Vec3{0, 0, 1}, U: 1, V: 0},
+			{Pos: Vec3{0, 1, 0}, Normal: Vec3{0, 0, 1}, U: 0, V: 1},
+		},
+		Tris:      []Triangle{{A: 0, B: 1, C: 2, Mat: 0}},
+		Materials: []Material{{Name: "m", R: 10, G: 20, B: 30, Texture: -1}},
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a, b := Vec3{1, 2, 3}, Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := (Vec3{1, 0, 0}).Cross(Vec3{0, 1, 0}); got != (Vec3{0, 0, 1}) {
+		t.Fatalf("Cross = %v", got)
+	}
+	n := Vec3{3, 4, 0}.Normalize()
+	if math.Abs(float64(n.Norm())-1) > 1e-6 {
+		t.Fatalf("Normalize norm = %v", n.Norm())
+	}
+	z := Vec3{}.Normalize()
+	if z != (Vec3{}) {
+		t.Fatal("zero normalize changed vector")
+	}
+}
+
+func TestValidateCatchesBrokenMeshes(t *testing.T) {
+	cases := map[string]func(*Mesh){
+		"vert oob": func(m *Mesh) { m.Tris[0].A = 99 },
+		"mat oob":  func(m *Mesh) { m.Tris[0].Mat = 5 },
+		"tex oob":  func(m *Mesh) { m.Materials[0].Texture = 3 },
+		"tex toosmall": func(m *Mesh) {
+			m.Textures = append(m.Textures, Texture{Name: "t", W: 4, H: 4, Pix: make([]uint8, 5)})
+		},
+	}
+	for name, mutate := range cases {
+		m := tinyMesh()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := tinyMesh().Validate(); err != nil {
+		t.Fatalf("good mesh rejected: %v", err)
+	}
+}
+
+func TestRecomputeNormals(t *testing.T) {
+	m := tinyMesh()
+	for i := range m.Verts {
+		m.Verts[i].Normal = Vec3{9, 9, 9}
+	}
+	m.RecomputeNormals()
+	for i, v := range m.Verts {
+		// Triangle in the XY plane, CCW → +Z normal.
+		if math.Abs(float64(v.Normal.Z)-1) > 1e-5 {
+			t.Fatalf("vert %d normal = %v", i, v.Normal)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := tinyMesh()
+	min, max := m.Bounds()
+	if min != (Vec3{0, 0, 0}) || max != (Vec3{1, 1, 0}) {
+		t.Fatalf("bounds = %v %v", min, max)
+	}
+	var empty Mesh
+	zmin, zmax := empty.Bounds()
+	if zmin != (Vec3{}) || zmax != (Vec3{}) {
+		t.Fatal("empty bounds not zero")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "model", Segments: 8, TextureSize: 16, TextureCount: 1, Displace: 0.05, Seed: 3}
+	a := Generate(spec)
+	b := Generate(spec)
+	ea, _ := EncodeCMF(a)
+	eb, _ := EncodeCMF(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("generation is not deterministic")
+	}
+	spec.Seed = 4
+	ec, _ := EncodeCMF(Generate(spec))
+	if bytes.Equal(ea, ec) {
+		t.Fatal("different seeds produced identical models")
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	m := Generate(Spec{Name: "x", Segments: 6, TextureSize: 8, TextureCount: 2, Seed: 1})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Verts) == 0 || len(m.Tris) == 0 {
+		t.Fatal("degenerate model")
+	}
+	// All normals approximately unit length after recompute.
+	for i, v := range m.Verts {
+		n := v.Normal.Norm()
+		if n < 0.9 || n > 1.1 {
+			t.Fatalf("vert %d normal length %v", i, n)
+		}
+	}
+}
+
+func TestSpecForTargetSizeHitsTargets(t *testing.T) {
+	// The Figure 2b ladder. Generated CMF size must land within 10% of
+	// each target (the binary search quantises by tessellation row).
+	for _, kb := range []int{231, 1073, 1949, 7050} {
+		target := kb * 1024
+		spec := SpecForTargetSize("m", target, 42)
+		m := Generate(spec)
+		data, err := EncodeCMF(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(data)
+		dev := math.Abs(float64(got-target)) / float64(target)
+		if dev > 0.10 {
+			t.Errorf("target %dKB: got %dKB (deviation %.1f%%)", kb, got/1024, dev*100)
+		}
+	}
+}
+
+func TestEstimateMatchesActual(t *testing.T) {
+	spec := Spec{Name: "m", Segments: 16, TextureSize: 32, TextureCount: 2, Seed: 5}
+	m := Generate(spec)
+	data, _ := EncodeCMF(m)
+	est := estimateCMFSize(spec)
+	dev := math.Abs(float64(est-len(data))) / float64(len(data))
+	if dev > 0.05 {
+		t.Fatalf("estimate %d vs actual %d (%.1f%% off)", est, len(data), dev*100)
+	}
+}
+
+func TestCMFRoundTrip(t *testing.T) {
+	m := Generate(Spec{Name: "rt", Segments: 6, TextureSize: 8, TextureCount: 1, Displace: 0.02, Seed: 9})
+	data, err := EncodeCMF(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCMF(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || len(got.Verts) != len(m.Verts) || len(got.Tris) != len(m.Tris) ||
+		len(got.Materials) != len(m.Materials) || len(got.Textures) != len(m.Textures) {
+		t.Fatal("structure did not round-trip")
+	}
+	for i := range m.Verts {
+		if m.Verts[i] != got.Verts[i] {
+			t.Fatalf("vertex %d: %+v != %+v", i, got.Verts[i], m.Verts[i])
+		}
+	}
+	for i := range m.Tris {
+		if m.Tris[i] != got.Tris[i] {
+			t.Fatalf("triangle %d differs", i)
+		}
+	}
+	if !bytes.Equal(m.Textures[0].Pix, got.Textures[0].Pix) {
+		t.Fatal("texture bytes differ")
+	}
+}
+
+func TestCMFRejectsCorruption(t *testing.T) {
+	m := tinyMesh()
+	data, _ := EncodeCMF(m)
+	bad := append([]byte(nil), data...)
+	bad[10] ^= 0x55
+	if _, err := DecodeCMF(bad); err == nil {
+		t.Fatal("bit flip accepted")
+	}
+	for _, cut := range []int{0, 5, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeCMF(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestOBJXRoundTrip(t *testing.T) {
+	m := Generate(Spec{Name: "rt2", Segments: 5, TextureSize: 8, TextureCount: 1, Seed: 11})
+	data, err := EncodeOBJX(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeOBJX(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || len(got.Verts) != len(m.Verts) || len(got.Tris) != len(m.Tris) {
+		t.Fatalf("structure: %s vs %s", got.Stats(), m.Stats())
+	}
+	// Text round-trip through %g is lossless for float32.
+	for i := range m.Verts {
+		if m.Verts[i].Pos != got.Verts[i].Pos {
+			t.Fatalf("vertex %d position %v != %v", i, got.Verts[i].Pos, m.Verts[i].Pos)
+		}
+	}
+	for i := range m.Tris {
+		if m.Tris[i] != got.Tris[i] {
+			t.Fatalf("triangle %d: %+v != %+v", i, got.Tris[i], m.Tris[i])
+		}
+	}
+	if !bytes.Equal(m.Textures[0].Pix, got.Textures[0].Pix) {
+		t.Fatal("texture did not survive hex round-trip")
+	}
+}
+
+func TestOBJXBiggerThanCMF(t *testing.T) {
+	// The premise of the Figure 2b asymmetry: source format is larger.
+	m := Generate(Spec{Name: "cmp", Segments: 10, TextureSize: 16, TextureCount: 1, Seed: 2})
+	objx, _ := EncodeOBJX(m)
+	cmf, _ := EncodeCMF(m)
+	if len(objx) <= len(cmf) {
+		t.Fatalf("OBJX %d <= CMF %d — size asymmetry lost", len(objx), len(cmf))
+	}
+}
+
+func TestOBJXRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "banana 1 2 3\n",
+		"short v":           "v 1 2\n",
+		"bad float":         "v a b c\n",
+		"bad face index":    "o m\nv 0 0 0\nvn 0 0 1\nvt 0 0\nf 0 1 1\n",
+		"face oob":          "o m\nv 0 0 0\nvn 0 0 1\nvt 0 0\nf 1 2 3\n",
+		"count mismatch":    "o m\nv 0 0 0\nv 1 1 1\nvn 0 0 1\nvt 0 0\n",
+		"bad tex hex":       "tex t 2 2 zz\n",
+		"tex size":          "tex t 2 2 aabb\n",
+	}
+	for name, in := range cases {
+		if _, err := DecodeOBJX([]byte(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestOBJXSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\no m\nv 0 0 0\nvn 0 0 1\nvt 0 0\nf 1 1 1\n"
+	m, err := DecodeOBJX([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "m" || len(m.Verts) != 1 {
+		t.Fatalf("parsed %s", m.Stats())
+	}
+}

@@ -1,0 +1,150 @@
+// Package metrics provides the measurement substrate for CoIC
+// experiments: latency histograms with quantile estimation, counters, and
+// table rendering used by the benchmark harness to print the rows behind
+// every figure in the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram records durations and answers quantile queries. It keeps the
+// exact samples (experiments here record at most a few hundred thousand
+// points), so quantiles are exact rather than bucket-approximated. The
+// zero value is ready to use. Histogram is not safe for concurrent use;
+// the simulation is single-threaded and the TCP client aggregates after
+// joining its workers.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Record adds one sample. Negative durations are clamped to zero: they can
+// only arise from clock misuse and must not corrupt quantiles.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if len(h.samples) == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.sum += d
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// Min reports the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max reports the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean reports the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) using nearest-rank on the
+// sorted samples. Out-of-range q is clamped. Returns 0 if empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return h.samples[idx]
+}
+
+// Median is shorthand for Quantile(0.5).
+func (h *Histogram) Median() time.Duration { return h.Quantile(0.5) }
+
+// P95 is shorthand for Quantile(0.95).
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// StdDev reports the population standard deviation, or 0 if fewer than two
+// samples were recorded.
+func (h *Histogram) StdDev() time.Duration {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(h.sum) / float64(n)
+	var ss float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n)))
+}
+
+// Merge folds other's samples into h. other is left untouched.
+func (h *Histogram) Merge(other *Histogram) {
+	for _, s := range other.samples {
+		h.Record(s)
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.sum, h.min, h.max = 0, 0, 0
+}
+
+// Summary returns a one-line human-readable digest, handy in examples.
+func (h *Histogram) Summary() string {
+	if h.Count() == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		h.Count(), round(h.Mean()), round(h.Median()), round(h.P95()), round(h.P99()), round(h.Max()))
+}
+
+// round trims durations to a display-friendly precision.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}

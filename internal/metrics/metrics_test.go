@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if h.Summary() != "no samples" {
+		t.Fatalf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, ms := range []int{10, 20, 30, 40, 50} {
+		h.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got, want := h.Mean(), 30*time.Millisecond; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if got, want := h.Min(), 10*time.Millisecond; got != want {
+		t.Fatalf("Min = %v, want %v", got, want)
+	}
+	if got, want := h.Max(), 50*time.Millisecond; got != want {
+		t.Fatalf("Max = %v, want %v", got, want)
+	}
+	if got, want := h.Median(), 30*time.Millisecond; got != want {
+		t.Fatalf("Median = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample not clamped: min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestQuantileMatchesSortedIndex(t *testing.T) {
+	// Property: for any non-empty sample set, Quantile(q) equals the
+	// nearest-rank element of the sorted samples, and quantiles are
+	// monotone in q.
+	f := func(raw []uint16, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			vals[i] = time.Duration(r) * time.Microsecond
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		clamp := func(q float64) float64 {
+			if q < 0 {
+				return 0
+			}
+			if q > 1 {
+				return 1
+			}
+			return q
+		}
+		qa, qb = clamp(qa), clamp(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb) &&
+			h.Quantile(0) == vals[0] && h.Quantile(1) == vals[len(vals)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10 * time.Millisecond)
+	b.Record(30 * time.Millisecond)
+	b.Record(50 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d, want 3", a.Count())
+	}
+	if got, want := a.Mean(), 30*time.Millisecond; got != want {
+		t.Fatalf("merged mean = %v, want %v", got, want)
+	}
+	if b.Count() != 2 {
+		t.Fatal("Merge mutated source histogram")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var h Histogram
+	for _, v := range []time.Duration{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Record(v)
+	}
+	if got := h.StdDev(); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestQuantileStableUnderInterleavedReads(t *testing.T) {
+	// Reading a quantile sorts samples lazily; later Records must still
+	// be reflected by subsequent reads.
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(rng.Intn(1000)) * time.Microsecond)
+		_ = h.Median()
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1)=%v != Max=%v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("Fig X", "mode", "latency(ms)")
+	tb.AddRow("origin", 1234.5)
+	tb.AddRow("hit", 56.7)
+	tb.AddNote("threshold=%.2f", 0.25)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig X", "mode", "origin", "1234.50", "56.70", "note: threshold=0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and separator must be equal width for alignment.
+	if len(lines) < 3 || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, "x,y")
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("v")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.rows[0][0] != "v" {
+		t.Fatal("Rows must return a copy")
+	}
+}

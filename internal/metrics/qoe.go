@@ -1,0 +1,59 @@
+package metrics
+
+import "time"
+
+// QoE maps user-perceived latency to a mean-opinion-score-style rating in
+// [1, 5], the currency the CoIC paper argues in ("as user's QoE
+// requirements increase over time..."). Each IC task has its own
+// tolerance: an AR recognition can take a moment, a VR frame cannot.
+//
+// The model is a piecewise-linear interpolation between a "great"
+// latency (score 5) and an "unusable" latency (score 1); between them
+// the score falls linearly. This is the standard shape of latency-MOS
+// curves in interactive-system QoE literature, with per-task knees.
+type QoE struct {
+	// Great is the latency at or below which the experience is perfect.
+	Great time.Duration
+	// Unusable is the latency at or beyond which the score bottoms out.
+	Unusable time.Duration
+}
+
+// Score rates one latency sample.
+func (q QoE) Score(latency time.Duration) float64 {
+	if latency <= q.Great {
+		return 5
+	}
+	if latency >= q.Unusable {
+		return 1
+	}
+	frac := float64(latency-q.Great) / float64(q.Unusable-q.Great)
+	return 5 - 4*frac
+}
+
+// MeanScore rates a histogram by averaging per-sample scores rather than
+// scoring the mean latency, so samples beyond the Unusable clamp are
+// charged exactly once each instead of dragging the mean into territory
+// the scale cannot express.
+func (q QoE) MeanScore(h *Histogram) float64 {
+	if h.Count() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += q.Score(s)
+	}
+	return sum / float64(h.Count())
+}
+
+// Task QoE profiles used by the experiments.
+var (
+	// QoERecognition: AR labels feel instant under ~300ms and are
+	// useless past ~3s (the object has left the view).
+	QoERecognition = QoE{Great: 300 * time.Millisecond, Unusable: 3 * time.Second}
+	// QoERender: loading a 3D scene tolerates seconds, but past ~10s
+	// users abandon.
+	QoERender = QoE{Great: time.Second, Unusable: 10 * time.Second}
+	// QoEPano: a panoramic frame fetch competes with the display loop;
+	// great under 50ms, unusable past 500ms.
+	QoEPano = QoE{Great: 50 * time.Millisecond, Unusable: 500 * time.Millisecond}
+)

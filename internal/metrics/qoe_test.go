@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQoEScoreBands(t *testing.T) {
+	q := QoE{Great: 100 * time.Millisecond, Unusable: 1100 * time.Millisecond}
+	if got := q.Score(50 * time.Millisecond); got != 5 {
+		t.Fatalf("below knee: %v", got)
+	}
+	if got := q.Score(100 * time.Millisecond); got != 5 {
+		t.Fatalf("at knee: %v", got)
+	}
+	if got := q.Score(2 * time.Second); got != 1 {
+		t.Fatalf("beyond unusable: %v", got)
+	}
+	// Midpoint: 600ms is halfway through the 1s ramp → score 3.
+	if got := q.Score(600 * time.Millisecond); got < 2.99 || got > 3.01 {
+		t.Fatalf("midpoint score = %v, want 3", got)
+	}
+}
+
+func TestQoEMonotoneNonIncreasing(t *testing.T) {
+	q := QoERecognition
+	prev := 5.01
+	for d := time.Duration(0); d <= 4*time.Second; d += 50 * time.Millisecond {
+		s := q.Score(d)
+		if s > prev {
+			t.Fatalf("score rose with latency at %v", d)
+		}
+		if s < 1 || s > 5 {
+			t.Fatalf("score %v out of [1,5]", s)
+		}
+		prev = s
+	}
+}
+
+func TestQoEMeanScoreAveragesSamples(t *testing.T) {
+	q := QoE{Great: 100 * time.Millisecond, Unusable: 1100 * time.Millisecond}
+	var h Histogram
+	h.Record(100 * time.Millisecond)  // 5.0
+	h.Record(600 * time.Millisecond)  // 3.0
+	h.Record(5000 * time.Millisecond) // 1.0 (clamped, not negative)
+	if got := q.MeanScore(&h); got < 2.99 || got > 3.01 {
+		t.Fatalf("mean score = %v, want 3", got)
+	}
+}
+
+func TestQoEMeanScoreEmpty(t *testing.T) {
+	var h Histogram
+	if got := QoEPano.MeanScore(&h); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}

@@ -1,0 +1,27 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkLinkTransfer measures the analytic link model's per-transfer
+// cost — it must stay trivial, since trace replays call it millions of
+// times.
+func BenchmarkLinkTransfer(b *testing.B) {
+	l := NewLink(Config{Name: "b", BandwidthBPS: Mbps(200), PropDelay: time.Millisecond})
+	at := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = l.Transfer(at, 1500)
+	}
+}
+
+// BenchmarkParseTC measures the tc-spec parser used on daemon startup.
+func BenchmarkParseTC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTC("rate 90mbit delay 5ms jitter 1ms loss 0.5%"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package netsim models the networks between mobile clients, the edge and
+// the cloud. The paper conditions a real 802.11ac link with tc; here the
+// same sweep runs two ways:
+//
+//   - analytic Links advance a virtual clock: a transfer's completion time
+//     is serialisation delay (bytes/bandwidth) queued FIFO behind earlier
+//     transfers, plus propagation and jitter. Deterministic and fast —
+//     this is what every experiment and benchmark uses;
+//   - a token-bucket Shaper (shaper.go) paces a real net.Conn for the
+//     cmd/ daemons, playing the role tc plays in the paper's testbed.
+package netsim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// Mbps converts megabits per second to bits per second.
+func Mbps(m float64) int64 { return int64(m * 1e6) }
+
+// Config describes one direction of a link.
+type Config struct {
+	// Name labels the link in logs ("mobile->edge up").
+	Name string
+	// BandwidthBPS is the available bandwidth in bits per second.
+	BandwidthBPS int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter] per
+	// transfer, seeded deterministically.
+	Jitter time.Duration
+	// LossRate in [0, 1) models packet loss analytically: lost packets
+	// are retransmitted, inflating effective serialisation time by
+	// 1/(1-loss). (A full TCP model is out of scope; goodput inflation
+	// captures the first-order effect on transfer latency.)
+	LossRate float64
+	// Seed drives jitter; links with equal seeds produce equal jitter
+	// sequences.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BandwidthBPS <= 0 {
+		return fmt.Errorf("netsim: %s: bandwidth %d must be positive", c.Name, c.BandwidthBPS)
+	}
+	if c.PropDelay < 0 || c.Jitter < 0 {
+		return fmt.Errorf("netsim: %s: negative delay", c.Name)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("netsim: %s: loss rate %v outside [0,1)", c.Name, c.LossRate)
+	}
+	return nil
+}
+
+// Link is one direction of a network path with FIFO queueing: a transfer
+// arriving while the link is busy waits for earlier transfers to finish
+// serialising. Safe for concurrent use.
+type Link struct {
+	cfg Config
+
+	mu        sync.Mutex
+	busyUntil time.Time
+	rng       *xrand.RNG
+	// counters
+	transfers uint64
+	bytesSent int64
+	busyTime  time.Duration
+}
+
+// NewLink builds a link; it panics on invalid configs (experiment
+// construction bug, not a runtime condition).
+func NewLink(cfg Config) *Link {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Link{cfg: cfg, rng: xrand.New(cfg.Seed ^ 0xC01C)}
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// SerialisationDelay reports how long `bytes` occupy the link exclusive
+// of queueing and propagation (loss-inflated).
+func (l *Link) SerialisationDelay(bytes int) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bits := float64(bytes) * 8 / (1 - l.cfg.LossRate)
+	sec := bits / float64(l.cfg.BandwidthBPS)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Transfer models sending `bytes` starting no earlier than `at` and
+// returns the arrival time at the far end. Queueing state advances, so
+// concurrent transfers on the same link contend realistically.
+func (l *Link) Transfer(at time.Time, bytes int) time.Time {
+	ser := l.SerialisationDelay(bytes)
+	l.mu.Lock()
+	start := at
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	done := start.Add(ser)
+	l.busyUntil = done
+	l.transfers++
+	l.bytesSent += int64(bytes)
+	l.busyTime += ser
+	jit := time.Duration(0)
+	if l.cfg.Jitter > 0 {
+		jit = time.Duration(l.rng.Float64() * float64(l.cfg.Jitter))
+	}
+	l.mu.Unlock()
+	return done.Add(l.cfg.PropDelay).Add(jit)
+}
+
+// Reset clears queueing state and counters (fresh experiment run).
+func (l *Link) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.busyUntil = time.Time{}
+	l.transfers, l.bytesSent, l.busyTime = 0, 0, 0
+	l.rng = xrand.New(l.cfg.Seed ^ 0xC01C)
+}
+
+// Counters reports transfers, bytes and cumulative busy time.
+func (l *Link) Counters() (transfers uint64, bytes int64, busy time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.transfers, l.bytesSent, l.busyTime
+}
+
+// Duplex pairs the two directions of a link.
+type Duplex struct {
+	Up   *Link // toward the infrastructure (client->edge, edge->cloud)
+	Down *Link // toward the client
+}
+
+// NewDuplex builds a symmetric-latency duplex link with independent
+// bandwidths.
+func NewDuplex(name string, upBPS, downBPS int64, prop, jitter time.Duration, seed uint64) Duplex {
+	return Duplex{
+		Up: NewLink(Config{
+			Name: name + " up", BandwidthBPS: upBPS,
+			PropDelay: prop, Jitter: jitter, Seed: seed,
+		}),
+		Down: NewLink(Config{
+			Name: name + " down", BandwidthBPS: downBPS,
+			PropDelay: prop, Jitter: jitter, Seed: seed + 1,
+		}),
+	}
+}
+
+// Reset clears both directions.
+func (d Duplex) Reset() {
+	d.Up.Reset()
+	d.Down.Reset()
+}
+
+// Path is a chain of links traversed store-and-forward at message
+// granularity (each hop must fully receive the message before relaying —
+// how the CoIC edge actually behaves, since it inspects every message).
+type Path []*Link
+
+// Transfer relays `bytes` across every hop and returns the final arrival.
+func (p Path) Transfer(at time.Time, bytes int) time.Time {
+	t := at
+	for _, l := range p {
+		t = l.Transfer(t, bytes)
+	}
+	return t
+}
+
+// Condition is a named (B_M→E, B_E→C) bandwidth pair from the paper's
+// Figure 2a sweep.
+type Condition struct {
+	Name       string
+	MobileEdge float64 // Mbps between mobile and edge
+	EdgeCloud  float64 // Mbps between edge and cloud
+}
+
+// Fig2aConditions reproduces the five tc settings of Figure 2a:
+// B_M→E ∈ {90,100,200,300,400} with B_E→C always a tenth of it.
+func Fig2aConditions() []Condition {
+	return []Condition{
+		{Name: "90/9", MobileEdge: 90, EdgeCloud: 9},
+		{Name: "100/10", MobileEdge: 100, EdgeCloud: 10},
+		{Name: "200/20", MobileEdge: 200, EdgeCloud: 20},
+		{Name: "300/30", MobileEdge: 300, EdgeCloud: 30},
+		{Name: "400/40", MobileEdge: 400, EdgeCloud: 40},
+	}
+}
+
+// String renders the condition the way the paper labels its x-axis.
+func (c Condition) String() string {
+	return fmt.Sprintf("BM->E=%.0f BE->C=%.0f", c.MobileEdge, c.EdgeCloud)
+}
+
+// Topology is the standard CoIC deployment: clients on a wireless access
+// link to one edge, the edge on a WAN uplink to the cloud.
+type Topology struct {
+	// MobileEdge carries client<->edge traffic (the paper's 802.11ac).
+	MobileEdge Duplex
+	// EdgeCloud carries edge<->cloud traffic.
+	EdgeCloud Duplex
+}
+
+// NewTopology instantiates a Topology for a Figure 2a condition. WiFi
+// propagation is ~1ms; the WAN hop gets 10ms each way, matching a nearby
+// data centre.
+func NewTopology(cond Condition, seed uint64) *Topology {
+	return &Topology{
+		MobileEdge: NewDuplex("mobile<->edge",
+			Mbps(cond.MobileEdge), Mbps(cond.MobileEdge), time.Millisecond, 0, seed),
+		EdgeCloud: NewDuplex("edge<->cloud",
+			Mbps(cond.EdgeCloud), Mbps(cond.EdgeCloud), 10*time.Millisecond, 0, seed+100),
+	}
+}
+
+// Reset clears all queueing state.
+func (t *Topology) Reset() {
+	t.MobileEdge.Reset()
+	t.EdgeCloud.Reset()
+}
+
+// ParseTC parses a tc-netem-flavoured link spec such as
+// "rate 90mbit delay 5ms jitter 1ms loss 0.5%". Unknown keys are errors.
+// It exists so the cmd/ daemons take the same vocabulary the paper's
+// testbed scripts would have used.
+func ParseTC(spec string) (Config, error) {
+	cfg := Config{Name: "tc"}
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return Config{}, fmt.Errorf("netsim: empty tc spec")
+	}
+	if len(fields)%2 != 0 {
+		return Config{}, fmt.Errorf("netsim: tc spec %q has a key without a value", spec)
+	}
+	for i := 0; i < len(fields); i += 2 {
+		key, val := fields[i], fields[i+1]
+		switch key {
+		case "rate":
+			bps, err := parseRate(val)
+			if err != nil {
+				return Config{}, err
+			}
+			cfg.BandwidthBPS = bps
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("netsim: bad delay %q: %v", val, err)
+			}
+			cfg.PropDelay = d
+		case "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("netsim: bad jitter %q: %v", val, err)
+			}
+			cfg.Jitter = d
+		case "loss":
+			pct := strings.TrimSuffix(val, "%")
+			var f float64
+			if _, err := fmt.Sscanf(pct, "%g", &f); err != nil {
+				return Config{}, fmt.Errorf("netsim: bad loss %q", val)
+			}
+			if strings.HasSuffix(val, "%") {
+				f /= 100
+			}
+			cfg.LossRate = f
+		case "seed":
+			var s uint64
+			if _, err := fmt.Sscanf(val, "%d", &s); err != nil {
+				return Config{}, fmt.Errorf("netsim: bad seed %q", val)
+			}
+			cfg.Seed = s
+		default:
+			return Config{}, fmt.Errorf("netsim: unknown tc key %q", key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func parseRate(val string) (int64, error) {
+	val = strings.ToLower(val)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(val, "gbit"):
+		mult, val = 1e9, strings.TrimSuffix(val, "gbit")
+	case strings.HasSuffix(val, "mbit"):
+		mult, val = 1e6, strings.TrimSuffix(val, "mbit")
+	case strings.HasSuffix(val, "kbit"):
+		mult, val = 1e3, strings.TrimSuffix(val, "kbit")
+	case strings.HasSuffix(val, "bit"):
+		val = strings.TrimSuffix(val, "bit")
+	default:
+		return 0, fmt.Errorf("netsim: rate %q needs a bit/kbit/mbit/gbit suffix", val)
+	}
+	var f float64
+	if _, err := fmt.Sscanf(val, "%g", &f); err != nil || f <= 0 {
+		return 0, fmt.Errorf("netsim: bad rate value %q", val)
+	}
+	return int64(f * float64(mult)), nil
+}

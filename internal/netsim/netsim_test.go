@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2018, 8, 20, 0, 0, 0, 0, time.UTC)
+
+func TestSerialisationDelayExact(t *testing.T) {
+	l := NewLink(Config{Name: "l", BandwidthBPS: Mbps(8)}) // 1 MB/s
+	if got := l.SerialisationDelay(1_000_000); got != time.Second {
+		t.Fatalf("1MB at 8Mbps = %v, want 1s", got)
+	}
+	if got := l.SerialisationDelay(0); got != 0 {
+		t.Fatalf("0 bytes = %v", got)
+	}
+}
+
+func TestTransferIncludesPropagation(t *testing.T) {
+	l := NewLink(Config{Name: "l", BandwidthBPS: Mbps(8), PropDelay: 50 * time.Millisecond})
+	done := l.Transfer(t0, 1_000_000)
+	want := t0.Add(time.Second + 50*time.Millisecond)
+	if !done.Equal(want) {
+		t.Fatalf("done = %v, want %v", done, want)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	l := NewLink(Config{Name: "l", BandwidthBPS: Mbps(8)})
+	first := l.Transfer(t0, 1_000_000)  // finishes at t0+1s
+	second := l.Transfer(t0, 1_000_000) // must queue behind the first
+	if !first.Equal(t0.Add(time.Second)) {
+		t.Fatalf("first = %v", first)
+	}
+	if !second.Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("second = %v, want t0+2s (queued)", second)
+	}
+	// A transfer arriving after the queue drains starts immediately.
+	third := l.Transfer(t0.Add(10*time.Second), 1_000_000)
+	if !third.Equal(t0.Add(11 * time.Second)) {
+		t.Fatalf("third = %v", third)
+	}
+}
+
+func TestLossInflatesTransferTime(t *testing.T) {
+	clean := NewLink(Config{Name: "c", BandwidthBPS: Mbps(8)})
+	lossy := NewLink(Config{Name: "l", BandwidthBPS: Mbps(8), LossRate: 0.5})
+	tc := clean.Transfer(t0, 1_000_000)
+	tl := lossy.Transfer(t0, 1_000_000)
+	if !tl.After(tc) {
+		t.Fatal("50% loss did not slow the transfer")
+	}
+	ratio := tl.Sub(t0).Seconds() / tc.Sub(t0).Seconds()
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("loss inflation ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	mk := func() *Link {
+		return NewLink(Config{Name: "j", BandwidthBPS: Mbps(100), Jitter: 10 * time.Millisecond, Seed: 7})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		ta := a.Transfer(at, 100)
+		tb := b.Transfer(at, 100)
+		if !ta.Equal(tb) {
+			t.Fatal("equal seeds produced different jitter")
+		}
+		base := at.Add(a.SerialisationDelay(100))
+		if ta.Before(base) || ta.After(base.Add(10*time.Millisecond)) {
+			t.Fatalf("jitter out of bounds: %v vs base %v", ta, base)
+		}
+	}
+}
+
+func TestTransferMonotonicProperty(t *testing.T) {
+	// Arrival is never before departure plus the minimum possible time;
+	// and consecutive queued transfers never reorder.
+	f := func(sizes []uint16) bool {
+		l := NewLink(Config{Name: "p", BandwidthBPS: Mbps(10), PropDelay: time.Millisecond})
+		prevDone := time.Time{}
+		at := t0
+		for _, s := range sizes {
+			done := l.Transfer(at, int(s))
+			if done.Before(at.Add(l.cfg.PropDelay)) {
+				return false
+			}
+			if !prevDone.IsZero() && done.Before(prevDone) {
+				return false
+			}
+			prevDone = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkCountersAndReset(t *testing.T) {
+	l := NewLink(Config{Name: "c", BandwidthBPS: Mbps(8)})
+	l.Transfer(t0, 500)
+	l.Transfer(t0, 500)
+	n, b, busy := l.Counters()
+	if n != 2 || b != 1000 || busy <= 0 {
+		t.Fatalf("counters = %d %d %v", n, b, busy)
+	}
+	l.Reset()
+	n, b, _ = l.Counters()
+	if n != 0 || b != 0 {
+		t.Fatal("Reset left counters")
+	}
+	// After reset the queue is empty again.
+	if done := l.Transfer(t0, 1000); done.After(t0.Add(time.Second)) {
+		t.Fatal("Reset left queue state")
+	}
+}
+
+func TestPathStoreAndForward(t *testing.T) {
+	a := NewLink(Config{Name: "a", BandwidthBPS: Mbps(8)})
+	b := NewLink(Config{Name: "b", BandwidthBPS: Mbps(4)})
+	p := Path{a, b}
+	done := p.Transfer(t0, 1_000_000)
+	// 1s on a, then 2s on b.
+	if !done.Equal(t0.Add(3 * time.Second)) {
+		t.Fatalf("path arrival = %v, want t0+3s", done)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "x", BandwidthBPS: 0},
+		{Name: "x", BandwidthBPS: 1, PropDelay: -time.Second},
+		{Name: "x", BandwidthBPS: 1, LossRate: 1},
+		{Name: "x", BandwidthBPS: 1, LossRate: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFig2aConditions(t *testing.T) {
+	conds := Fig2aConditions()
+	if len(conds) != 5 {
+		t.Fatalf("%d conditions, want 5", len(conds))
+	}
+	for _, c := range conds {
+		if c.EdgeCloud*10 != c.MobileEdge {
+			t.Fatalf("condition %s: edge-cloud not a tenth of mobile-edge", c.Name)
+		}
+	}
+	if conds[0].String() != "BM->E=90 BE->C=9" {
+		t.Fatalf("label = %q", conds[0].String())
+	}
+}
+
+func TestTopology(t *testing.T) {
+	topo := NewTopology(Fig2aConditions()[2], 1) // 200/20
+	up := topo.MobileEdge.Up.Transfer(t0, 2_000_000)
+	// 2MB at 200Mbps = 80ms (+1ms prop).
+	want := t0.Add(80*time.Millisecond + time.Millisecond)
+	if !up.Equal(want) {
+		t.Fatalf("mobile->edge = %v, want %v", up, want)
+	}
+	topo.Reset()
+	if n, _, _ := topo.MobileEdge.Up.Counters(); n != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestParseTC(t *testing.T) {
+	cfg, err := ParseTC("rate 90mbit delay 5ms jitter 1ms loss 0.5% seed 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BandwidthBPS != 90_000_000 || cfg.PropDelay != 5*time.Millisecond ||
+		cfg.Jitter != time.Millisecond || cfg.LossRate != 0.005 || cfg.Seed != 9 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if _, err := ParseTC("rate 1gbit"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"", "rate", "rate 90", "speed 90mbit", "rate 90mbit loss 100%",
+		"rate -5mbit", "delay 5ms", // missing rate
+	} {
+		if _, err := ParseTC(bad); err == nil {
+			t.Errorf("ParseTC(%q) accepted", bad)
+		}
+	}
+}
+
+func TestShaperPacesWrites(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	shaped := NewShaper(c1, 800_000, 0) // 100 KB/s
+	payload := bytes.Repeat([]byte("x"), 30_000)
+
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, len(payload))
+		total := 0
+		for total < len(buf) {
+			n, err := c2.Read(buf[total:])
+			total += n
+			if err != nil {
+				break
+			}
+		}
+		done <- buf[:total]
+	}()
+
+	start := time.Now()
+	if _, err := shaped.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	elapsed := time.Since(start)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted by shaper")
+	}
+	// 30KB at 100KB/s with a 64KB initial bucket: the bucket covers the
+	// whole payload... so use expectation from token math: initial 64KB
+	// tokens > 30KB means no wait. Assert only sanity here.
+	if elapsed > 2*time.Second {
+		t.Fatalf("write took %v", elapsed)
+	}
+}
+
+func TestShaperRateRoughlyHonoured(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	shaped := NewShaper(c1, 1_600_000, 0) // 200 KB/s
+	payload := bytes.Repeat([]byte("y"), 200_000)
+
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c2.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := shaped.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// 200KB minus the 64KB initial bucket = ~136KB at 200KB/s ≈ 0.68s.
+	if elapsed < 400*time.Millisecond {
+		t.Fatalf("200KB at 200KB/s finished in %v — not shaped", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("shaping too slow: %v", elapsed)
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if Mbps(90) != 90_000_000 {
+		t.Fatalf("Mbps(90) = %d", Mbps(90))
+	}
+}

@@ -1,0 +1,43 @@
+package pano
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkSynthesize measures cloud-side panorama rendering.
+func BenchmarkSynthesize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Synthesize("bench", i, 512)
+	}
+}
+
+// BenchmarkCrop measures the client-side viewport extraction.
+func BenchmarkCrop(b *testing.B) {
+	p := Synthesize("bench", 0, 1024)
+	vp := Viewport{Yaw: 0.7, Pitch: 0.1, FOV: math.Pi / 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Crop(vp, 256, 256)
+	}
+}
+
+// BenchmarkRLE measures the frame codec both ways.
+func BenchmarkRLE(b *testing.B) {
+	p := Synthesize("bench", 0, 512)
+	enc := EncodeRLE(p.Frame)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(p.Frame.Pix)))
+		for i := 0; i < b.N; i++ {
+			EncodeRLE(p.Frame)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeRLE(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

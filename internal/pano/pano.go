@@ -1,0 +1,238 @@
+// Package pano implements the VR-streaming substrate: equirectangular
+// panoramic frames rendered in the cloud, cached on the edge by content
+// hash, and cropped to each user's viewport on the device. This mirrors
+// the paper's third workload: "current cloud-based VR applications
+// leverage panoramic frames to create immersive experience ... multiple
+// users playing the same VR applications or watching the same VR video
+// might use the same panorama."
+package pano
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"image/color"
+	"math"
+
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// Panorama is a 2:1 equirectangular RGBA frame: x spans yaw (−π..π) and y
+// spans pitch (−π/2..π/2).
+type Panorama struct {
+	Frame *vision.Frame
+	// VideoID and FrameIndex identify the source frame (cache metadata).
+	VideoID    string
+	FrameIndex int
+}
+
+// Synthesize renders a deterministic panoramic frame for (videoID,
+// frameIdx): a sky gradient with a sun, a checkered ground plane, and a
+// ring of pillars that rotate slowly with the frame index, so consecutive
+// frames differ but the same (video, frame) pair is always identical —
+// the property hash-keyed caching relies on.
+func Synthesize(videoID string, frameIdx, width int) *Panorama {
+	if width < 8 {
+		panic(fmt.Sprintf("pano: width %d too small", width))
+	}
+	w, h := width, width/2
+	f := vision.NewFrame(w, h)
+	rng := xrand.New(hashString(videoID) ^ uint64(frameIdx)*0x9E3779B97F4A7C15)
+
+	// Per-video palette and pillar layout.
+	skyTopR, skyTopG, skyTopB := 40+rng.Intn(60), 90+rng.Intn(80), 170+rng.Intn(80)
+	groundA := color.RGBA{R: uint8(60 + rng.Intn(60)), G: uint8(80 + rng.Intn(60)), B: uint8(40 + rng.Intn(40)), A: 255}
+	groundB := color.RGBA{R: groundA.R / 2, G: groundA.G / 2, B: groundA.B / 2, A: 255}
+	sunYaw := rng.Range(-math.Pi, math.Pi)
+	pillarCount := 6 + rng.Intn(6)
+	pillarPhase := float64(frameIdx) * 0.02 // slow rotation over time
+
+	for y := 0; y < h; y++ {
+		pitch := (float64(y)/float64(h-1) - 0.5) * math.Pi // -π/2 (up) .. π/2 (down)
+		for x := 0; x < w; x++ {
+			yaw := (float64(x)/float64(w) - 0.5) * 2 * math.Pi
+			var c color.RGBA
+			if pitch < 0.08 { // sky
+				t := (pitch + math.Pi/2) / (math.Pi/2 + 0.08) // 0 at zenith
+				c = color.RGBA{
+					R: uint8(float64(skyTopR) + t*120),
+					G: uint8(float64(skyTopG) + t*90),
+					B: uint8(math.Min(float64(skyTopB)+t*60, 255)),
+					A: 255,
+				}
+				// Sun disc.
+				dy := pitch + 0.5
+				dx := angleDiff(yaw, sunYaw)
+				if dx*dx+dy*dy*4 < 0.02 {
+					c = color.RGBA{R: 255, G: 240, B: 190, A: 255}
+				}
+			} else { // ground: checker in world coordinates
+				dist := 1.0 / math.Tan(pitch) // distance to ground cell
+				gx := dist * math.Cos(yaw)
+				gz := dist * math.Sin(yaw)
+				if (int(math.Floor(gx))+int(math.Floor(gz)))%2 == 0 {
+					c = groundA
+				} else {
+					c = groundB
+				}
+			}
+			// Pillars: vertical bars at fixed yaws, fading with height.
+			for p := 0; p < pillarCount; p++ {
+				py := -math.Pi + (2*math.Pi*float64(p))/float64(pillarCount) + pillarPhase
+				if math.Abs(angleDiff(yaw, py)) < 0.04 && pitch > -0.35 && pitch < 0.3 {
+					shade := uint8(140 + 40*math.Sin(float64(p)*1.7))
+					c = color.RGBA{R: shade, G: shade / 2, B: uint8(40 + p*10), A: 255}
+				}
+			}
+			f.Set(x, y, c)
+		}
+	}
+	return &Panorama{Frame: f, VideoID: videoID, FrameIndex: frameIdx}
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// angleDiff returns the wrapped difference a-b in (−π, π].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b+3*math.Pi, 2*math.Pi) - math.Pi
+	return d
+}
+
+// Viewport describes where a user is looking.
+type Viewport struct {
+	Yaw   float64 // radians, 0 = panorama centre
+	Pitch float64 // radians, positive looks up toward the zenith
+	FOV   float64 // horizontal field of view, radians
+}
+
+// Crop extracts a w×h perspective view from the panorama in direction vp:
+// the client-side step of panoramic VR ("the client crops the panorama to
+// generate the final frame for display"). Inverse mapping: for every
+// output pixel, compute the world ray and sample the equirect source.
+func (p *Panorama) Crop(vp Viewport, w, h int) *vision.Frame {
+	out := vision.NewFrame(w, h)
+	src := p.Frame
+	fovV := vp.FOV * float64(h) / float64(w)
+	halfW := math.Tan(vp.FOV / 2)
+	halfH := math.Tan(fovV / 2)
+	cosP, sinP := math.Cos(vp.Pitch), math.Sin(vp.Pitch)
+
+	for y := 0; y < h; y++ {
+		ndcY := (2*float64(y)/float64(h-1|1) - 1) * halfH
+		for x := 0; x < w; x++ {
+			ndcX := (2*float64(x)/float64(w-1|1) - 1) * halfW
+			// Ray in camera space (z forward).
+			rx, ry, rz := ndcX, ndcY, 1.0
+			// Pitch rotation about the x axis.
+			ry2 := ry*cosP - rz*sinP
+			rz2 := ry*sinP + rz*cosP
+			// Yaw rotation folds into the sample longitude directly.
+			yaw := math.Atan2(rx, rz2) + vp.Yaw
+			norm := math.Sqrt(rx*rx + ry2*ry2 + rz2*rz2)
+			pitch := math.Asin(ry2 / norm)
+			sx := int((yaw/(2*math.Pi) + 0.5) * float64(src.W))
+			sy := int((pitch/math.Pi + 0.5) * float64(src.H))
+			sx = ((sx % src.W) + src.W) % src.W
+			if sy < 0 {
+				sy = 0
+			}
+			if sy >= src.H {
+				sy = src.H - 1
+			}
+			out.Set(x, y, src.At(sx, sy))
+		}
+	}
+	return out
+}
+
+// --- RLE frame codec -------------------------------------------------
+
+// Panoramas are big and flat-ish; a per-channel run-length encoding keeps
+// transfer sizes honest (the cloud would never ship raw RGBA) while
+// remaining pure stdlib and deterministic.
+//
+//	magic "PRLE" | w u32 | h u32 | 4 channel blocks: blockLen u32, runs...
+//	run = count u8 (1..255), value u8
+
+// ErrBadRLE is wrapped by decode failures.
+var ErrBadRLE = errors.New("pano: malformed RLE frame")
+
+const rleMagic = "PRLE"
+
+// EncodeRLE compresses a frame.
+func EncodeRLE(f *vision.Frame) []byte {
+	out := make([]byte, 0, len(f.Pix)/4)
+	out = append(out, rleMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.W))
+	out = binary.LittleEndian.AppendUint32(out, uint32(f.H))
+	n := f.W * f.H
+	for ch := 0; ch < 4; ch++ {
+		block := make([]byte, 0, n/8)
+		i := 0
+		for i < n {
+			v := f.Pix[i*4+ch]
+			run := 1
+			for i+run < n && run < 255 && f.Pix[(i+run)*4+ch] == v {
+				run++
+			}
+			block = append(block, byte(run), v)
+			i += run
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(block)))
+		out = append(out, block...)
+	}
+	return out
+}
+
+// DecodeRLE decompresses a frame encoded by EncodeRLE.
+func DecodeRLE(data []byte) (*vision.Frame, error) {
+	if len(data) < 12 || string(data[:4]) != rleMagic {
+		return nil, fmt.Errorf("%w: header", ErrBadRLE)
+	}
+	w := int(binary.LittleEndian.Uint32(data[4:]))
+	h := int(binary.LittleEndian.Uint32(data[8:]))
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("%w: dimensions %dx%d", ErrBadRLE, w, h)
+	}
+	f := vision.NewFrame(w, h)
+	n := w * h
+	off := 12
+	for ch := 0; ch < 4; ch++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated channel %d header", ErrBadRLE, ch)
+		}
+		blockLen := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+blockLen > len(data) || blockLen%2 != 0 {
+			return nil, fmt.Errorf("%w: channel %d block", ErrBadRLE, ch)
+		}
+		i := 0
+		for b := 0; b < blockLen; b += 2 {
+			run := int(data[off+b])
+			v := data[off+b+1]
+			if run == 0 || i+run > n {
+				return nil, fmt.Errorf("%w: channel %d overrun", ErrBadRLE, ch)
+			}
+			for k := 0; k < run; k++ {
+				f.Pix[(i+k)*4+ch] = v
+			}
+			i += run
+		}
+		if i != n {
+			return nil, fmt.Errorf("%w: channel %d short (%d of %d)", ErrBadRLE, ch, i, n)
+		}
+		off += blockLen
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadRLE, len(data)-off)
+	}
+	return f, nil
+}

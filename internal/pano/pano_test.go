@@ -1,0 +1,146 @@
+package pano
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize("video-1", 5, 128)
+	b := Synthesize("video-1", 5, 128)
+	if !bytes.Equal(a.Frame.Pix, b.Frame.Pix) {
+		t.Fatal("same (video, frame) produced different panoramas")
+	}
+}
+
+func TestSynthesizeVariesByVideoAndFrame(t *testing.T) {
+	base := Synthesize("video-1", 5, 128)
+	otherVideo := Synthesize("video-2", 5, 128)
+	otherFrame := Synthesize("video-1", 6, 128)
+	if bytes.Equal(base.Frame.Pix, otherVideo.Frame.Pix) {
+		t.Fatal("different videos identical")
+	}
+	if bytes.Equal(base.Frame.Pix, otherFrame.Frame.Pix) {
+		t.Fatal("different frames identical")
+	}
+}
+
+func TestSynthesizeGeometry(t *testing.T) {
+	p := Synthesize("v", 0, 256)
+	if p.Frame.W != 256 || p.Frame.H != 128 {
+		t.Fatalf("panorama %dx%d, want 256x128 (2:1)", p.Frame.W, p.Frame.H)
+	}
+}
+
+func TestCropDimensionsAndDeterminism(t *testing.T) {
+	p := Synthesize("v", 3, 256)
+	vp := Viewport{Yaw: 0.5, Pitch: 0.1, FOV: math.Pi / 2}
+	a := p.Crop(vp, 64, 48)
+	b := p.Crop(vp, 64, 48)
+	if a.W != 64 || a.H != 48 {
+		t.Fatalf("crop %dx%d", a.W, a.H)
+	}
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("crop not deterministic")
+	}
+}
+
+func TestCropDifferentViewportsDiffer(t *testing.T) {
+	p := Synthesize("v", 3, 256)
+	a := p.Crop(Viewport{Yaw: 0, FOV: math.Pi / 2}, 64, 48)
+	b := p.Crop(Viewport{Yaw: math.Pi, FOV: math.Pi / 2}, 64, 48)
+	if bytes.Equal(a.Pix, b.Pix) {
+		t.Fatal("opposite viewports produced identical crops")
+	}
+}
+
+func TestCropLooksUpAtSky(t *testing.T) {
+	// Looking straight up must sample sky rows (top of the equirect).
+	p := Synthesize("v", 0, 256)
+	up := p.Crop(Viewport{Pitch: math.Pi / 2.5, FOV: math.Pi / 3}, 32, 32)
+	// Sky pixels are blue-dominant in the synthesiser's palette.
+	blueWins := 0
+	for y := 0; y < up.H; y++ {
+		for x := 0; x < up.W; x++ {
+			c := up.At(x, y)
+			if c.B > c.R {
+				blueWins++
+			}
+		}
+	}
+	if blueWins < up.W*up.H/2 {
+		t.Fatalf("only %d/%d sky-ish pixels when looking up", blueWins, up.W*up.H)
+	}
+}
+
+func TestAngleDiffWraps(t *testing.T) {
+	if d := angleDiff(math.Pi-0.1, -math.Pi+0.1); math.Abs(d+0.2) > 1e-9 {
+		t.Fatalf("wrap diff = %v, want -0.2", d)
+	}
+	if d := angleDiff(0.3, 0.1); math.Abs(d-0.2) > 1e-9 {
+		t.Fatalf("plain diff = %v", d)
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	p := Synthesize("rt", 2, 128)
+	enc := EncodeRLE(p.Frame)
+	dec, err := DecodeRLE(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Pix, p.Frame.Pix) {
+		t.Fatal("RLE round trip lost data")
+	}
+}
+
+func TestRLECompressesPanoramas(t *testing.T) {
+	p := Synthesize("c", 0, 256)
+	enc := EncodeRLE(p.Frame)
+	if len(enc) >= len(p.Frame.Pix) {
+		t.Fatalf("RLE did not compress: %d >= %d", len(enc), len(p.Frame.Pix))
+	}
+}
+
+func TestRLERoundTripRandomFrames(t *testing.T) {
+	// Property: decode(encode(f)) == f even for incompressible noise.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		fr := vision.NewFrame(17, 9) // odd sizes shake out stride bugs
+		for i := range fr.Pix {
+			fr.Pix[i] = uint8(rng.Intn(256))
+		}
+		dec, err := DecodeRLE(EncodeRLE(fr))
+		return err == nil && bytes.Equal(dec.Pix, fr.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLERejectsCorruption(t *testing.T) {
+	p := Synthesize("x", 0, 64)
+	enc := EncodeRLE(p.Frame)
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), enc[4:]...),
+		"truncated": enc[:len(enc)/2],
+		"trailing":  append(append([]byte(nil), enc...), 0xAA),
+	}
+	for name, data := range cases {
+		if _, err := DecodeRLE(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Zero-run corruption.
+	bad := append([]byte(nil), enc...)
+	bad[16] = 0 // first run length inside channel 0 block
+	if _, err := DecodeRLE(bad); err == nil {
+		t.Error("zero run accepted")
+	}
+}

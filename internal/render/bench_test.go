@@ -1,0 +1,18 @@
+package render
+
+import (
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/mesh"
+)
+
+// BenchmarkDraw measures rasterising a mid-size model into a 320x320
+// framebuffer — the client's "draw objects on the display" step.
+func BenchmarkDraw(b *testing.B) {
+	m := mesh.Generate(mesh.Spec{Name: "bench", Segments: 20, TextureSize: 32, TextureCount: 1, Seed: 1})
+	r := New(320, 320)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Draw(m, Identity(), DefaultCamera())
+	}
+}

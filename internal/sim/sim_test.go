@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2018, 8, 20, 0, 0, 0, 0, time.UTC)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New(epoch)
+	var order []int
+	e.Schedule(epoch.Add(3*time.Second), func() { order = append(order, 3) })
+	e.Schedule(epoch.Add(1*time.Second), func() { order = append(order, 1) })
+	e.Schedule(epoch.Add(2*time.Second), func() { order = append(order, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run fired %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	e := New(epoch)
+	at := epoch.Add(time.Second)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(at, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockTracksEventTime(t *testing.T) {
+	e := New(epoch)
+	var seen time.Time
+	e.Schedule(epoch.Add(42*time.Millisecond), func() { seen = e.Now() })
+	e.Run()
+	if want := epoch.Add(42 * time.Millisecond); !seen.Equal(want) {
+		t.Fatalf("event observed Now()=%v, want %v", seen, want)
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	e := New(epoch)
+	var hops int
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 5 {
+			e.ScheduleAfter(time.Second, hop)
+		}
+	}
+	e.ScheduleAfter(0, hop)
+	e.Run()
+	if hops != 5 {
+		t.Fatalf("hops = %d, want 5", hops)
+	}
+	if want := epoch.Add(4 * time.Second); !e.Now().Equal(want) {
+		t.Fatalf("final time = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New(epoch)
+	var fired []int
+	e.Schedule(epoch.Add(1*time.Second), func() { fired = append(fired, 1) })
+	e.Schedule(epoch.Add(10*time.Second), func() { fired = append(fired, 2) })
+	e.RunUntil(epoch.Add(5 * time.Second))
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("resume did not fire remaining event: %v", fired)
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	e := New(epoch)
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(epoch.Add(time.Duration(i)*time.Second), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop ignored)", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New(epoch)
+	e.Schedule(epoch.Add(time.Second), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(epoch, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	New(epoch).Schedule(epoch, nil)
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	// Two runs with identical schedules must produce identical traces.
+	run := func() []int {
+		e := New(epoch)
+		var trace []int
+		for i := 0; i < 100; i++ {
+			i := i
+			// Deliberately colliding timestamps.
+			e.Schedule(epoch.Add(time.Duration(i%7)*time.Millisecond), func() {
+				trace = append(trace, i)
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFiredAccumulates(t *testing.T) {
+	e := New(epoch)
+	for i := 0; i < 4; i++ {
+		e.ScheduleAfter(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.RunUntil(epoch.Add(1 * time.Millisecond))
+	e.Run()
+	if e.Fired() != 4 {
+		t.Fatalf("Fired = %d, want 4", e.Fired())
+	}
+}

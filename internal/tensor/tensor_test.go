@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 || tt.Rank() != 3 || tt.Dim(1) != 3 {
+		t.Fatalf("bad geometry: len=%d rank=%d", tt.Len(), tt.Rank())
+	}
+	for _, v := range tt.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4, 5)
+	tt.Set(7.5, 2, 1, 3)
+	if got := tt.At(2, 1, 3); got != 7.5 {
+		t.Fatalf("At = %v", got)
+	}
+	// Row-major layout: offset = (2*4+1)*5+3 = 48.
+	if tt.Data[48] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	tt := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", idx)
+				}
+			}()
+			tt.At(idx...)
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(4)
+	a.Fill(1)
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6)
+	b := a.Reshape(3, 4)
+	b.Data[5] = 3
+	if a.Data[5] != 3 {
+		t.Fatal("Reshape must alias data")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad reshape did not panic")
+			}
+		}()
+		a.Reshape(5, 5)
+	}()
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice mismatch did not panic")
+		}
+	}()
+	FromSlice(make([]float32, 5), 2, 3)
+}
+
+func TestArgmax(t *testing.T) {
+	tt := FromSlice([]float32{1, 5, 3, 5}, 4)
+	i, v := tt.Argmax()
+	if i != 1 || v != 5 {
+		t.Fatalf("Argmax = (%d, %v), want (1, 5) — first max wins ties", i, v)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	b := FromSlice([]float32{1, 2}, 2)
+	if got := Dot(a, b); got != 11 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := a.L2Norm(); got != 5 {
+		t.Fatalf("L2Norm = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := FromSlice([]float32{3, 4}, 2)
+	a.Normalize()
+	if math.Abs(float64(a.L2Norm())-1) > 1e-6 {
+		t.Fatalf("norm after Normalize = %v", a.L2Norm())
+	}
+	z := New(3)
+	z.Normalize() // must not NaN
+	for _, v := range z.Data {
+		if v != 0 {
+			t.Fatal("zero tensor mutated by Normalize")
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	w := FromSlice([]float32{
+		1, 2,
+		3, 4,
+		5, 6,
+	}, 3, 2)
+	x := FromSlice([]float32{1, 1}, 2)
+	y := MatVec(w, x)
+	want := []float32{3, 7, 11}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("MatVec = %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestMatVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatVec mismatch did not panic")
+		}
+	}()
+	MatVec(New(3, 2), New(3))
+}
+
+func TestAddInPlaceAndScale(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	a.AddInPlace(b)
+	a.Scale(2)
+	if a.Data[0] != 22 || a.Data[1] != 44 {
+		t.Fatalf("got %v", a.Data)
+	}
+}
+
+func TestRandNormalDeterministic(t *testing.T) {
+	a, b := New(100), New(100)
+	a.RandNormal(xrand.New(5), 0.1)
+	b.RandNormal(xrand.New(5), 0.1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RandNormal not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Clamp crazy values so the float comparison stays meaningful.
+		vals := make([]float32, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 1
+			}
+			if v > 1e3 {
+				v = 1e3
+			}
+			if v < -1e3 {
+				v = -1e3
+			}
+			vals[i] = v
+		}
+		a := FromSlice(vals, len(vals))
+		b := a.Clone()
+		return Dot(a, b) == Dot(b, a) && Dot(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualShape(t *testing.T) {
+	if !EqualShape(New(2, 3), New(2, 3)) {
+		t.Fatal("equal shapes reported unequal")
+	}
+	if EqualShape(New(2, 3), New(3, 2)) || EqualShape(New(6), New(2, 3)) {
+		t.Fatal("unequal shapes reported equal")
+	}
+}

@@ -1,0 +1,150 @@
+// Package track is the on-device object tracker. The paper is explicit
+// that tracking results are NOT cached: "tracking is less computation-
+// intensive as compared to recognition. Thus tracking is doable to be
+// efficiently and accurately executed on mobile devices." CoIC clients
+// therefore recognise through the edge once, then track locally between
+// recognitions; this package supplies that local step with a normalised
+// cross-correlation (NCC) template matcher over luma planes.
+package track
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edge-immersion/coic/internal/vision"
+)
+
+// Box is an axis-aligned region in pixel coordinates.
+type Box struct {
+	X, Y, W, H int
+}
+
+// Center returns the box centre.
+func (b Box) Center() (int, int) { return b.X + b.W/2, b.Y + b.H/2 }
+
+// Tracker follows a template across frames using NCC within a bounded
+// search window (classic short-term tracker; the window keeps per-frame
+// cost proportional to motion, not frame size).
+type Tracker struct {
+	template []float64 // zero-mean template luma
+	tplNorm  float64
+	w, h     int
+	box      Box
+	// SearchRadius bounds per-frame motion in pixels.
+	SearchRadius int
+	// MinScore is the NCC score below which tracking reports lost.
+	MinScore float64
+}
+
+// New initialises a tracker from the target's bounding box in the first
+// frame. It returns an error when the box does not fit inside the frame.
+func New(first *vision.Frame, target Box, searchRadius int) (*Tracker, error) {
+	if target.W <= 0 || target.H <= 0 ||
+		target.X < 0 || target.Y < 0 ||
+		target.X+target.W > first.W || target.Y+target.H > first.H {
+		return nil, fmt.Errorf("track: box %+v does not fit %dx%d frame", target, first.W, first.H)
+	}
+	if searchRadius <= 0 {
+		searchRadius = 16
+	}
+	t := &Tracker{
+		w: target.W, h: target.H,
+		box:          target,
+		SearchRadius: searchRadius,
+		MinScore:     0.35,
+	}
+	t.setTemplate(first, target)
+	return t, nil
+}
+
+func (t *Tracker) setTemplate(f *vision.Frame, b Box) {
+	luma := f.Gray()
+	tpl := make([]float64, b.W*b.H)
+	var mean float64
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			v := float64(luma[(b.Y+y)*f.W+(b.X+x)])
+			tpl[y*b.W+x] = v
+			mean += v
+		}
+	}
+	mean /= float64(len(tpl))
+	var norm float64
+	for i := range tpl {
+		tpl[i] -= mean
+		norm += tpl[i] * tpl[i]
+	}
+	t.template = tpl
+	t.tplNorm = math.Sqrt(norm)
+}
+
+// Box returns the current estimate of the target location.
+func (t *Tracker) Box() Box { return t.box }
+
+// Track locates the template in the next frame. It returns the new box,
+// the NCC score in [-1, 1], and whether the target is still considered
+// tracked (score ≥ MinScore). On success the box estimate advances; on
+// loss it stays where it was, which is when an AR app would issue a fresh
+// recognition through CoIC.
+func (t *Tracker) Track(frame *vision.Frame) (Box, float64, bool) {
+	luma := frame.Gray()
+	bestScore := math.Inf(-1)
+	best := t.box
+
+	x0 := clampInt(t.box.X-t.SearchRadius, 0, frame.W-t.w)
+	x1 := clampInt(t.box.X+t.SearchRadius, 0, frame.W-t.w)
+	y0 := clampInt(t.box.Y-t.SearchRadius, 0, frame.H-t.h)
+	y1 := clampInt(t.box.Y+t.SearchRadius, 0, frame.H-t.h)
+
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			score := t.ncc(luma, frame.W, cx, cy)
+			if score > bestScore {
+				bestScore = score
+				best = Box{X: cx, Y: cy, W: t.w, H: t.h}
+			}
+		}
+	}
+	ok := bestScore >= t.MinScore
+	if ok {
+		t.box = best
+	}
+	return t.box, bestScore, ok
+}
+
+// ncc computes normalised cross-correlation between the template and the
+// window at (cx, cy).
+func (t *Tracker) ncc(luma []uint8, stride, cx, cy int) float64 {
+	n := t.w * t.h
+	var mean float64
+	for y := 0; y < t.h; y++ {
+		row := (cy+y)*stride + cx
+		for x := 0; x < t.w; x++ {
+			mean += float64(luma[row+x])
+		}
+	}
+	mean /= float64(n)
+	var dot, norm float64
+	for y := 0; y < t.h; y++ {
+		row := (cy+y)*stride + cx
+		for x := 0; x < t.w; x++ {
+			d := float64(luma[row+x]) - mean
+			dot += d * t.template[y*t.w+x]
+			norm += d * d
+		}
+	}
+	if norm == 0 || t.tplNorm == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(norm) * t.tplNorm)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

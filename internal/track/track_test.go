@@ -1,0 +1,106 @@
+package track
+
+import (
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/vision"
+)
+
+// movingScene renders a frame with the object at (x, y).
+func movingScene(x, y int) *vision.Frame {
+	f := vision.RenderObject(vision.ClassStopSign, vision.View{
+		Scale: 0.6, Brightness: 1,
+		OffsetX: float64(x)/128 - 0.5,
+		OffsetY: float64(y)/128 - 0.5,
+	}, 128, 128)
+	return f
+}
+
+func TestTrackerFollowsTranslation(t *testing.T) {
+	first := movingScene(64, 64)
+	// The object occupies the frame centre; box around it.
+	box := Box{X: 44, Y: 44, W: 40, H: 40}
+	tr, err := New(first, box, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the object right by 10 px per frame; the tracker must follow.
+	for step := 1; step <= 3; step++ {
+		frame := movingScene(64+10*step, 64)
+		got, score, ok := tr.Track(frame)
+		if !ok {
+			t.Fatalf("step %d: lost track (score %v)", step, score)
+		}
+		wantX := box.X + 10*step
+		if abs(got.X-wantX) > 4 {
+			t.Fatalf("step %d: box.X = %d, want ≈%d", step, got.X, wantX)
+		}
+	}
+}
+
+func TestTrackerStationary(t *testing.T) {
+	f := movingScene(64, 64)
+	tr, err := New(f, Box{X: 44, Y: 44, W: 40, H: 40}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, score, ok := tr.Track(f.Clone())
+	if !ok || score < 0.99 {
+		t.Fatalf("self-match score = %v", score)
+	}
+	if got.X != 44 || got.Y != 44 {
+		t.Fatalf("drifted to %+v on identical frame", got)
+	}
+}
+
+func TestTrackerReportsLoss(t *testing.T) {
+	f := movingScene(64, 64)
+	tr, err := New(f, Box{X: 44, Y: 44, W: 40, H: 40}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A completely different scene (different class, far offset).
+	other := vision.RenderObject(vision.ClassTree, vision.View{Scale: 1, Brightness: 1}, 128, 128)
+	_, score, ok := tr.Track(other)
+	if ok && score > 0.9 {
+		t.Fatalf("tracker claimed confident match on unrelated scene (score %v)", score)
+	}
+}
+
+func TestTrackerRejectsBadBox(t *testing.T) {
+	f := movingScene(64, 64)
+	cases := []Box{
+		{X: -1, Y: 0, W: 10, H: 10},
+		{X: 0, Y: 0, W: 0, H: 10},
+		{X: 120, Y: 120, W: 20, H: 20},
+	}
+	for _, b := range cases {
+		if _, err := New(f, b, 8); err == nil {
+			t.Errorf("box %+v accepted", b)
+		}
+	}
+}
+
+func TestBoxCenter(t *testing.T) {
+	cx, cy := (Box{X: 10, Y: 20, W: 8, H: 6}).Center()
+	if cx != 14 || cy != 23 {
+		t.Fatalf("center = (%d,%d)", cx, cy)
+	}
+}
+
+func TestTrackerSearchWindowClamped(t *testing.T) {
+	// Box near the frame edge: tracking must not index out of bounds.
+	f := movingScene(20, 20)
+	tr, err := New(f, Box{X: 0, Y: 0, W: 30, H: 30}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Track(movingScene(25, 25)) // must not panic
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

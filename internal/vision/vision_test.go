@@ -1,0 +1,215 @@
+package vision
+
+import (
+	"image/color"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+func TestFrameGeometry(t *testing.T) {
+	f := NewFrame(8, 4)
+	if f.SizeBytes() != 8*4*4 {
+		t.Fatalf("SizeBytes = %d", f.SizeBytes())
+	}
+	c := f.At(0, 0)
+	if c.A != 0xFF || c.R != 0 {
+		t.Fatalf("fresh frame not opaque black: %+v", c)
+	}
+}
+
+func TestFrameSetAtRoundTrip(t *testing.T) {
+	f := NewFrame(4, 4)
+	want := color.RGBA{R: 10, G: 20, B: 30, A: 255}
+	f.Set(2, 3, want)
+	if got := f.At(2, 3); got != want {
+		t.Fatalf("At = %+v, want %+v", got, want)
+	}
+}
+
+func TestFrameOutOfBoundsSafe(t *testing.T) {
+	f := NewFrame(2, 2)
+	f.Set(-1, 0, color.RGBA{R: 9})
+	f.Set(0, 5, color.RGBA{R: 9})
+	if got := f.At(-3, 7); got != (color.RGBA{A: 0xFF}) {
+		t.Fatalf("OOB At = %+v", got)
+	}
+}
+
+func TestNewFramePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size frame did not panic")
+		}
+	}()
+	NewFrame(0, 5)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := NewFrame(2, 2)
+	g := f.Clone()
+	g.Set(0, 0, color.RGBA{R: 200, A: 255})
+	if f.At(0, 0).R != 0 {
+		t.Fatal("Clone shares pixels")
+	}
+}
+
+func TestFromBytesValidates(t *testing.T) {
+	f := NewFrame(3, 3)
+	g, err := FromBytes(3, 3, f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 3 || g.H != 3 {
+		t.Fatal("bad reconstruction")
+	}
+	if _, err := FromBytes(3, 3, make([]byte, 5)); err == nil {
+		t.Fatal("bad length accepted")
+	}
+}
+
+func TestResizePreservesSolidColor(t *testing.T) {
+	f := NewFrame(16, 16)
+	f.Fill(color.RGBA{R: 50, G: 100, B: 150, A: 255})
+	r := f.Resize(4, 4)
+	if r.W != 4 || r.H != 4 {
+		t.Fatalf("resize produced %dx%d", r.W, r.H)
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if got := r.At(x, y); got.R != 50 || got.G != 100 || got.B != 150 {
+				t.Fatalf("solid color broken at (%d,%d): %+v", x, y, got)
+			}
+		}
+	}
+}
+
+func TestGrayLuma(t *testing.T) {
+	f := NewFrame(1, 1)
+	f.Set(0, 0, color.RGBA{R: 255, G: 255, B: 255, A: 255})
+	if g := f.Gray(); g[0] != 255 {
+		t.Fatalf("white luma = %d", g[0])
+	}
+	f.Set(0, 0, color.RGBA{A: 255})
+	if g := f.Gray(); g[0] != 0 {
+		t.Fatalf("black luma = %d", g[0])
+	}
+}
+
+func TestRenderObjectDeterministic(t *testing.T) {
+	v := RandomView(xrand.New(1))
+	a := RenderObject(ClassStopSign, v, 64, 64)
+	b := RenderObject(ClassStopSign, v, 64, 64)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("rendering is not deterministic")
+		}
+	}
+}
+
+func TestRenderObjectClassesDiffer(t *testing.T) {
+	v := CanonicalView()
+	for a := Class(0); a < NumClasses; a++ {
+		for b := a + 1; b < NumClasses; b++ {
+			fa := RenderObject(a, v, 32, 32)
+			fb := RenderObject(b, v, 32, 32)
+			diff := 0
+			for i := range fa.Pix {
+				if fa.Pix[i] != fb.Pix[i] {
+					diff++
+				}
+			}
+			if diff < 32 {
+				t.Fatalf("classes %v and %v render nearly identically (%d bytes differ)", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestRenderObjectViewChangesPixelsNotEverything(t *testing.T) {
+	base := RenderObject(ClassCar, CanonicalView(), 64, 64)
+	rot := RenderObject(ClassCar, View{Angle: 0.3, Scale: 1, Brightness: 1}, 64, 64)
+	same, diff := 0, 0
+	for i := range base.Pix {
+		if base.Pix[i] == rot.Pix[i] {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("rotation had no effect")
+	}
+	if same == 0 {
+		t.Fatal("rotation changed every byte — object signature lost")
+	}
+}
+
+func TestBrightnessClamped(t *testing.T) {
+	v := CanonicalView()
+	v.Brightness = 10
+	f := RenderObject(ClassTree, v, 16, 16)
+	for i, p := range f.Pix {
+		if i%4 != 3 && p > 255 {
+			t.Fatal("impossible: uint8 overflow")
+		}
+	}
+	_ = f
+}
+
+func TestNoiseBoundedAndSeeded(t *testing.T) {
+	v := CanonicalView()
+	v.Noise = 10
+	v.Seed = 42
+	a := RenderObject(ClassDog, v, 32, 32)
+	b := RenderObject(ClassDog, v, 32, 32)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	v.Seed = 43
+	c := RenderObject(ClassDog, v, 32, 32)
+	diff := 0
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestToTensorRangeAndShape(t *testing.T) {
+	f := RenderObject(ClassAvatar, CanonicalView(), 64, 64)
+	tt := ToTensor(f, 32)
+	s := tt.Shape()
+	if s[0] != 3 || s[1] != 32 || s[2] != 32 {
+		t.Fatalf("tensor shape = %v", s)
+	}
+	for _, v := range tt.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("tensor value %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassStopSign.String() != "stop-sign" {
+		t.Fatalf("String = %q", ClassStopSign.String())
+	}
+	if Class(99).String() != "unknown" {
+		t.Fatal("unknown class must stringify to unknown")
+	}
+}
+
+func TestRandomViewBounded(t *testing.T) {
+	rng := xrand.New(5)
+	for i := 0; i < 100; i++ {
+		v := RandomView(rng)
+		if v.Scale < 0.85 || v.Scale > 1.15 || v.Brightness < 0.85 || v.Brightness > 1.15 {
+			t.Fatalf("view out of envelope: %+v", v)
+		}
+	}
+}

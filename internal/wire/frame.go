@@ -1,0 +1,162 @@
+// Package wire defines the CoIC protocol: framed, CRC-protected messages
+// between mobile clients, the edge and the cloud. The same encoding runs
+// over real TCP (the cmd/ daemons) and is byte-counted by the analytic
+// network simulation, so experiment transfer sizes are the true encoded
+// sizes, not estimates.
+//
+// Frame layout (little-endian):
+//
+//	magic  u16  0x4943 ("IC")
+//	ver    u8
+//	type   u8
+//	reqID  u64
+//	len    u32  body length
+//	crc    u32  IEEE CRC-32 of the body
+//	body   len bytes
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Protocol constants.
+const (
+	Magic      = uint16(0x4943)
+	Version    = 1
+	HeaderSize = 2 + 1 + 1 + 8 + 4 + 4
+	// MaxBody bounds a frame body; a 15 MB model plus headroom. Frames
+	// beyond it are rejected before allocation so a corrupt length field
+	// cannot OOM the edge.
+	MaxBody = 64 << 20
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types. Values are on the wire; never reorder.
+const (
+	MsgProbe      MsgType = 1  // client->edge: descriptor lookup
+	MsgProbeReply MsgType = 2  // edge->client: hit/miss (+result on hit)
+	MsgExec       MsgType = 3  // client->edge->cloud: execute IC task
+	MsgExecReply  MsgType = 4  // cloud->edge->client: task result
+	MsgModelFetch MsgType = 5  // fetch a 3D model
+	MsgModelReply MsgType = 6  // model bytes
+	MsgPanoFetch  MsgType = 7  // fetch a panoramic frame
+	MsgPanoReply  MsgType = 8  // panorama bytes
+	MsgError      MsgType = 9  // error reply
+	MsgHello      MsgType = 10 // connection preamble (role announcement)
+)
+
+// String names the message type for logs.
+func (t MsgType) String() string {
+	switch t {
+	case MsgProbe:
+		return "probe"
+	case MsgProbeReply:
+		return "probe-reply"
+	case MsgExec:
+		return "exec"
+	case MsgExecReply:
+		return "exec-reply"
+	case MsgModelFetch:
+		return "model-fetch"
+	case MsgModelReply:
+		return "model-reply"
+	case MsgPanoFetch:
+		return "pano-fetch"
+	case MsgPanoReply:
+		return "pano-reply"
+	case MsgError:
+		return "error"
+	case MsgHello:
+		return "hello"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type      MsgType
+	RequestID uint64
+	Body      []byte
+}
+
+// WireSize reports the frame's on-the-wire size; the analytic network
+// simulation charges exactly this many bytes.
+func (m Message) WireSize() int { return HeaderSize + len(m.Body) }
+
+// Framing errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrTooBig     = errors.New("wire: frame exceeds MaxBody")
+	ErrBadCRC     = errors.New("wire: body CRC mismatch")
+)
+
+// Encode renders the full frame into a fresh buffer.
+func (m Message) Encode() ([]byte, error) {
+	if len(m.Body) > MaxBody {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooBig, len(m.Body))
+	}
+	buf := make([]byte, HeaderSize+len(m.Body))
+	binary.LittleEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = byte(m.Type)
+	binary.LittleEndian.PutUint64(buf[4:], m.RequestID)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(m.Body)))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(m.Body))
+	copy(buf[HeaderSize:], m.Body)
+	return buf, nil
+}
+
+// WriteMessage frames and writes m with a single Write call, so
+// per-message shaping (netsim.Shaper) observes message granularity.
+func WriteMessage(w io.Writer, m Message) error {
+	buf, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMessage reads and verifies one frame. Body allocation is bounded by
+// MaxBody. io.EOF is returned unwrapped when the stream ends cleanly
+// between frames.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Message{}, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Message{}, fmt.Errorf("wire: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != Magic {
+		return Message{}, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	m := Message{
+		Type:      MsgType(hdr[3]),
+		RequestID: binary.LittleEndian.Uint64(hdr[4:]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[12:])
+	if n > MaxBody {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrTooBig, n)
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[16:])
+	m.Body = make([]byte, n)
+	if _, err := io.ReadFull(r, m.Body); err != nil {
+		return Message{}, fmt.Errorf("wire: short body: %w", err)
+	}
+	if crc32.ChecksumIEEE(m.Body) != wantCRC {
+		return Message{}, ErrBadCRC
+	}
+	return m, nil
+}

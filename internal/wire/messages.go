@@ -1,0 +1,398 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// Task identifies which IC workload a request belongs to.
+type Task uint8
+
+// IC task kinds (wire values).
+const (
+	TaskRecognize Task = 1
+	TaskRender    Task = 2
+	TaskPano      Task = 3
+)
+
+// String names the task.
+func (t Task) String() string {
+	switch t {
+	case TaskRecognize:
+		return "recognize"
+	case TaskRender:
+		return "render"
+	case TaskPano:
+		return "pano"
+	default:
+		return fmt.Sprintf("task(%d)", uint8(t))
+	}
+}
+
+// Model formats for MsgModelFetch/MsgModelReply.
+const (
+	FormatOBJX uint8 = 1 // text source format (cloud repository)
+	FormatCMF  uint8 = 2 // binary runtime format (edge cache)
+)
+
+// Cache outcomes carried in ProbeReply.
+const (
+	ProbeMiss    uint8 = 0
+	ProbeExact   uint8 = 1
+	ProbeSimilar uint8 = 2
+)
+
+// ErrBadMessage is wrapped by all body decode failures.
+var ErrBadMessage = errors.New("wire: malformed message body")
+
+// ProbeRequest asks the edge whether a descriptor's result is cached.
+type ProbeRequest struct {
+	Task Task
+	Desc feature.Descriptor
+}
+
+// Marshal encodes the body.
+func (p ProbeRequest) Marshal() ([]byte, error) {
+	desc, err := p.Desc.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1+4+len(desc))
+	out = append(out, byte(p.Task))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(desc)))
+	return append(out, desc...), nil
+}
+
+// UnmarshalProbeRequest decodes a ProbeRequest body.
+func UnmarshalProbeRequest(body []byte) (ProbeRequest, error) {
+	if len(body) < 5 {
+		return ProbeRequest{}, fmt.Errorf("%w: probe too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(body[1:])
+	if int(n) != len(body)-5 {
+		return ProbeRequest{}, fmt.Errorf("%w: probe descriptor length", ErrBadMessage)
+	}
+	desc, err := feature.Unmarshal(body[5:])
+	if err != nil {
+		return ProbeRequest{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return ProbeRequest{Task: Task(body[0]), Desc: desc}, nil
+}
+
+// ProbeReply answers a probe; Result is present only on a hit.
+type ProbeReply struct {
+	Outcome  uint8
+	Distance float64 // descriptor distance for similar hits
+	Result   []byte
+}
+
+// Marshal encodes the body.
+func (p ProbeReply) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 1+8+4+len(p.Result))
+	out = append(out, p.Outcome)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Distance))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Result)))
+	return append(out, p.Result...), nil
+}
+
+// UnmarshalProbeReply decodes a ProbeReply body.
+func UnmarshalProbeReply(body []byte) (ProbeReply, error) {
+	if len(body) < 13 {
+		return ProbeReply{}, fmt.Errorf("%w: probe-reply too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(body[9:])
+	if int(n) != len(body)-13 {
+		return ProbeReply{}, fmt.Errorf("%w: probe-reply result length", ErrBadMessage)
+	}
+	return ProbeReply{
+		Outcome:  body[0],
+		Distance: math.Float64frombits(binary.LittleEndian.Uint64(body[1:])),
+		Result:   append([]byte(nil), body[13:]...),
+	}, nil
+}
+
+// ExecRequest carries a full IC task: the input payload plus the
+// descriptor so the edge can insert the eventual result into its cache.
+type ExecRequest struct {
+	Task    Task
+	Desc    feature.Descriptor
+	Payload []byte
+}
+
+// Marshal encodes the body.
+func (e ExecRequest) Marshal() ([]byte, error) {
+	desc, err := e.Desc.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1+4+len(desc)+4+len(e.Payload))
+	out = append(out, byte(e.Task))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(desc)))
+	out = append(out, desc...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Payload)))
+	return append(out, e.Payload...), nil
+}
+
+// UnmarshalExecRequest decodes an ExecRequest body.
+func UnmarshalExecRequest(body []byte) (ExecRequest, error) {
+	if len(body) < 5 {
+		return ExecRequest{}, fmt.Errorf("%w: exec too short", ErrBadMessage)
+	}
+	dn := binary.LittleEndian.Uint32(body[1:])
+	off := 5 + int(dn)
+	if off+4 > len(body) {
+		return ExecRequest{}, fmt.Errorf("%w: exec descriptor overruns", ErrBadMessage)
+	}
+	desc, err := feature.Unmarshal(body[5:off])
+	if err != nil {
+		return ExecRequest{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	pn := binary.LittleEndian.Uint32(body[off:])
+	if int(pn) != len(body)-off-4 {
+		return ExecRequest{}, fmt.Errorf("%w: exec payload length", ErrBadMessage)
+	}
+	return ExecRequest{
+		Task:    Task(body[0]),
+		Desc:    desc,
+		Payload: append([]byte(nil), body[off+4:]...),
+	}, nil
+}
+
+// Result sources carried in ExecReply.
+const (
+	SourceCloud uint8 = 1
+	SourceEdge  uint8 = 2
+)
+
+// ExecReply returns a task result.
+type ExecReply struct {
+	Source uint8
+	Result []byte
+}
+
+// Marshal encodes the body.
+func (e ExecReply) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 1+4+len(e.Result))
+	out = append(out, e.Source)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Result)))
+	return append(out, e.Result...), nil
+}
+
+// UnmarshalExecReply decodes an ExecReply body.
+func UnmarshalExecReply(body []byte) (ExecReply, error) {
+	if len(body) < 5 {
+		return ExecReply{}, fmt.Errorf("%w: exec-reply too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(body[1:])
+	if int(n) != len(body)-5 {
+		return ExecReply{}, fmt.Errorf("%w: exec-reply result length", ErrBadMessage)
+	}
+	return ExecReply{Source: body[0], Result: append([]byte(nil), body[5:]...)}, nil
+}
+
+// ModelFetch requests a 3D model in a given format.
+type ModelFetch struct {
+	ModelID string
+	Format  uint8
+}
+
+// Marshal encodes the body.
+func (m ModelFetch) Marshal() ([]byte, error) {
+	if len(m.ModelID) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: model id too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 1+2+len(m.ModelID))
+	out = append(out, m.Format)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.ModelID)))
+	return append(out, m.ModelID...), nil
+}
+
+// UnmarshalModelFetch decodes a ModelFetch body.
+func UnmarshalModelFetch(body []byte) (ModelFetch, error) {
+	if len(body) < 3 {
+		return ModelFetch{}, fmt.Errorf("%w: model-fetch too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint16(body[1:])
+	if int(n) != len(body)-3 {
+		return ModelFetch{}, fmt.Errorf("%w: model id length", ErrBadMessage)
+	}
+	return ModelFetch{Format: body[0], ModelID: string(body[3:])}, nil
+}
+
+// ModelReply carries model bytes in the named format.
+type ModelReply struct {
+	Format uint8
+	Source uint8 // SourceCloud or SourceEdge
+	Data   []byte
+}
+
+// Marshal encodes the body.
+func (m ModelReply) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 2+4+len(m.Data))
+	out = append(out, m.Format, m.Source)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Data)))
+	return append(out, m.Data...), nil
+}
+
+// UnmarshalModelReply decodes a ModelReply body.
+func UnmarshalModelReply(body []byte) (ModelReply, error) {
+	if len(body) < 6 {
+		return ModelReply{}, fmt.Errorf("%w: model-reply too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(body[2:])
+	if int(n) != len(body)-6 {
+		return ModelReply{}, fmt.Errorf("%w: model data length", ErrBadMessage)
+	}
+	return ModelReply{Format: body[0], Source: body[1], Data: append([]byte(nil), body[6:]...)}, nil
+}
+
+// PanoFetch requests one panoramic frame of a VR video.
+type PanoFetch struct {
+	VideoID    string
+	FrameIndex uint32
+}
+
+// Marshal encodes the body.
+func (p PanoFetch) Marshal() ([]byte, error) {
+	if len(p.VideoID) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: video id too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 4+2+len(p.VideoID))
+	out = binary.LittleEndian.AppendUint32(out, p.FrameIndex)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.VideoID)))
+	return append(out, p.VideoID...), nil
+}
+
+// UnmarshalPanoFetch decodes a PanoFetch body.
+func UnmarshalPanoFetch(body []byte) (PanoFetch, error) {
+	if len(body) < 6 {
+		return PanoFetch{}, fmt.Errorf("%w: pano-fetch too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint16(body[4:])
+	if int(n) != len(body)-6 {
+		return PanoFetch{}, fmt.Errorf("%w: video id length", ErrBadMessage)
+	}
+	return PanoFetch{
+		FrameIndex: binary.LittleEndian.Uint32(body[0:]),
+		VideoID:    string(body[6:]),
+	}, nil
+}
+
+// PanoReply carries an RLE-encoded panoramic frame.
+type PanoReply struct {
+	Source uint8
+	Data   []byte
+}
+
+// Marshal encodes the body.
+func (p PanoReply) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 1+4+len(p.Data))
+	out = append(out, p.Source)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Data)))
+	return append(out, p.Data...), nil
+}
+
+// UnmarshalPanoReply decodes a PanoReply body.
+func UnmarshalPanoReply(body []byte) (PanoReply, error) {
+	if len(body) < 5 {
+		return PanoReply{}, fmt.Errorf("%w: pano-reply too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(body[1:])
+	if int(n) != len(body)-5 {
+		return PanoReply{}, fmt.Errorf("%w: pano data length", ErrBadMessage)
+	}
+	return PanoReply{Source: body[0], Data: append([]byte(nil), body[5:]...)}, nil
+}
+
+// ErrorReply reports a protocol-level failure.
+type ErrorReply struct {
+	Code uint16
+	Msg  string
+}
+
+// Error codes.
+const (
+	CodeInternal     uint16 = 1
+	CodeBadRequest   uint16 = 2
+	CodeUnknownModel uint16 = 3
+	CodeUnavailable  uint16 = 4
+)
+
+// Marshal encodes the body.
+func (e ErrorReply) Marshal() ([]byte, error) {
+	if len(e.Msg) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: error message too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 2+2+len(e.Msg))
+	out = binary.LittleEndian.AppendUint16(out, e.Code)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Msg)))
+	return append(out, e.Msg...), nil
+}
+
+// UnmarshalErrorReply decodes an ErrorReply body.
+func UnmarshalErrorReply(body []byte) (ErrorReply, error) {
+	if len(body) < 4 {
+		return ErrorReply{}, fmt.Errorf("%w: error-reply too short", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint16(body[2:])
+	if int(n) != len(body)-4 {
+		return ErrorReply{}, fmt.Errorf("%w: error message length", ErrBadMessage)
+	}
+	return ErrorReply{
+		Code: binary.LittleEndian.Uint16(body[0:]),
+		Msg:  string(body[4:]),
+	}, nil
+}
+
+// RecognitionResult is the application-level result of a recognition
+// task: what the cloud computes, the edge caches, and the client renders
+// an annotation from.
+type RecognitionResult struct {
+	ClassIndex int32
+	Label      string
+	Confidence float32
+	// AnnotationModelID names the 3D model the AR app should render over
+	// the recognised object.
+	AnnotationModelID string
+}
+
+// Marshal encodes the result for caching and transport.
+func (r RecognitionResult) Marshal() ([]byte, error) {
+	if len(r.Label) > math.MaxUint16 || len(r.AnnotationModelID) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: recognition strings too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 4+4+2+len(r.Label)+2+len(r.AnnotationModelID))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.ClassIndex))
+	out = binary.LittleEndian.AppendUint32(out, math.Float32bits(r.Confidence))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.Label)))
+	out = append(out, r.Label...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.AnnotationModelID)))
+	return append(out, r.AnnotationModelID...), nil
+}
+
+// UnmarshalRecognitionResult decodes a RecognitionResult.
+func UnmarshalRecognitionResult(body []byte) (RecognitionResult, error) {
+	if len(body) < 12 {
+		return RecognitionResult{}, fmt.Errorf("%w: recognition result too short", ErrBadMessage)
+	}
+	r := RecognitionResult{
+		ClassIndex: int32(binary.LittleEndian.Uint32(body[0:])),
+		Confidence: math.Float32frombits(binary.LittleEndian.Uint32(body[4:])),
+	}
+	ln := int(binary.LittleEndian.Uint16(body[8:]))
+	off := 10 + ln
+	if off+2 > len(body) {
+		return RecognitionResult{}, fmt.Errorf("%w: label overruns", ErrBadMessage)
+	}
+	r.Label = string(body[10:off])
+	an := int(binary.LittleEndian.Uint16(body[off:]))
+	if off+2+an != len(body) {
+		return RecognitionResult{}, fmt.Errorf("%w: annotation id length", ErrBadMessage)
+	}
+	r.AnnotationModelID = string(body[off+2:])
+	return r, nil
+}

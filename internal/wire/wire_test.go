@@ -1,0 +1,315 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	m := Message{Type: MsgProbe, RequestID: 42, Body: []byte("hello")}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != m.WireSize() {
+		t.Fatalf("wire size %d != buffer %d", m.WireSize(), buf.Len())
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.RequestID != m.RequestID || !bytes.Equal(got.Body, m.Body) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: MsgHello, RequestID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != 0 {
+		t.Fatal("empty body grew")
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		WriteMessage(&buf, Message{Type: MsgExec, RequestID: uint64(i), Body: []byte{byte(i)}})
+	}
+	for i := 0; i < 10; i++ {
+		m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.RequestID != uint64(i) || m.Body[0] != byte(i) {
+			t.Fatalf("frame %d out of order: %+v", i, m)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	m := Message{Type: MsgExec, RequestID: 7, Body: []byte("payload")}
+	good, _ := m.Encode()
+
+	flip := func(i int) []byte {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0xFF
+		return b
+	}
+	if _, err := ReadMessage(bytes.NewReader(flip(0))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+	if _, err := ReadMessage(bytes.NewReader(flip(2))); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	if _, err := ReadMessage(bytes.NewReader(flip(HeaderSize))); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("crc: %v", err)
+	}
+	// Truncated body.
+	if _, err := ReadMessage(bytes.NewReader(good[:len(good)-2])); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Oversized length field.
+	big := append([]byte(nil), good...)
+	big[12], big[13], big[14], big[15] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := ReadMessage(bytes.NewReader(big)); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversize: %v", err)
+	}
+}
+
+func TestFrameTooBigOnWrite(t *testing.T) {
+	if _, err := (Message{Type: MsgExec, Body: make([]byte, MaxBody+1)}).Encode(); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan Message, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		m, err := ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		done <- m
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	want := Message{Type: MsgModelFetch, RequestID: 99, Body: bytes.Repeat([]byte("m"), 100_000)}
+	if err := WriteMessage(conn, want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got.RequestID != 99 || !bytes.Equal(got.Body, want.Body) {
+		t.Fatal("TCP round trip corrupted frame")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := MsgProbe; mt <= MsgHello; mt++ {
+		if s := mt.String(); s == "" || s == "unknown" {
+			t.Fatalf("type %d has no name", mt)
+		}
+	}
+	if MsgType(200).String() != "unknown(200)" {
+		t.Fatal("unknown type name")
+	}
+}
+
+func TestProbeRequestRoundTrip(t *testing.T) {
+	for _, desc := range []feature.Descriptor{
+		feature.NewVector([]float32{0.1, 0.9, -0.3}),
+		feature.NewHash([]byte("model-7")),
+	} {
+		p := ProbeRequest{Task: TaskRecognize, Desc: desc}
+		body, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalProbeRequest(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Task != p.Task || got.Desc.Kind != desc.Kind || got.Desc.Key() != desc.Key() {
+			t.Fatalf("round trip: %+v", got)
+		}
+	}
+}
+
+func TestProbeReplyRoundTrip(t *testing.T) {
+	p := ProbeReply{Outcome: ProbeSimilar, Distance: 0.042, Result: []byte("cached")}
+	body, _ := p.Marshal()
+	got, err := UnmarshalProbeReply(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outcome != ProbeSimilar || got.Distance != 0.042 || string(got.Result) != "cached" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestExecRequestRoundTrip(t *testing.T) {
+	e := ExecRequest{
+		Task:    TaskRecognize,
+		Desc:    feature.NewVector([]float32{1, 0}),
+		Payload: bytes.Repeat([]byte("img"), 1000),
+	}
+	body, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalExecRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != e.Task || !bytes.Equal(got.Payload, e.Payload) || got.Desc.Key() != e.Desc.Key() {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestExecReplyRoundTrip(t *testing.T) {
+	e := ExecReply{Source: SourceCloud, Result: []byte("r")}
+	body, _ := e.Marshal()
+	got, err := UnmarshalExecReply(body)
+	if err != nil || got.Source != SourceCloud || string(got.Result) != "r" {
+		t.Fatalf("%+v, %v", got, err)
+	}
+}
+
+func TestModelMessagesRoundTrip(t *testing.T) {
+	f := ModelFetch{ModelID: "annotation/dragon", Format: FormatCMF}
+	body, _ := f.Marshal()
+	gf, err := UnmarshalModelFetch(body)
+	if err != nil || gf != f {
+		t.Fatalf("%+v, %v", gf, err)
+	}
+	r := ModelReply{Format: FormatOBJX, Source: SourceEdge, Data: []byte("obj data")}
+	body, _ = r.Marshal()
+	gr, err := UnmarshalModelReply(body)
+	if err != nil || gr.Format != r.Format || gr.Source != r.Source || !bytes.Equal(gr.Data, r.Data) {
+		t.Fatalf("%+v, %v", gr, err)
+	}
+}
+
+func TestPanoMessagesRoundTrip(t *testing.T) {
+	f := PanoFetch{VideoID: "vr/rollercoaster", FrameIndex: 1234}
+	body, _ := f.Marshal()
+	gf, err := UnmarshalPanoFetch(body)
+	if err != nil || gf != f {
+		t.Fatalf("%+v, %v", gf, err)
+	}
+	r := PanoReply{Source: SourceEdge, Data: []byte{1, 2, 3}}
+	body, _ = r.Marshal()
+	gr, err := UnmarshalPanoReply(body)
+	if err != nil || gr.Source != r.Source || !bytes.Equal(gr.Data, r.Data) {
+		t.Fatalf("%+v, %v", gr, err)
+	}
+}
+
+func TestErrorReplyRoundTrip(t *testing.T) {
+	e := ErrorReply{Code: CodeUnknownModel, Msg: "no such model"}
+	body, _ := e.Marshal()
+	got, err := UnmarshalErrorReply(body)
+	if err != nil || got != e {
+		t.Fatalf("%+v, %v", got, err)
+	}
+}
+
+func TestRecognitionResultRoundTrip(t *testing.T) {
+	r := RecognitionResult{
+		ClassIndex: 3, Label: "stop-sign", Confidence: 0.93,
+		AnnotationModelID: "annotation/stop-sign",
+	}
+	body, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRecognitionResult(body)
+	if err != nil || got != r {
+		t.Fatalf("%+v, %v", got, err)
+	}
+}
+
+func TestBodyDecodersRejectGarbage(t *testing.T) {
+	decoders := map[string]func([]byte) error{
+		"probe":       func(b []byte) error { _, err := UnmarshalProbeRequest(b); return err },
+		"probe-reply": func(b []byte) error { _, err := UnmarshalProbeReply(b); return err },
+		"exec":        func(b []byte) error { _, err := UnmarshalExecRequest(b); return err },
+		"exec-reply":  func(b []byte) error { _, err := UnmarshalExecReply(b); return err },
+		"model-fetch": func(b []byte) error { _, err := UnmarshalModelFetch(b); return err },
+		"model-reply": func(b []byte) error { _, err := UnmarshalModelReply(b); return err },
+		"pano-fetch":  func(b []byte) error { _, err := UnmarshalPanoFetch(b); return err },
+		"pano-reply":  func(b []byte) error { _, err := UnmarshalPanoReply(b); return err },
+		"error":       func(b []byte) error { _, err := UnmarshalErrorReply(b); return err },
+		"recognition": func(b []byte) error { _, err := UnmarshalRecognitionResult(b); return err },
+	}
+	for name, dec := range decoders {
+		for _, b := range [][]byte{nil, {}, {1}, {1, 2, 3}, bytes.Repeat([]byte{0xFF}, 9)} {
+			if err := dec(b); err == nil {
+				t.Errorf("%s: accepted %v", name, b)
+			}
+		}
+	}
+}
+
+func TestExecRequestFuzzRoundTrip(t *testing.T) {
+	f := func(payload []byte, vec []float32) bool {
+		for i, v := range vec {
+			if v != v || v > 1e30 || v < -1e30 { // NaN/huge guard
+				vec[i] = 0.1
+			}
+		}
+		if len(vec) == 0 {
+			vec = []float32{1}
+		}
+		e := ExecRequest{Task: TaskPano, Desc: feature.NewVector(vec), Payload: payload}
+		body, err := e.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalExecRequest(body)
+		return err == nil && bytes.Equal(got.Payload, payload) && got.Desc.Key() == e.Desc.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameFuzzNeverPanics(t *testing.T) {
+	// Arbitrary bytes fed to ReadMessage must error or succeed, never
+	// panic or over-allocate.
+	f := func(data []byte) bool {
+		_, _ = ReadMessage(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
