@@ -19,7 +19,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, finegrained, pano, privacy, qoe")
+		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, finegrained, pano, privacy, qoe")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
 	flag.Parse()
@@ -62,6 +62,9 @@ func main() {
 		}},
 		{"coop", func() (*coic.Table, error) {
 			return coic.RunCooperation(scaled(p), []int{2, 4, 8}, 12)
+		}},
+		{"federation", func() (*coic.Table, error) {
+			return coic.RunFederation(scaled(p), []int{1, 2, 4, 8}, 24, 2, p.Seed)
 		}},
 		{"finegrained", func() (*coic.Table, error) {
 			return coic.RunFinegrained(p, []int{1, 4, 16, 64}, 256), nil

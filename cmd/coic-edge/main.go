@@ -2,9 +2,17 @@
 // miss forwarding to the cloud, served over TCP. The -cloud-shape flag
 // plays the role of the paper's tc conditioning on the edge-cloud link.
 //
+// With -peers, the edge joins a cache federation: the listed edges and
+// this one partition the descriptor keyspace via consistent hashing, a
+// local miss probes the key's home edge before paying for the cloud, and
+// fresh results are published to their home. Every member must list every
+// other member, and -self must be this edge's address exactly as the
+// others list it.
+//
 // Usage:
 //
 //	coic-edge -listen :9091 -cloud localhost:9090 -cloud-shape "rate 20mbit delay 10ms"
+//	coic-edge -listen :9091 -self localhost:9091 -peers localhost:9092,localhost:9093
 package main
 
 import (
@@ -12,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -20,14 +29,35 @@ func main() {
 	listen := flag.String("listen", ":9091", "address to serve clients on")
 	cloud := flag.String("cloud", "localhost:9090", "cloud address to forward misses to")
 	cloudShape := flag.String("cloud-shape", "", `tc-style spec for the edge->cloud link, e.g. "rate 20mbit delay 10ms"`)
+	peers := flag.String("peers", "", "comma-separated peer edge addresses to federate with")
+	self := flag.String("self", "", "this edge's advertised address in the federation (required with -peers; must match what peers list)")
 	flag.Parse()
+
+	var peerAddrs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerAddrs = append(peerAddrs, p)
+		}
+	}
+	// -self must be explicit: every member hashes the same address
+	// strings into the ring, and a defaulted listen address like ":9091"
+	// is neither dialable by peers nor equal to how they name this edge —
+	// the federation would silently mis-home every key.
+	if len(peerAddrs) > 0 && *self == "" {
+		log.Fatal("coic-edge: -peers requires -self, the dialable address the other members list for this edge")
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}
-	fmt.Printf("coic-edge: serving on %s, cloud at %s\n", ln.Addr(), *cloud)
-	if err := coic.ServeEdge(ln, coic.DefaultParams(), *cloud, coic.ShapeSpec(*cloudShape)); err != nil {
+	if len(peerAddrs) > 0 {
+		fmt.Printf("coic-edge: serving on %s, cloud at %s, federated as %s with %v\n",
+			ln.Addr(), *cloud, *self, peerAddrs)
+	} else {
+		fmt.Printf("coic-edge: serving on %s, cloud at %s\n", ln.Addr(), *cloud)
+	}
+	if err := coic.ServeEdgeFederated(ln, coic.DefaultParams(), *cloud, coic.ShapeSpec(*cloudShape), *self, peerAddrs); err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}
 }

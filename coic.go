@@ -307,6 +307,18 @@ func (s ShapeSpec) wrapper() (core.ConnWrapper, error) {
 // ServeEdge runs a CoIC edge on ln, forwarding misses to cloudAddr.
 // cloudShape conditions the edge→cloud uplink (the B_E→C knob).
 func ServeEdge(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec) error {
+	return ServeEdgeFederated(ln, p, cloudAddr, cloudShape, "", nil)
+}
+
+// ServeEdgeFederated runs a CoIC edge that is a member of a cache
+// federation: on a local miss it first probes the descriptor's home peer
+// (consistent hashing over self+peers) over a cheap edge↔edge hop, and
+// publishes fresh results to their home, falling back to the cloud only
+// when the federation has nothing. self is this edge's advertised,
+// dialable address — its federation identity — and must appear verbatim
+// in every peer's peer list. Empty peers degrade to a standalone
+// ServeEdge.
+func ServeEdgeFederated(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec, self string, peers []string) error {
 	wrap, err := cloudShape.wrapper()
 	if err != nil {
 		return err
@@ -315,6 +327,11 @@ func ServeEdge(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec
 		Edge:      core.NewEdge(p),
 		CloudAddr: cloudAddr,
 		WrapCloud: wrap,
+	}
+	if len(peers) > 0 {
+		if err := srv.SetupFederation(self, peers); err != nil {
+			return err
+		}
 	}
 	return srv.Serve(ln)
 }

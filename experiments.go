@@ -305,6 +305,56 @@ func runCoop(p Params, edges, requestsPerEdge int, peered bool) (float64, uint64
 	return ratio, peerHits, cloudFetches, nil
 }
 
+// FederationRow is one point of the multi-edge federation ablation.
+type FederationRow = core.FederationRow
+
+// RunFederation is the multi-edge ablation: one workload of overlapping
+// user interest replayed over 1..N edges × client placement, with edges
+// federated via consistent hashing against an isolated baseline. Per-edge
+// cache capacity is deliberately constrained (capacityMB per edge) so a
+// lone edge cannot hold the working set: federating edges both pools
+// capacity (the partitioned keyspace spreads residency) and bridges
+// placement (a user behind edge B reuses what edge A's users computed),
+// so the aggregate hit ratio rises and cloud fetches fall as edges are
+// added.
+func RunFederation(p Params, edgeCounts []int, users, capacityMB int, seed uint64) (*Table, error) {
+	events, err := trace.Generate(trace.Config{
+		Users: users, Cells: 8, Duration: 40 * time.Second,
+		RatePerUser: 1, Objects: 96, ZipfAlpha: 0.8,
+		Locality: 0.7, HotSetSize: 12,
+		TaskMix: trace.TaskMix{Recognize: 0.4, Render: 0.4, Pano: 0.2},
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pp := p
+	pp.EdgeCacheBytes = int64(capacityMB) << 20
+	rows, err := core.RunFederation(pp, core.FederationConfigExp{
+		EdgeCounts: edgeCounts,
+		Events:     events,
+		Baseline:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FederationTable(rows), nil
+}
+
+// FederationTable renders federation ablation rows.
+func FederationTable(rows []FederationRow) *Table {
+	t := metrics.NewTable(
+		"A-federation — multi-edge cache federation (consistent hashing + peer lookup)",
+		"edges", "placement", "federated", "hit_ratio", "peer_hits", "published", "cloud_fetches", "p50_ms", "p99_ms")
+	for _, r := range rows {
+		t.AddRow(r.Edges, r.Placement.String(), r.Federated,
+			fmt.Sprintf("%.3f", r.HitRatio), r.PeerHits, r.Published,
+			r.CloudFetches, msCol(r.P50), msCol(r.P99))
+	}
+	t.AddNote("federated edges resolve misses at the key's home edge (one LAN hop) before the cloud")
+	return t
+}
+
 // RunFinegrained measures the paper's future-work extension: per-DNN-layer
 // result reuse. A pool of inputs with repetition runs through a plain
 // network and a layer-memoised one; the table reports layer hit rate and

@@ -1,0 +1,3 @@
+module github.com/edge-immersion/coic
+
+go 1.24

@@ -30,6 +30,74 @@ func BenchmarkStoreGetHit(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentGet contrasts the single-mutex Store with the
+// striped ShardedStore under parallel lookups — the TCP edge's actual
+// access pattern, one goroutine per client connection. The mutex store
+// serialises every Get; the sharded store only contends when two
+// goroutines land on the same stripe, so throughput scales with
+// GOMAXPROCS (on a single-core host the two are equivalent and only the
+// stripe-hash overhead shows).
+func BenchmarkConcurrentGet(b *testing.B) {
+	const resident = 4096
+	keys := make([]string, resident)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	run := func(b *testing.B, get func(string) ([]byte, bool), put func(string, []byte, float64) error) {
+		for _, k := range keys {
+			put(k, make([]byte, 256), 1)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				get(keys[i%resident])
+				i++
+			}
+		})
+	}
+	b.Run("mutex", func(b *testing.B) {
+		s := NewStore(64<<20, NewLRU())
+		run(b, s.Get, s.Put)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		s := NewSharded(64<<20, 8, NewLRU)
+		run(b, s.Get, s.Put)
+	})
+}
+
+// BenchmarkConcurrentMixed repeats the comparison with a write-heavy mix
+// (70% Get / 30% Put), where mutex convoying hurts most.
+func BenchmarkConcurrentMixed(b *testing.B) {
+	const resident = 4096
+	keys := make([]string, resident)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	run := func(b *testing.B, get func(string) ([]byte, bool), put func(string, []byte, float64) error) {
+		v := make([]byte, 256)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if i%10 < 7 {
+					get(keys[i%resident])
+				} else {
+					put(keys[i%resident], v, 1)
+				}
+				i++
+			}
+		})
+	}
+	b.Run("mutex", func(b *testing.B) {
+		s := NewStore(64<<20, NewLRU())
+		run(b, s.Get, s.Put)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		s := NewSharded(64<<20, 8, NewLRU)
+		run(b, s.Get, s.Put)
+	})
+}
+
 // BenchmarkSimilarityLookup measures the edge's per-request descriptor
 // match (exact map probe + vector index search) at a realistic cache
 // population.

@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// This file is the federation lookup path: how one edge's cache consults
+// its peers before conceding a miss to the cloud. The Federation owns the
+// routing decision (which peer, in which order) and the counters; the
+// transport — a direct call in virtual time, a MsgPeerLookup frame over
+// TCP — is injected as callbacks, so the same policy drives both modes.
+
+// PeerProbe resolves a descriptor at one remote peer. requester is an
+// opaque user identity forwarded to the peer's privacy gate (pass -1 when
+// anonymous); task is an opaque workload tag carried on the wire for the
+// peer's accounting — the cache layer interprets neither. The returned
+// cost is the virtual time of the hop: transfer of the lookup and reply
+// over the edge↔edge link plus the peer's own cache query time. Probes
+// must be safe for concurrent use.
+type PeerProbe func(requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration)
+
+// PeerInsert publishes a freshly computed result to a remote peer (the
+// key's home node). It runs off the request's critical path — replication
+// is asynchronous in spirit — so it returns nothing.
+type PeerInsert func(desc feature.Descriptor, value []byte, cost float64)
+
+// Peer bundles the two directions of cooperation with one remote edge.
+type Peer struct {
+	Probe  PeerProbe
+	Insert PeerInsert // optional; nil disables publishing to this peer
+}
+
+// FederationStats counts cooperative-lookup outcomes.
+type FederationStats struct {
+	// Probes is how many peer lookups were issued.
+	Probes uint64
+	// Hits is how many probes returned a usable value.
+	Hits uint64
+	// Misses is how many probes came back empty.
+	Misses uint64
+	// Published counts inserts routed to a key's home peer.
+	Published uint64
+}
+
+// Federation routes cache misses across a set of cooperating edges. With
+// a Ring, every key has a home node: lookups probe only the home (one
+// cheap hop) and inserts are published to it, so the federation behaves
+// like one partitioned cache. Without a Ring it degrades to the broadcast
+// cooperation of the seed reproduction: probe every registered peer in
+// order until one hits.
+type Federation struct {
+	self string
+	ring *Ring
+
+	mu    sync.Mutex
+	order []string
+	peers map[string]Peer
+	stats FederationStats
+}
+
+// NewFederation builds the federation view of node `self`. ring may be
+// nil for broadcast cooperation.
+func NewFederation(self string, ring *Ring) *Federation {
+	return &Federation{self: self, ring: ring, peers: map[string]Peer{}}
+}
+
+// Self reports this node's federation ID.
+func (f *Federation) Self() string { return f.self }
+
+// Ring exposes the keyspace partition (nil in broadcast mode).
+func (f *Federation) Ring() *Ring { return f.ring }
+
+// AddPeer registers a remote edge. Re-registering an ID replaces its
+// callbacks (a reconnecting TCP peer).
+func (f *Federation) AddPeer(id string, p Peer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.peers[id]; !ok {
+		f.order = append(f.order, id)
+	}
+	f.peers[id] = p
+}
+
+// Owner reports the home node of key: ring owner when partitioned, ""
+// (no single owner) in broadcast mode.
+func (f *Federation) Owner(key string) string {
+	if f.ring == nil {
+		return ""
+	}
+	return f.ring.Owner(key)
+}
+
+// probeOrder lists the peers to consult for key, most promising first.
+func (f *Federation) probeOrder(key string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ring != nil {
+		owner := f.ring.Owner(key)
+		if owner == f.self {
+			return nil // we are the home; nobody else should have it
+		}
+		if _, ok := f.peers[owner]; ok {
+			return []string{owner}
+		}
+		return nil // owner unreachable/unregistered: degrade to local-only
+	}
+	return append([]string(nil), f.order...)
+}
+
+// Lookup runs the peer phase of a cache miss: probe the key's home (or
+// every peer in broadcast mode) and return the first usable value. peer
+// names who answered; cost accumulates over every hop taken, hit or not.
+// A (LookupResult{}, ok=false) return means the federation has nothing —
+// the caller falls back to the cloud.
+func (f *Federation) Lookup(requester int, task uint8, key string, desc feature.Descriptor) (value []byte, res LookupResult, peer string, cost time.Duration, ok bool) {
+	for _, id := range f.probeOrder(key) {
+		f.mu.Lock()
+		p, registered := f.peers[id]
+		f.mu.Unlock()
+		if !registered || p.Probe == nil {
+			continue
+		}
+		f.addStat(func(s *FederationStats) { s.Probes++ })
+		v, r, c := p.Probe(requester, task, desc)
+		cost += c
+		if r.Hit() {
+			f.addStat(func(s *FederationStats) { s.Hits++ })
+			return v, r, id, cost, true
+		}
+		f.addStat(func(s *FederationStats) { s.Misses++ })
+	}
+	return nil, LookupResult{Outcome: OutcomeMiss}, "", cost, false
+}
+
+// Publish routes a freshly computed result to its home peer so future
+// lookups from any edge find it in one hop. It is a no-op in broadcast
+// mode, when the home is this node, or when the home peer has no insert
+// path. Returns the peer published to, if any.
+func (f *Federation) Publish(desc feature.Descriptor, value []byte, cost float64) (string, bool) {
+	if f.ring == nil {
+		return "", false
+	}
+	owner := f.ring.Owner(desc.Key())
+	if owner == f.self {
+		return "", false
+	}
+	f.mu.Lock()
+	p, ok := f.peers[owner]
+	f.mu.Unlock()
+	if !ok || p.Insert == nil {
+		return "", false
+	}
+	p.Insert(desc, value, cost)
+	f.addStat(func(s *FederationStats) { s.Published++ })
+	return owner, true
+}
+
+func (f *Federation) addStat(fn func(*FederationStats)) {
+	f.mu.Lock()
+	fn(&f.stats)
+	f.mu.Unlock()
+}
+
+// Stats returns a counter snapshot.
+func (f *Federation) Stats() FederationStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// fakePeer records probes and serves a canned answer.
+type fakePeer struct {
+	probes  int
+	inserts int
+	value   []byte // nil = always miss
+}
+
+func (f *fakePeer) peer() Peer {
+	return Peer{
+		Probe: func(requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration) {
+			f.probes++
+			if f.value == nil {
+				return nil, LookupResult{Outcome: OutcomeMiss}, time.Millisecond
+			}
+			return f.value, LookupResult{Outcome: OutcomeExact, Key: desc.Key()}, time.Millisecond
+		},
+		Insert: func(desc feature.Descriptor, value []byte, cost float64) {
+			f.inserts++
+		},
+	}
+}
+
+// ownedBy finds a descriptor whose ring home is the wanted node.
+func ownedBy(t *testing.T, r *Ring, want string) feature.Descriptor {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		d := descForTest(i)
+		if r.Owner(d.Key()) == want {
+			return d
+		}
+	}
+	t.Fatalf("no key owned by %s in 10000 tries", want)
+	return feature.Descriptor{}
+}
+
+func TestFederationPartitionedProbesOnlyOwner(t *testing.T) {
+	ring := NewRing([]string{"self", "a", "b"}, 0)
+	fed := NewFederation("self", ring)
+	pa, pb := &fakePeer{value: []byte("va")}, &fakePeer{value: []byte("vb")}
+	fed.AddPeer("a", pa.peer())
+	fed.AddPeer("b", pb.peer())
+
+	desc := ownedBy(t, ring, "a")
+	v, res, peer, cost, ok := fed.Lookup(-1, 0, desc.Key(), desc)
+	if !ok || string(v) != "va" || peer != "a" || !res.Hit() {
+		t.Fatalf("lookup = %q from %q ok=%v", v, peer, ok)
+	}
+	if cost != time.Millisecond {
+		t.Fatalf("cost = %v", cost)
+	}
+	if pa.probes != 1 || pb.probes != 0 {
+		t.Fatalf("probes a=%d b=%d, want owner-only routing", pa.probes, pb.probes)
+	}
+
+	// Keys homed here must not generate peer traffic at all.
+	local := ownedBy(t, ring, "self")
+	if _, _, _, _, ok := fed.Lookup(-1, 0, local.Key(), local); ok {
+		t.Fatal("self-owned key resolved remotely")
+	}
+	if pa.probes != 1 || pb.probes != 0 {
+		t.Fatalf("self-owned key probed a peer (a=%d b=%d)", pa.probes, pb.probes)
+	}
+}
+
+func TestFederationBroadcastProbesInOrder(t *testing.T) {
+	fed := NewFederation("self", nil)
+	miss, hit := &fakePeer{}, &fakePeer{value: []byte("v")}
+	fed.AddPeer("first", miss.peer())
+	fed.AddPeer("second", hit.peer())
+
+	d := descForTest(1)
+	v, _, peer, cost, ok := fed.Lookup(-1, 0, d.Key(), d)
+	if !ok || string(v) != "v" || peer != "second" {
+		t.Fatalf("lookup = %q from %q ok=%v", v, peer, ok)
+	}
+	if miss.probes != 1 || hit.probes != 1 {
+		t.Fatalf("probes = %d,%d", miss.probes, hit.probes)
+	}
+	if cost != 2*time.Millisecond {
+		t.Fatalf("cost must accumulate over failed hops, got %v", cost)
+	}
+	st := fed.Stats()
+	if st.Probes != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFederationPublishRoutesToOwner(t *testing.T) {
+	ring := NewRing([]string{"self", "a", "b"}, 0)
+	fed := NewFederation("self", ring)
+	pa, pb := &fakePeer{}, &fakePeer{}
+	fed.AddPeer("a", pa.peer())
+	fed.AddPeer("b", pb.peer())
+
+	remote := ownedBy(t, ring, "b")
+	if peer, ok := fed.Publish(remote, []byte("v"), 1); !ok || peer != "b" {
+		t.Fatalf("publish = %q, %v", peer, ok)
+	}
+	if pb.inserts != 1 || pa.inserts != 0 {
+		t.Fatalf("inserts a=%d b=%d", pa.inserts, pb.inserts)
+	}
+
+	local := ownedBy(t, ring, "self")
+	if _, ok := fed.Publish(local, []byte("v"), 1); ok {
+		t.Fatal("self-owned key must not publish")
+	}
+	if got := fed.Stats().Published; got != 1 {
+		t.Fatalf("published = %d", got)
+	}
+
+	// Broadcast mode never publishes.
+	bfed := NewFederation("self", nil)
+	bfed.AddPeer("a", pa.peer())
+	if _, ok := bfed.Publish(remote, []byte("v"), 1); ok {
+		t.Fatal("broadcast federation must not publish")
+	}
+}
+
+func TestFederationUnregisteredOwnerDegrades(t *testing.T) {
+	// The ring says "a" owns the key, but "a" never registered (down,
+	// never connected): the lookup degrades to a local-only miss rather
+	// than probing the wrong node.
+	ring := NewRing([]string{"self", "a"}, 0)
+	fed := NewFederation("self", ring)
+	d := ownedBy(t, ring, "a")
+	if _, _, _, _, ok := fed.Lookup(-1, 0, d.Key(), d); ok {
+		t.Fatal("lookup resolved against an unregistered owner")
+	}
+	if st := fed.Stats(); st.Probes != 0 {
+		t.Fatalf("probes = %d, want 0", st.Probes)
+	}
+}

@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring partitioning the descriptor keyspace
+// across a federation of edge nodes. Every cache key has exactly one
+// "home" node; an edge that misses locally asks the key's home first, and
+// new results are published to the home, so one cheap edge-to-edge hop
+// resolves any key the federation has seen — without broadcasting to all
+// peers. Virtual nodes smooth the partition so capacity imbalance across
+// edges stays small even with few members.
+//
+// The ring is immutable after construction: membership changes in this
+// reproduction rebuild the ring (edges are provisioned, not churning), so
+// reads need no locking.
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// DefaultVnodes is the virtual-node count per member used when callers
+// have no reason to tune it; 64 keeps the max/min keyspace share within a
+// few percent for small federations.
+const DefaultVnodes = 64
+
+// NewRing builds a ring over the given node IDs with `vnodes` virtual
+// nodes each (DefaultVnodes when <= 0). It panics on an empty or
+// duplicate membership — a construction bug.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if len(nodes) == 0 {
+		panic("cache: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{nodes: append([]string(nil), nodes...)}
+	for i, n := range r.nodes {
+		if seen[n] {
+			panic(fmt.Sprintf("cache: duplicate ring node %q", n))
+		}
+		seen[n] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// ringHash must agree across processes (every federation member builds
+// its own ring and all must place a key identically), so it is a fixed
+// function of the string: FNV-1a, then a splitmix64 finaliser — plain FNV
+// of near-identical vnode labels ("edge-0#1", "edge-0#2", …) clusters
+// badly and skews the partition.
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Owner returns the node ID responsible for key: the first virtual node
+// clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the membership in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }

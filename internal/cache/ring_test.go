@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerIsMemberOrderInvariant(t *testing.T) {
+	a := NewRing([]string{"edge-0", "edge-1", "edge-2", "edge-3"}, 0)
+	b := NewRing([]string{"edge-3", "edge-1", "edge-0", "edge-2"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ownership depends on construction order for %q: %s vs %s",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCoversAllNodesRoughlyEvenly(t *testing.T) {
+	nodes := []string{"edge-0", "edge-1", "edge-2", "edge-3"}
+	r := NewRing(nodes, 0)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.0f%% of the keyspace; partition too skewed: %v",
+				n, share*100, counts)
+		}
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r := NewRing([]string{"solo"}, 0)
+	for i := 0; i < 32; i++ {
+		if got := r.Owner(fmt.Sprintf("k%d", i)); got != "solo" {
+			t.Fatalf("owner = %q", got)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	for _, nodes := range [][]string{{}, {"a", "a"}} {
+		nodes := nodes
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewRing(%v) must panic", nodes)
+				}
+			}()
+			NewRing(nodes, 0)
+		}()
+	}
+}

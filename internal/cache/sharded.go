@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// shardSeed makes the key→shard mapping stable across all ShardedStores
+// in a process while remaining unpredictable across processes, so tests
+// cannot accidentally depend on a particular placement.
+var shardSeed = maphash.MakeSeed()
+
+// ShardedStore stripes the keyspace over independent Stores so concurrent
+// requests touching different keys proceed without contending on one
+// mutex. The single-mutex Store serialises every edge request — fine for
+// the virtual-time experiments, but the TCP edge handles each client
+// connection on its own goroutine, and a federation of edges multiplies
+// that concurrency. Each shard owns capacity/N bytes and its own eviction
+// policy instance; eviction is therefore shard-local (an insert evicts
+// within its own stripe), which approximates global policy order in
+// exchange for lock independence — the trade every striped cache makes.
+type ShardedStore struct {
+	shards   []*Store
+	capacity int64
+}
+
+// NewSharded builds a store of `shards` stripes sharing `capacity` bytes,
+// each stripe evicting with its own policy from policyFor. Options apply
+// to every stripe. It panics on non-positive shard counts, nil factories
+// or capacities too small to give every stripe at least one byte — all
+// construction bugs, matching NewStore.
+func NewSharded(capacity int64, shards int, policyFor func() Policy, opts ...StoreOption) *ShardedStore {
+	if shards <= 0 {
+		panic(fmt.Sprintf("cache: non-positive shard count %d", shards))
+	}
+	if policyFor == nil {
+		panic("cache: nil policy factory")
+	}
+	per := capacity / int64(shards)
+	if per <= 0 {
+		panic(fmt.Sprintf("cache: capacity %d cannot cover %d shards", capacity, shards))
+	}
+	s := &ShardedStore{capacity: per * int64(shards)}
+	for i := 0; i < shards; i++ {
+		s.shards = append(s.shards, NewStore(per, policyFor(), opts...))
+	}
+	return s
+}
+
+func (s *ShardedStore) shard(key string) *Store {
+	return s.shards[maphash.String(shardSeed, key)%uint64(len(s.shards))]
+}
+
+// Get returns a copy of the value cached under key.
+func (s *ShardedStore) Get(key string) ([]byte, bool) { return s.shard(key).Get(key) }
+
+// Contains reports residency without touching recency or hit counters.
+func (s *ShardedStore) Contains(key string) bool { return s.shard(key).Contains(key) }
+
+// Put caches value under key in its stripe. Values larger than a single
+// stripe (capacity/shards bytes) return ErrTooLarge even though the
+// aggregate capacity could hold them: a stripe is the eviction domain.
+func (s *ShardedStore) Put(key string, value []byte, cost float64) error {
+	return s.shard(key).Put(key, value, cost)
+}
+
+// Delete removes key, reporting whether it was resident.
+func (s *ShardedStore) Delete(key string) bool { return s.shard(key).Delete(key) }
+
+// Meta returns a snapshot of the entry's metadata without counting a hit.
+func (s *ShardedStore) Meta(key string) (Entry, bool) { return s.shard(key).Meta(key) }
+
+// Len reports resident entries across all stripes.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Used reports resident bytes across all stripes.
+func (s *ShardedStore) Used() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Used()
+	}
+	return n
+}
+
+// Capacity reports the aggregate byte capacity (shards × stripe size).
+func (s *ShardedStore) Capacity() int64 { return s.capacity }
+
+// Shards reports the stripe count.
+func (s *ShardedStore) Shards() int { return len(s.shards) }
+
+// Stats aggregates counter snapshots across stripes. Counters from
+// different stripes are read at slightly different instants; under
+// concurrent traffic the aggregate is a consistent-enough snapshot for
+// metrics, not an atomic cut.
+func (s *ShardedStore) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Insertions += st.Insertions
+		out.Evictions += st.Evictions
+		out.Expirations += st.Expirations
+		out.BytesUsed += st.BytesUsed
+		out.Entries += st.Entries
+	}
+	return out
+}
+
+// PolicyName reports the eviction policy of the stripes (all stripes are
+// built by the same factory).
+func (s *ShardedStore) PolicyName() string { return s.shards[0].PolicyName() }

@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// descForTest builds a distinct hash descriptor per n.
+func descForTest(n int) feature.Descriptor {
+	return feature.NewHash([]byte(fmt.Sprintf("entry-%d", n)))
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded(8<<10, 4, NewLRU)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	if s.Capacity() != 8<<10 {
+		t.Fatalf("capacity = %d", s.Capacity())
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Put(key, []byte(key), 1); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	if s.Len() != 64 {
+		t.Fatalf("len = %d, want 64", s.Len())
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, ok := s.Get(key)
+		if !ok || string(v) != key {
+			t.Fatalf("get %s = %q, %v", key, v, ok)
+		}
+		if !s.Contains(key) {
+			t.Fatalf("contains %s = false", key)
+		}
+	}
+	st := s.Stats()
+	if st.Hits != 64 || st.Insertions != 64 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Entries != 64 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+	if !s.Delete("k0") || s.Delete("k0") {
+		t.Fatal("delete semantics broken")
+	}
+}
+
+func TestShardedTooLargeIsPerStripe(t *testing.T) {
+	// 4 KB aggregate over 4 stripes = 1 KB eviction domains: a 2 KB value
+	// can never live anywhere even though the aggregate could hold it.
+	s := NewSharded(4<<10, 4, NewLRU)
+	err := s.Put("big", make([]byte, 2<<10), 1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestShardedEvictsWithinStripe(t *testing.T) {
+	s := NewSharded(4<<10, 4, NewLRU)
+	// Overfill massively; residency must never exceed capacity and every
+	// stripe must stay within its own budget.
+	for i := 0; i < 512; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), make([]byte, 256), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used := s.Used(); used > s.Capacity() {
+		t.Fatalf("used %d exceeds capacity %d", used, s.Capacity())
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("expected evictions under churn")
+	}
+}
+
+// TestShardedStoreConcurrent hammers one ShardedStore from many
+// goroutines; run with -race it is the federation tentpole's concurrency
+// proof for the storage layer.
+func TestShardedStoreConcurrent(t *testing.T) {
+	s := NewSharded(1<<20, 8, NewLRU)
+	const workers = 16
+	const opsPerWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%512)
+				switch i % 5 {
+				case 0:
+					s.Put(key, []byte(key), 1)
+				case 1, 2, 3:
+					if v, ok := s.Get(key); ok && string(v) != key {
+						t.Errorf("get %s = %q", key, v)
+						return
+					}
+				case 4:
+					if i%50 == 4 {
+						s.Delete(key)
+					} else {
+						s.Contains(key)
+						s.Stats()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if used := s.Used(); used > s.Capacity() {
+		t.Fatalf("used %d exceeds capacity %d", used, s.Capacity())
+	}
+}
+
+// TestSimilaritySharded exercises the SimilarityCache over a sharded
+// backend, including concurrent mixed lookups and inserts.
+func TestSimilaritySharded(t *testing.T) {
+	sc := NewSimilarity(SimilarityConfig{Capacity: 1 << 20, Threshold: 0.12, Shards: 8})
+	if _, ok := sc.Store().(*ShardedStore); !ok {
+		t.Fatalf("backend is %T, want *ShardedStore", sc.Store())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				desc := descForTest(w*1000 + i%64)
+				if i%3 == 0 {
+					sc.Insert(desc, []byte{byte(i)}, 1)
+				} else {
+					sc.Lookup(desc)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	queries, _, _ := sc.QueryStats()
+	if queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+}
+
+func TestShardedPolicySharingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sharing one Policy across shards must panic")
+		}
+	}()
+	NewSimilarity(SimilarityConfig{Capacity: 1 << 20, Shards: 4, Policy: NewLRU()})
+}

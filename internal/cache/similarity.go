@@ -49,13 +49,30 @@ type LookupResult struct {
 // Hit reports whether a cached value was returned.
 func (r LookupResult) Hit() bool { return r.Outcome != OutcomeMiss }
 
+// Backend is the storage API the SimilarityCache sits on, satisfied by
+// both the single-mutex Store and the striped ShardedStore. The cache is
+// agnostic to the striping; the Shards config knob picks the
+// implementation.
+type Backend interface {
+	Get(key string) ([]byte, bool)
+	Contains(key string) bool
+	Put(key string, value []byte, cost float64) error
+	Delete(key string) bool
+	Meta(key string) (Entry, bool)
+	Len() int
+	Used() int64
+	Capacity() int64
+	Stats() Stats
+	PolicyName() string
+}
+
 // SimilarityCache is the edge IC cache of the paper's Figure 1: a value
 // store keyed by feature descriptor, where vector descriptors also match
 // approximately. "If the distance between the new feature descriptor and
 // another one in the cache is under a certain threshold, CoIC determines
 // that the computation result is already in the cache."
 type SimilarityCache struct {
-	store     *Store
+	store     Backend
 	index     feature.Index
 	threshold float64
 
@@ -87,14 +104,19 @@ type SimilarityConfig struct {
 	Threshold float64
 	// StoreOptions pass through to the store (clock, TTL).
 	StoreOptions []StoreOption
+	// Shards stripes the store for lock-free-ish concurrent access
+	// (ShardedStore). 0 or 1 keeps the single-mutex Store. Sharding
+	// requires PolicyFactory (or neither policy field set) — a single
+	// Policy instance cannot be shared across stripes.
+	Shards int
+	// PolicyFactory builds one eviction policy per stripe when Shards > 1
+	// (NewLRU when nil). Ignored for the unsharded store.
+	PolicyFactory func() Policy
 }
 
 // NewSimilarity builds the cache. The store's eviction callback is wired
 // to keep the vector index consistent with residency.
 func NewSimilarity(cfg SimilarityConfig) *SimilarityCache {
-	if cfg.Policy == nil {
-		cfg.Policy = NewLRU()
-	}
 	if cfg.Index == nil {
 		cfg.Index = feature.NewLinear()
 	}
@@ -106,6 +128,24 @@ func NewSimilarity(cfg SimilarityConfig) *SimilarityCache {
 		descs:     map[string][]byte{},
 	}
 	opts := append([]StoreOption{WithOnEvict(sc.dropKey)}, cfg.StoreOptions...)
+	if cfg.Shards > 1 {
+		if cfg.Policy != nil {
+			panic("cache: sharded store needs PolicyFactory, not a shared Policy")
+		}
+		factory := cfg.PolicyFactory
+		if factory == nil {
+			factory = NewLRU
+		}
+		sc.store = NewSharded(cfg.Capacity, cfg.Shards, factory, opts...)
+		return sc
+	}
+	if cfg.Policy == nil {
+		if cfg.PolicyFactory != nil {
+			cfg.Policy = cfg.PolicyFactory()
+		} else {
+			cfg.Policy = NewLRU()
+		}
+	}
 	sc.store = NewStore(cfg.Capacity, cfg.Policy, opts...)
 	return sc
 }
@@ -220,7 +260,7 @@ func (sc *SimilarityCache) Stats() (Stats, uint64) {
 }
 
 // Store exposes the underlying store for capacity/len inspection.
-func (sc *SimilarityCache) Store() *Store { return sc.store }
+func (sc *SimilarityCache) Store() Backend { return sc.store }
 
 // Threshold reports the configured similarity threshold.
 func (sc *SimilarityCache) Threshold() float64 { return sc.threshold }

@@ -43,6 +43,10 @@ type Breakdown struct {
 	UpME time.Duration
 	// EdgeProc is cache lookup plus (on misses) insertion.
 	EdgeProc time.Duration
+	// PeerHop is the edge↔edge share of a federated lookup: peer-lookup
+	// and reply transfer plus the remote cache query. Charged on peer
+	// hits and on probes that still missed (a failed probe is not free).
+	PeerHop time.Duration
 	// UpEC is the edge->cloud transfer (miss/origin only).
 	UpEC time.Duration
 	// Cloud is cloud-side task execution.
@@ -67,9 +71,9 @@ func (b Breakdown) Total() time.Duration { return b.End.Sub(b.Start) }
 
 // String summarises the breakdown for logs and examples.
 func (b Breakdown) String() string {
-	return fmt.Sprintf("%s/%s %s total=%s (extract=%s upME=%s edge=%s upEC=%s cloud=%s downEC=%s downME=%s client=%s)",
+	return fmt.Sprintf("%s/%s %s total=%s (extract=%s upME=%s edge=%s peer=%s upEC=%s cloud=%s downEC=%s downME=%s client=%s)",
 		b.Mode, b.Task, b.Outcome,
-		ms(b.Total()), ms(b.Extract), ms(b.UpME), ms(b.EdgeProc), ms(b.UpEC),
+		ms(b.Total()), ms(b.Extract), ms(b.UpME), ms(b.EdgeProc), ms(b.PeerHop), ms(b.UpEC),
 		ms(b.Cloud), ms(b.DownEC), ms(b.DownME), ms(b.ClientProc))
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,9 +28,11 @@ type Edge struct {
 	// sees their own cached results. 0 or 1 disables the gate.
 	PrivacyK int
 
-	mu    sync.Mutex
-	peers []*Edge
-	stats EdgeStats
+	mu        sync.Mutex
+	fed       *cache.Federation
+	replicate bool
+	peerSeq   int
+	stats     EdgeStats
 	// inserters tracks which users computed (and inserted) each entry;
 	// interest tracks every distinct user who has asked for it. The gate
 	// opens once len(interest) reaches PrivacyK — content K users
@@ -46,6 +49,10 @@ type EdgeStats struct {
 	Misses   map[wire.Task]uint64
 	PeerHits uint64
 	Inserts  uint64
+	// RemoteInserts counts inserts published to this edge by federated
+	// peers (this edge is the key's consistent-hash home); they are also
+	// included in Inserts.
+	RemoteInserts uint64
 	// PrivacyBlocked counts hits withheld by the k-anonymity gate.
 	PrivacyBlocked uint64
 }
@@ -101,6 +108,29 @@ func WithPrivacyK(k int) EdgeOption {
 	return func(e *Edge) { e.PrivacyK = k }
 }
 
+// DefaultStoreShards stripes the default edge cache so the concurrent
+// request handlers of the TCP server (and peer probes from federated
+// edges) don't serialise on one store mutex. 8 stripes keep the per-shard
+// capacity (EdgeCacheBytes/8 = 32 MB at defaults) above the largest
+// cacheable value, the 15 MB scene model.
+const DefaultStoreShards = 8
+
+// minShardBytes floors the per-stripe capacity: a stripe is an eviction
+// domain and must comfortably hold the largest cacheable values, so
+// small caches (capacity-ablation edges) shed stripes down to a single
+// mutex rather than fragment into stripes nothing fits in.
+const minShardBytes = 16 << 20
+
+// storeShards picks the stripe count for an edge cache of the given
+// capacity.
+func storeShards(capacity int64) int {
+	shards := DefaultStoreShards
+	for shards > 1 && capacity/int64(shards) < minShardBytes {
+		shards /= 2
+	}
+	return shards
+}
+
 // NewEdge builds an edge with the configured IC cache.
 func NewEdge(p Params, opts ...EdgeOption) *Edge {
 	e := &Edge{
@@ -108,7 +138,9 @@ func NewEdge(p Params, opts ...EdgeOption) *Edge {
 		Cache: cache.NewSimilarity(cache.SimilarityConfig{
 			Capacity:  p.EdgeCacheBytes,
 			Threshold: p.Threshold,
+			Shards:    storeShards(p.EdgeCacheBytes),
 		}),
+		replicate: true,
 		stats:     newEdgeStats(),
 		inserters: map[string]map[int]struct{}{},
 		interest:  map[string]map[int]struct{}{},
@@ -119,12 +151,47 @@ func NewEdge(p Params, opts ...EdgeOption) *Edge {
 	return e
 }
 
-// Peer registers other edges for cooperative lookup. Peering is
-// symmetric only if both sides call Peer.
+// Peer registers other edges for broadcast cooperative lookup: on a local
+// miss every peer is probed in registration order, at a flat
+// EdgeLookupTime per hop (no modelled peer network). Peering is symmetric
+// only if both sides call Peer. This is the seed reproduction's
+// cooperation mode; federations built by Federate replace it with
+// consistent-hash routing over modelled edge↔edge links.
 func (e *Edge) Peer(others ...*Edge) {
 	e.mu.Lock()
-	e.peers = append(e.peers, others...)
+	if e.fed == nil {
+		e.fed = cache.NewFederation("", nil)
+	}
+	fed := e.fed
+	seq := e.peerSeq
+	e.peerSeq += len(others)
 	e.mu.Unlock()
+	for i, p := range others {
+		p := p
+		fed.AddPeer(fmt.Sprintf("peer-%d", seq+i), cache.Peer{
+			Probe: func(requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
+				v, res := p.PeerProbe(requester, desc)
+				return v, res, p.Params.EdgeLookupTime
+			},
+		})
+	}
+}
+
+// SetFederation attaches a federation view built by Federate (virtual
+// time) or an EdgeServer (TCP). replicate controls whether peer hits are
+// adopted into the local cache so the next local request hits directly.
+func (e *Edge) SetFederation(fed *cache.Federation, replicate bool) {
+	e.mu.Lock()
+	e.fed = fed
+	e.replicate = replicate
+	e.mu.Unlock()
+}
+
+// Federation returns the attached federation view (nil when standalone).
+func (e *Edge) Federation() *cache.Federation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fed
 }
 
 // LookupResult describes where an edge lookup resolved.
@@ -135,8 +202,15 @@ type LookupResult struct {
 	Distance float64
 	// FromPeer is set when a peer edge supplied the value.
 	FromPeer bool
-	// Cost is the virtual edge processing time consumed.
+	// Peer names the federated edge that answered (empty otherwise).
+	Peer string
+	// Cost is the total virtual edge processing time consumed, peer hops
+	// included.
 	Cost time.Duration
+	// PeerCost is the share of Cost spent on edge↔edge hops (lookup and
+	// reply transfer plus the remote cache query); misses charge it too —
+	// a failed probe is not free.
+	PeerCost time.Duration
 }
 
 // Hit reports whether a usable cached value was found.
@@ -152,15 +226,17 @@ func (e *Edge) Lookup(task wire.Task, desc feature.Descriptor) LookupResult {
 // privacy gate treats every anonymous request as a fresh stranger.
 const anonymousUser = -1
 
-// LookupAs queries the local cache for user, then peers (one extra lookup
-// cost per peer consulted). A peer hit is copied into the local cache so
-// the next local request hits directly — the cooperative sharing of the
-// paper's title. When PrivacyK is set, results contributed by fewer than
-// K distinct users are withheld from strangers.
+// LookupAs queries the local cache for user, then the federation: the
+// key's home edge under consistent-hash routing, or every peer in order
+// under broadcast cooperation. A peer hit is (by default) copied into the
+// local cache so the next local request hits directly — the cooperative
+// sharing of the paper's title. When PrivacyK is set, results contributed
+// by fewer than K distinct users are withheld from strangers.
 func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) LookupResult {
 	e.mu.Lock()
 	e.stats.Lookups[task]++
-	peers := append([]*Edge(nil), e.peers...)
+	fed := e.fed
+	replicate := e.replicate
 	e.mu.Unlock()
 
 	cost := e.Params.EdgeLookupTime
@@ -181,14 +257,16 @@ func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) Looku
 		e.mu.Unlock()
 		return LookupResult{Value: v, Outcome: res.Outcome, Distance: res.Distance, Cost: cost}
 	}
-	for _, p := range peers {
-		cost += p.Params.EdgeLookupTime
-		if v, res := p.Cache.Lookup(desc); res.Hit() {
-			if !p.shareAllowed(user, res.Key) {
-				continue
+	var peerCost time.Duration
+	if fed != nil {
+		v, res, peer, pc, ok := fed.Lookup(user, uint8(task), desc.Key(), desc)
+		peerCost = pc
+		cost += peerCost
+		if ok {
+			if replicate {
+				// Adopt the result locally (cooperative fill).
+				_ = e.Cache.Insert(desc, v, 1)
 			}
-			// Adopt the result locally (cooperative fill).
-			_ = e.Cache.Insert(desc, v, 1)
 			e.mu.Lock()
 			e.stats.PeerHits++
 			if res.Outcome == cache.OutcomeExact {
@@ -199,14 +277,48 @@ func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) Looku
 			e.mu.Unlock()
 			return LookupResult{
 				Value: v, Outcome: res.Outcome, Distance: res.Distance,
-				FromPeer: true, Cost: cost,
+				FromPeer: true, Peer: peer, Cost: cost, PeerCost: peerCost,
 			}
 		}
 	}
 	e.mu.Lock()
 	e.stats.Misses[task]++
 	e.mu.Unlock()
-	return LookupResult{Outcome: cache.OutcomeMiss, Cost: cost}
+	return LookupResult{Outcome: cache.OutcomeMiss, Cost: cost, PeerCost: peerCost}
+}
+
+// PeerProbe is the lookup a federated peer performs on this edge's
+// behalf: local cache only — never this edge's own peers, never the
+// cloud — so a federated lookup is bounded at one hop and cannot loop.
+// The requester's identity passes through the privacy gate exactly as a
+// local lookup would; blocked entries read as misses. Peer probes do not
+// count toward this edge's Lookups/Misses (they are the *requesting*
+// edge's traffic), but blocked ones do count PrivacyBlocked here, where
+// the blocking happened.
+func (e *Edge) PeerProbe(requester int, desc feature.Descriptor) ([]byte, cache.LookupResult) {
+	v, res := e.Cache.Lookup(desc)
+	if !res.Hit() {
+		return nil, cache.LookupResult{Outcome: cache.OutcomeMiss}
+	}
+	if !e.shareAllowed(requester, res.Key) {
+		e.mu.Lock()
+		e.stats.PrivacyBlocked++
+		e.mu.Unlock()
+		return nil, cache.LookupResult{Outcome: cache.OutcomeMiss}
+	}
+	return v, res
+}
+
+// AdoptRemote inserts a result published by a federated peer (this edge
+// is the key's consistent-hash home). The contributor is anonymous: the
+// inserting user's identity never crosses the edge↔edge boundary.
+func (e *Edge) AdoptRemote(desc feature.Descriptor, value []byte, costHint float64) {
+	if err := e.Cache.Insert(desc, value, costHint); err == nil {
+		e.mu.Lock()
+		e.stats.Inserts++
+		e.stats.RemoteInserts++
+		e.mu.Unlock()
+	}
 }
 
 // shareAllowed applies the k-anonymity gate. A user may read an entry if
@@ -244,7 +356,9 @@ func (e *Edge) Insert(desc feature.Descriptor, value []byte, costHint float64) t
 // InsertAs stores a task result under its descriptor on behalf of user,
 // returning the virtual insertion cost. Values too large for the cache
 // are silently skipped (the request already has its answer; caching is
-// best-effort).
+// best-effort). Under consistent-hash federation the result is also
+// published to the key's home edge — off the critical path, so the
+// publish adds no user-visible latency.
 func (e *Edge) InsertAs(user int, desc feature.Descriptor, value []byte, costHint float64) time.Duration {
 	if err := e.Cache.Insert(desc, value, costHint); err == nil {
 		e.mu.Lock()
@@ -260,7 +374,11 @@ func (e *Edge) InsertAs(user int, desc feature.Descriptor, value []byte, costHin
 			}
 			e.interest[key][user] = struct{}{}
 		}
+		fed := e.fed
 		e.mu.Unlock()
+		if fed != nil {
+			fed.Publish(desc, value, costHint)
+		}
 	}
 	return e.Params.EdgeInsertTime
 }
@@ -284,6 +402,7 @@ func (e *Edge) Stats() EdgeStats {
 	}
 	out.PeerHits = e.stats.PeerHits
 	out.Inserts = e.stats.Inserts
+	out.RemoteInserts = e.stats.RemoteInserts
 	out.PrivacyBlocked = e.stats.PrivacyBlocked
 	return out
 }

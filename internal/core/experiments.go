@@ -262,6 +262,212 @@ func RunTrace(p Params, cond netsim.Condition, events []trace.Event, mode Mode, 
 	return res, nil
 }
 
+// Placement decides which edge serves which user in a multi-edge
+// deployment.
+type Placement int
+
+// Client placement strategies.
+const (
+	// PlaceByCell maps a user's cell to an edge, so users who share
+	// physical locality (and therefore content interest, per the trace
+	// generator's locality model) land on the same edge. This is the
+	// deployment the paper implies: an edge per access point.
+	PlaceByCell Placement = iota
+	// PlaceScatter spreads users over edges round-robin regardless of
+	// cell — the adversarial placement where co-interested users end up
+	// behind different edges, so only federation can recover the sharing.
+	PlaceScatter
+)
+
+// String names the placement for experiment output.
+func (p Placement) String() string {
+	if p == PlaceByCell {
+		return "by-cell"
+	}
+	return "scatter"
+}
+
+// FederationRow is one point of the federation ablation.
+type FederationRow struct {
+	Edges     int
+	Placement Placement
+	Federated bool
+	Events    int
+	Errors    int
+	// HitRatio aggregates exact+similar+peer hits over lookups across
+	// every edge.
+	HitRatio float64
+	// PeerHits counts lookups answered by a federated peer; Published
+	// counts results pushed to their consistent-hash home edge.
+	PeerHits  uint64
+	Published uint64
+	// CloudFetches counts requests that fell through to the cloud — the
+	// offload metric: fewer cloud fetches means less WAN traffic and
+	// cloud compute.
+	CloudFetches int
+	P50, P99     time.Duration
+}
+
+// FederationConfigExp parameterises RunFederation.
+type FederationConfigExp struct {
+	// Cond is the per-edge client/cloud network condition (the 200/20
+	// mid-sweep when zero).
+	Cond netsim.Condition
+	// PeerCond shapes the edge↔edge mesh (DefaultPeerCondition when
+	// zero).
+	PeerCond netsim.PeerCondition
+	// EdgeCounts sweeps the federation size (e.g. 1,2,4,8).
+	EdgeCounts []int
+	// Placements sweeps client placement (both when empty).
+	Placements []Placement
+	// Events is the shared workload replayed at every point, so rows are
+	// comparable.
+	Events []trace.Event
+	// Baseline also runs each point with federation disabled (isolated
+	// edges), quantifying what cooperation buys.
+	Baseline bool
+}
+
+// RunFederation is the multi-edge ablation: the same workload replayed
+// over 1..N edges × client placement, with edges federated via consistent
+// hashing (and, optionally, isolated as a baseline). As edges are added,
+// aggregate cache capacity grows; federation keeps the keyspace unified
+// (one peer hop instead of a cloud round trip), so the aggregate hit
+// ratio rises and cloud traffic falls — the multi-edge extension of the
+// paper's single-edge cooperative claim.
+func RunFederation(p Params, cfg FederationConfigExp) ([]FederationRow, error) {
+	if cfg.Cond.MobileEdge == 0 {
+		cfg.Cond = netsim.Condition{Name: "200/20", MobileEdge: 200, EdgeCloud: 20}
+	}
+	if cfg.PeerCond.BandwidthMbps == 0 {
+		cfg.PeerCond = netsim.DefaultPeerCondition()
+	}
+	if len(cfg.Placements) == 0 {
+		cfg.Placements = []Placement{PlaceByCell, PlaceScatter}
+	}
+	var rows []FederationRow
+	for _, n := range cfg.EdgeCounts {
+		for _, placement := range cfg.Placements {
+			modes := []bool{true}
+			if cfg.Baseline {
+				modes = []bool{false, true}
+			}
+			if n == 1 {
+				// A single edge has nobody to federate with; one row.
+				modes = []bool{false}
+			}
+			for _, federated := range modes {
+				row, err := runFederationPoint(p, cfg, n, placement, federated)
+				if err != nil {
+					return nil, fmt.Errorf("federation %d edges %s federated=%v: %w", n, placement, federated, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runFederationPoint(p Params, cfg FederationConfigExp, n int, placement Placement, federated bool) (FederationRow, error) {
+	cloud := NewCloud(p)
+	edges := make([]*Edge, n)
+	topos := make([]*netsim.Topology, n)
+	for i := range edges {
+		edges[i] = NewEdge(p)
+		topos[i] = netsim.NewTopology(cfg.Cond, p.Seed+uint64(i))
+	}
+	if federated && n > 1 {
+		Federate(edges, FederationConfig{
+			Mesh:        netsim.NewMesh(n, cfg.PeerCond, p.Seed),
+			Partitioned: true,
+			Replicate:   true,
+		})
+	}
+
+	edgeFor := func(ev trace.Event) int {
+		if placement == PlaceByCell {
+			return ev.Cell % n
+		}
+		return ev.User % n
+	}
+
+	// All clients share trunk weights (one network build, many users).
+	full := dnn.NewEdgeNet(p.Classes(), p.DNNInput, p.Seed)
+	trunk := full.Trunk()
+	sessions := map[int]*Session{}
+	sessionFor := func(user, edge int) *Session {
+		if s, ok := sessions[user]; ok {
+			return s
+		}
+		c := &Client{ID: user, Params: p, Trunk: trunk}
+		s := NewSession(c, edges[edge], cloud, topos[edge])
+		sessions[user] = s
+		return s
+	}
+
+	row := FederationRow{Edges: n, Placement: placement, Federated: federated && n > 1}
+	all := &metrics.Histogram{}
+	renderModels := cloud.AnnotationModelIDs()
+	eng := sim.New(epoch)
+	for _, ev := range cfg.Events {
+		ev := ev
+		eng.Schedule(epoch.Add(ev.At), func() {
+			sess := sessionFor(ev.User, edgeFor(ev))
+			var (
+				b   Breakdown
+				err error
+			)
+			switch ev.Task {
+			case wire.TaskRecognize:
+				class := vision.Class(ev.Object % int(vision.NumClasses))
+				b, _, err = sess.Recognize(eng.Now(), class, ev.ViewSeed, ModeCoIC)
+			case wire.TaskRender:
+				id := renderModels[ev.Object%len(renderModels)]
+				b, err = sess.Render(eng.Now(), id, ModeCoIC)
+			case wire.TaskPano:
+				video := fmt.Sprintf("video-%d", ev.Object%4)
+				vp := pano.Viewport{Yaw: float64(ev.ViewSeed%628) / 100, FOV: 1.6}
+				b, err = sess.Pano(eng.Now(), video, ev.Frame, vp, ModeCoIC)
+			default:
+				err = fmt.Errorf("core: unknown task %v", ev.Task)
+			}
+			row.Events++
+			if err != nil {
+				row.Errors++
+				return
+			}
+			if b.Cloud > 0 {
+				row.CloudFetches++
+			}
+			all.Record(b.Total())
+		})
+	}
+	eng.Run()
+
+	var lookups, hits uint64
+	for _, e := range edges {
+		st := e.Stats()
+		row.PeerHits += st.PeerHits
+		for _, v := range st.Lookups {
+			lookups += v
+		}
+		for _, v := range st.Exact {
+			hits += v
+		}
+		for _, v := range st.Similar {
+			hits += v
+		}
+		if fed := e.Federation(); fed != nil {
+			row.Published += fed.Stats().Published
+		}
+	}
+	if lookups > 0 {
+		row.HitRatio = float64(hits) / float64(lookups)
+	}
+	row.P50, row.P99 = all.Median(), all.P99()
+	return row, nil
+}
+
 // ThresholdPoint is one row of the A-threshold ablation: true-hit and
 // false-hit rates at a candidate similarity threshold.
 type ThresholdPoint struct {

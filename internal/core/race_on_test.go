@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this binary was built with -race. The heavy
+// deterministic experiment replays skip under the race detector: they are
+// single-threaded discrete-event runs whose value is numeric (hit-ratio
+// monotonicity), already covered without -race, and the detector makes
+// them ~10× slower. Concurrency coverage lives in the cache hammer tests
+// and the TCP federation tests, which do run under -race.
+const raceEnabled = true

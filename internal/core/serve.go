@@ -8,6 +8,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/edge-immersion/coic/internal/cache"
+	"github.com/edge-immersion/coic/internal/feature"
 	"github.com/edge-immersion/coic/internal/pano"
 	"github.com/edge-immersion/coic/internal/vision"
 	"github.com/edge-immersion/coic/internal/wire"
@@ -110,7 +112,9 @@ func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
 }
 
 // EdgeServer exposes an Edge over TCP, forwarding misses to a cloud
-// address over a single multiplexed upstream connection.
+// address over a single multiplexed upstream connection. With peers
+// configured (SetupFederation) the edge first asks the descriptor's home
+// peer — a cheap edge-to-edge hop — before paying for the cloud.
 type EdgeServer struct {
 	Edge      *Edge
 	CloudAddr string
@@ -118,10 +122,159 @@ type EdgeServer struct {
 	// the upstream connection (the tc knobs of the paper's testbed).
 	WrapClient ConnWrapper
 	WrapCloud  ConnWrapper
+	// WrapPeer shapes edge↔edge connections.
+	WrapPeer ConnWrapper
 
 	mu    sync.Mutex
 	cloud net.Conn
 	seq   uint64
+
+	peers map[string]*peerConn
+}
+
+// peerConn is one lazily dialed, persistent edge↔edge connection.
+// Requests to the same peer serialise on its mutex (matching the cloud
+// uplink's discipline); a dial failure backs the peer off so an
+// unreachable edge degrades this one to single-edge behaviour instead of
+// stalling every miss on dial timeouts.
+type peerConn struct {
+	addr string
+	wrap ConnWrapper
+
+	mu      sync.Mutex
+	conn    net.Conn
+	seq     uint64
+	downTil time.Time
+}
+
+// peerDialTimeout bounds how long a miss waits for an unresponsive peer
+// (both dialing and the round trip itself); peerBackoff is how long a
+// failed peer is left alone afterwards.
+const (
+	peerDialTimeout = 2 * time.Second
+	peerBackoff     = 10 * time.Second
+)
+
+// roundTrip sends one frame to the peer and awaits its reply. The whole
+// exchange runs under a deadline: a peer that accepted the connection but
+// stopped responding is treated exactly like one that refused it — close,
+// back off, let the caller degrade to the cloud — rather than wedging
+// every miss behind the connection mutex.
+func (p *peerConn) roundTrip(msg wire.Message) (wire.Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.downTil.IsZero() && time.Now().Before(p.downTil) {
+		return wire.Message{}, fmt.Errorf("core: peer %s backing off", p.addr)
+	}
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, peerDialTimeout)
+		if err != nil {
+			p.downTil = time.Now().Add(peerBackoff)
+			return wire.Message{}, fmt.Errorf("core: edge cannot reach peer %s: %w", p.addr, err)
+		}
+		if p.wrap != nil {
+			conn = p.wrap(conn)
+		}
+		p.conn = conn
+		p.downTil = time.Time{}
+	}
+	conn := p.conn
+	fail := func(err error) (wire.Message, error) {
+		conn.Close()
+		p.conn = nil
+		p.downTil = time.Now().Add(peerBackoff)
+		return wire.Message{}, err
+	}
+	p.seq++
+	msg.RequestID = p.seq
+	conn.SetDeadline(time.Now().Add(peerDialTimeout))
+	defer conn.SetDeadline(time.Time{}) // no-op on a closed conn
+	if err := wire.WriteMessage(conn, msg); err != nil {
+		return fail(err)
+	}
+	reply, err := wire.ReadMessage(conn)
+	if err != nil {
+		return fail(err)
+	}
+	return reply, nil
+}
+
+// SetupFederation joins this edge to a federation: self is this edge's
+// advertised (dialable) address — its federation identity — and peerAddrs
+// are the other members'. All members must name each other consistently,
+// since the consistent-hash ring is built over exactly these strings and
+// every edge must agree on each key's home. Call before Serve. It
+// rejects membership mistakes (empty self, self listed as a peer,
+// duplicate peers) as errors — these come straight from CLI flags.
+func (s *EdgeServer) SetupFederation(self string, peerAddrs []string) error {
+	if self == "" {
+		return fmt.Errorf("core: federated edge needs its advertised self address")
+	}
+	seen := map[string]bool{self: true}
+	for _, addr := range peerAddrs {
+		if addr == self {
+			return fmt.Errorf("core: federation peer list contains this edge itself (%s); list only the other members", self)
+		}
+		if seen[addr] {
+			return fmt.Errorf("core: duplicate federation peer %s", addr)
+		}
+		seen[addr] = true
+	}
+	nodes := append([]string{self}, peerAddrs...)
+	ring := cache.NewRing(nodes, 0)
+	fed := cache.NewFederation(self, ring)
+	s.peers = map[string]*peerConn{}
+	for _, addr := range peerAddrs {
+		pc := &peerConn{addr: addr, wrap: s.WrapPeer}
+		s.peers[addr] = pc
+		fed.AddPeer(addr, cache.Peer{
+			Probe:  s.probePeer(pc),
+			Insert: s.insertPeer(pc),
+		})
+	}
+	s.Edge.SetFederation(fed, true)
+	return nil
+}
+
+// probePeer builds the TCP probe of one peer: a MsgPeerLookup round trip.
+// Errors (unreachable peer, corrupt reply) read as misses — the caller
+// falls back to the cloud, degrading to single-edge behaviour. Cost is
+// zero because TCP mode measures wall-clock time, not virtual time.
+func (s *EdgeServer) probePeer(pc *peerConn) cache.PeerProbe {
+	return func(requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
+		miss := cache.LookupResult{Outcome: cache.OutcomeMiss}
+		body, err := (wire.PeerLookup{Task: wire.Task(task), Desc: desc}).Marshal()
+		if err != nil {
+			return nil, miss, 0
+		}
+		reply, err := pc.roundTrip(wire.Message{Type: wire.MsgPeerLookup, Body: body})
+		if err != nil || reply.Type != wire.MsgPeerReply {
+			return nil, miss, 0
+		}
+		pr, err := wire.UnmarshalPeerReply(reply.Body)
+		if err != nil || pr.Outcome == wire.ProbeMiss {
+			return nil, miss, 0
+		}
+		return pr.Result, cache.LookupResult{
+			Outcome:  probeToOutcome(pr.Outcome),
+			Distance: pr.Distance,
+		}, 0
+	}
+}
+
+// insertPeer builds the publish path to one peer: a MsgPeerInsert round
+// trip run on its own goroutine, keeping replication off the client's
+// miss reply path (the result is already cached locally; the client must
+// not wait on a peer RTT). Publish failures are dropped silently —
+// replication is best-effort.
+func (s *EdgeServer) insertPeer(pc *peerConn) cache.PeerInsert {
+	return func(desc feature.Descriptor, value []byte, cost float64) {
+		body, err := (wire.PeerInsert{Desc: desc, Cost: cost, Value: value}).Marshal()
+		if err != nil {
+			return
+		}
+		go pc.roundTrip(wire.Message{Type: wire.MsgPeerInsert, Body: body})
+	}
 }
 
 // Serve accepts client connections until the listener is closed.
@@ -270,6 +423,33 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 			}
 		}
 		return reply
+
+	case wire.MsgPeerLookup:
+		// A federated peer probing this edge: answer from the local cache
+		// only — never our own peers, never the cloud — so federated
+		// lookups stay single-hop and cannot loop.
+		req, err := wire.UnmarshalPeerLookup(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad peer lookup: %v", err)
+		}
+		v, res := s.Edge.PeerProbe(-1, req.Desc)
+		body, _ := (wire.PeerReply{
+			Outcome:  outcomeToProbe(res.Outcome),
+			Distance: res.Distance,
+			Result:   v,
+		}).Marshal()
+		return wire.Message{Type: wire.MsgPeerReply, RequestID: msg.RequestID, Body: body}
+
+	case wire.MsgPeerInsert:
+		// A federated peer publishing a result whose consistent-hash home
+		// is this edge. The ack is an empty PeerReply.
+		req, err := wire.UnmarshalPeerInsert(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad peer insert: %v", err)
+		}
+		s.Edge.AdoptRemote(req.Desc, req.Value, req.Cost)
+		body, _ := (wire.PeerReply{Outcome: wire.ProbeMiss}).Marshal()
+		return wire.Message{Type: wire.MsgPeerReply, RequestID: msg.RequestID, Body: body}
 
 	default:
 		return fail(wire.CodeBadRequest, "edge cannot handle %v", msg.Type)

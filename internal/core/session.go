@@ -71,7 +71,8 @@ func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, m
 	var resultBytes []byte
 	if mode == ModeCoIC {
 		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskRecognize, desc)
-		b.EdgeProc += lr.Cost
+		b.EdgeProc += lr.Cost - lr.PeerCost
+		b.PeerHop += lr.PeerCost
 		t = t.Add(lr.Cost)
 		if lr.Hit() {
 			b.Outcome = lr.Outcome
@@ -154,7 +155,8 @@ func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, er
 	var source uint8 = wire.SourceCloud
 	if mode == ModeCoIC {
 		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskRender, desc)
-		b.EdgeProc += lr.Cost
+		b.EdgeProc += lr.Cost - lr.PeerCost
+		b.PeerHop += lr.PeerCost
 		t = t.Add(lr.Cost)
 		if lr.Hit() {
 			b.Outcome = lr.Outcome
@@ -244,7 +246,8 @@ func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewp
 	var source uint8 = wire.SourceCloud
 	if mode == ModeCoIC {
 		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskPano, desc)
-		b.EdgeProc += lr.Cost
+		b.EdgeProc += lr.Cost - lr.PeerCost
+		b.PeerHop += lr.PeerCost
 		t = t.Add(lr.Cost)
 		if lr.Hit() {
 			b.Outcome = lr.Outcome

@@ -1,9 +1,3 @@
-// Package feature defines CoIC feature descriptors and the nearest-
-// neighbour indexes the edge uses to match incoming requests against
-// cached results. The paper specifies two descriptor kinds: the DNN
-// feature vector of the input image for recognition tasks, and the hash of
-// the required 3D model or panoramic frame for rendering and VR streaming
-// tasks.
 package feature
 
 import (

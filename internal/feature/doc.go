@@ -1,0 +1,16 @@
+// Package feature defines CoIC feature descriptors and the nearest-
+// neighbour indexes the edge uses to match incoming requests against
+// cached results. The paper specifies two descriptor kinds: the DNN
+// feature vector of the input image for recognition tasks, and the hash of
+// the required 3D model or panoramic frame for rendering and VR streaming
+// tasks.
+//
+// Descriptor.Key() — the hash descriptor's digest, or a digest of a
+// vector's exact bit pattern — is the identity everything above this
+// package agrees on: the cache store key, the snapshot entry key, and the
+// unit the federation's consistent-hash ring partitions across edges.
+//
+// Two Index implementations serve the similarity path: Linear, an exact
+// scan, and LSH, a locality-sensitive hash approximation whose
+// cost/recall trade-off the A-index ablation measures.
+package feature

@@ -1,0 +1,15 @@
+// Package mesh implements the 3D model substrate for CoIC rendering
+// tasks. The paper's Figure 2b measures "load latency" — fetching a 3D
+// model and loading it into memory before drawing — for models from ~231KB
+// to ~15MB. This package provides:
+//
+//   - mesh types and validation;
+//   - a procedural generator that hits requested byte sizes, replacing the
+//     paper's (unavailable) model assets;
+//   - OBJX, a text source format (what the cloud stores — slow to parse);
+//   - CMF, a binary runtime format (what the edge caches — fast to load).
+//
+// The OBJX→CMF asymmetry is the mechanism behind the paper's claim that
+// caching "the loaded data in rendering tasks on the edge" cuts load
+// latency beyond what bandwidth alone explains.
+package mesh

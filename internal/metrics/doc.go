@@ -1,0 +1,7 @@
+// Package metrics provides the measurement substrate for CoIC
+// experiments: latency histograms with quantile estimation (the p50/p99
+// columns of the experiment tables), per-task QoE scoring curves, and
+// aligned-text / CSV table rendering used by cmd/coic-bench to print the
+// rows behind every figure in the paper and this reproduction's
+// ablations.
+package metrics

@@ -1,7 +1,3 @@
-// Package metrics provides the measurement substrate for CoIC
-// experiments: latency histograms with quantile estimation, counters, and
-// table rendering used by the benchmark harness to print the rows behind
-// every figure in the paper.
 package metrics
 
 import (

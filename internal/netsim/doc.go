@@ -1,0 +1,20 @@
+// Package netsim models the networks between mobile clients, edges and
+// the cloud. The paper conditions a real 802.11ac link with tc; here the
+// same sweep runs two ways:
+//
+//   - analytic Links advance a virtual clock: a transfer's completion time
+//     is serialisation delay (bytes/bandwidth) queued FIFO behind earlier
+//     transfers, plus propagation and jitter. Deterministic and fast —
+//     this is what every experiment and benchmark uses;
+//   - a token-bucket Shaper (shaper.go) paces a real net.Conn for the
+//     cmd/ daemons, playing the role tc plays in the paper's testbed.
+//
+// A Topology wires the standard three-tier deployment: clients on a
+// wireless access link to one edge, the edge on a thin WAN uplink to the
+// cloud. A federation adds the edge↔edge interconnect (peer.go): a Mesh
+// of fat, short metro links whose cost asymmetry against the WAN uplink
+// is what makes a peer cache hop worth taking before a cloud fetch. Peer
+// hops are priced with Link.EstimateCost — serialisation plus propagation
+// without queueing state — so federated lookups stay deterministic under
+// any event interleaving.
+package netsim

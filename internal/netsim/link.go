@@ -1,13 +1,3 @@
-// Package netsim models the networks between mobile clients, the edge and
-// the cloud. The paper conditions a real 802.11ac link with tc; here the
-// same sweep runs two ways:
-//
-//   - analytic Links advance a virtual clock: a transfer's completion time
-//     is serialisation delay (bytes/bandwidth) queued FIFO behind earlier
-//     transfers, plus propagation and jitter. Deterministic and fast —
-//     this is what every experiment and benchmark uses;
-//   - a token-bucket Shaper (shaper.go) paces a real net.Conn for the
-//     cmd/ daemons, playing the role tc plays in the paper's testbed.
 package netsim
 
 import (

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file models the edge↔edge network of a cache federation. Edges in
+// the same metro sit on fat, short links (a LAN or a metro fibre ring) —
+// that asymmetry against the thin edge↔cloud WAN uplink is exactly why a
+// peer hop is worth taking before a cloud fetch.
+
+// PeerCondition describes the links between federated edges.
+type PeerCondition struct {
+	// BandwidthMbps is the edge↔edge bandwidth, per direction.
+	BandwidthMbps float64
+	// PropDelay is the one-way edge↔edge propagation delay.
+	PropDelay time.Duration
+}
+
+// DefaultPeerCondition is a metro-area edge federation: 1 Gbps links with
+// 2 ms one-way delay — far cheaper than the 10 ms, tens-of-Mbps WAN hop
+// to the cloud, but far from free.
+func DefaultPeerCondition() PeerCondition {
+	return PeerCondition{BandwidthMbps: 1000, PropDelay: 2 * time.Millisecond}
+}
+
+// EstimateCost reports the virtual time `bytes` take to cross the link
+// ignoring FIFO queueing: serialisation plus propagation, no state
+// mutated. Peer hops use this instead of Transfer because a federated
+// lookup is issued from inside an edge (which has no notion of absolute
+// virtual time) and edge↔edge links are fat enough that queueing is a
+// second-order effect there.
+func (l *Link) EstimateCost(bytes int) time.Duration {
+	return l.SerialisationDelay(bytes) + l.cfg.PropDelay
+}
+
+// Mesh is the full edge↔edge interconnect of a federation: one duplex
+// link per ordered pair of edges, all built from the same PeerCondition.
+type Mesh struct {
+	n     int
+	links map[[2]int]*Duplex
+}
+
+// NewMesh builds the interconnect for n edges. It panics on n < 1 (a
+// construction bug).
+func NewMesh(n int, cond PeerCondition, seed uint64) *Mesh {
+	if n < 1 {
+		panic(fmt.Sprintf("netsim: mesh needs at least one edge, got %d", n))
+	}
+	m := &Mesh{n: n, links: map[[2]int]*Duplex{}}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := NewDuplex(fmt.Sprintf("edge%d<->edge%d", i, j),
+				Mbps(cond.BandwidthMbps), Mbps(cond.BandwidthMbps),
+				cond.PropDelay, 0, seed+uint64(i*n+j))
+			m.links[[2]int{i, j}] = &d
+		}
+	}
+	return m
+}
+
+// Link returns the duplex link between edges i and j (order-insensitive).
+// It panics when i == j or either index is out of range.
+func (m *Mesh) Link(i, j int) *Duplex {
+	if i == j || i < 0 || j < 0 || i >= m.n || j >= m.n {
+		panic(fmt.Sprintf("netsim: no mesh link %d<->%d in a %d-edge mesh", i, j, m.n))
+	}
+	if j < i {
+		i, j = j, i
+	}
+	return m.links[[2]int{i, j}]
+}
+
+// Size reports the number of edges the mesh connects.
+func (m *Mesh) Size() int { return m.n }
+
+// Reset clears queueing state on every link.
+func (m *Mesh) Reset() {
+	for _, d := range m.links {
+		d.Reset()
+	}
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeshLinksAllPairs(t *testing.T) {
+	m := NewMesh(4, DefaultPeerCondition(), 7)
+	if m.Size() != 4 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if m.Link(i, j) == nil {
+				t.Fatalf("no link %d<->%d", i, j)
+			}
+			if m.Link(i, j) != m.Link(j, i) {
+				t.Fatalf("link %d<->%d not order-insensitive", i, j)
+			}
+		}
+	}
+}
+
+func TestMeshRejectsBadIndices(t *testing.T) {
+	m := NewMesh(2, DefaultPeerCondition(), 1)
+	for _, pair := range [][2]int{{0, 0}, {-1, 0}, {0, 2}} {
+		pair := pair
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Link(%d,%d) must panic", pair[0], pair[1])
+				}
+			}()
+			m.Link(pair[0], pair[1])
+		}()
+	}
+}
+
+func TestEstimateCostIsStateless(t *testing.T) {
+	l := NewLink(Config{Name: "peer", BandwidthBPS: Mbps(1000), PropDelay: 2 * time.Millisecond})
+	// 1 Gbps, 125000 bytes = 1 ms serialisation + 2 ms propagation.
+	want := 3 * time.Millisecond
+	if got := l.EstimateCost(125000); got != want {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+	// Estimates never advance queueing state.
+	for i := 0; i < 10; i++ {
+		l.EstimateCost(125000)
+	}
+	if transfers, bytes, busy := l.Counters(); transfers != 0 || bytes != 0 || busy != 0 {
+		t.Fatalf("EstimateCost mutated link state: %d %d %v", transfers, bytes, busy)
+	}
+	if got := l.EstimateCost(0); got != 2*time.Millisecond {
+		t.Fatalf("zero bytes should cost only propagation, got %v", got)
+	}
+}

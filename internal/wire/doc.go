@@ -1,0 +1,38 @@
+// Package wire defines the CoIC protocol: framed, CRC-protected messages
+// between mobile clients, edges and the cloud — and, in a federation,
+// between edges. The same encoding runs over real TCP (the cmd/ daemons)
+// and is byte-counted by the analytic network simulation, so experiment
+// transfer sizes are the true encoded sizes, not estimates.
+//
+// # Frame layout (little-endian)
+//
+//	magic  u16  0x4943 ("IC")
+//	ver    u8
+//	type   u8
+//	reqID  u64
+//	len    u32  body length
+//	crc    u32  IEEE CRC-32 of the body
+//	body   len bytes
+//
+// # Message catalogue
+//
+// Client ↔ edge ↔ cloud (the paper's Figure 1 protocol):
+//
+//   - MsgProbe / MsgProbeReply — descriptor-only cache probe;
+//   - MsgExec / MsgExecReply — full IC task execution (recognition);
+//   - MsgModelFetch / MsgModelReply — 3D model retrieval;
+//   - MsgPanoFetch / MsgPanoReply — VR panorama frame retrieval;
+//   - MsgError, MsgHello — failure reporting and connection preamble.
+//
+// Edge ↔ edge (the cache federation):
+//
+//   - MsgPeerLookup / MsgPeerReply — one edge probing another's cache on
+//     a local miss. The receiver answers from its local cache only, never
+//     re-forwarding to its own peers or the cloud, which bounds federated
+//     lookups at a single hop;
+//   - MsgPeerInsert — publishing a freshly computed result to the
+//     descriptor's consistent-hash home edge (acknowledged with an empty
+//     MsgPeerReply).
+//
+// docs/PROTOCOL.md documents every body layout byte by byte.
+package wire

@@ -1,18 +1,3 @@
-// Package wire defines the CoIC protocol: framed, CRC-protected messages
-// between mobile clients, the edge and the cloud. The same encoding runs
-// over real TCP (the cmd/ daemons) and is byte-counted by the analytic
-// network simulation, so experiment transfer sizes are the true encoded
-// sizes, not estimates.
-//
-// Frame layout (little-endian):
-//
-//	magic  u16  0x4943 ("IC")
-//	ver    u8
-//	type   u8
-//	reqID  u64
-//	len    u32  body length
-//	crc    u32  IEEE CRC-32 of the body
-//	body   len bytes
 package wire
 
 import (
@@ -49,6 +34,13 @@ const (
 	MsgPanoReply  MsgType = 8  // panorama bytes
 	MsgError      MsgType = 9  // error reply
 	MsgHello      MsgType = 10 // connection preamble (role announcement)
+
+	// Edge federation (edge<->edge). Peer lookups are local-only at the
+	// receiving edge: a peer never re-forwards to its own peers or to the
+	// cloud, so federated lookups cannot loop or amplify.
+	MsgPeerLookup MsgType = 11 // edge->edge: probe a peer's cache
+	MsgPeerReply  MsgType = 12 // edge->edge: probe answer (+result on hit)
+	MsgPeerInsert MsgType = 13 // edge->edge: publish a result to the key's home edge
 )
 
 // String names the message type for logs.
@@ -74,6 +66,12 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgHello:
 		return "hello"
+	case MsgPeerLookup:
+		return "peer-lookup"
+	case MsgPeerReply:
+		return "peer-reply"
+	case MsgPeerInsert:
+		return "peer-insert"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}

@@ -115,6 +115,104 @@ func UnmarshalProbeReply(body []byte) (ProbeReply, error) {
 	}, nil
 }
 
+// PeerLookup is the edge-to-edge flavour of ProbeRequest: one federated
+// edge asking another whether a descriptor's result is cached there. It
+// is a distinct message type (not a reused MsgProbe) so the receiving
+// edge knows to answer from its local cache only — never re-forwarding to
+// its own peers or the cloud — which is what keeps federated lookups to a
+// single hop.
+type PeerLookup struct {
+	Task Task
+	Desc feature.Descriptor
+}
+
+// Marshal encodes the body (same layout as ProbeRequest).
+func (p PeerLookup) Marshal() ([]byte, error) {
+	return ProbeRequest{Task: p.Task, Desc: p.Desc}.Marshal()
+}
+
+// UnmarshalPeerLookup decodes a PeerLookup body.
+func UnmarshalPeerLookup(body []byte) (PeerLookup, error) {
+	pr, err := UnmarshalProbeRequest(body)
+	if err != nil {
+		return PeerLookup{}, err
+	}
+	return PeerLookup{Task: pr.Task, Desc: pr.Desc}, nil
+}
+
+// PeerReply answers a PeerLookup; Result is present only on a hit. It
+// also acknowledges a PeerInsert (Outcome ProbeMiss, empty Result).
+type PeerReply struct {
+	Outcome  uint8   // ProbeMiss / ProbeExact / ProbeSimilar
+	Distance float64 // descriptor distance for similar hits
+	Result   []byte
+}
+
+// Marshal encodes the body (same layout as ProbeReply).
+func (p PeerReply) Marshal() ([]byte, error) {
+	return ProbeReply{Outcome: p.Outcome, Distance: p.Distance, Result: p.Result}.Marshal()
+}
+
+// UnmarshalPeerReply decodes a PeerReply body.
+func UnmarshalPeerReply(body []byte) (PeerReply, error) {
+	pr, err := UnmarshalProbeReply(body)
+	if err != nil {
+		return PeerReply{}, err
+	}
+	return PeerReply{Outcome: pr.Outcome, Distance: pr.Distance, Result: pr.Result}, nil
+}
+
+// PeerInsert publishes a computed result to the descriptor's home edge
+// (consistent-hash owner), so any edge in the federation can later
+// resolve the key in one peer hop. Cost carries the recomputation-cost
+// hint for the receiving cache's eviction policy. There is deliberately
+// no task field: the descriptor alone identifies the cached computation,
+// and the receiver adopts it without task-level accounting.
+type PeerInsert struct {
+	Desc  feature.Descriptor
+	Cost  float64
+	Value []byte
+}
+
+// Marshal encodes the body.
+func (p PeerInsert) Marshal() ([]byte, error) {
+	desc, err := p.Desc.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 8+4+len(desc)+4+len(p.Value))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Cost))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(desc)))
+	out = append(out, desc...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Value)))
+	return append(out, p.Value...), nil
+}
+
+// UnmarshalPeerInsert decodes a PeerInsert body.
+func UnmarshalPeerInsert(body []byte) (PeerInsert, error) {
+	if len(body) < 12 {
+		return PeerInsert{}, fmt.Errorf("%w: peer-insert too short", ErrBadMessage)
+	}
+	dn := binary.LittleEndian.Uint32(body[8:])
+	off := 12 + int(dn)
+	if off+4 > len(body) {
+		return PeerInsert{}, fmt.Errorf("%w: peer-insert descriptor overruns", ErrBadMessage)
+	}
+	desc, err := feature.Unmarshal(body[12:off])
+	if err != nil {
+		return PeerInsert{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	vn := binary.LittleEndian.Uint32(body[off:])
+	if int(vn) != len(body)-off-4 {
+		return PeerInsert{}, fmt.Errorf("%w: peer-insert value length", ErrBadMessage)
+	}
+	return PeerInsert{
+		Cost:  math.Float64frombits(binary.LittleEndian.Uint64(body[0:])),
+		Desc:  desc,
+		Value: append([]byte(nil), body[off+4:]...),
+	}, nil
+}
+
 // ExecRequest carries a full IC task: the input payload plus the
 // descriptor so the edge can insert the eventual result into its cache.
 type ExecRequest struct {

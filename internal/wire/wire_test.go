@@ -133,7 +133,7 @@ func TestFrameOverTCP(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for mt := MsgProbe; mt <= MsgHello; mt++ {
+	for mt := MsgProbe; mt <= MsgPeerInsert; mt++ {
 		if s := mt.String(); s == "" || s == "unknown" {
 			t.Fatalf("type %d has no name", mt)
 		}
@@ -257,10 +257,66 @@ func TestRecognitionResultRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPeerLookupRoundTrip(t *testing.T) {
+	for _, desc := range []feature.Descriptor{
+		feature.NewVector([]float32{0.4, -0.2, 0.7}),
+		feature.NewHash([]byte("model-3")),
+	} {
+		p := PeerLookup{Task: TaskRender, Desc: desc}
+		body, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalPeerLookup(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Task != p.Task || got.Desc.Kind != desc.Kind || got.Desc.Key() != desc.Key() {
+			t.Fatalf("round trip: %+v", got)
+		}
+	}
+}
+
+func TestPeerReplyRoundTrip(t *testing.T) {
+	p := PeerReply{Outcome: ProbeExact, Distance: 0.011, Result: []byte("peer-cached")}
+	body, _ := p.Marshal()
+	got, err := UnmarshalPeerReply(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outcome != ProbeExact || got.Distance != 0.011 || string(got.Result) != "peer-cached" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestPeerInsertRoundTrip(t *testing.T) {
+	for _, desc := range []feature.Descriptor{
+		feature.NewVector([]float32{0.3, 0.1, -0.8}),
+		feature.NewHash([]byte("pano:video-0:7")),
+	} {
+		p := PeerInsert{Desc: desc, Cost: 123.5, Value: []byte("published")}
+		body, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalPeerInsert(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != p.Cost || string(got.Value) != "published" ||
+			got.Desc.Kind != desc.Kind || got.Desc.Key() != desc.Key() {
+			t.Fatalf("round trip: %+v", got)
+		}
+	}
+}
+
 func TestBodyDecodersRejectGarbage(t *testing.T) {
 	decoders := map[string]func([]byte) error{
 		"probe":       func(b []byte) error { _, err := UnmarshalProbeRequest(b); return err },
 		"probe-reply": func(b []byte) error { _, err := UnmarshalProbeReply(b); return err },
+		"peer-lookup": func(b []byte) error { _, err := UnmarshalPeerLookup(b); return err },
+		"peer-reply":  func(b []byte) error { _, err := UnmarshalPeerReply(b); return err },
+		"peer-insert": func(b []byte) error { _, err := UnmarshalPeerInsert(b); return err },
 		"exec":        func(b []byte) error { _, err := UnmarshalExecRequest(b); return err },
 		"exec-reply":  func(b []byte) error { _, err := UnmarshalExecReply(b); return err },
 		"model-fetch": func(b []byte) error { _, err := UnmarshalModelFetch(b); return err },
