@@ -1,0 +1,44 @@
+# Local gates mirroring .github/workflows/ci.yml — contributors run the
+# exact same checks CI enforces.
+
+GO ?= go
+COVER_BASELINE_FILE := .github/coverage-baseline.txt
+
+.PHONY: all build lint test bench cover ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# lint = gofmt + go vet + staticcheck (skipped with a notice if the tool
+# is not installed; CI always runs it).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1, the version CI pins); skipping"; \
+	fi
+
+# test = the CI test job: race detector + coverage profile + baseline gate.
+test:
+	$(GO) test -race -timeout 20m -coverprofile=coverage.out ./...
+	@$(MAKE) --no-print-directory cover
+
+# cover checks the recorded coverage baseline against coverage.out.
+cover:
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	baseline=$$(cat $(COVER_BASELINE_FILE)); \
+	echo "total coverage: $$total% (baseline $$baseline%)"; \
+	awk -v t="$$total" -v b="$$baseline" 'BEGIN { exit (t+0 >= b+0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% fell below the recorded baseline $$baseline%"; exit 1; }
+
+# bench = the CI bench-smoke job: one iteration of every benchmark so
+# they cannot bit-rot.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
+
+ci: lint build test bench

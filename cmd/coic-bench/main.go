@@ -19,7 +19,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, finegrained, pano, privacy, qoe")
+		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, finegrained, pano, privacy, qoe")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
 	flag.Parse()
@@ -65,6 +65,9 @@ func main() {
 		}},
 		{"federation", func() (*coic.Table, error) {
 			return coic.RunFederation(scaled(p), []int{1, 2, 4, 8}, 24, 2, p.Seed)
+		}},
+		{"burst", func() (*coic.Table, error) {
+			return coic.RunBurst(scaled(p), []int{4, 16, 64}, []float64{0, 0.5, 1})
 		}},
 		{"finegrained", func() (*coic.Table, error) {
 			return coic.RunFinegrained(p, []int{1, 4, 16, 64}, 256), nil

@@ -17,6 +17,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":9090", "address to serve on")
+	workers := flag.Int("workers", 0, "concurrent requests per connection (0 = default); one edge funnels all its misses over one multiplexed connection, so this bounds its fetch parallelism")
+	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -24,7 +26,7 @@ func main() {
 		log.Fatalf("coic-cloud: %v", err)
 	}
 	fmt.Printf("coic-cloud: serving on %s\n", ln.Addr())
-	if err := coic.ServeCloud(ln, coic.DefaultParams()); err != nil {
+	if err := coic.ServeCloudWith(ln, coic.DefaultParams(), coic.ServeConfig{Workers: *workers, QueueDepth: *queue}); err != nil {
 		log.Fatalf("coic-cloud: %v", err)
 	}
 }

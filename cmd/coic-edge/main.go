@@ -9,10 +9,16 @@
 // other member, and -self must be this edge's address exactly as the
 // others list it.
 //
+// Each client connection is served pipelined by a bounded worker pool
+// (-workers / -queue), concurrent misses on the same descriptor coalesce
+// into one cloud fetch, and every fetch is bounded by -fetch-timeout so a
+// hung cloud sheds load instead of wedging connections.
+//
 // Usage:
 //
 //	coic-edge -listen :9091 -cloud localhost:9090 -cloud-shape "rate 20mbit delay 10ms"
 //	coic-edge -listen :9091 -self localhost:9091 -peers localhost:9092,localhost:9093
+//	coic-edge -listen :9091 -workers 32 -queue 128 -fetch-timeout 5s
 package main
 
 import (
@@ -31,6 +37,9 @@ func main() {
 	cloudShape := flag.String("cloud-shape", "", `tc-style spec for the edge->cloud link, e.g. "rate 20mbit delay 10ms"`)
 	peers := flag.String("peers", "", "comma-separated peer edge addresses to federate with")
 	self := flag.String("self", "", "this edge's advertised address in the federation (required with -peers; must match what peers list)")
+	workers := flag.Int("workers", 0, "concurrent requests per client connection (0 = default)")
+	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
+	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch cloud timeout (0 = default)")
 	flag.Parse()
 
 	var peerAddrs []string
@@ -57,7 +66,8 @@ func main() {
 	} else {
 		fmt.Printf("coic-edge: serving on %s, cloud at %s\n", ln.Addr(), *cloud)
 	}
-	if err := coic.ServeEdgeFederated(ln, coic.DefaultParams(), *cloud, coic.ShapeSpec(*cloudShape), *self, peerAddrs); err != nil {
+	cfg := coic.ServeConfig{Workers: *workers, QueueDepth: *queue, FetchTimeout: *fetchTimeout}
+	if err := coic.ServeEdgeWith(ln, coic.DefaultParams(), *cloud, coic.ShapeSpec(*cloudShape), *self, peerAddrs, cfg); err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}
 }

@@ -281,9 +281,36 @@ func (s *System) LoadCache(r io.Reader) (int, error) { return s.edge.Cache.Resto
 
 // --- real-socket deployment ------------------------------------------
 
+// ServeConfig tunes the pipelined TCP servers. Each accepted connection
+// is served by a reader goroutine feeding a bounded worker pool, with
+// replies written back in arrival order; requests beyond Workers +
+// QueueDepth are rejected with an overloaded error instead of stalling
+// the connection (see docs/PROTOCOL.md).
+type ServeConfig struct {
+	// Workers bounds concurrent request processing per connection
+	// (core.DefaultWorkers when 0).
+	Workers int
+	// QueueDepth bounds requests buffered awaiting a worker
+	// (core.DefaultQueueDepth when 0).
+	QueueDepth int
+	// FetchTimeout bounds one edge→cloud fetch, failing any coalesced
+	// waiters fast when the cloud hangs (core.DefaultFetchTimeout when 0;
+	// cloud servers ignore it).
+	FetchTimeout time.Duration
+}
+
 // ServeCloud runs a CoIC cloud on ln until the listener closes.
 func ServeCloud(ln net.Listener, p Params) error {
-	srv := &core.CloudServer{Cloud: core.NewCloud(p)}
+	return ServeCloudWith(ln, p, ServeConfig{})
+}
+
+// ServeCloudWith runs a CoIC cloud with explicit serving tunables.
+func ServeCloudWith(ln net.Listener, p Params, cfg ServeConfig) error {
+	srv := &core.CloudServer{
+		Cloud:      core.NewCloud(p),
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+	}
 	return srv.Serve(ln)
 }
 
@@ -307,7 +334,7 @@ func (s ShapeSpec) wrapper() (core.ConnWrapper, error) {
 // ServeEdge runs a CoIC edge on ln, forwarding misses to cloudAddr.
 // cloudShape conditions the edge→cloud uplink (the B_E→C knob).
 func ServeEdge(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec) error {
-	return ServeEdgeFederated(ln, p, cloudAddr, cloudShape, "", nil)
+	return ServeEdgeWith(ln, p, cloudAddr, cloudShape, "", nil, ServeConfig{})
 }
 
 // ServeEdgeFederated runs a CoIC edge that is a member of a cache
@@ -319,14 +346,25 @@ func ServeEdge(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec
 // in every peer's peer list. Empty peers degrade to a standalone
 // ServeEdge.
 func ServeEdgeFederated(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec, self string, peers []string) error {
+	return ServeEdgeWith(ln, p, cloudAddr, cloudShape, self, peers, ServeConfig{})
+}
+
+// ServeEdgeWith is ServeEdgeFederated with explicit serving tunables:
+// per-connection worker pool size, admission queue depth, and the
+// per-fetch cloud timeout. Concurrent misses on the same (or similar)
+// descriptor coalesce into one cloud fetch regardless of these knobs.
+func ServeEdgeWith(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec, self string, peers []string, cfg ServeConfig) error {
 	wrap, err := cloudShape.wrapper()
 	if err != nil {
 		return err
 	}
 	srv := &core.EdgeServer{
-		Edge:      core.NewEdge(p),
-		CloudAddr: cloudAddr,
-		WrapCloud: wrap,
+		Edge:         core.NewEdge(p),
+		CloudAddr:    cloudAddr,
+		WrapCloud:    wrap,
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		FetchTimeout: cfg.FetchTimeout,
 	}
 	if len(peers) > 0 {
 		if err := srv.SetupFederation(self, peers); err != nil {

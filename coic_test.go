@@ -151,6 +151,23 @@ func TestTablesRender(t *testing.T) {
 	}
 }
 
+func TestBurstTablePublicAPI(t *testing.T) {
+	tab, err := RunBurst(testConfig().Params, []int{4}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One serial and one coalesce row; the coalesce row must show the
+	// saved fetches.
+	if !strings.Contains(out, "serial") || !strings.Contains(out, "coalesce") {
+		t.Fatalf("burst table missing modes:\n%s", out)
+	}
+}
+
 func TestIndexAblationTable(t *testing.T) {
 	tab := RunIndexAblation(32, []int{100, 500}, 20, 1)
 	rows := tab.Rows()

@@ -355,6 +355,41 @@ func FederationTable(rows []FederationRow) *Table {
 	return t
 }
 
+// BurstRow is one point of the burst-coalescing ablation.
+type BurstRow = core.BurstRow
+
+// RunBurst is the miss-coalescing ablation: K users fire requests at the
+// edge in the same instant (the correlated bursts of multi-user immersive
+// workloads) at each duplication ratio, replayed under the honest serial
+// miss policy and under in-flight coalescing. It reports cloud fetches
+// (and fetches saved) plus p50/p99 latency — the virtual-time counterpart
+// of the TCP edge's singleflight table.
+func RunBurst(p Params, userCounts []int, dupRatios []float64) (*Table, error) {
+	rows, err := core.RunBurstExp(p, core.BurstConfig{
+		UserCounts: userCounts,
+		DupRatios:  dupRatios,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return BurstTable(rows), nil
+}
+
+// BurstTable renders burst ablation rows.
+func BurstTable(rows []BurstRow) *Table {
+	core.SortBurstRows(rows)
+	t := metrics.NewTable(
+		"A-burst — concurrent-miss coalescing under correlated bursts",
+		"users", "dup_ratio", "mode", "distinct", "cloud_fetches", "saved", "coalesced", "p50_ms", "p99_ms")
+	for _, r := range rows {
+		t.AddRow(r.Users, fmt.Sprintf("%.2f", r.DupRatio), r.Mode.String(), r.Distinct,
+			r.CloudFetches, r.SavedFetches(), r.CoalescedJoins,
+			msCol(r.P50), msCol(r.P99))
+	}
+	t.AddNote("serial = every in-flight duplicate pays its own cloud fetch; coalesce = duplicates join the one in-flight fetch")
+	return t
+}
+
 // RunFinegrained measures the paper's future-work extension: per-DNN-layer
 // result reuse. A pool of inputs with repetition runs through a plain
 // network and a layer-memoised one; the table reports layer hit rate and

@@ -1,3 +1,3 @@
 module github.com/edge-immersion/coic
 
-go 1.24
+go 1.23

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -41,6 +42,9 @@ type FederationStats struct {
 	Hits uint64
 	// Misses is how many probes came back empty.
 	Misses uint64
+	// Coalesced counts lookups that joined an in-flight probe for the
+	// same key instead of issuing their own (concurrent TCP misses).
+	Coalesced uint64
 	// Published counts inserts routed to a key's home peer.
 	Published uint64
 }
@@ -59,6 +63,21 @@ type Federation struct {
 	order []string
 	peers map[string]Peer
 	stats FederationStats
+
+	// inflight coalesces concurrent probes for the same key: N requests
+	// missing locally at once cost the federation one peer round trip,
+	// not N. Virtual-time experiments are single-threaded, so there every
+	// lookup is its own leader and behaviour is unchanged.
+	inflight Inflight[probeOutcome]
+}
+
+// probeOutcome is the fan-out payload of one coalesced probe round.
+type probeOutcome struct {
+	value []byte
+	res   LookupResult
+	peer  string
+	cost  time.Duration
+	ok    bool
 }
 
 // NewFederation builds the federation view of node `self`. ring may be
@@ -113,9 +132,28 @@ func (f *Federation) probeOrder(key string) []string {
 // Lookup runs the peer phase of a cache miss: probe the key's home (or
 // every peer in broadcast mode) and return the first usable value. peer
 // names who answered; cost accumulates over every hop taken, hit or not.
+// Concurrent lookups for the same (requester, key) coalesce onto one
+// probe round whose outcome fans out to all of them; the requester is
+// part of the flight key because the remote privacy gate answers per
+// requester — a stranger must not ride a contributor's probe to a value
+// the gate would withhold from them. (TCP edges probe anonymously, so in
+// practice all of a TCP edge's misses on a key still share one flight.)
 // A (LookupResult{}, ok=false) return means the federation has nothing —
 // the caller falls back to the cloud.
 func (f *Federation) Lookup(requester int, task uint8, key string, desc feature.Descriptor) (value []byte, res LookupResult, peer string, cost time.Duration, ok bool) {
+	flight := fmt.Sprintf("%d|%s", requester, key)
+	out, leader, _ := f.inflight.Do(flight, func() (probeOutcome, error) {
+		return f.probeRound(requester, task, key, desc), nil
+	})
+	if !leader {
+		f.addStat(func(s *FederationStats) { s.Coalesced++ })
+	}
+	return out.value, out.res, out.peer, out.cost, out.ok
+}
+
+// probeRound issues the actual peer probes for one coalesced flight.
+func (f *Federation) probeRound(requester int, task uint8, key string, desc feature.Descriptor) probeOutcome {
+	var cost time.Duration
 	for _, id := range f.probeOrder(key) {
 		f.mu.Lock()
 		p, registered := f.peers[id]
@@ -128,11 +166,11 @@ func (f *Federation) Lookup(requester int, task uint8, key string, desc feature.
 		cost += c
 		if r.Hit() {
 			f.addStat(func(s *FederationStats) { s.Hits++ })
-			return v, r, id, cost, true
+			return probeOutcome{value: v, res: r, peer: id, cost: cost, ok: true}
 		}
 		f.addStat(func(s *FederationStats) { s.Misses++ })
 	}
-	return nil, LookupResult{Outcome: OutcomeMiss}, "", cost, false
+	return probeOutcome{res: LookupResult{Outcome: OutcomeMiss}, cost: cost}
 }
 
 // Publish routes a freshly computed result to its home peer so future

@@ -1,0 +1,228 @@
+package cache
+
+import (
+	"sync"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// This file is the miss-coalescing layer: when N concurrent requests miss
+// on the same descriptor, only one of them (the leader) performs the
+// expensive fetch — a cloud round trip, a peer probe — and the result fans
+// out to the other N-1 (the waiters). Multi-user immersive workloads
+// arrive in correlated bursts (everyone at the same landmark recognises
+// the same object at the same moment), which is exactly the pattern that
+// rewards in-flight deduplication: without it the edge forwards N
+// identical computations upstream before the first result lands in the
+// cache.
+
+// inflightCall is one outstanding fetch. done closes when val/err are
+// final; waiters never write, only read after done.
+type inflightCall[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Inflight coalesces concurrent executions of the same keyed operation
+// (a minimal generic singleflight). The zero value is ready to use.
+type Inflight[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*inflightCall[T]
+
+	fetches   uint64
+	coalesced uint64
+	failures  uint64
+}
+
+// Do executes fn under key, coalescing with any in-flight call for the
+// same key: the first caller runs fn (leader=true), concurrent callers
+// block until it completes and receive the same value and error
+// (leader=false). The key is forgotten as soon as the call completes —
+// errors propagate to every waiter of that flight but never poison the
+// key, so the next Do after a failure fetches afresh.
+func (g *Inflight[T]) Do(key string, fn func() (T, error)) (val T, leader bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*inflightCall[T]{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, false, c.err
+	}
+	c := &inflightCall[T]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.fetches++
+	g.mu.Unlock()
+
+	defer func() {
+		// Runs even if fn panics: unblock waiters (they observe err==nil
+		// and a zero value only on panic, which is propagating anyway) and
+		// drop the key so nothing is wedged or poisoned.
+		g.mu.Lock()
+		delete(g.calls, key)
+		if c.err != nil {
+			g.failures++
+		}
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, true, c.err
+}
+
+// Active reports whether a call for key is currently in flight.
+func (g *Inflight[T]) Active(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.calls[key]
+	return ok
+}
+
+// Stats reports leader fetches, coalesced joins and failed fetches.
+// Joins are counted the moment the waiter attaches, so a leader can
+// observe its own waiters arriving mid-fetch.
+func (g *Inflight[T]) Stats() (fetches, coalesced, failures uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fetches, g.coalesced, g.failures
+}
+
+// Len reports how many fetches are currently in flight.
+func (g *Inflight[T]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}
+
+// InflightStats counts InflightTable outcomes.
+type InflightStats struct {
+	// Fetches is how many leader fetches ran.
+	Fetches uint64
+	// Coalesced is how many callers joined an in-flight fetch instead of
+	// issuing their own (exact-key joins plus similar-descriptor joins).
+	Coalesced uint64
+	// SimilarJoins is the subset of Coalesced that matched an in-flight
+	// fetch through descriptor similarity rather than key equality.
+	SimilarJoins uint64
+	// Failures is how many leader fetches returned an error (each error
+	// also failed that flight's waiters).
+	Failures uint64
+}
+
+// InflightTable coalesces concurrent fetches keyed by feature descriptor.
+// It is the descriptor-aware flavour of Inflight: exact keys always
+// coalesce, and when a similarity threshold is configured, a vector
+// descriptor within that L2 distance of an in-flight vector descriptor
+// joins its flight too — the same "close enough means the same
+// computation" rule the SimilarityCache applies to resident entries,
+// applied to entries that are still being computed. The call lifecycle
+// (leader election, fan-out, error propagation, cleanup) is Inflight's;
+// this type only maps descriptors onto flight keys via a small index of
+// in-flight vectors.
+type InflightTable struct {
+	threshold float64
+	group     Inflight[[]byte]
+
+	mu           sync.Mutex
+	index        feature.Index     // in-flight vector descriptors only
+	ids          map[string]uint64 // key -> index id
+	keys         map[uint64]string // index id -> key
+	nextID       uint64
+	similarJoins uint64
+}
+
+// NewInflightTable builds a table. threshold > 0 enables
+// similar-descriptor coalescing for vector descriptors (the in-flight set
+// is small, so an exact linear scan is the right index).
+func NewInflightTable(threshold float64) *InflightTable {
+	return &InflightTable{
+		threshold: threshold,
+		index:     feature.NewLinear(),
+		ids:       map[string]uint64{},
+		keys:      map[uint64]string{},
+	}
+}
+
+// flightKey maps desc onto the flight to join: its own key, or the key of
+// a similar-enough in-flight vector descriptor. The similarity redirect
+// is best-effort — if the neighbouring flight completes between this
+// decision and Do's registration, the caller simply leads a fresh fetch
+// under the neighbour's (now free) key, which is correct, just not
+// deduplicated.
+func (t *InflightTable) flightKey(desc feature.Descriptor) string {
+	key := desc.Key()
+	if t.threshold <= 0 || desc.Kind != feature.KindVector || t.group.Active(key) {
+		return key
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, dist, ok := t.index.Nearest(desc.Vec)
+	if !ok || dist > t.threshold {
+		return key
+	}
+	neighbour, ok := t.keys[id]
+	if !ok || !t.group.Active(neighbour) {
+		return key
+	}
+	return neighbour
+}
+
+// track registers a leader's vector descriptor in the in-flight index for
+// the duration of its fetch, so similar descriptors can find the flight.
+func (t *InflightTable) track(key string, desc feature.Descriptor) (untrack func()) {
+	if t.threshold <= 0 || desc.Kind != feature.KindVector {
+		return func() {}
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.ids[key] = id
+	t.keys[id] = key
+	t.mu.Unlock()
+	t.index.Add(id, desc.Vec)
+	return func() {
+		t.mu.Lock()
+		delete(t.ids, key)
+		delete(t.keys, id)
+		t.mu.Unlock()
+		t.index.Remove(id)
+	}
+}
+
+// Do resolves desc through the table: join an in-flight fetch for the
+// same (or similar) descriptor, or become the leader and run fetch. The
+// leader's value and error fan out to every caller that joined before the
+// fetch completed. Completion — success or failure — removes the entry,
+// so a failed fetch never poisons the descriptor.
+func (t *InflightTable) Do(desc feature.Descriptor, fetch func() ([]byte, error)) (val []byte, leader bool, err error) {
+	flight := t.flightKey(desc)
+	val, leader, err = t.group.Do(flight, func() ([]byte, error) {
+		defer t.track(flight, desc)()
+		return fetch()
+	})
+	if !leader && flight != desc.Key() {
+		t.mu.Lock()
+		t.similarJoins++
+		t.mu.Unlock()
+	}
+	return val, leader, err
+}
+
+// Stats returns a counter snapshot.
+func (t *InflightTable) Stats() InflightStats {
+	fetches, coalesced, failures := t.group.Stats()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return InflightStats{
+		Fetches:      fetches,
+		Coalesced:    coalesced,
+		SimilarJoins: t.similarJoins,
+		Failures:     failures,
+	}
+}
+
+// Len reports how many fetches are currently in flight.
+func (t *InflightTable) Len() int { return t.group.Len() }

@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// waitForJoins blocks (inside a leader fetch) until n callers have
+// coalesced onto the table, so coalescing tests are deterministic instead
+// of sleep-based.
+func waitForJoins(t *testing.T, stats func() uint64, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for stats() < n {
+		if time.Now().After(deadline) {
+			t.Errorf("only %d joins arrived, want %d", stats(), n)
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestInflightTableSingleKeyHammer(t *testing.T) {
+	const goroutines = 300
+	tab := NewInflightTable(0)
+	desc := feature.NewHash([]byte("one-key"))
+
+	var fetches atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			v, _, err := tab.Do(desc, func() ([]byte, error) {
+				fetches.Add(1)
+				// Hold the flight open until every other goroutine has
+				// joined it, so exactly one fetch can run.
+				waitForJoins(t, func() uint64 { return tab.Stats().Coalesced }, goroutines-1)
+				return []byte("value"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if string(v) != "value" {
+				t.Errorf("Do = %q", v)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("fetch ran %d times, want exactly 1", got)
+	}
+	st := tab.Stats()
+	if st.Fetches != 1 || st.Coalesced != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 fetch, %d coalesced", st, goroutines-1)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table still holds %d in-flight entries", tab.Len())
+	}
+}
+
+func TestInflightTableErrorFansOutWithoutPoisoning(t *testing.T) {
+	const waiters = 32
+	tab := NewInflightTable(0)
+	desc := feature.NewHash([]byte("failing-key"))
+	fetchErr := errors.New("cloud unreachable")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters+1)
+	wg.Add(waiters + 1)
+	for i := 0; i < waiters+1; i++ {
+		go func() {
+			defer wg.Done()
+			_, _, err := tab.Do(desc, func() ([]byte, error) {
+				waitForJoins(t, func() uint64 { return tab.Stats().Coalesced }, waiters)
+				return nil, fetchErr
+			})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, fetchErr) {
+			t.Fatalf("waiter error = %v, want %v", err, fetchErr)
+		}
+	}
+
+	// The failure must not poison the key: the next Do fetches afresh and
+	// succeeds.
+	v, leaderAgain, err := tab.Do(desc, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || !leaderAgain || string(v) != "ok" {
+		t.Fatalf("post-failure Do = (%q, leader=%v, %v), want fresh successful fetch", v, leaderAgain, err)
+	}
+	st := tab.Stats()
+	if st.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestInflightTableSimilarDescriptorsCoalesce(t *testing.T) {
+	tab := NewInflightTable(0.12)
+	base := make([]float32, 16)
+	base[0] = 1
+	descA := feature.NewVector(base)
+	near := make([]float32, 16)
+	copy(near, base)
+	near[1] = 0.01 // tiny perturbation, well inside the threshold
+	descB := feature.NewVector(near)
+	if descA.Key() == descB.Key() {
+		t.Fatal("test descriptors collapsed to one key; similarity path not exercised")
+	}
+
+	var fetches atomic.Uint64
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	// Closed by the leader's fetch body, which runs only after the flight
+	// (and its vector) is registered — so the joiner cannot race ahead.
+	leaderStarted := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		v, _, err := tab.Do(descA, func() ([]byte, error) {
+			fetches.Add(1)
+			close(leaderStarted)
+			// Hold the flight open until the similar descriptor joined
+			// (joins count the moment the waiter attaches).
+			waitForJoins(t, func() uint64 { return tab.Stats().Coalesced }, 1)
+			return []byte("shared"), nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		results[0] = v
+	}()
+	go func() {
+		defer wg.Done()
+		<-leaderStarted
+		v, leader, err := tab.Do(descB, func() ([]byte, error) {
+			fetches.Add(1)
+			return []byte("own"), nil
+		})
+		if err != nil {
+			t.Errorf("joiner: %v", err)
+		}
+		if leader {
+			t.Error("similar descriptor became its own leader")
+		}
+		results[1] = v
+	}()
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1 (similar descriptors must share one flight)", got)
+	}
+	if string(results[0]) != "shared" || string(results[1]) != "shared" {
+		t.Fatalf("results = %q / %q, want both %q", results[0], results[1], "shared")
+	}
+	if st := tab.Stats(); st.SimilarJoins != 1 {
+		t.Fatalf("similar joins = %d, want 1", st.SimilarJoins)
+	}
+}
+
+func TestInflightTableDistinctKeysRunIndependently(t *testing.T) {
+	tab := NewInflightTable(0)
+	const keys = 8
+	var fetches atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(keys)
+	for i := 0; i < keys; i++ {
+		desc := feature.NewHash([]byte(fmt.Sprintf("key-%d", i)))
+		go func() {
+			defer wg.Done()
+			if _, leader, err := tab.Do(desc, func() ([]byte, error) {
+				fetches.Add(1)
+				return []byte("v"), nil
+			}); err != nil || !leader {
+				t.Errorf("distinct key coalesced or failed: leader=%v err=%v", leader, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fetches.Load(); got != keys {
+		t.Fatalf("fetches = %d, want %d", got, keys)
+	}
+}
+
+func TestInflightGenericGroup(t *testing.T) {
+	var g Inflight[int]
+	const n = 64
+	var fetches atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			v, _, err := g.Do("k", func() (int, error) {
+				fetches.Add(1)
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					_, coalesced, _ := g.Stats()
+					if coalesced >= n-1 || time.Now().After(deadline) {
+						return 42, nil
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("fetches = %d, want 1", got)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("group still holds %d calls", g.Len())
+	}
+}

@@ -47,6 +47,13 @@ type Breakdown struct {
 	// and reply transfer plus the remote cache query. Charged on peer
 	// hits and on probes that still missed (a failed probe is not free).
 	PeerHop time.Duration
+	// Wait is time spent blocked on another request's in-flight fetch of
+	// the same descriptor (miss coalescing under InflightCoalesce): the
+	// request paid the residual fetch latency but saved the fetch itself.
+	Wait time.Duration
+	// Coalesced marks a request whose result came from joining an
+	// in-flight fetch rather than the cache or its own fetch.
+	Coalesced bool
 	// UpEC is the edge->cloud transfer (miss/origin only).
 	UpEC time.Duration
 	// Cloud is cloud-side task execution.
@@ -71,9 +78,9 @@ func (b Breakdown) Total() time.Duration { return b.End.Sub(b.Start) }
 
 // String summarises the breakdown for logs and examples.
 func (b Breakdown) String() string {
-	return fmt.Sprintf("%s/%s %s total=%s (extract=%s upME=%s edge=%s peer=%s upEC=%s cloud=%s downEC=%s downME=%s client=%s)",
+	return fmt.Sprintf("%s/%s %s total=%s (extract=%s upME=%s edge=%s peer=%s wait=%s upEC=%s cloud=%s downEC=%s downME=%s client=%s)",
 		b.Mode, b.Task, b.Outcome,
-		ms(b.Total()), ms(b.Extract), ms(b.UpME), ms(b.EdgeProc), ms(b.PeerHop), ms(b.UpEC),
+		ms(b.Total()), ms(b.Extract), ms(b.UpME), ms(b.EdgeProc), ms(b.PeerHop), ms(b.Wait), ms(b.UpEC),
 		ms(b.Cloud), ms(b.DownEC), ms(b.DownME), ms(b.ClientProc))
 }
 

@@ -28,17 +28,67 @@ type Edge struct {
 	// sees their own cached results. 0 or 1 disables the gate.
 	PrivacyK int
 
+	// inflight coalesces concurrent wall-clock misses on the same (or
+	// similar) descriptor into one upstream fetch; the TCP EdgeServer
+	// resolves every miss through it.
+	inflight *cache.InflightTable
+	// inflightMode governs how *virtual-time* lookups treat entries whose
+	// producing fetch has not yet completed at the lookup instant.
+	inflightMode InflightMode
+
 	mu        sync.Mutex
 	fed       *cache.Federation
 	replicate bool
 	peerSeq   int
 	stats     EdgeStats
+	// readyAt records, per store key, the virtual instant the fetch that
+	// inserted it completed. Only consulted when inflightMode is not
+	// InflightInstant; entries are dropped lazily once they mature.
+	readyAt map[string]time.Time
 	// inserters tracks which users computed (and inserted) each entry;
 	// interest tracks every distinct user who has asked for it. The gate
 	// opens once len(interest) reaches PrivacyK — content K users
 	// demonstrably want is no longer attributable to any one of them.
 	inserters map[string]map[int]struct{}
 	interest  map[string]map[int]struct{}
+}
+
+// InflightMode selects how a virtual-time lookup treats a cache entry
+// whose producing fetch has not yet completed at the lookup's virtual
+// instant. The discrete-event engine replays requests one at a time, so
+// without this knob an insert made while "processing" request A is
+// instantly visible to request B even when B's virtual timestamp falls
+// inside A's cloud round trip — optimistically hiding the redundant
+// fetches that concurrent bursts really cause.
+type InflightMode int
+
+// Virtual-time in-flight handling.
+const (
+	// InflightInstant is the seed behaviour: inserts are visible to every
+	// later-processed event regardless of virtual timing. Kept as the
+	// default so calibrated figures (2a/2b, hit-ratio sweeps) are
+	// unchanged.
+	InflightInstant InflightMode = iota
+	// InflightSerial is the honest no-coalescing replay: an entry still in
+	// flight at the lookup instant reads as a miss, and the request pays
+	// its own full fetch — what a serial edge really does under a burst.
+	InflightSerial
+	// InflightCoalesce joins the in-flight fetch: the lookup waits until
+	// the fetch's virtual completion and shares its result, paying the
+	// residual wait instead of a second upstream fetch.
+	InflightCoalesce
+)
+
+// String names the mode for experiment output.
+func (m InflightMode) String() string {
+	switch m {
+	case InflightSerial:
+		return "serial"
+	case InflightCoalesce:
+		return "coalesce"
+	default:
+		return "instant"
+	}
 }
 
 // EdgeStats counts per-task outcomes at the edge.
@@ -48,7 +98,12 @@ type EdgeStats struct {
 	Similar  map[wire.Task]uint64
 	Misses   map[wire.Task]uint64
 	PeerHits uint64
-	Inserts  uint64
+	// Coalesced counts virtual-time lookups that joined an in-flight
+	// fetch instead of paying their own (InflightCoalesce mode only);
+	// each one is an upstream fetch saved. Wall-clock coalescing is
+	// counted by the Inflight() table instead.
+	Coalesced uint64
+	Inserts   uint64
 	// RemoteInserts counts inserts published to this edge by federated
 	// peers (this edge is the key's consistent-hash home); they are also
 	// included in Inserts.
@@ -108,6 +163,13 @@ func WithPrivacyK(k int) EdgeOption {
 	return func(e *Edge) { e.PrivacyK = k }
 }
 
+// WithInflightMode selects the virtual-time in-flight policy (burst
+// experiments use InflightSerial vs InflightCoalesce; the default
+// InflightInstant preserves the calibrated single-request figures).
+func WithInflightMode(m InflightMode) EdgeOption {
+	return func(e *Edge) { e.inflightMode = m }
+}
+
 // DefaultStoreShards stripes the default edge cache so the concurrent
 // request handlers of the TCP server (and peer probes from federated
 // edges) don't serialise on one store mutex. 8 stripes keep the per-shard
@@ -140,10 +202,12 @@ func NewEdge(p Params, opts ...EdgeOption) *Edge {
 			Threshold: p.Threshold,
 			Shards:    storeShards(p.EdgeCacheBytes),
 		}),
+		inflight:  cache.NewInflightTable(p.Threshold),
 		replicate: true,
 		stats:     newEdgeStats(),
 		inserters: map[string]map[int]struct{}{},
 		interest:  map[string]map[int]struct{}{},
+		readyAt:   map[string]time.Time{},
 	}
 	for _, o := range opts {
 		o(e)
@@ -211,6 +275,12 @@ type LookupResult struct {
 	// reply transfer plus the remote cache query); misses charge it too —
 	// a failed probe is not free.
 	PeerCost time.Duration
+	// Coalesced is set when the lookup joined an in-flight fetch
+	// (InflightCoalesce mode): the value was shared rather than refetched.
+	Coalesced bool
+	// Wait is the residual virtual time a coalesced lookup spent waiting
+	// for the in-flight fetch to complete. Not included in Cost.
+	Wait time.Duration
 }
 
 // Hit reports whether a usable cached value was found.
@@ -226,13 +296,22 @@ func (e *Edge) Lookup(task wire.Task, desc feature.Descriptor) LookupResult {
 // privacy gate treats every anonymous request as a fresh stranger.
 const anonymousUser = -1
 
-// LookupAs queries the local cache for user, then the federation: the
-// key's home edge under consistent-hash routing, or every peer in order
-// under broadcast cooperation. A peer hit is (by default) copied into the
-// local cache so the next local request hits directly — the cooperative
-// sharing of the paper's title. When PrivacyK is set, results contributed
-// by fewer than K distinct users are withheld from strangers.
+// LookupAs queries the cache with no virtual timestamp; in-flight
+// awareness is bypassed (wall-clock callers coalesce through Inflight()
+// instead).
 func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) LookupResult {
+	return e.LookupAtAs(user, task, desc, time.Time{})
+}
+
+// LookupAtAs queries the local cache for user at virtual instant now,
+// then the federation: the key's home edge under consistent-hash routing,
+// or every peer in order under broadcast cooperation. A peer hit is (by
+// default) copied into the local cache so the next local request hits
+// directly — the cooperative sharing of the paper's title. When PrivacyK
+// is set, results contributed by fewer than K distinct users are withheld
+// from strangers. A non-zero now engages the virtual in-flight policy
+// (see InflightMode); a zero now behaves as InflightInstant.
+func (e *Edge) LookupAtAs(user int, task wire.Task, desc feature.Descriptor, now time.Time) LookupResult {
 	e.mu.Lock()
 	e.stats.Lookups[task]++
 	fed := e.fed
@@ -248,14 +327,26 @@ func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) Looku
 			e.mu.Unlock()
 			return LookupResult{Outcome: cache.OutcomeMiss, Cost: cost}
 		}
-		e.mu.Lock()
-		if res.Outcome == cache.OutcomeExact {
-			e.stats.Exact[task]++
-		} else {
-			e.stats.Similar[task]++
+		wait, pending := e.virtualPending(res.Key, now)
+		if !pending || e.inflightMode == InflightCoalesce {
+			e.mu.Lock()
+			if res.Outcome == cache.OutcomeExact {
+				e.stats.Exact[task]++
+			} else {
+				e.stats.Similar[task]++
+			}
+			if pending {
+				e.stats.Coalesced++
+			}
+			e.mu.Unlock()
+			return LookupResult{
+				Value: v, Outcome: res.Outcome, Distance: res.Distance,
+				Cost: cost, Coalesced: pending, Wait: wait,
+			}
 		}
-		e.mu.Unlock()
-		return LookupResult{Value: v, Outcome: res.Outcome, Distance: res.Distance, Cost: cost}
+		// InflightSerial: the producing fetch has not completed at this
+		// virtual instant, so an honest serial edge misses and pays its
+		// own fetch — fall through to the federation/cloud path.
 	}
 	var peerCost time.Duration
 	if fed != nil {
@@ -286,6 +377,34 @@ func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) Looku
 	e.mu.Unlock()
 	return LookupResult{Outcome: cache.OutcomeMiss, Cost: cost, PeerCost: peerCost}
 }
+
+// virtualPending reports whether key's producing fetch is still in
+// flight at virtual instant now, and the residual wait until it lands.
+// Matured entries are dropped so the map tracks only open fetches.
+func (e *Edge) virtualPending(key string, now time.Time) (time.Duration, bool) {
+	if now.IsZero() || e.inflightMode == InflightInstant {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ready, ok := e.readyAt[key]
+	if !ok {
+		return 0, false
+	}
+	if !ready.After(now) {
+		delete(e.readyAt, key)
+		return 0, false
+	}
+	return ready.Sub(now), true
+}
+
+// Inflight is the wall-clock miss-coalescing table: the TCP EdgeServer
+// resolves every cache miss through it so concurrent misses on the same
+// (or similar) descriptor trigger exactly one upstream fetch.
+func (e *Edge) Inflight() *cache.InflightTable { return e.inflight }
+
+// InflightModeSet reports the configured virtual-time in-flight policy.
+func (e *Edge) InflightModeSet() InflightMode { return e.inflightMode }
 
 // PeerProbe is the lookup a federated peer performs on this edge's
 // behalf: local cache only — never this edge's own peers, never the
@@ -353,16 +472,35 @@ func (e *Edge) Insert(desc feature.Descriptor, value []byte, costHint float64) t
 	return e.InsertAs(anonymousUser, desc, value, costHint)
 }
 
-// InsertAs stores a task result under its descriptor on behalf of user,
-// returning the virtual insertion cost. Values too large for the cache
-// are silently skipped (the request already has its answer; caching is
-// best-effort). Under consistent-hash federation the result is also
-// published to the key's home edge — off the critical path, so the
-// publish adds no user-visible latency.
+// InsertAs stores a task result with no virtual timestamp (wall-clock
+// callers; the entry is immediately visible).
 func (e *Edge) InsertAs(user int, desc feature.Descriptor, value []byte, costHint float64) time.Duration {
+	return e.InsertAtAs(user, desc, value, costHint, time.Time{})
+}
+
+// InsertAtAs stores a task result under its descriptor on behalf of user,
+// returning the virtual insertion cost. at is the virtual instant the
+// insert begins; when an in-flight policy is active, the entry is
+// considered ready — visible to honestly-replayed lookups — only from
+// at + EdgeInsertTime. Values too large for the cache are silently
+// skipped (the request already has its answer; caching is best-effort).
+// Under consistent-hash federation the result is also published to the
+// key's home edge — off the critical path, so the publish adds no
+// user-visible latency.
+func (e *Edge) InsertAtAs(user int, desc feature.Descriptor, value []byte, costHint float64, at time.Time) time.Duration {
 	if err := e.Cache.Insert(desc, value, costHint); err == nil {
 		e.mu.Lock()
 		e.stats.Inserts++
+		if !at.IsZero() && e.inflightMode != InflightInstant {
+			// Keep the earliest maturity: once any fetch's copy of the
+			// value is ready, a serial edge hits — a duplicate fetch
+			// completing later must not re-open the in-flight window.
+			key := desc.Key()
+			ready := at.Add(e.Params.EdgeInsertTime)
+			if cur, ok := e.readyAt[key]; !ok || ready.Before(cur) {
+				e.readyAt[key] = ready
+			}
+		}
 		if user != anonymousUser {
 			key := desc.Key()
 			if e.inserters[key] == nil {
@@ -401,6 +539,7 @@ func (e *Edge) Stats() EdgeStats {
 		out.Misses[k] = v
 	}
 	out.PeerHits = e.stats.PeerHits
+	out.Coalesced = e.stats.Coalesced
 	out.Inserts = e.stats.Inserts
 	out.RemoteInserts = e.stats.RemoteInserts
 	out.PrivacyBlocked = e.stats.PrivacyBlocked

@@ -6,6 +6,7 @@ import (
 
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/cache"
@@ -19,16 +20,149 @@ import (
 // deployment mode of the cmd/ daemons, where tc-style shaping comes from
 // netsim.Shaper and latency is wall-clock. The virtual-time Session is
 // for experiments; these servers are for running the system.
+//
+// Each connection is served pipelined: a reader goroutine tags incoming
+// requests with an arrival sequence number and feeds a bounded worker
+// pool, and replies are written back strictly in arrival order through a
+// wire.ReplyBuffer. Concurrent cache misses on the same (or similar)
+// descriptor coalesce into one upstream fetch via the edge's in-flight
+// table, and the upstream connection itself is multiplexed, so a burst of
+// distinct misses overlaps its cloud round trips instead of serialising
+// them.
+
+// Serving tunables. Workers bounds how many requests one connection
+// processes concurrently; QueueDepth bounds how many more may be buffered
+// awaiting a worker before the server sheds load with CodeOverloaded;
+// FetchTimeout bounds one upstream (cloud) round trip so a hung cloud
+// fails its coalesced waiters instead of wedging them.
+const (
+	DefaultWorkers      = 8
+	DefaultQueueDepth   = 32
+	DefaultFetchTimeout = 15 * time.Second
+)
 
 // ConnWrapper optionally wraps accepted/dialed connections (e.g. with a
 // netsim.Shaper); nil means unwrapped.
 type ConnWrapper func(net.Conn) net.Conn
+
+// overloadReply is the admission-control rejection for one request; it
+// takes the rejected request's place in the connection's reply order.
+func overloadReply(msg wire.Message, inFlight int) wire.Message {
+	body, _ := (wire.ErrorReply{
+		Code: wire.CodeOverloaded,
+		Msg:  fmt.Sprintf("server overloaded: %d requests in flight on this connection", inFlight),
+	}).Marshal()
+	return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
+}
+
+// connPipeline serves one connection with the reader → worker pool →
+// ordered writer topology. MsgHello is handled inline on the reader (its
+// mode switch must stay ordered with the requests around it); every other
+// message is dispatched on a worker with the connection mode captured at
+// read time. When workers and queue are both full, the request is
+// rejected with CodeOverloaded instead of stalling the reader, keeping
+// the connection responsive under load. onOverload (optional) observes
+// each shed request.
+func connPipeline(conn net.Conn, workers, depth int, dispatch func(msg wire.Message, mode Mode) wire.Message, onOverload func()) {
+	defer conn.Close()
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+
+	type job struct {
+		seq  uint64
+		msg  wire.Message
+		mode Mode
+	}
+	jobs := make(chan job, depth)
+	replies := make(chan wire.SequencedMessage, workers+depth+1)
+	// slots bounds replies outstanding anywhere in the pipeline — being
+	// processed, queued, or parked out-of-order in the reorder buffer.
+	// The reader acquires one per request and the writer releases one per
+	// reply flushed, so when the head-of-line request stalls (a slow
+	// fetch), a fast sender is eventually blocked at the reader (TCP
+	// backpressure) instead of growing the reorder buffer without bound
+	// on overload replies. The headroom beyond workers+depth is what
+	// keeps overload shedding responsive while the pool is merely full.
+	slots := make(chan struct{}, 2*(workers+depth))
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		buf := wire.NewReplyBuffer(1)
+		dead := false
+		for r := range replies {
+			for _, m := range buf.Add(r.Seq, r.Msg) {
+				<-slots
+				if dead {
+					continue
+				}
+				if err := wire.WriteMessage(conn, m); err != nil {
+					// Keep draining so workers never block behind a dead
+					// connection; closing it also unsticks the reader.
+					dead = true
+					conn.Close()
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				replies <- wire.SequencedMessage{Seq: j.seq, Msg: dispatch(j.msg, j.mode)}
+			}
+		}()
+	}
+
+	mode := ModeCoIC
+	var seq uint64
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			break // connection closed or corrupt; peer re-dials
+		}
+		slots <- struct{}{}
+		seq++
+		if msg.Type == wire.MsgHello {
+			if len(msg.Body) == 1 && msg.Body[0] == byte(ModeOrigin) {
+				mode = ModeOrigin
+			}
+			replies <- wire.SequencedMessage{Seq: seq, Msg: wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}}
+			continue
+		}
+		select {
+		case jobs <- job{seq: seq, msg: msg, mode: mode}:
+		default:
+			if onOverload != nil {
+				onOverload()
+			}
+			replies <- wire.SequencedMessage{Seq: seq, Msg: overloadReply(msg, workers+depth)}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(replies)
+	<-writerDone
+}
 
 // CloudServer exposes a Cloud over TCP.
 type CloudServer struct {
 	Cloud *Cloud
 	// Wrap shapes each accepted connection when non-nil.
 	Wrap ConnWrapper
+	// Workers / QueueDepth bound per-connection concurrency (defaults
+	// DefaultWorkers / DefaultQueueDepth). One edge funnels all its
+	// misses over a single multiplexed connection, so this is the knob
+	// that lets those fetches actually execute in parallel cloud-side.
+	Workers    int
+	QueueDepth int
 }
 
 // Serve accepts connections until the listener is closed.
@@ -49,17 +183,9 @@ func (s *CloudServer) Serve(ln net.Listener) error {
 }
 
 func (s *CloudServer) handle(conn net.Conn) {
-	defer conn.Close()
-	for {
-		msg, err := wire.ReadMessage(conn)
-		if err != nil {
-			return // connection closed or corrupt; peer re-dials
-		}
-		reply := s.dispatch(msg)
-		if err := wire.WriteMessage(conn, reply); err != nil {
-			return
-		}
-	}
+	connPipeline(conn, s.Workers, s.QueueDepth, func(msg wire.Message, _ Mode) wire.Message {
+		return s.dispatch(msg)
+	}, nil)
 }
 
 func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
@@ -124,19 +250,219 @@ type EdgeServer struct {
 	WrapCloud  ConnWrapper
 	// WrapPeer shapes edge↔edge connections.
 	WrapPeer ConnWrapper
+	// Workers / QueueDepth bound per-connection concurrency (defaults
+	// DefaultWorkers / DefaultQueueDepth); see connPipeline.
+	Workers    int
+	QueueDepth int
+	// FetchTimeout bounds one cloud fetch end to end — upstream slot
+	// wait, dialing, and the round trip (DefaultFetchTimeout when zero).
+	// On expiry the upstream connection is torn down, failing every
+	// pending fetch — and therefore every waiter coalesced behind one —
+	// fast, and the next miss re-dials.
+	FetchTimeout time.Duration
+	// MaxUpstream caps concurrent fetches on the multiplexed cloud
+	// connection (DefaultWorkers+DefaultQueueDepth when 0 — the cloud's
+	// default per-connection admission budget). Edge-side fetch demand is
+	// connections × Workers, which can exceed what the cloud will admit
+	// on one connection; excess fetches queue here instead of being shed
+	// upstream as hard overload errors. Raise it in lockstep with the
+	// cloud's -workers/-queue.
+	MaxUpstream int
 
 	mu    sync.Mutex
-	cloud net.Conn
-	seq   uint64
-
+	cloud *cloudMux
 	peers map[string]*peerConn
+
+	cloudFetches atomic.Uint64
+	overloads    atomic.Uint64
+}
+
+func (s *EdgeServer) fetchTimeout() time.Duration {
+	if s.FetchTimeout > 0 {
+		return s.FetchTimeout
+	}
+	return DefaultFetchTimeout
+}
+
+// CloudFetches reports how many upstream round trips this edge has
+// issued — the denominator of coalescing: K concurrent misses on one
+// descriptor should raise it by exactly 1.
+func (s *EdgeServer) CloudFetches() uint64 { return s.cloudFetches.Load() }
+
+// Overloads reports how many requests admission control has shed.
+func (s *EdgeServer) Overloads() uint64 { return s.overloads.Load() }
+
+// cloudDialTimeout bounds establishing the upstream connection.
+const cloudDialTimeout = 10 * time.Second
+
+// cloudMux is the pipelined, multiplexed upstream connection: many
+// workers issue fetches concurrently over one TCP stream, a reader
+// goroutine matches replies to waiters by RequestID, and each fetch is
+// bounded by timeout. The seed implementation held a mutex across the
+// whole cloud round trip, so concurrent misses on *different* keys
+// serialised on the WAN RTT; here they overlap.
+type cloudMux struct {
+	addr    string
+	wrap    ConnWrapper
+	timeout time.Duration
+	// inflight caps concurrent round trips so the edge never exceeds the
+	// cloud's per-connection admission budget (which would surface as
+	// hard overload errors to coalesced waiters).
+	inflight chan struct{}
+
+	mu  sync.Mutex
+	cur *muxConn
+	seq uint64
+}
+
+// muxConn is one generation of the upstream connection with its in-flight
+// request table. A new generation replaces it after any failure.
+type muxConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serialises frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Message
+	closed  bool
+}
+
+// get returns the live generation, dialing a fresh one if needed. The
+// dial is bounded by the caller's remaining fetch budget (capped at
+// cloudDialTimeout) so dialing cannot extend a fetch past its deadline.
+func (m *cloudMux) get(budget time.Duration) (*muxConn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cur != nil {
+		return m.cur, nil
+	}
+	dialTimeout := cloudDialTimeout
+	if budget < dialTimeout {
+		dialTimeout = budget
+	}
+	if dialTimeout <= 0 {
+		return nil, fmt.Errorf("core: cloud fetch budget exhausted before dialing")
+	}
+	conn, err := net.DialTimeout("tcp", m.addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("core: edge cannot reach cloud: %w", err)
+	}
+	if m.wrap != nil {
+		conn = m.wrap(conn)
+	}
+	mc := &muxConn{conn: conn, pending: map[uint64]chan wire.Message{}}
+	m.cur = mc
+	go m.readLoop(mc)
+	return mc, nil
+}
+
+// drop retires a generation: every pending fetch fails fast (closed
+// channel), and the next roundTrip re-dials.
+func (m *cloudMux) drop(mc *muxConn) {
+	m.mu.Lock()
+	if m.cur == mc {
+		m.cur = nil
+	}
+	m.mu.Unlock()
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.closed {
+		return
+	}
+	mc.closed = true
+	mc.conn.Close()
+	for id, ch := range mc.pending {
+		delete(mc.pending, id)
+		close(ch)
+	}
+}
+
+func (m *cloudMux) readLoop(mc *muxConn) {
+	for {
+		reply, err := wire.ReadMessage(mc.conn)
+		if err != nil {
+			m.drop(mc)
+			return
+		}
+		mc.mu.Lock()
+		ch := mc.pending[reply.RequestID]
+		delete(mc.pending, reply.RequestID)
+		mc.mu.Unlock()
+		if ch != nil {
+			ch <- reply // buffered; never blocks the read loop
+		}
+		// Replies to abandoned (timed-out) requests are dropped.
+	}
+}
+
+// roundTrip sends one fetch upstream and awaits its reply. One deadline
+// of m.timeout covers the whole fetch — waiting for an upstream slot,
+// dialing, and the round trip itself — so the caller (and any coalesced
+// group behind it) is never wedged longer than the configured timeout.
+func (m *cloudMux) roundTrip(msg wire.Message) (wire.Message, error) {
+	deadline := time.Now().Add(m.timeout)
+	slotTimer := time.NewTimer(m.timeout)
+	defer slotTimer.Stop()
+	select {
+	case m.inflight <- struct{}{}:
+		defer func() { <-m.inflight }()
+	case <-slotTimer.C:
+		return wire.Message{}, fmt.Errorf("core: upstream saturated for %v (%d fetches in flight)", m.timeout, cap(m.inflight))
+	}
+
+	mc, err := m.get(time.Until(deadline))
+	if err != nil {
+		return wire.Message{}, err
+	}
+	m.mu.Lock()
+	m.seq++
+	id := m.seq
+	m.mu.Unlock()
+
+	ch := make(chan wire.Message, 1)
+	mc.mu.Lock()
+	if mc.closed {
+		mc.mu.Unlock()
+		return wire.Message{}, fmt.Errorf("core: cloud connection lost")
+	}
+	mc.pending[id] = ch
+	mc.mu.Unlock()
+
+	msg.RequestID = id
+	mc.wmu.Lock()
+	err = wire.WriteMessage(mc.conn, msg)
+	mc.wmu.Unlock()
+	if err != nil {
+		m.drop(mc)
+		return wire.Message{}, fmt.Errorf("core: cloud write: %w", err)
+	}
+
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		m.drop(mc)
+		return wire.Message{}, fmt.Errorf("core: cloud fetch timed out after %v", m.timeout)
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return wire.Message{}, fmt.Errorf("core: cloud connection lost mid-fetch")
+		}
+		return reply, nil
+	case <-timer.C:
+		// A hung cloud must not wedge the coalesced group waiting on this
+		// fetch: tear the generation down (failing every other pending
+		// fetch fast too) and let the next miss re-dial.
+		m.drop(mc)
+		return wire.Message{}, fmt.Errorf("core: cloud fetch timed out after %v", m.timeout)
+	}
 }
 
 // peerConn is one lazily dialed, persistent edge↔edge connection.
-// Requests to the same peer serialise on its mutex (matching the cloud
-// uplink's discipline); a dial failure backs the peer off so an
-// unreachable edge degrades this one to single-edge behaviour instead of
-// stalling every miss on dial timeouts.
+// Requests to the same peer serialise on its mutex (peer probes are small
+// and rare relative to client traffic); a dial failure backs the peer off
+// so an unreachable edge degrades this one to single-edge behaviour
+// instead of stalling every miss on dial timeouts.
 type peerConn struct {
 	addr string
 	wrap ConnWrapper
@@ -159,7 +485,9 @@ const (
 // exchange runs under a deadline: a peer that accepted the connection but
 // stopped responding is treated exactly like one that refused it — close,
 // back off, let the caller degrade to the cloud — rather than wedging
-// every miss behind the connection mutex.
+// every miss behind the connection mutex. Because concurrent misses on
+// one key coalesce (cache.Federation's in-flight table), at most one
+// waiter group rides on any single probe.
 func (p *peerConn) roundTrip(msg wire.Message) (wire.Message, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -294,60 +622,75 @@ func (s *EdgeServer) Serve(ln net.Listener) error {
 	}
 }
 
-// roundTripCloud forwards one message upstream and awaits its reply.
-// Requests are serialised on one connection: the edge-cloud link is the
-// bottleneck resource in CoIC anyway, and ordering keeps the code clear.
+// roundTripCloud forwards one message upstream over the multiplexed
+// connection and awaits its reply, bounded by FetchTimeout.
 func (s *EdgeServer) roundTripCloud(msg wire.Message) (wire.Message, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cloud == nil {
-		conn, err := net.DialTimeout("tcp", s.CloudAddr, 10*time.Second)
-		if err != nil {
-			return wire.Message{}, fmt.Errorf("core: edge cannot reach cloud: %w", err)
+		limit := s.MaxUpstream
+		if limit <= 0 {
+			limit = DefaultWorkers + DefaultQueueDepth
 		}
-		if s.WrapCloud != nil {
-			conn = s.WrapCloud(conn)
+		s.cloud = &cloudMux{
+			addr:     s.CloudAddr,
+			wrap:     s.WrapCloud,
+			timeout:  s.fetchTimeout(),
+			inflight: make(chan struct{}, limit),
 		}
-		s.cloud = conn
 	}
-	s.seq++
-	msg.RequestID = s.seq
-	if err := wire.WriteMessage(s.cloud, msg); err != nil {
-		s.cloud.Close()
-		s.cloud = nil
-		return wire.Message{}, err
-	}
-	reply, err := wire.ReadMessage(s.cloud)
-	if err != nil {
-		s.cloud.Close()
-		s.cloud = nil
-		return wire.Message{}, err
-	}
-	return reply, nil
+	mux := s.cloud
+	s.mu.Unlock()
+	s.cloudFetches.Add(1)
+	return mux.roundTrip(msg)
 }
 
 func (s *EdgeServer) handle(conn net.Conn) {
-	defer conn.Close()
-	mode := ModeCoIC
-	for {
-		msg, err := wire.ReadMessage(conn)
+	connPipeline(conn, s.Workers, s.QueueDepth, s.dispatch, func() { s.overloads.Add(1) })
+}
+
+// edgeError carries a protocol error code through the in-flight table so
+// every coalesced waiter replies with the leader's true failure.
+type edgeError struct {
+	code uint16
+	msg  string
+}
+
+func (e *edgeError) Error() string { return e.msg }
+
+// fetchCoalesced resolves a cache miss: concurrent misses on the same (or
+// similar, for vector descriptors) descriptor share one cloud round trip
+// through the edge's in-flight table. The leader inserts the result into
+// the cache and reports SourceCloud; waiters that joined its flight
+// report SourceEdge (the edge held the result for them). A failed fetch
+// propagates its error to every waiter and leaves the descriptor clean
+// for the next attempt.
+func (s *EdgeServer) fetchCoalesced(desc feature.Descriptor, msg wire.Message, want wire.MsgType, extract func(wire.Message) ([]byte, error)) ([]byte, uint8, error) {
+	val, leader, err := s.Edge.Inflight().Do(desc, func() ([]byte, error) {
+		reply, err := s.roundTripCloud(msg)
 		if err != nil {
-			return
+			return nil, &edgeError{code: wire.CodeUnavailable, msg: fmt.Sprintf("cloud: %v", err)}
 		}
-		var reply wire.Message
-		switch msg.Type {
-		case wire.MsgHello:
-			if len(msg.Body) == 1 && msg.Body[0] == byte(ModeOrigin) {
-				mode = ModeOrigin
+		if reply.Type == wire.MsgError {
+			if er, uerr := wire.UnmarshalErrorReply(reply.Body); uerr == nil {
+				return nil, &edgeError{code: er.Code, msg: er.Msg}
 			}
-			reply = wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}
-		default:
-			reply = s.dispatch(msg, mode)
+			return nil, &edgeError{code: wire.CodeInternal, msg: "malformed cloud error reply"}
 		}
-		if err := wire.WriteMessage(conn, reply); err != nil {
-			return
+		if reply.Type != want {
+			return nil, &edgeError{code: wire.CodeInternal, msg: fmt.Sprintf("cloud replied %v, want %v", reply.Type, want)}
 		}
+		data, err := extract(reply)
+		if err != nil {
+			return nil, &edgeError{code: wire.CodeInternal, msg: fmt.Sprintf("corrupt cloud reply: %v", err)}
+		}
+		s.Edge.Insert(desc, data, 1)
+		return data, nil
+	})
+	src := wire.SourceCloud
+	if !leader {
+		src = wire.SourceEdge
 	}
+	return val, src, err
 }
 
 func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
@@ -355,6 +698,16 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 		body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
 		return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
 	}
+	failErr := func(err error) wire.Message {
+		var ee *edgeError
+		if errors.As(err, &ee) {
+			return fail(ee.code, "%s", ee.msg)
+		}
+		return fail(wire.CodeUnavailable, "cloud: %v", err)
+	}
+	// forward is the origin-mode path: a plain upstream round trip with
+	// no cache interaction and no coalescing (origin requests carry no
+	// meaningful descriptor to coalesce on).
 	forward := func() wire.Message {
 		reply, err := s.roundTripCloud(msg)
 		if err != nil {
@@ -370,59 +723,77 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad exec: %v", err)
 		}
-		if mode == ModeCoIC {
-			if lr := s.Edge.Lookup(req.Task, req.Desc); lr.Hit() {
-				body, _ := (wire.ExecReply{Source: wire.SourceEdge, Result: lr.Value}).Marshal()
-				return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
-			}
+		if mode != ModeCoIC {
+			return forward()
 		}
-		reply := forward()
-		if mode == ModeCoIC && reply.Type == wire.MsgExecReply {
-			if er, err := wire.UnmarshalExecReply(reply.Body); err == nil {
-				s.Edge.Insert(req.Desc, er.Result, 1)
-			}
+		if lr := s.Edge.Lookup(req.Task, req.Desc); lr.Hit() {
+			body, _ := (wire.ExecReply{Source: wire.SourceEdge, Result: lr.Value}).Marshal()
+			return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 		}
-		return reply
+		result, src, err := s.fetchCoalesced(req.Desc, msg, wire.MsgExecReply, func(r wire.Message) ([]byte, error) {
+			er, err := wire.UnmarshalExecReply(r.Body)
+			if err != nil {
+				return nil, err
+			}
+			return er.Result, nil
+		})
+		if err != nil {
+			return failErr(err)
+		}
+		body, _ := (wire.ExecReply{Source: src, Result: result}).Marshal()
+		return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 
 	case wire.MsgModelFetch:
 		req, err := wire.UnmarshalModelFetch(msg.Body)
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad model fetch: %v", err)
 		}
+		if mode != ModeCoIC {
+			return forward()
+		}
 		desc := ModelDescriptor(req.ModelID)
-		if mode == ModeCoIC {
-			if lr := s.Edge.Lookup(wire.TaskRender, desc); lr.Hit() {
-				body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceEdge, Data: lr.Value}).Marshal()
-				return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
-			}
+		if lr := s.Edge.Lookup(wire.TaskRender, desc); lr.Hit() {
+			body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceEdge, Data: lr.Value}).Marshal()
+			return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 		}
-		reply := forward()
-		if mode == ModeCoIC && reply.Type == wire.MsgModelReply {
-			if mr, err := wire.UnmarshalModelReply(reply.Body); err == nil {
-				s.Edge.Insert(desc, mr.Data, 1)
+		data, src, err := s.fetchCoalesced(desc, msg, wire.MsgModelReply, func(r wire.Message) ([]byte, error) {
+			mr, err := wire.UnmarshalModelReply(r.Body)
+			if err != nil {
+				return nil, err
 			}
+			return mr.Data, nil
+		})
+		if err != nil {
+			return failErr(err)
 		}
-		return reply
+		body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: src, Data: data}).Marshal()
+		return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 
 	case wire.MsgPanoFetch:
 		req, err := wire.UnmarshalPanoFetch(msg.Body)
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad pano fetch: %v", err)
 		}
+		if mode != ModeCoIC {
+			return forward()
+		}
 		desc := PanoDescriptor(req.VideoID, int(req.FrameIndex))
-		if mode == ModeCoIC {
-			if lr := s.Edge.Lookup(wire.TaskPano, desc); lr.Hit() {
-				body, _ := (wire.PanoReply{Source: wire.SourceEdge, Data: lr.Value}).Marshal()
-				return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
-			}
+		if lr := s.Edge.Lookup(wire.TaskPano, desc); lr.Hit() {
+			body, _ := (wire.PanoReply{Source: wire.SourceEdge, Data: lr.Value}).Marshal()
+			return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
 		}
-		reply := forward()
-		if mode == ModeCoIC && reply.Type == wire.MsgPanoReply {
-			if pr, err := wire.UnmarshalPanoReply(reply.Body); err == nil {
-				s.Edge.Insert(desc, pr.Data, 1)
+		data, src, err := s.fetchCoalesced(desc, msg, wire.MsgPanoReply, func(r wire.Message) ([]byte, error) {
+			pr, err := wire.UnmarshalPanoReply(r.Body)
+			if err != nil {
+				return nil, err
 			}
+			return pr.Data, nil
+		})
+		if err != nil {
+			return failErr(err)
 		}
-		return reply
+		body, _ := (wire.PanoReply{Source: src, Data: data}).Marshal()
+		return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
 
 	case wire.MsgPeerLookup:
 		// A federated peer probing this edge: answer from the local cache
@@ -457,7 +828,9 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 }
 
 // TCPClient drives a CoIC client against a live edge over TCP, measuring
-// wall-clock latency (the role of the paper's Pixel phone).
+// wall-clock latency (the role of the paper's Pixel phone). It is
+// lock-step (one request in flight); pipelined load generators write
+// sequence-numbered frames directly — see docs/PROTOCOL.md.
 type TCPClient struct {
 	Client *Client
 	Mode   Mode

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/metrics"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// BenchmarkPipelinedServe measures what per-connection pipelining buys on
+// the miss path: one client pipelines a burst of distinct misses, each of
+// which costs a shaped cloud round trip. With one worker the fetches
+// serialise (the pre-pipelining edge), so the burst's tail request waits
+// for every fetch ahead of it; with a pool the fetches overlap on the
+// multiplexed upstream connection and tail latency collapses. Reported
+// p50-ms / p99-ms are per-request latencies from burst start to reply
+// arrival.
+func BenchmarkPipelinedServe(b *testing.B) {
+	const burst = 16
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial-1worker", 1},
+		{"pipelined-16workers", 16},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			p := DefaultParams()
+			p.CameraW, p.CameraH = 128, 128
+			p.DNNInput = 32
+			p.PanoWidth = 256
+			addr, _, stop := startSlowStack(b, p, 10*time.Millisecond, func(es *EdgeServer) {
+				es.Workers = bc.workers
+				es.QueueDepth = burst
+			})
+			defer stop()
+
+			hist := &metrics.Histogram{}
+			frame := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conn := rawEdgeConn(b, addr, ModeCoIC)
+				start := time.Now()
+				for j := 1; j <= burst; j++ {
+					frame++ // distinct frames: every request is a fresh miss
+					if err := wire.WriteMessage(conn, panoFetchMsg(b, uint64(j), "bench-video", frame)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := 1; j <= burst; j++ {
+					reply, err := wire.ReadMessage(conn)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if reply.Type != wire.MsgPanoReply {
+						b.Fatalf("reply type = %v", reply.Type)
+					}
+					hist.Record(time.Since(start))
+				}
+				conn.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hist.Median())/float64(time.Millisecond), "p50-ms")
+			b.ReportMetric(float64(hist.P99())/float64(time.Millisecond), "p99-ms")
+		})
+	}
+}

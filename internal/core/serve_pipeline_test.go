@@ -1,0 +1,345 @@
+package core
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/netsim"
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// startSlowStack brings up a cloud + edge where every edge→cloud frame
+// pays an extra one-way delay, stretching the fetch window so concurrency
+// tests observe requests genuinely in flight together.
+func startSlowStack(t testing.TB, p Params, cloudDelay time.Duration, tune func(*EdgeServer)) (string, *EdgeServer, func()) {
+	t.Helper()
+	cloud := NewCloud(p)
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go (&CloudServer{Cloud: cloud}).Serve(cloudLn)
+
+	es := &EdgeServer{
+		Edge:      NewEdge(p),
+		CloudAddr: cloudLn.Addr().String(),
+		WrapCloud: func(c net.Conn) net.Conn { return netsim.NewShaper(c, 0, cloudDelay) },
+	}
+	if tune != nil {
+		tune(es)
+	}
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go es.Serve(edgeLn)
+	return edgeLn.Addr().String(), es, func() {
+		edgeLn.Close()
+		cloudLn.Close()
+	}
+}
+
+// startHungCloud listens and swallows every byte without ever replying —
+// the pathological upstream that per-fetch timeouts exist for.
+func startHungCloud(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestTCPSimultaneousClientsOneCloudFetch is the coalescing acceptance
+// test: two clients missing on the same descriptor at the same moment
+// must cost exactly one cloud computation.
+func TestTCPSimultaneousClientsOneCloudFetch(t *testing.T) {
+	p := testParams()
+	addr, es, stop := startSlowStack(t, p, 150*time.Millisecond, nil)
+	defer stop()
+
+	const clients = 2
+	vp := pano.Viewport{Yaw: 0.3, FOV: 1.5}
+	clis := make([]*TCPClient, clients)
+	for i := range clis {
+		cli, err := DialEdge(addr, NewClient(i, p), ModeCoIC, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		clis[i] = cli
+	}
+
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	errs := make(chan error, clients)
+	for _, cli := range clis {
+		cli := cli
+		go func() {
+			defer done.Done()
+			start.Wait()
+			_, err := cli.Pano("coalesce-video", 7, vp)
+			errs <- err
+		}()
+	}
+	start.Done()
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := es.CloudFetches(); got != 1 {
+		t.Fatalf("cloud fetches = %d, want exactly 1 (the other request must coalesce)", got)
+	}
+	st := es.Edge.Inflight().Stats()
+	if st.Fetches != 1 || st.Coalesced != clients-1 {
+		t.Fatalf("inflight stats = %+v, want 1 fetch and %d coalesced", st, clients-1)
+	}
+}
+
+// rawEdgeConn dials the edge and completes the hello exchange, returning
+// the bare connection for pipelined frame-level tests.
+func rawEdgeConn(t testing.TB, addr string, mode Mode) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := wire.Message{Type: wire.MsgHello, RequestID: 1, Body: []byte{byte(mode)}}
+	if err := wire.WriteMessage(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func panoFetchMsg(t testing.TB, reqID uint64, video string, frame int) wire.Message {
+	t.Helper()
+	body, err := (wire.PanoFetch{VideoID: video, FrameIndex: uint32(frame)}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.Message{Type: wire.MsgPanoFetch, RequestID: reqID, Body: body}
+}
+
+// TestTCPPipelinedRepliesInOrder writes a burst of requests back-to-back
+// before reading anything; the replies must come back complete and in
+// arrival order even though the misses resolve concurrently upstream.
+func TestTCPPipelinedRepliesInOrder(t *testing.T) {
+	p := testParams()
+	addr, _, stop := startSlowStack(t, p, 30*time.Millisecond, nil)
+	defer stop()
+
+	conn := rawEdgeConn(t, addr, ModeCoIC)
+	defer conn.Close()
+
+	const requests = 6
+	for i := 1; i <= requests; i++ {
+		// Distinct frames: every request is a miss with its own fetch.
+		if err := wire.WriteMessage(conn, panoFetchMsg(t, uint64(i), "pipeline-video", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= requests; i++ {
+		reply, err := wire.ReadMessage(conn)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if reply.RequestID != uint64(i) {
+			t.Fatalf("reply %d carries request id %d — out of order", i, reply.RequestID)
+		}
+		if reply.Type != wire.MsgPanoReply {
+			t.Fatalf("reply %d type = %v", i, reply.Type)
+		}
+	}
+}
+
+// TestTCPOverloadReply floods a deliberately tiny worker pool backed by a
+// hung cloud: excess requests must be rejected with CodeOverloaded, in
+// order, while admitted ones fail with the fetch timeout instead of
+// wedging the connection.
+func TestTCPOverloadReply(t *testing.T) {
+	p := testParams()
+	cloudAddr, stopCloud := startHungCloud(t)
+	defer stopCloud()
+
+	es := &EdgeServer{
+		Edge:         NewEdge(p),
+		CloudAddr:    cloudAddr,
+		Workers:      1,
+		QueueDepth:   1,
+		FetchTimeout: 400 * time.Millisecond,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go es.Serve(ln)
+
+	conn := rawEdgeConn(t, ln.Addr().String(), ModeCoIC)
+	defer conn.Close()
+
+	const requests = 8
+	for i := 1; i <= requests; i++ {
+		if err := wire.WriteMessage(conn, panoFetchMsg(t, uint64(i), "overload-video", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	overloaded, unavailable := 0, 0
+	for i := 1; i <= requests; i++ {
+		reply, err := wire.ReadMessage(conn)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if reply.RequestID != uint64(i) {
+			t.Fatalf("reply %d carries request id %d — out of order", i, reply.RequestID)
+		}
+		if reply.Type != wire.MsgError {
+			t.Fatalf("reply %d type = %v, want error", i, reply.Type)
+		}
+		er, err := wire.UnmarshalErrorReply(reply.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch er.Code {
+		case wire.CodeOverloaded:
+			overloaded++
+		case wire.CodeUnavailable:
+			unavailable++
+		default:
+			t.Fatalf("reply %d code = %d", i, er.Code)
+		}
+	}
+	// Every request gets exactly one of the two failure replies. The
+	// shed/timeout split is timing-dependent: once the reply-slot budget
+	// (2×(workers+queue)) is consumed the reader applies TCP backpressure
+	// instead of shedding further, so later requests are admitted as the
+	// stalled head drains. Both behaviours must be visible.
+	if overloaded+unavailable != requests {
+		t.Fatalf("replies = %d overloaded + %d unavailable, want %d total", overloaded, unavailable, requests)
+	}
+	if overloaded == 0 {
+		t.Fatal("no request was shed with an overload reply")
+	}
+	if unavailable == 0 {
+		t.Fatal("no admitted request surfaced the cloud fetch timeout")
+	}
+	if got := es.Overloads(); got != uint64(overloaded) {
+		t.Fatalf("server overload counter = %d, client saw %d", got, overloaded)
+	}
+}
+
+// TestTCPHungCloudFailsCoalescedGroup verifies the per-fetch timeout
+// propagates to every waiter of a coalesced flight — a hung cloud must
+// not wedge the group — and that the failure does not poison the
+// descriptor.
+func TestTCPHungCloudFailsCoalescedGroup(t *testing.T) {
+	p := testParams()
+	cloudAddr, stopCloud := startHungCloud(t)
+	defer stopCloud()
+
+	es := &EdgeServer{
+		Edge:         NewEdge(p),
+		CloudAddr:    cloudAddr,
+		FetchTimeout: 300 * time.Millisecond,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go es.Serve(ln)
+
+	const clients = 3
+	vp := pano.Viewport{Yaw: 0.1, FOV: 1.4}
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		cli, err := DialEdge(ln.Addr().String(), NewClient(i, p), ModeCoIC, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		go func() {
+			defer done.Done()
+			start.Wait()
+			_, err := cli.Pano("hung-video", 1, vp)
+			errs <- err
+		}()
+	}
+	start.Done()
+	finished := make(chan struct{})
+	go func() { done.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coalesced group wedged behind the hung cloud")
+	}
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("request against a hung cloud succeeded")
+		}
+	}
+	if st := es.Edge.Inflight().Stats(); st.Failures == 0 {
+		t.Fatalf("inflight stats = %+v, want the failed flight recorded", st)
+	}
+	if es.Edge.Inflight().Len() != 0 {
+		t.Fatal("failed fetch left the descriptor in flight (poisoned)")
+	}
+}
+
+// TestTCPOriginModeStillForwards covers the origin passthrough on the
+// reworked dispatch: no cache reads, no coalescing, plain forwarding.
+func TestTCPOriginModeStillForwards(t *testing.T) {
+	p := testParams()
+	addr, es, stop := startSlowStack(t, p, 0, nil)
+	defer stop()
+
+	conn := rawEdgeConn(t, addr, ModeOrigin)
+	defer conn.Close()
+	for i := 1; i <= 2; i++ {
+		if err := wire.WriteMessage(conn, panoFetchMsg(t, uint64(i), "origin-video", 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		reply, err := wire.ReadMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Type != wire.MsgPanoReply {
+			t.Fatalf("reply type = %v", reply.Type)
+		}
+	}
+	// Identical origin requests must both hit the cloud (no cache, no
+	// coalescing on the origin path).
+	if got := es.CloudFetches(); got != 2 {
+		t.Fatalf("origin cloud fetches = %d, want 2", got)
+	}
+	if got := es.Edge.Stats().Inserts; got != 0 {
+		t.Fatalf("origin mode inserted %d entries into the cache", got)
+	}
+}

@@ -70,12 +70,14 @@ func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, m
 
 	var resultBytes []byte
 	if mode == ModeCoIC {
-		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskRecognize, desc)
+		lr := s.Edge.LookupAtAs(s.Client.ID, wire.TaskRecognize, desc, t)
 		b.EdgeProc += lr.Cost - lr.PeerCost
 		b.PeerHop += lr.PeerCost
-		t = t.Add(lr.Cost)
+		b.Wait += lr.Wait
+		t = t.Add(lr.Cost + lr.Wait)
 		if lr.Hit() {
 			b.Outcome = lr.Outcome
+			b.Coalesced = lr.Coalesced
 			resultBytes = lr.Value
 		}
 	}
@@ -99,7 +101,7 @@ func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, m
 		t = tBack
 
 		if mode == ModeCoIC {
-			insertCost := s.Edge.InsertAs(s.Client.ID, desc, resultBytes, cloudCost.Seconds()*1000)
+			insertCost := s.Edge.InsertAtAs(s.Client.ID, desc, resultBytes, cloudCost.Seconds()*1000, t)
 			b.EdgeProc += insertCost
 			t = t.Add(insertCost)
 		}
@@ -154,12 +156,14 @@ func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, er
 	var cmf []byte
 	var source uint8 = wire.SourceCloud
 	if mode == ModeCoIC {
-		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskRender, desc)
+		lr := s.Edge.LookupAtAs(s.Client.ID, wire.TaskRender, desc, t)
 		b.EdgeProc += lr.Cost - lr.PeerCost
 		b.PeerHop += lr.PeerCost
-		t = t.Add(lr.Cost)
+		b.Wait += lr.Wait
+		t = t.Add(lr.Cost + lr.Wait)
 		if lr.Hit() {
 			b.Outcome = lr.Outcome
+			b.Coalesced = lr.Coalesced
 			cmf = lr.Value
 			source = wire.SourceEdge
 		}
@@ -186,7 +190,7 @@ func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, er
 		if mode == ModeCoIC {
 			// The edge caches the loaded (parsed) form: next user skips
 			// both the WAN hop and the cloud-side load.
-			insertCost := s.Edge.InsertAs(s.Client.ID, desc, cmf, cloudCost.Seconds()*1000)
+			insertCost := s.Edge.InsertAtAs(s.Client.ID, desc, cmf, cloudCost.Seconds()*1000, t)
 			b.EdgeProc += insertCost
 			t = t.Add(insertCost)
 		}
@@ -245,12 +249,14 @@ func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewp
 	var rle []byte
 	var source uint8 = wire.SourceCloud
 	if mode == ModeCoIC {
-		lr := s.Edge.LookupAs(s.Client.ID, wire.TaskPano, desc)
+		lr := s.Edge.LookupAtAs(s.Client.ID, wire.TaskPano, desc, t)
 		b.EdgeProc += lr.Cost - lr.PeerCost
 		b.PeerHop += lr.PeerCost
-		t = t.Add(lr.Cost)
+		b.Wait += lr.Wait
+		t = t.Add(lr.Cost + lr.Wait)
 		if lr.Hit() {
 			b.Outcome = lr.Outcome
+			b.Coalesced = lr.Coalesced
 			rle = lr.Value
 			source = wire.SourceEdge
 		}
@@ -275,7 +281,7 @@ func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewp
 		t = tBack
 
 		if mode == ModeCoIC {
-			insertCost := s.Edge.InsertAs(s.Client.ID, desc, rle, cloudCost.Seconds()*1000)
+			insertCost := s.Edge.InsertAtAs(s.Client.ID, desc, rle, cloudCost.Seconds()*1000, t)
 			b.EdgeProc += insertCost
 			t = t.Add(insertCost)
 		}

@@ -418,6 +418,11 @@ const (
 	CodeBadRequest   uint16 = 2
 	CodeUnknownModel uint16 = 3
 	CodeUnavailable  uint16 = 4
+	// CodeOverloaded is the admission-control reply: the connection's
+	// worker pool and queue are full, so the request was rejected without
+	// processing. The client may retry after backing off; the connection
+	// stays healthy and the reply keeps its place in the response order.
+	CodeOverloaded uint16 = 5
 )
 
 // Marshal encodes the body.

@@ -1,0 +1,66 @@
+package wire
+
+import "fmt"
+
+// Pipelined serving: a CoIC server reads many requests off one connection
+// before the first reply is written, processes them on a worker pool, and
+// must still write replies in arrival order — the protocol's framing has
+// no out-of-order delivery, so a client that pipelines K requests reads
+// exactly K replies back in the order it sent them. Each request is
+// tagged with a per-connection sequence number at read time; workers
+// finish in any order; the ReplyBuffer reorders completions back into the
+// sequence before they touch the socket.
+
+// SequencedMessage pairs a reply with the arrival sequence number of the
+// request it answers.
+type SequencedMessage struct {
+	Seq uint64
+	Msg Message
+}
+
+// ReplyBuffer reorders out-of-sequence replies. It is a pure data
+// structure (no I/O, no locking): one writer goroutine owns it and calls
+// Add with each completed reply, writing whatever ready prefix comes
+// back.
+type ReplyBuffer struct {
+	next    uint64
+	pending map[uint64]Message
+}
+
+// NewReplyBuffer expects sequences starting at start (the first request
+// read off a connection is tagged 1 by convention).
+func NewReplyBuffer(start uint64) *ReplyBuffer {
+	return &ReplyBuffer{next: start, pending: map[uint64]Message{}}
+}
+
+// Add accepts the reply for seq and returns the in-order run of replies
+// now ready to write (empty if seq is ahead of a still-outstanding one).
+// Sequences must be unique and never precede the buffer's start; both
+// indicate a server bug, not a peer-controlled condition, so they panic.
+func (b *ReplyBuffer) Add(seq uint64, m Message) []Message {
+	if seq < b.next {
+		panic(fmt.Sprintf("wire: reply sequence %d already flushed (next %d)", seq, b.next))
+	}
+	if _, dup := b.pending[seq]; dup {
+		panic(fmt.Sprintf("wire: duplicate reply sequence %d", seq))
+	}
+	if seq != b.next {
+		b.pending[seq] = m
+		return nil
+	}
+	ready := []Message{m}
+	b.next++
+	for {
+		nm, ok := b.pending[b.next]
+		if !ok {
+			return ready
+		}
+		delete(b.pending, b.next)
+		ready = append(ready, nm)
+		b.next++
+	}
+}
+
+// Pending reports how many replies are parked waiting for earlier
+// sequences.
+func (b *ReplyBuffer) Pending() int { return len(b.pending) }
