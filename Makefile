@@ -3,8 +3,11 @@
 
 GO ?= go
 COVER_BASELINE_FILE := .github/coverage-baseline.txt
+API_BASELINE_FILE := .github/api-baseline-ref
+# The apidiff version CI pins; bump deliberately alongside Go bumps.
+APIDIFF_VERSION := v0.0.0-20240909161429-701f63a606c0
 
-.PHONY: all build lint test bench cover ci
+.PHONY: all build lint test bench cover api ci
 
 all: build
 
@@ -41,4 +44,23 @@ cover:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
 
-ci: lint build test bench
+# api = the CI apidiff job: the public surface of the root package must
+# stay compatible with the committed baseline commit (skipped with a
+# notice if the tool is not installed; CI always runs it).
+api:
+	@if command -v apidiff >/dev/null 2>&1; then \
+		base=$$(cat $(API_BASELINE_FILE)); \
+		tmp=$$(mktemp -d); \
+		git worktree add --detach $$tmp/base $$base >/dev/null 2>&1; \
+		(cd $$tmp/base && apidiff -w $$tmp/base.export .); \
+		report=$$(apidiff -incompatible $$tmp/base.export .); \
+		git worktree remove --force $$tmp/base >/dev/null 2>&1; rm -rf $$tmp; \
+		if [ -n "$$report" ]; then \
+			echo "incompatible public API changes vs baseline $$base:"; \
+			echo "$$report"; exit 1; fi; \
+		echo "public API compatible with baseline $$base"; \
+	else \
+		echo "apidiff not installed (go install golang.org/x/exp/cmd/apidiff@$(APIDIFF_VERSION), the version CI pins); skipping"; \
+	fi
+
+ci: lint build test bench api

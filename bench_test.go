@@ -11,6 +11,7 @@ package coic_test
 // the same pipelines measurable under the standard Go tooling.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -47,24 +48,25 @@ func BenchmarkFig2aRecognition(b *testing.B) {
 				p := benchParams()
 				var simTotal time.Duration
 				for i := 0; i < b.N; i++ {
-					sys, err := coic.New(coic.Config{Params: p, Condition: cond})
+					sys, err := coic.New(coic.WithParams(p), coic.WithCondition(cond))
 					if err != nil {
 						b.Fatal(err)
 					}
 					if tc.warm {
-						if _, _, err := sys.Recognize(0, coic.ClassStopSign, 1, coic.ModeCoIC); err != nil {
+						if _, err := sys.Do(context.Background(), 0, coic.RecognizeTask(coic.ClassStopSign, 1)); err != nil {
 							b.Fatal(err)
 						}
 						sys.Advance(time.Minute)
 					}
-					bd, _, err := sys.Recognize(0, coic.ClassStopSign, uint64(100+i), tc.mode)
+					res, err := sys.Do(context.Background(), 0,
+						coic.RecognizeTask(coic.ClassStopSign, uint64(100+i)).WithMode(tc.mode))
 					if err != nil {
 						b.Fatal(err)
 					}
-					if tc.warm && bd.Outcome.String() == "miss" {
+					if tc.warm && res.Breakdown.Outcome.String() == "miss" {
 						b.Fatal("warm request missed")
 					}
-					simTotal += bd.Total()
+					simTotal += res.Breakdown.Total()
 				}
 				b.ReportMetric(float64(simTotal.Milliseconds())/float64(b.N), "sim-ms/op")
 			})
@@ -88,13 +90,13 @@ func BenchmarkFig2bModelLoad(b *testing.B) {
 		} {
 			b.Run(fmt.Sprintf("%dKB/%s", kb, tc.name), func(b *testing.B) {
 				p := benchParams()
-				sys, err := coic.New(coic.Config{Params: p})
+				sys, err := coic.New(coic.WithParams(p))
 				if err != nil {
 					b.Fatal(err)
 				}
 				id := coic.SceneModelID(kb)
 				if tc.mode == coic.ModeCoIC {
-					if _, err := sys.Render(0, id, coic.ModeCoIC); err != nil {
+					if _, err := sys.Do(context.Background(), 0, coic.RenderTask(id)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -102,11 +104,11 @@ func BenchmarkFig2bModelLoad(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					sys.Advance(time.Minute)
-					bd, err := sys.Render(0, id, tc.mode)
+					res, err := sys.Do(context.Background(), 0, coic.RenderTask(id).WithMode(tc.mode))
 					if err != nil {
 						b.Fatal(err)
 					}
-					simTotal += bd.Total()
+					simTotal += res.Breakdown.Total()
 				}
 				b.ReportMetric(float64(simTotal.Milliseconds())/float64(b.N), "sim-ms/op")
 			})
@@ -116,18 +118,18 @@ func BenchmarkFig2bModelLoad(b *testing.B) {
 		p := benchParams()
 		var simTotal time.Duration
 		for i := 0; i < b.N; i++ {
-			sys, err := coic.New(coic.Config{Params: p})
+			sys, err := coic.New(coic.WithParams(p))
 			if err != nil {
 				b.Fatal(err)
 			}
-			bd, err := sys.Render(0, coic.SceneModelID(231), coic.ModeCoIC)
+			res, err := sys.Do(context.Background(), 0, coic.RenderTask(coic.SceneModelID(231)))
 			if err != nil {
 				b.Fatal(err)
 			}
-			if bd.Outcome.String() != "miss" {
+			if res.Breakdown.Outcome.String() != "miss" {
 				b.Fatal("expected a cold miss")
 			}
-			simTotal += bd.Total()
+			simTotal += res.Breakdown.Total()
 		}
 		b.ReportMetric(float64(simTotal.Milliseconds())/float64(b.N), "sim-ms/op")
 	})
@@ -141,23 +143,25 @@ func BenchmarkPanoStreaming(b *testing.B) {
 	}{{"origin", coic.ModeOrigin}, {"coic", coic.ModeCoIC}} {
 		b.Run(tc.name, func(b *testing.B) {
 			p := benchParams()
-			sys, err := coic.New(coic.Config{Params: p, Clients: 2})
+			sys, err := coic.New(coic.WithParams(p), coic.WithClients(2))
 			if err != nil {
 				b.Fatal(err)
 			}
 			// Warm with user 0; measure user 1 (the sharing beneficiary).
-			if _, err := sys.Pano(0, "bench", 0, coic.Viewport{FOV: 1.6}, tc.mode); err != nil {
+			if _, err := sys.Do(context.Background(), 0,
+				coic.PanoTask("bench", 0, coic.Viewport{FOV: 1.6}).WithMode(tc.mode)); err != nil {
 				b.Fatal(err)
 			}
 			var simTotal time.Duration
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sys.Advance(time.Second)
-				bd, err := sys.Pano(1, "bench", 0, coic.Viewport{Yaw: 1, FOV: 1.6}, tc.mode)
+				res, err := sys.Do(context.Background(), 1,
+					coic.PanoTask("bench", 0, coic.Viewport{Yaw: 1, FOV: 1.6}).WithMode(tc.mode))
 				if err != nil {
 					b.Fatal(err)
 				}
-				simTotal += bd.Total()
+				simTotal += res.Breakdown.Total()
 			}
 			b.ReportMetric(float64(simTotal.Milliseconds())/float64(b.N), "sim-ms/op")
 		})
@@ -168,7 +172,7 @@ func BenchmarkPanoStreaming(b *testing.B) {
 // cost (the dominant term of the CoIC hit path).
 func BenchmarkDescriptorExtraction(b *testing.B) {
 	p := benchParams()
-	sys, err := coic.New(coic.Config{Params: p})
+	sys, err := coic.New(coic.WithParams(p))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -180,7 +184,7 @@ func BenchmarkDescriptorExtraction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Advance(time.Second)
-		if _, _, err := sys.Recognize(0, coic.ClassCar, uint64(i), coic.ModeCoIC); err != nil {
+		if _, err := sys.Do(context.Background(), 0, coic.RecognizeTask(coic.ClassCar, uint64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -23,6 +26,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM stops the sweep at the next experiment boundary
+	// (each experiment is seconds, so this is prompt enough for a CLI).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	p := coic.DefaultParams()
 	if *seed != 0 {
@@ -85,6 +93,10 @@ func main() {
 
 	ran := 0
 	for _, r := range runners {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "coic-bench: interrupted")
+			os.Exit(130)
+		}
 		if *experiment != "all" && *experiment != r.name {
 			continue
 		}

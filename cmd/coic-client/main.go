@@ -3,6 +3,10 @@
 // latency statistics. The -shape flag conditions the client-edge link the
 // way the paper's 802.11ac + tc setup does.
 //
+// SIGINT/SIGTERM cancels the run: an in-flight request is aborted with a
+// MsgCancel frame (the edge stops working on it) and the client exits
+// after printing the statistics gathered so far.
+//
 // Usage:
 //
 //	coic-client -edge localhost:9091 -task recognize -n 20
@@ -10,9 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 	"time"
 
 	coic "github.com/edge-immersion/coic"
@@ -28,12 +36,15 @@ func main() {
 	shape := flag.String("shape", "", `tc-style spec for the client->edge link, e.g. "rate 200mbit delay 1ms"`)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	m := coic.ModeCoIC
 	if *mode == "origin" {
 		m = coic.ModeOrigin
 	}
 	p := coic.DefaultParams()
-	cli, err := coic.Dial(*edge, p, m, coic.ShapeSpec(*shape))
+	cli, err := coic.DialContext(ctx, *edge, p, m, coic.ShapeSpec(*shape))
 	if err != nil {
 		log.Fatalf("coic-client: %v", err)
 	}
@@ -43,13 +54,14 @@ func main() {
 		coic.ClassStopSign, coic.ClassCar, coic.ClassAvatar, coic.ClassTree,
 	}
 	var total, min, max time.Duration
+	done := 0
 	for i := 0; i < *n; i++ {
 		var lat time.Duration
 		var err error
 		switch *task {
 		case "recognize":
 			class := classes[i%len(classes)]
-			res, rlat, rerr := cli.Recognize(class, uint64(1000+i))
+			res, rlat, rerr := cli.RecognizeContext(ctx, class, uint64(1000+i))
 			lat, err = rlat, rerr
 			if err == nil {
 				fmt.Printf("#%02d recognize %-14s -> %-14s conf=%.2f  %8.1fms\n",
@@ -60,21 +72,26 @@ func main() {
 			if id == "" {
 				id = coic.AnnotationModelID(classes[i%len(classes)])
 			}
-			lat, err = cli.Render(id)
+			lat, err = cli.RenderContext(ctx, id)
 			if err == nil {
 				fmt.Printf("#%02d render %-24s %8.1fms\n", i, id, ms(lat))
 			}
 		case "pano":
-			lat, err = cli.Pano(*video, i, coic.Viewport{Yaw: float64(i) * 0.3, FOV: 1.6})
+			lat, err = cli.PanoContext(ctx, *video, i, coic.Viewport{Yaw: float64(i) * 0.3, FOV: 1.6})
 			if err == nil {
 				fmt.Printf("#%02d pano %s frame %-4d %8.1fms\n", i, *video, i, ms(lat))
 			}
 		default:
 			log.Fatalf("coic-client: unknown task %q", *task)
 		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("coic-client: interrupted; in-flight request cancelled at the edge")
+			break
+		}
 		if err != nil {
 			log.Fatalf("coic-client: request %d: %v", i, err)
 		}
+		done++
 		total += lat
 		if min == 0 || lat < min {
 			min = lat
@@ -83,8 +100,11 @@ func main() {
 			max = lat
 		}
 	}
+	if done == 0 {
+		return
+	}
 	fmt.Printf("\n%d requests (%s, %s): mean=%.1fms min=%.1fms max=%.1fms\n",
-		*n, *task, *mode, ms(total/time.Duration(*n)), ms(min), ms(max))
+		done, *task, *mode, ms(total/time.Duration(done)), ms(min), ms(max))
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,16 +1,22 @@
 // Command coic-cloud runs the CoIC cloud tier: the full recognition DNN,
 // the 3D model repository, and the VR panorama source, served over TCP.
 //
+// SIGINT/SIGTERM triggers graceful shutdown: the listener closes,
+// in-flight requests drain, replies flush, then the process exits.
+//
 // Usage:
 //
 //	coic-cloud -listen :9090
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os/signal"
+	"syscall"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -21,12 +27,22 @@ func main() {
 	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("coic-cloud: %v", err)
 	}
 	fmt.Printf("coic-cloud: serving on %s\n", ln.Addr())
-	if err := coic.ServeCloudWith(ln, coic.DefaultParams(), coic.ServeConfig{Workers: *workers, QueueDepth: *queue}); err != nil {
+	srv := coic.NewCloudServer(
+		coic.WithListener(ln),
+		coic.WithServeParams(coic.DefaultParams()),
+		coic.WithWorkers(*workers),
+		coic.WithQueueDepth(*queue),
+	)
+	if err := srv.Serve(ctx); err != nil {
 		log.Fatalf("coic-cloud: %v", err)
 	}
+	fmt.Println("coic-cloud: shut down cleanly")
 }

@@ -12,7 +12,12 @@
 // Each client connection is served pipelined by a bounded worker pool
 // (-workers / -queue), concurrent misses on the same descriptor coalesce
 // into one cloud fetch, and every fetch is bounded by -fetch-timeout so a
-// hung cloud sheds load instead of wedging connections.
+// hung cloud sheds load instead of wedging connections. A client's
+// MsgCancel frame (or disconnect) cancels its in-flight requests, and a
+// coalesced fetch aborts when its last waiter departs.
+//
+// SIGINT/SIGTERM triggers graceful shutdown: the listener closes,
+// in-flight requests drain, replies flush, then the process exits.
 //
 // Usage:
 //
@@ -22,11 +27,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -56,6 +64,9 @@ func main() {
 		log.Fatal("coic-edge: -peers requires -self, the dialable address the other members list for this edge")
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("coic-edge: %v", err)
@@ -66,8 +77,20 @@ func main() {
 	} else {
 		fmt.Printf("coic-edge: serving on %s, cloud at %s\n", ln.Addr(), *cloud)
 	}
-	cfg := coic.ServeConfig{Workers: *workers, QueueDepth: *queue, FetchTimeout: *fetchTimeout}
-	if err := coic.ServeEdgeWith(ln, coic.DefaultParams(), *cloud, coic.ShapeSpec(*cloudShape), *self, peerAddrs, cfg); err != nil {
+	opts := []coic.ServerOption{
+		coic.WithListener(ln),
+		coic.WithServeParams(coic.DefaultParams()),
+		coic.WithCloud(*cloud),
+		coic.WithCloudShape(coic.ShapeSpec(*cloudShape)),
+		coic.WithWorkers(*workers),
+		coic.WithQueueDepth(*queue),
+		coic.WithFetchTimeout(*fetchTimeout),
+	}
+	if len(peerAddrs) > 0 {
+		opts = append(opts, coic.WithFederation(*self, peerAddrs...))
+	}
+	if err := coic.NewEdgeServer(opts...).Serve(ctx); err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}
+	fmt.Println("coic-edge: shut down cleanly")
 }

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/trace"
@@ -32,6 +35,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	analyze := flag.String("analyze", "", "analyze an existing JSONL trace instead of generating")
 	flag.Parse()
+
+	// SIGINT/SIGTERM aborts before the write phase so an interrupted run
+	// never emits a truncated trace to stdout.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	if *analyze != "" {
 		f, err := os.Open(*analyze)
@@ -56,6 +64,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("coic-trace: %v", err)
+	}
+	if ctx.Err() != nil {
+		log.Fatal("coic-trace: interrupted before writing; no partial trace emitted")
 	}
 	if err := trace.WriteJSONL(os.Stdout, events); err != nil {
 		log.Fatalf("coic-trace: %v", err)

@@ -5,15 +5,53 @@
 // or redundant work across applications and users is shared instead of
 // recomputed in the cloud.
 //
-// The package is a facade over the internal implementation. A System
-// wires a mobile Client, an Edge cache and a Cloud over a simulated
-// network and executes recognition / 3D-rendering / VR-panorama tasks in
-// deterministic virtual time; the Run* functions regenerate every figure
-// of the paper plus this reproduction's ablations. The same protocol also
-// runs over real TCP via ServeCloud / ServeEdge / Dial (see cmd/).
+// # Package tour (v2 API)
+//
+// The package is a context-first facade over the internal implementation.
+//
+// A System wires mobile clients, an Edge cache and a Cloud over a
+// simulated network and executes IC tasks in deterministic virtual time.
+// Build one with functional options and drive it through the unified
+// task API:
+//
+//	sys, _ := coic.New(coic.WithClients(2), coic.WithCachePolicy("gdsf"))
+//	res, err := sys.Do(ctx, 0, coic.RecognizeTask(coic.ClassStopSign, 42))
+//	res, err = sys.Do(ctx, 1, coic.PanoTask("concert", 7, vp).WithDeadline(50*time.Millisecond))
+//
+// A Request is a tagged union over the three workloads of the paper —
+// recognition, 3D-model rendering, VR panorama streaming — with
+// per-request Mode (CoIC versus the Origin baseline) and a virtual
+// latency Deadline; DoBatch runs a sequence. System.Stats returns one
+// coherent SystemStats snapshot (store, logical queries, miss
+// coalescing, federation).
+//
+// The same protocol runs over real TCP. Servers are assembled from
+// options and serve until their context dies, then drain gracefully:
+//
+//	go coic.NewCloudServer(coic.WithListenAddr(":9090")).Serve(ctx)
+//	err := coic.NewEdgeServer(
+//		coic.WithListenAddr(":9091"),
+//		coic.WithCloud("localhost:9090"),
+//		coic.WithCloudShape("rate 20mbit delay 10ms"),
+//	).Serve(ctx)
+//
+// Clients dial with DialContext and issue RecognizeContext /
+// RenderContext / PanoContext; cancelling a request's context sends a
+// cancel frame (see docs/PROTOCOL.md) and the connection stays usable.
+// Below the facade, cancellation reaches every layer: a cache miss
+// coalesced across N concurrent requests keeps exactly one cloud fetch
+// alive, which survives individual departures and aborts — withdrawing
+// the upstream round trip — when its last waiter is gone.
+//
+// The Run* functions (experiments.go) regenerate every figure of the
+// paper plus this reproduction's ablations; cmd/ holds the deployable
+// daemons. The v1 entry points (New with a Config literal is now
+// NewFromConfig, the per-task System methods, ServeCloud / ServeEdge /
+// Dial) remain as thin deprecated wrappers — see docs/MIGRATION.md.
 package coic
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -110,6 +148,10 @@ func AnnotationModelID(class Class) string {
 func SceneModelID(kb int) string { return core.Fig2bModelID(kb) }
 
 // Config assembles a System.
+//
+// Deprecated: build systems with New and functional options (WithParams,
+// WithClients, ...). Config remains as the carrier those options write
+// into and for NewFromConfig.
 type Config struct {
 	// Params defaults to DefaultParams() when zero-valued.
 	Params Params
@@ -142,8 +184,12 @@ type System struct {
 	now      time.Time
 }
 
-// New builds a System from cfg. Unset fields default sensibly.
-func New(cfg Config) (*System, error) {
+// NewFromConfig builds a System from cfg. Unset fields default sensibly.
+//
+// Deprecated: use New with functional options; this is the v1
+// constructor kept for mechanical migration (it was named New before
+// v2).
+func NewFromConfig(cfg Config) (*System, error) {
 	p := cfg.Params
 	if p.CameraW == 0 { // zero value: caller wants defaults
 		p = DefaultParams()
@@ -208,25 +254,19 @@ func (s *System) session(client int) (*core.Session, error) {
 	return s.sessions[client], nil
 }
 
-// Recognize runs one recognition task for the given client: observe an
-// object of `class` from a viewpoint derived from viewSeed, and resolve
-// its label through the CoIC protocol (or straight offload in
-// ModeOrigin). The returned label/annotation comes from the real DNN.
+// Recognize runs one recognition task for the given client.
+//
+// Deprecated: use Do with RecognizeTask, which adds cancellation and
+// per-request deadlines.
 func (s *System) Recognize(client int, class Class, viewSeed uint64, mode Mode) (Breakdown, RecognitionResult, error) {
-	sess, err := s.session(client)
+	res, err := s.Do(context.Background(), client, Request{
+		Recognize: &RecognizeSpec{Class: class, ViewSeed: viewSeed},
+		Mode:      mode,
+	})
 	if err != nil {
-		return Breakdown{}, RecognitionResult{}, err
+		return res.Breakdown, RecognitionResult{}, err
 	}
-	b, res, err := sess.Recognize(s.now, class, viewSeed, mode)
-	if err != nil {
-		return b, RecognitionResult{}, err
-	}
-	s.now = b.End
-	return b, RecognitionResult{
-		Label:             res.Label,
-		Confidence:        float64(res.Confidence),
-		AnnotationModelID: res.AnnotationModelID,
-	}, nil
+	return res.Breakdown, *res.Recognition, nil
 }
 
 // RecognitionResult is the public form of a recognition answer.
@@ -237,38 +277,34 @@ type RecognitionResult struct {
 }
 
 // Render runs one 3D model load-and-draw task for the given client.
+//
+// Deprecated: use Do with RenderTask.
 func (s *System) Render(client int, modelID string, mode Mode) (Breakdown, error) {
-	sess, err := s.session(client)
-	if err != nil {
-		return Breakdown{}, err
-	}
-	b, err := sess.Render(s.now, modelID, mode)
-	if err != nil {
-		return b, err
-	}
-	s.now = b.End
-	return b, nil
+	res, err := s.Do(context.Background(), client, Request{
+		Render: &RenderSpec{ModelID: modelID},
+		Mode:   mode,
+	})
+	return res.Breakdown, err
 }
 
 // Pano runs one VR panorama fetch-and-crop task for the given client.
+//
+// Deprecated: use Do with PanoTask.
 func (s *System) Pano(client int, videoID string, frame int, vp Viewport, mode Mode) (Breakdown, error) {
-	sess, err := s.session(client)
-	if err != nil {
-		return Breakdown{}, err
-	}
-	b, err := sess.Pano(s.now, videoID, frame, vp, mode)
-	if err != nil {
-		return b, err
-	}
-	s.now = b.End
-	return b, nil
+	res, err := s.Do(context.Background(), client, Request{
+		Pano: &PanoSpec{VideoID: videoID, Frame: frame, Viewport: vp},
+		Mode: mode,
+	})
+	return res.Breakdown, err
 }
 
 // CacheStats reports the edge cache's hit ratio and resident bytes.
+//
+// Deprecated: use Stats, which returns every counter coherently
+// (including the similarity-hit counter this method discards).
 func (s *System) CacheStats() (hitRatio float64, usedBytes int64, entries int) {
-	st := s.edge.Stats()
-	storeStats, _ := s.edge.Cache.Stats()
-	return st.HitRatio(), storeStats.BytesUsed, storeStats.Entries
+	st := s.Stats()
+	return s.edge.Stats().HitRatio(), st.Store.BytesUsed, st.Store.Entries
 }
 
 // SaveCache snapshots the edge cache (all resident IC results with their
@@ -279,13 +315,17 @@ func (s *System) SaveCache(w io.Writer) error { return s.edge.Cache.Snapshot(w) 
 // returning how many entries were adopted (oversized ones are skipped).
 func (s *System) LoadCache(r io.Reader) (int, error) { return s.edge.Cache.Restore(r) }
 
-// --- real-socket deployment ------------------------------------------
+// --- real-socket deployment (v1 wrappers) -----------------------------
+//
+// The v2 deployment surface lives in server.go (NewEdgeServer /
+// NewCloudServer / DialContext). These wrappers keep v1 callers
+// compiling; they serve with a background context, so they never shut
+// down gracefully — only by closing the listener.
 
-// ServeConfig tunes the pipelined TCP servers. Each accepted connection
-// is served by a reader goroutine feeding a bounded worker pool, with
-// replies written back in arrival order; requests beyond Workers +
-// QueueDepth are rejected with an overloaded error instead of stalling
-// the connection (see docs/PROTOCOL.md).
+// ServeConfig tunes the pipelined TCP servers.
+//
+// Deprecated: pass WithWorkers / WithQueueDepth / WithFetchTimeout to
+// NewEdgeServer / NewCloudServer.
 type ServeConfig struct {
 	// Workers bounds concurrent request processing per connection
 	// (core.DefaultWorkers when 0).
@@ -300,18 +340,22 @@ type ServeConfig struct {
 }
 
 // ServeCloud runs a CoIC cloud on ln until the listener closes.
+//
+// Deprecated: use NewCloudServer(WithListener(ln)).Serve(ctx).
 func ServeCloud(ln net.Listener, p Params) error {
 	return ServeCloudWith(ln, p, ServeConfig{})
 }
 
 // ServeCloudWith runs a CoIC cloud with explicit serving tunables.
+//
+// Deprecated: use NewCloudServer with options.
 func ServeCloudWith(ln net.Listener, p Params, cfg ServeConfig) error {
-	srv := &core.CloudServer{
-		Cloud:      core.NewCloud(p),
-		Workers:    cfg.Workers,
-		QueueDepth: cfg.QueueDepth,
-	}
-	return srv.Serve(ln)
+	return NewCloudServer(
+		WithListener(ln),
+		WithServeParams(p),
+		WithWorkers(cfg.Workers),
+		WithQueueDepth(cfg.QueueDepth),
+	).Serve(context.Background())
 }
 
 // ShapeSpec is a tc-style link spec ("rate 90mbit delay 5ms"), applied as
@@ -333,45 +377,39 @@ func (s ShapeSpec) wrapper() (core.ConnWrapper, error) {
 
 // ServeEdge runs a CoIC edge on ln, forwarding misses to cloudAddr.
 // cloudShape conditions the edge→cloud uplink (the B_E→C knob).
+//
+// Deprecated: use NewEdgeServer(WithListener(ln), WithCloud(cloudAddr),
+// WithCloudShape(cloudShape)).Serve(ctx).
 func ServeEdge(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec) error {
 	return ServeEdgeWith(ln, p, cloudAddr, cloudShape, "", nil, ServeConfig{})
 }
 
 // ServeEdgeFederated runs a CoIC edge that is a member of a cache
-// federation: on a local miss it first probes the descriptor's home peer
-// (consistent hashing over self+peers) over a cheap edge↔edge hop, and
-// publishes fresh results to their home, falling back to the cloud only
-// when the federation has nothing. self is this edge's advertised,
-// dialable address — its federation identity — and must appear verbatim
-// in every peer's peer list. Empty peers degrade to a standalone
-// ServeEdge.
+// federation; see WithFederation for the membership rules.
+//
+// Deprecated: use NewEdgeServer with WithFederation.
 func ServeEdgeFederated(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec, self string, peers []string) error {
 	return ServeEdgeWith(ln, p, cloudAddr, cloudShape, self, peers, ServeConfig{})
 }
 
-// ServeEdgeWith is ServeEdgeFederated with explicit serving tunables:
-// per-connection worker pool size, admission queue depth, and the
-// per-fetch cloud timeout. Concurrent misses on the same (or similar)
-// descriptor coalesce into one cloud fetch regardless of these knobs.
+// ServeEdgeWith is ServeEdgeFederated with explicit serving tunables.
+//
+// Deprecated: use NewEdgeServer with options; the seven positional
+// parameters here are exactly why v2 exists.
 func ServeEdgeWith(ln net.Listener, p Params, cloudAddr string, cloudShape ShapeSpec, self string, peers []string, cfg ServeConfig) error {
-	wrap, err := cloudShape.wrapper()
-	if err != nil {
-		return err
-	}
-	srv := &core.EdgeServer{
-		Edge:         core.NewEdge(p),
-		CloudAddr:    cloudAddr,
-		WrapCloud:    wrap,
-		Workers:      cfg.Workers,
-		QueueDepth:   cfg.QueueDepth,
-		FetchTimeout: cfg.FetchTimeout,
+	opts := []ServerOption{
+		WithListener(ln),
+		WithServeParams(p),
+		WithCloud(cloudAddr),
+		WithCloudShape(cloudShape),
+		WithWorkers(cfg.Workers),
+		WithQueueDepth(cfg.QueueDepth),
+		WithFetchTimeout(cfg.FetchTimeout),
 	}
 	if len(peers) > 0 {
-		if err := srv.SetupFederation(self, peers); err != nil {
-			return err
-		}
+		opts = append(opts, WithFederation(self, peers...))
 	}
-	return srv.Serve(ln)
+	return NewEdgeServer(opts...).Serve(context.Background())
 }
 
 // Client drives requests against a live edge over TCP.
@@ -379,10 +417,8 @@ type Client = core.TCPClient
 
 // Dial connects a mobile client to a running edge. clientShape conditions
 // the client→edge link (the B_M→E knob).
+//
+// Deprecated: use DialContext.
 func Dial(edgeAddr string, p Params, mode Mode, clientShape ShapeSpec) (*Client, error) {
-	wrap, err := clientShape.wrapper()
-	if err != nil {
-		return nil, err
-	}
-	return core.DialEdge(edgeAddr, core.NewClient(0, p), mode, wrap)
+	return DialContext(context.Background(), edgeAddr, p, mode, clientShape)
 }

@@ -20,7 +20,7 @@ func testConfig() Config {
 }
 
 func TestSystemQuickPath(t *testing.T) {
-	sys, err := New(testConfig())
+	sys, err := NewFromConfig(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestSystemQuickPath(t *testing.T) {
 }
 
 func TestSystemRenderAndPano(t *testing.T) {
-	sys, err := New(testConfig())
+	sys, err := NewFromConfig(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestSystemRenderAndPano(t *testing.T) {
 func TestMultiClientSharing(t *testing.T) {
 	cfg := testConfig()
 	cfg.Clients = 3
-	sys, err := New(cfg)
+	sys, err := NewFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,22 +93,22 @@ func TestMultiClientSharing(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{CachePolicy: "belady"}); err == nil {
+	if _, err := NewFromConfig(Config{CachePolicy: "belady"}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
-	if _, err := New(Config{Index: "faiss"}); err == nil {
+	if _, err := NewFromConfig(Config{Index: "faiss"}); err == nil {
 		t.Fatal("unknown index accepted")
 	}
 	for _, policy := range []string{"lru", "lfu", "fifo", "gdsf"} {
 		cfg := testConfig()
 		cfg.CachePolicy = policy
-		if _, err := New(cfg); err != nil {
+		if _, err := NewFromConfig(cfg); err != nil {
 			t.Fatalf("policy %s rejected: %v", policy, err)
 		}
 	}
 	cfg := testConfig()
 	cfg.Index = "lsh"
-	if _, err := New(cfg); err != nil {
+	if _, err := NewFromConfig(cfg); err != nil {
 		t.Fatalf("lsh index rejected: %v", err)
 	}
 }
@@ -116,7 +116,7 @@ func TestConfigValidation(t *testing.T) {
 func TestLSHIndexSystemStillHits(t *testing.T) {
 	cfg := testConfig()
 	cfg.Index = "lsh"
-	sys, err := New(cfg)
+	sys, err := NewFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestSceneAndAnnotationIDs(t *testing.T) {
 
 func TestCacheSaveLoadAcrossSystems(t *testing.T) {
 	cfg := testConfig()
-	a, err := New(cfg)
+	a, err := NewFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestCacheSaveLoadAcrossSystems(t *testing.T) {
 	}
 
 	// A fresh system ("restarted edge") starts warm after LoadCache.
-	b, err := New(cfg)
+	b, err := NewFromConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

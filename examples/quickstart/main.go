@@ -1,11 +1,13 @@
 // Quickstart: assemble a CoIC system, issue the same recognition from two
-// "users", and watch the second one come back from the edge cache instead
-// of the cloud. Then do the same for a 3D model.
+// "users" through the unified v2 task API, and watch the second one come
+// back from the edge cache instead of the cloud. Then do the same for a
+// 3D model.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,9 +16,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Two mobile clients behind one edge on the paper's mid-sweep
 	// network (200 Mbps to the edge, 20 Mbps edge to cloud).
-	sys, err := coic.New(coic.Config{Clients: 2})
+	sys, err := coic.New(coic.WithClients(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,45 +28,49 @@ func main() {
 	fmt.Println("== recognition ==")
 	// User 0 looks at a stop sign. Cold cache: the request goes to the
 	// cloud (a CoIC "cache miss").
-	b, res, err := sys.Recognize(0, coic.ClassStopSign, 42, coic.ModeCoIC)
+	res, err := sys.Do(ctx, 0, coic.RecognizeTask(coic.ClassStopSign, 42))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("user 0: %-9s -> %q (%.0f%% conf) in %v\n",
-		b.Outcome, res.Label, res.Confidence*100, b.Total().Round(time.Millisecond))
+		res.Breakdown.Outcome, res.Recognition.Label, res.Recognition.Confidence*100,
+		res.Breakdown.Total().Round(time.Millisecond))
 
 	// User 1 looks at the same sign from a different angle moments
 	// later. The descriptor lands within the similarity threshold and
 	// the edge answers directly.
 	sys.Advance(2 * time.Second)
-	b, res, err = sys.Recognize(1, coic.ClassStopSign, 99, coic.ModeCoIC)
+	res, err = sys.Do(ctx, 1, coic.RecognizeTask(coic.ClassStopSign, 99))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("user 1: %-9s -> %q (%.0f%% conf) in %v\n",
-		b.Outcome, res.Label, res.Confidence*100, b.Total().Round(time.Millisecond))
+		res.Breakdown.Outcome, res.Recognition.Label, res.Recognition.Confidence*100,
+		res.Breakdown.Total().Round(time.Millisecond))
 
 	// The Origin baseline (full offload, no cache) for comparison.
 	sys.Advance(2 * time.Second)
-	b, _, err = sys.Recognize(1, coic.ClassStopSign, 7, coic.ModeOrigin)
+	res, err = sys.Do(ctx, 1, coic.RecognizeTask(coic.ClassStopSign, 7).WithMode(coic.ModeOrigin))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("origin: %-9s -> cloud round trip in %v\n", "baseline", b.Total().Round(time.Millisecond))
+	fmt.Printf("origin: %-9s -> cloud round trip in %v\n", "baseline",
+		res.Breakdown.Total().Round(time.Millisecond))
 
 	fmt.Println("\n== 3D model loading ==")
 	model := coic.SceneModelID(1073) // a ~1 MB scene model
 	for _, who := range []int{0, 1} {
 		sys.Advance(2 * time.Second)
-		b, err := sys.Render(who, model, coic.ModeCoIC)
+		res, err := sys.Do(ctx, who, coic.RenderTask(model))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("user %d: %-9s loaded %s in %v\n",
-			who, b.Outcome, model, b.Total().Round(time.Millisecond))
+			who, res.Breakdown.Outcome, model, res.Breakdown.Total().Round(time.Millisecond))
 	}
 
-	hitRatio, used, entries := sys.CacheStats()
-	fmt.Printf("\nedge cache: hit ratio %.2f, %d entries, %.1f MB resident\n",
-		hitRatio, entries, float64(used)/(1<<20))
+	st := sys.Stats()
+	fmt.Printf("\nedge cache: hit ratio %.2f (%d exact + %d similar of %d queries), %d entries, %.1f MB resident\n",
+		st.Queries.HitRatio(), st.Queries.ExactHits, st.Queries.SimilarHits, st.Queries.Queries,
+		st.Store.Entries, float64(st.Store.BytesUsed)/(1<<20))
 }

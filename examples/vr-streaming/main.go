@@ -2,11 +2,15 @@
 // one edge. The cloud renders each panoramic frame once; every other
 // viewer's fetch hits the edge cache, and each client crops its own
 // viewport locally (the paper's third workload, after FlashBack/Furion).
+// Each fetch carries a per-request deadline — a VR viewer that misses its
+// frame budget has missed the frame, cached bytes or not.
 //
 //	go run ./examples/vr-streaming
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -15,14 +19,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const viewers = 4
-	sys, err := coic.New(coic.Config{Clients: viewers})
+	sys, err := coic.New(coic.WithClients(viewers))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	video := "rollercoaster"
-	var cloudFetches, edgeHits int
+	// An interactive budget between the cold path (a cloud render plus a
+	// WAN transfer) and a warm edge hit: cold frames miss it, edge hits
+	// never do.
+	const frameBudget = 100 * time.Millisecond
+	var cloudFetches, edgeHits, lateFrames int
 	var firstUserTotal, otherUsersTotal time.Duration
 
 	for frame := 0; frame < 6; frame++ {
@@ -34,10 +43,14 @@ func main() {
 				Pitch: 0.1 * float64(user%3),
 				FOV:   1.6,
 			}
-			b, err := sys.Pano(user, video, frame, vp, coic.ModeCoIC)
-			if err != nil {
+			res, err := sys.Do(ctx, user,
+				coic.PanoTask(video, frame, vp).WithDeadline(frameBudget))
+			if errors.Is(err, coic.ErrDeadlineExceeded) {
+				lateFrames++ // the result exists but arrived too late
+			} else if err != nil {
 				log.Fatal(err)
 			}
+			b := res.Breakdown
 			if b.Outcome.String() == "miss" {
 				cloudFetches++
 			} else {
@@ -52,9 +65,10 @@ func main() {
 		sys.Advance(33 * time.Millisecond) // next frame at 30 fps
 	}
 
-	fmt.Printf("%d viewers x 6 frames of %q\n", viewers, video)
+	fmt.Printf("%d viewers x 6 frames of %q (budget %v/frame)\n", viewers, video, frameBudget)
 	fmt.Printf("cloud renders: %d (one per frame)\n", cloudFetches)
 	fmt.Printf("edge hits:     %d (every other view)\n", edgeHits)
+	fmt.Printf("late frames:   %d\n", lateFrames)
 	fmt.Printf("first viewer mean:  %v/frame\n",
 		(firstUserTotal / 6).Round(time.Millisecond))
 	fmt.Printf("other viewers mean: %v/frame\n",

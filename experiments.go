@@ -1,6 +1,7 @@
 package coic
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -275,7 +276,7 @@ func runCoop(p Params, edges, requestsPerEdge int, peered bool) (float64, uint64
 		sess := core.NewSession(core.NewClient(i, p), es[i], cloud, topo)
 		for r := 0; r < requestsPerEdge; r++ {
 			// Every edge's users want the same popular content.
-			b, err := sess.Render(at.Add(time.Duration(r)*time.Second), modelIDs[r%len(modelIDs)], ModeCoIC)
+			b, err := sess.Render(context.Background(), at.Add(time.Duration(r)*time.Second), modelIDs[r%len(modelIDs)], ModeCoIC)
 			if err != nil {
 				return 0, 0, 0, err
 			}

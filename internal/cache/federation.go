@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -14,14 +15,16 @@ import (
 // transport — a direct call in virtual time, a MsgPeerLookup frame over
 // TCP — is injected as callbacks, so the same policy drives both modes.
 
-// PeerProbe resolves a descriptor at one remote peer. requester is an
-// opaque user identity forwarded to the peer's privacy gate (pass -1 when
-// anonymous); task is an opaque workload tag carried on the wire for the
-// peer's accounting — the cache layer interprets neither. The returned
-// cost is the virtual time of the hop: transfer of the lookup and reply
-// over the edge↔edge link plus the peer's own cache query time. Probes
-// must be safe for concurrent use.
-type PeerProbe func(requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration)
+// PeerProbe resolves a descriptor at one remote peer. ctx carries the
+// requesting caller's deadline and cancellation — a TCP probe must abort
+// when ctx dies rather than stall the miss path (virtual-time probes may
+// ignore it). requester is an opaque user identity forwarded to the
+// peer's privacy gate (pass -1 when anonymous); task is an opaque
+// workload tag carried on the wire for the peer's accounting — the cache
+// layer interprets neither. The returned cost is the virtual time of the
+// hop: transfer of the lookup and reply over the edge↔edge link plus the
+// peer's own cache query time. Probes must be safe for concurrent use.
+type PeerProbe func(ctx context.Context, requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration)
 
 // PeerInsert publishes a freshly computed result to a remote peer (the
 // key's home node). It runs off the request's critical path — replication
@@ -130,7 +133,9 @@ func (f *Federation) probeOrder(key string) []string {
 }
 
 // Lookup runs the peer phase of a cache miss: probe the key's home (or
-// every peer in broadcast mode) and return the first usable value. peer
+// every peer in broadcast mode) and return the first usable value,
+// bounded by ctx — probes inherit the caller's deadline, and a caller
+// that departs mid-probe detaches from the coalesced round. peer
 // names who answered; cost accumulates over every hop taken, hit or not.
 // Concurrent lookups for the same (requester, key) coalesce onto one
 // probe round whose outcome fans out to all of them; the requester is
@@ -140,21 +145,31 @@ func (f *Federation) probeOrder(key string) []string {
 // practice all of a TCP edge's misses on a key still share one flight.)
 // A (LookupResult{}, ok=false) return means the federation has nothing —
 // the caller falls back to the cloud.
-func (f *Federation) Lookup(requester int, task uint8, key string, desc feature.Descriptor) (value []byte, res LookupResult, peer string, cost time.Duration, ok bool) {
+func (f *Federation) Lookup(ctx context.Context, requester int, task uint8, key string, desc feature.Descriptor) (value []byte, res LookupResult, peer string, cost time.Duration, ok bool) {
 	flight := fmt.Sprintf("%d|%s", requester, key)
-	out, leader, _ := f.inflight.Do(flight, func() (probeOutcome, error) {
-		return f.probeRound(requester, task, key, desc), nil
+	out, leader, err := f.inflight.Do(ctx, flight, func(fctx context.Context) (probeOutcome, error) {
+		return f.probeRound(fctx, requester, task, key, desc), nil
 	})
 	if !leader {
 		f.addStat(func(s *FederationStats) { s.Coalesced++ })
 	}
+	if err != nil {
+		// The caller departed (its context died) before the probe round
+		// finished: report a miss so it degrades to its own fallback path.
+		return nil, LookupResult{Outcome: OutcomeMiss}, "", 0, false
+	}
 	return out.value, out.res, out.peer, out.cost, out.ok
 }
 
-// probeRound issues the actual peer probes for one coalesced flight.
-func (f *Federation) probeRound(requester int, task uint8, key string, desc feature.Descriptor) probeOutcome {
+// probeRound issues the actual peer probes for one coalesced flight. ctx
+// is the flight context: it dies when the last coalesced caller departs,
+// aborting any probe still on the wire.
+func (f *Federation) probeRound(ctx context.Context, requester int, task uint8, key string, desc feature.Descriptor) probeOutcome {
 	var cost time.Duration
 	for _, id := range f.probeOrder(key) {
+		if ctx.Err() != nil {
+			break
+		}
 		f.mu.Lock()
 		p, registered := f.peers[id]
 		f.mu.Unlock()
@@ -162,7 +177,7 @@ func (f *Federation) probeRound(requester int, task uint8, key string, desc feat
 			continue
 		}
 		f.addStat(func(s *FederationStats) { s.Probes++ })
-		v, r, c := p.Probe(requester, task, desc)
+		v, r, c := p.Probe(ctx, requester, task, desc)
 		cost += c
 		if r.Hit() {
 			f.addStat(func(s *FederationStats) { s.Hits++ })

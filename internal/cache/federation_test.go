@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,7 +17,7 @@ type fakePeer struct {
 
 func (f *fakePeer) peer() Peer {
 	return Peer{
-		Probe: func(requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration) {
+		Probe: func(_ context.Context, requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration) {
 			f.probes++
 			if f.value == nil {
 				return nil, LookupResult{Outcome: OutcomeMiss}, time.Millisecond
@@ -50,7 +51,7 @@ func TestFederationPartitionedProbesOnlyOwner(t *testing.T) {
 	fed.AddPeer("b", pb.peer())
 
 	desc := ownedBy(t, ring, "a")
-	v, res, peer, cost, ok := fed.Lookup(-1, 0, desc.Key(), desc)
+	v, res, peer, cost, ok := fed.Lookup(context.Background(), -1, 0, desc.Key(), desc)
 	if !ok || string(v) != "va" || peer != "a" || !res.Hit() {
 		t.Fatalf("lookup = %q from %q ok=%v", v, peer, ok)
 	}
@@ -63,7 +64,7 @@ func TestFederationPartitionedProbesOnlyOwner(t *testing.T) {
 
 	// Keys homed here must not generate peer traffic at all.
 	local := ownedBy(t, ring, "self")
-	if _, _, _, _, ok := fed.Lookup(-1, 0, local.Key(), local); ok {
+	if _, _, _, _, ok := fed.Lookup(context.Background(), -1, 0, local.Key(), local); ok {
 		t.Fatal("self-owned key resolved remotely")
 	}
 	if pa.probes != 1 || pb.probes != 0 {
@@ -78,7 +79,7 @@ func TestFederationBroadcastProbesInOrder(t *testing.T) {
 	fed.AddPeer("second", hit.peer())
 
 	d := descForTest(1)
-	v, _, peer, cost, ok := fed.Lookup(-1, 0, d.Key(), d)
+	v, _, peer, cost, ok := fed.Lookup(context.Background(), -1, 0, d.Key(), d)
 	if !ok || string(v) != "v" || peer != "second" {
 		t.Fatalf("lookup = %q from %q ok=%v", v, peer, ok)
 	}
@@ -132,7 +133,7 @@ func TestFederationUnregisteredOwnerDegrades(t *testing.T) {
 	ring := NewRing([]string{"self", "a"}, 0)
 	fed := NewFederation("self", ring)
 	d := ownedBy(t, ring, "a")
-	if _, _, _, _, ok := fed.Lookup(-1, 0, d.Key(), d); ok {
+	if _, _, _, _, ok := fed.Lookup(context.Background(), -1, 0, d.Key(), d); ok {
 		t.Fatal("lookup resolved against an unregistered owner")
 	}
 	if st := fed.Stats(); st.Probes != 0 {

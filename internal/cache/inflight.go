@@ -1,31 +1,47 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"github.com/edge-immersion/coic/internal/feature"
 )
 
 // This file is the miss-coalescing layer: when N concurrent requests miss
-// on the same descriptor, only one of them (the leader) performs the
-// expensive fetch — a cloud round trip, a peer probe — and the result fans
-// out to the other N-1 (the waiters). Multi-user immersive workloads
-// arrive in correlated bursts (everyone at the same landmark recognises
-// the same object at the same moment), which is exactly the pattern that
-// rewards in-flight deduplication: without it the edge forwards N
-// identical computations upstream before the first result lands in the
-// cache.
+// on the same descriptor, only one fetch — a cloud round trip, a peer
+// probe — actually runs, and the result fans out to all N callers.
+// Multi-user immersive workloads arrive in correlated bursts (everyone at
+// the same landmark recognises the same object at the same moment), which
+// is exactly the pattern that rewards in-flight deduplication: without it
+// the edge forwards N identical computations upstream before the first
+// result lands in the cache.
+//
+// Coalescing is context-aware with last-waiter-cancels semantics: every
+// caller attaches with its own context, a departing caller leaves the
+// flight without disturbing it, and only when the *last* interested
+// caller departs is the underlying fetch's context cancelled. Interactive
+// AR/VR clients abandon work constantly (a user looks away
+// mid-recognition); the fetch must survive any one departure but not
+// outlive the demand for its result.
 
 // inflightCall is one outstanding fetch. done closes when val/err are
-// final; waiters never write, only read after done.
+// final; callers never write, only read after done.
 type inflightCall[T any] struct {
 	done chan struct{}
 	val  T
 	err  error
+
+	// waiters counts callers (starter included) still interested in the
+	// result; guarded by the owning group's mutex. cancel aborts fctx, the
+	// context the fetch function runs under, once waiters reaches zero.
+	waiters int
+	fctx    context.Context
+	cancel  context.CancelFunc
 }
 
 // Inflight coalesces concurrent executions of the same keyed operation
-// (a minimal generic singleflight). The zero value is ready to use.
+// (a context-aware generic singleflight). The zero value is ready to use.
 type Inflight[T any] struct {
 	mu    sync.Mutex
 	calls map[string]*inflightCall[T]
@@ -33,44 +49,105 @@ type Inflight[T any] struct {
 	fetches   uint64
 	coalesced uint64
 	failures  uint64
+	canceled  uint64
 }
 
 // Do executes fn under key, coalescing with any in-flight call for the
-// same key: the first caller runs fn (leader=true), concurrent callers
-// block until it completes and receive the same value and error
-// (leader=false). The key is forgotten as soon as the call completes —
-// errors propagate to every waiter of that flight but never poison the
-// key, so the next Do after a failure fetches afresh.
-func (g *Inflight[T]) Do(key string, fn func() (T, error)) (val T, leader bool, err error) {
+// same key: the first caller starts fn (leader=true) and concurrent
+// callers attach to it (leader=false); all receive the same value and
+// error. fn runs on its own goroutine under a context that is detached
+// from any single caller: it inherits ctx's values but not its deadline
+// or cancellation, and is cancelled only when every attached caller has
+// departed (last-waiter-cancels). A caller whose ctx expires before the
+// fetch completes detaches immediately and returns ctx.Err(); if it was
+// the last one, the flight's context is cancelled and the key released so
+// the next Do starts fresh rather than joining a dying fetch. As before,
+// completed keys are forgotten immediately — errors propagate to that
+// flight's callers but never poison the key.
+func (g *Inflight[T]) Do(ctx context.Context, key string, fn func(context.Context) (T, error)) (val T, leader bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = map[string]*inflightCall[T]{}
 	}
-	if c, ok := g.calls[key]; ok {
+	c, ok := g.calls[key]
+	if ok {
 		g.coalesced++
-		g.mu.Unlock()
-		<-c.done
-		return c.val, false, c.err
+	} else {
+		fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		c = &inflightCall[T]{done: make(chan struct{}), fctx: fctx, cancel: cancel}
+		g.calls[key] = c
+		g.fetches++
+		leader = true
+		go g.run(key, c, fn)
 	}
-	c := &inflightCall[T]{done: make(chan struct{})}
-	g.calls[key] = c
-	g.fetches++
+	c.waiters++
 	g.mu.Unlock()
 
+	// Prefer a completed result over a simultaneous cancellation.
+	select {
+	case <-c.done:
+		return c.val, leader, c.err
+	default:
+	}
+	select {
+	case <-c.done:
+		return c.val, leader, c.err
+	case <-ctx.Done():
+		g.detach(key, c)
+		var zero T
+		return zero, leader, ctx.Err()
+	}
+}
+
+// run executes one flight's fetch, detached from every caller goroutine,
+// and fans the outcome out. The deferred cleanup runs even if fn panics:
+// callers unblock (observing a zero value, with the panic propagating on
+// this goroutine) and the key is dropped so nothing is wedged or
+// poisoned.
+func (g *Inflight[T]) run(key string, c *inflightCall[T], fn func(context.Context) (T, error)) {
 	defer func() {
-		// Runs even if fn panics: unblock waiters (they observe err==nil
-		// and a zero value only on panic, which is propagating anyway) and
-		// drop the key so nothing is wedged or poisoned.
 		g.mu.Lock()
-		delete(g.calls, key)
-		if c.err != nil {
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		// A fetch that unwound with a cancellation error after its last
+		// waiter departed was aborted, not failed — detach already counted
+		// it under canceled, and double-counting would make Failures read
+		// as upstream trouble on every abandonment.
+		if c.err != nil && !errors.Is(c.err, context.Canceled) && !errors.Is(c.err, context.DeadlineExceeded) {
 			g.failures++
 		}
 		g.mu.Unlock()
+		c.cancel() // release the flight context's resources
 		close(c.done)
 	}()
-	c.val, c.err = fn()
-	return c.val, true, c.err
+	c.val, c.err = fn(c.fctx)
+}
+
+// detach removes one departed caller from a flight; the last departure
+// cancels the fetch and releases the key so new callers lead a fresh
+// fetch instead of attaching to an aborting one.
+func (g *Inflight[T]) detach(key string, c *inflightCall[T]) {
+	g.mu.Lock()
+	if g.calls[key] != c {
+		// The flight completed (run already unmapped it) in the same
+		// instant this caller's context fired: nothing left to cancel,
+		// and it must not be counted as an abort.
+		g.mu.Unlock()
+		return
+	}
+	c.waiters--
+	last := c.waiters == 0
+	if last {
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.canceled++
+	}
+	g.mu.Unlock()
+	if last {
+		c.cancel()
+	}
 }
 
 // Active reports whether a call for key is currently in flight.
@@ -81,13 +158,14 @@ func (g *Inflight[T]) Active(key string) bool {
 	return ok
 }
 
-// Stats reports leader fetches, coalesced joins and failed fetches.
-// Joins are counted the moment the waiter attaches, so a leader can
-// observe its own waiters arriving mid-fetch.
-func (g *Inflight[T]) Stats() (fetches, coalesced, failures uint64) {
+// Stats reports leader fetches, coalesced joins, failed fetches and
+// flights aborted by their last waiter departing. Joins are counted the
+// moment the caller attaches, so a leader can observe its own waiters
+// arriving mid-fetch.
+func (g *Inflight[T]) Stats() (fetches, coalesced, failures, canceled uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.fetches, g.coalesced, g.failures
+	return g.fetches, g.coalesced, g.failures, g.canceled
 }
 
 // Len reports how many fetches are currently in flight.
@@ -107,9 +185,13 @@ type InflightStats struct {
 	// SimilarJoins is the subset of Coalesced that matched an in-flight
 	// fetch through descriptor similarity rather than key equality.
 	SimilarJoins uint64
-	// Failures is how many leader fetches returned an error (each error
-	// also failed that flight's waiters).
+	// Failures is how many leader fetches returned a non-cancellation
+	// error (each error also failed that flight's waiters). Aborted
+	// flights count under Canceled only.
 	Failures uint64
+	// Canceled is how many flights were aborted because their last
+	// interested caller departed before the fetch completed.
+	Canceled uint64
 }
 
 // InflightTable coalesces concurrent fetches keyed by feature descriptor.
@@ -119,9 +201,9 @@ type InflightStats struct {
 // joins its flight too — the same "close enough means the same
 // computation" rule the SimilarityCache applies to resident entries,
 // applied to entries that are still being computed. The call lifecycle
-// (leader election, fan-out, error propagation, cleanup) is Inflight's;
-// this type only maps descriptors onto flight keys via a small index of
-// in-flight vectors.
+// (leader election, fan-out, error propagation, last-waiter-cancels,
+// cleanup) is Inflight's; this type only maps descriptors onto flight
+// keys via a small index of in-flight vectors.
 type InflightTable struct {
 	threshold float64
 	group     Inflight[[]byte]
@@ -193,15 +275,17 @@ func (t *InflightTable) track(key string, desc feature.Descriptor) (untrack func
 }
 
 // Do resolves desc through the table: join an in-flight fetch for the
-// same (or similar) descriptor, or become the leader and run fetch. The
-// leader's value and error fan out to every caller that joined before the
-// fetch completed. Completion — success or failure — removes the entry,
-// so a failed fetch never poisons the descriptor.
-func (t *InflightTable) Do(desc feature.Descriptor, fetch func() ([]byte, error)) (val []byte, leader bool, err error) {
+// same (or similar) descriptor, or become the leader and run fetch under
+// a flight context with last-waiter-cancels semantics (see Inflight.Do).
+// The flight's value and error fan out to every caller still attached
+// when the fetch completes; a caller whose ctx expires first detaches
+// with ctx.Err(). Completion — success, failure or abort — removes the
+// entry, so no outcome poisons the descriptor.
+func (t *InflightTable) Do(ctx context.Context, desc feature.Descriptor, fetch func(context.Context) ([]byte, error)) (val []byte, leader bool, err error) {
 	flight := t.flightKey(desc)
-	val, leader, err = t.group.Do(flight, func() ([]byte, error) {
+	val, leader, err = t.group.Do(ctx, flight, func(fctx context.Context) ([]byte, error) {
 		defer t.track(flight, desc)()
-		return fetch()
+		return fetch(fctx)
 	})
 	if !leader && flight != desc.Key() {
 		t.mu.Lock()
@@ -213,7 +297,7 @@ func (t *InflightTable) Do(desc feature.Descriptor, fetch func() ([]byte, error)
 
 // Stats returns a counter snapshot.
 func (t *InflightTable) Stats() InflightStats {
-	fetches, coalesced, failures := t.group.Stats()
+	fetches, coalesced, failures, canceled := t.group.Stats()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return InflightStats{
@@ -221,6 +305,7 @@ func (t *InflightTable) Stats() InflightStats {
 		Coalesced:    coalesced,
 		SimilarJoins: t.similarJoins,
 		Failures:     failures,
+		Canceled:     canceled,
 	}
 }
 

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,7 +38,7 @@ func TestInflightTableSingleKeyHammer(t *testing.T) {
 	for i := 0; i < goroutines; i++ {
 		go func() {
 			defer wg.Done()
-			v, _, err := tab.Do(desc, func() ([]byte, error) {
+			v, _, err := tab.Do(context.Background(), desc, func(context.Context) ([]byte, error) {
 				fetches.Add(1)
 				// Hold the flight open until every other goroutine has
 				// joined it, so exactly one fetch can run.
@@ -78,7 +79,7 @@ func TestInflightTableErrorFansOutWithoutPoisoning(t *testing.T) {
 	for i := 0; i < waiters+1; i++ {
 		go func() {
 			defer wg.Done()
-			_, _, err := tab.Do(desc, func() ([]byte, error) {
+			_, _, err := tab.Do(context.Background(), desc, func(context.Context) ([]byte, error) {
 				waitForJoins(t, func() uint64 { return tab.Stats().Coalesced }, waiters)
 				return nil, fetchErr
 			})
@@ -95,7 +96,7 @@ func TestInflightTableErrorFansOutWithoutPoisoning(t *testing.T) {
 
 	// The failure must not poison the key: the next Do fetches afresh and
 	// succeeds.
-	v, leaderAgain, err := tab.Do(desc, func() ([]byte, error) { return []byte("ok"), nil })
+	v, leaderAgain, err := tab.Do(context.Background(), desc, func(context.Context) ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || !leaderAgain || string(v) != "ok" {
 		t.Fatalf("post-failure Do = (%q, leader=%v, %v), want fresh successful fetch", v, leaderAgain, err)
 	}
@@ -127,7 +128,7 @@ func TestInflightTableSimilarDescriptorsCoalesce(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		v, _, err := tab.Do(descA, func() ([]byte, error) {
+		v, _, err := tab.Do(context.Background(), descA, func(context.Context) ([]byte, error) {
 			fetches.Add(1)
 			close(leaderStarted)
 			// Hold the flight open until the similar descriptor joined
@@ -143,7 +144,7 @@ func TestInflightTableSimilarDescriptorsCoalesce(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		<-leaderStarted
-		v, leader, err := tab.Do(descB, func() ([]byte, error) {
+		v, leader, err := tab.Do(context.Background(), descB, func(context.Context) ([]byte, error) {
 			fetches.Add(1)
 			return []byte("own"), nil
 		})
@@ -178,7 +179,7 @@ func TestInflightTableDistinctKeysRunIndependently(t *testing.T) {
 		desc := feature.NewHash([]byte(fmt.Sprintf("key-%d", i)))
 		go func() {
 			defer wg.Done()
-			if _, leader, err := tab.Do(desc, func() ([]byte, error) {
+			if _, leader, err := tab.Do(context.Background(), desc, func(context.Context) ([]byte, error) {
 				fetches.Add(1)
 				return []byte("v"), nil
 			}); err != nil || !leader {
@@ -201,11 +202,11 @@ func TestInflightGenericGroup(t *testing.T) {
 	for i := 0; i < n; i++ {
 		go func() {
 			defer wg.Done()
-			v, _, err := g.Do("k", func() (int, error) {
+			v, _, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
 				fetches.Add(1)
 				deadline := time.Now().Add(10 * time.Second)
 				for {
-					_, coalesced, _ := g.Stats()
+					_, coalesced, _, _ := g.Stats()
 					if coalesced >= n-1 || time.Now().After(deadline) {
 						return 42, nil
 					}
@@ -223,5 +224,172 @@ func TestInflightGenericGroup(t *testing.T) {
 	}
 	if g.Len() != 0 {
 		t.Fatalf("group still holds %d calls", g.Len())
+	}
+}
+
+// TestInflightLastWaiterCancelsAbortsFetch is the core last-waiter
+// acceptance test: when every caller attached to a flight departs, the
+// fetch's context must die promptly; until then it must survive.
+func TestInflightLastWaiterCancelsAbortsFetch(t *testing.T) {
+	tab := NewInflightTable(0)
+	desc := feature.NewHash([]byte("abandoned-key"))
+
+	fetchCtx := make(chan context.Context, 1)
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := tab.Do(ctx, desc, func(fctx context.Context) ([]byte, error) {
+			fetchCtx <- fctx
+			<-fctx.Done() // a context-aware fetch blocks until aborted
+			<-release
+			return nil, fctx.Err()
+		})
+		errc <- err
+	}()
+
+	fctx := <-fetchCtx
+	if fctx.Err() != nil {
+		t.Fatal("flight context dead before any cancellation")
+	}
+	cancel() // sole caller departs: last-waiter-cancels fires
+	select {
+	case <-fctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context survived its last waiter's departure")
+	}
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller error = %v, want context.Canceled", err)
+	}
+	// The key is released the moment the last waiter departs — a new
+	// caller must lead a fresh fetch even while the old one unwinds.
+	if tab.group.Active(desc.Key()) {
+		t.Fatal("aborted flight still holds its key")
+	}
+	close(release)
+	if st := tab.Stats(); st.Canceled != 1 {
+		t.Fatalf("canceled = %d, want 1", st.Canceled)
+	}
+	// An abort is not a failure: the counters must not double-book it.
+	// (Give the detached fetch goroutine a beat to run its cleanup; a
+	// delayed check can only miss a double-count, never fabricate one.)
+	time.Sleep(50 * time.Millisecond)
+	if st := tab.Stats(); st.Failures != 0 {
+		t.Fatalf("failures = %d, want 0 (abort must count under Canceled only)", st.Failures)
+	}
+}
+
+// TestInflightFetchSurvivesNonLastWaiterCancel: with several callers
+// coalesced, one departure must not disturb the fetch; the survivors
+// still receive the value.
+func TestInflightFetchSurvivesNonLastWaiterCancel(t *testing.T) {
+	tab := NewInflightTable(0)
+	desc := feature.NewHash([]byte("survivor-key"))
+
+	fetchCtx := make(chan context.Context, 1)
+	proceed := make(chan struct{})
+	quitterCtx, quitterCancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: sticks around
+		defer wg.Done()
+		v, _, err := tab.Do(context.Background(), desc, func(fctx context.Context) ([]byte, error) {
+			fetchCtx <- fctx
+			select {
+			case <-proceed:
+			case <-fctx.Done():
+				return nil, fctx.Err()
+			}
+			return []byte("survived"), nil
+		})
+		if err != nil || string(v) != "survived" {
+			t.Errorf("survivor got (%q, %v)", v, err)
+		}
+	}()
+
+	fctx := <-fetchCtx
+	quitterDone := make(chan error, 1)
+	go func() { // waiter that will abandon the flight
+		_, _, err := tab.Do(quitterCtx, desc, func(context.Context) ([]byte, error) {
+			t.Error("quitter became a second leader")
+			return nil, nil
+		})
+		quitterDone <- err
+	}()
+	waitForJoins(t, func() uint64 { return tab.Stats().Coalesced }, 1)
+
+	quitterCancel()
+	if err := <-quitterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("quitter error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-fctx.Done():
+		t.Fatal("one waiter's departure aborted a flight others still wait on")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(proceed)
+	wg.Wait()
+	if st := tab.Stats(); st.Canceled != 0 {
+		t.Fatalf("canceled = %d, want 0 (the flight completed)", st.Canceled)
+	}
+}
+
+// TestInflightCancelHammer exercises the attach/detach/complete races
+// under the race detector: many goroutines with short individual
+// deadlines hammer one key whose fetches only finish when abandoned.
+func TestInflightCancelHammer(t *testing.T) {
+	tab := NewInflightTable(0)
+	desc := feature.NewHash([]byte("hammer-key"))
+	var wg sync.WaitGroup
+	const goroutines = 128
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%7)*time.Millisecond)
+			defer cancel()
+			tab.Do(ctx, desc, func(fctx context.Context) ([]byte, error) {
+				select {
+				case <-fctx.Done():
+					return nil, fctx.Err()
+				case <-time.After(2 * time.Millisecond):
+					return []byte("v"), nil
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for tab.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d flights leaked", tab.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestInflightExpiredContextStillJoins: a caller with an already-expired
+// context must return promptly with ctx.Err() and must not strand the
+// flight bookkeeping.
+func TestInflightExpiredContext(t *testing.T) {
+	tab := NewInflightTable(0)
+	desc := feature.NewHash([]byte("expired-key"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := tab.Do(ctx, desc, func(fctx context.Context) ([]byte, error) {
+		<-fctx.Done()
+		return nil, fctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tab.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("expired-context flight leaked")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

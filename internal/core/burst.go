@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -118,7 +119,7 @@ func runBurstPoint(p Params, cfg BurstConfig, cloud *Cloud, trunk *dnn.Network, 
 			// User i wants frame i%distinct: the duplication knob decides
 			// how many users collide on each descriptor.
 			vp := pano.Viewport{Yaw: float64(i%6) / 2, FOV: 1.6}
-			b, err := sess.Pano(eng.Now(), "burst-video", i%distinct, vp, ModeCoIC)
+			b, err := sess.Pano(context.Background(), eng.Now(), "burst-video", i%distinct, vp, ModeCoIC)
 			row.Events++
 			if err != nil {
 				row.Errors++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/edge-immersion/coic/internal/wire"
@@ -89,7 +90,7 @@ func TestVirtualInflightModesOnEdge(t *testing.T) {
 		insertAt := epoch
 		edge.InsertAtAs(1, desc, value, 1, insertAt)
 		// Look up halfway through the insert's completion window.
-		lr := edge.LookupAtAs(2, wire.TaskPano, desc, insertAt.Add(p.EdgeInsertTime/2))
+		lr := edge.LookupAtAs(context.Background(), 2, wire.TaskPano, desc, insertAt.Add(p.EdgeInsertTime/2))
 		if lr.Hit() != tc.wantHit {
 			t.Fatalf("%s: hit = %v, want %v", tc.mode, lr.Hit(), tc.wantHit)
 		}
@@ -100,7 +101,7 @@ func TestVirtualInflightModesOnEdge(t *testing.T) {
 			t.Fatalf("%s: wait = %v, want wait>0 == %v", tc.mode, lr.Wait, tc.wantWait)
 		}
 		// Once the window has matured, every mode serves a plain hit.
-		lr = edge.LookupAtAs(3, wire.TaskPano, desc, insertAt.Add(2*p.EdgeInsertTime))
+		lr = edge.LookupAtAs(context.Background(), 3, wire.TaskPano, desc, insertAt.Add(2*p.EdgeInsertTime))
 		if !lr.Hit() || lr.Coalesced || lr.Wait != 0 {
 			t.Fatalf("%s: matured lookup = %+v, want plain hit", tc.mode, lr)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -233,7 +234,7 @@ func (e *Edge) Peer(others ...*Edge) {
 	for i, p := range others {
 		p := p
 		fed.AddPeer(fmt.Sprintf("peer-%d", seq+i), cache.Peer{
-			Probe: func(requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
+			Probe: func(_ context.Context, requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
 				v, res := p.PeerProbe(requester, desc)
 				return v, res, p.Params.EdgeLookupTime
 			},
@@ -288,8 +289,9 @@ func (r LookupResult) Hit() bool { return r.Outcome != cache.OutcomeMiss }
 
 // Lookup queries the cache anonymously (no privacy gating); it is the
 // path the TCP server uses, where user identity is not authenticated.
-func (e *Edge) Lookup(task wire.Task, desc feature.Descriptor) LookupResult {
-	return e.LookupAs(anonymousUser, task, desc)
+// ctx bounds any federation probe the lookup makes on a local miss.
+func (e *Edge) Lookup(ctx context.Context, task wire.Task, desc feature.Descriptor) LookupResult {
+	return e.LookupAs(ctx, anonymousUser, task, desc)
 }
 
 // anonymousUser marks lookups without an authenticated identity; the
@@ -299,8 +301,8 @@ const anonymousUser = -1
 // LookupAs queries the cache with no virtual timestamp; in-flight
 // awareness is bypassed (wall-clock callers coalesce through Inflight()
 // instead).
-func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) LookupResult {
-	return e.LookupAtAs(user, task, desc, time.Time{})
+func (e *Edge) LookupAs(ctx context.Context, user int, task wire.Task, desc feature.Descriptor) LookupResult {
+	return e.LookupAtAs(ctx, user, task, desc, time.Time{})
 }
 
 // LookupAtAs queries the local cache for user at virtual instant now,
@@ -310,8 +312,10 @@ func (e *Edge) LookupAs(user int, task wire.Task, desc feature.Descriptor) Looku
 // directly — the cooperative sharing of the paper's title. When PrivacyK
 // is set, results contributed by fewer than K distinct users are withheld
 // from strangers. A non-zero now engages the virtual in-flight policy
-// (see InflightMode); a zero now behaves as InflightInstant.
-func (e *Edge) LookupAtAs(user int, task wire.Task, desc feature.Descriptor, now time.Time) LookupResult {
+// (see InflightMode); a zero now behaves as InflightInstant. ctx bounds
+// the federation probe phase: TCP peers honour its deadline and
+// cancellation, virtual-time probes ignore it.
+func (e *Edge) LookupAtAs(ctx context.Context, user int, task wire.Task, desc feature.Descriptor, now time.Time) LookupResult {
 	e.mu.Lock()
 	e.stats.Lookups[task]++
 	fed := e.fed
@@ -350,7 +354,7 @@ func (e *Edge) LookupAtAs(user int, task wire.Task, desc feature.Descriptor, now
 	}
 	var peerCost time.Duration
 	if fed != nil {
-		v, res, peer, pc, ok := fed.Lookup(user, uint8(task), desc.Key(), desc)
+		v, res, peer, pc, ok := fed.Lookup(ctx, user, uint8(task), desc.Key(), desc)
 		peerCost = pc
 		cost += peerCost
 		if ok {

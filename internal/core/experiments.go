@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -55,7 +56,7 @@ func RunFig2a(p Params) ([]Fig2aRow, error) {
 
 		const class = vision.ClassStopSign
 		// Cold cache: this is the Cache Miss bar (and it fills the cache).
-		miss, missRes, err := sess.Recognize(epoch, class, 1001, ModeCoIC)
+		miss, missRes, err := sess.Recognize(context.Background(), epoch, class, 1001, ModeCoIC)
 		if err != nil {
 			return nil, fmt.Errorf("fig2a %s miss: %w", cond.Name, err)
 		}
@@ -65,7 +66,7 @@ func RunFig2a(p Params) ([]Fig2aRow, error) {
 
 		// Same object, different viewpoint: the Cache Hit bar.
 		topo.Reset()
-		hit, hitRes, err := sess.Recognize(epoch, class, 2002, ModeCoIC)
+		hit, hitRes, err := sess.Recognize(context.Background(), epoch, class, 2002, ModeCoIC)
 		if err != nil {
 			return nil, fmt.Errorf("fig2a %s hit: %w", cond.Name, err)
 		}
@@ -78,7 +79,7 @@ func RunFig2a(p Params) ([]Fig2aRow, error) {
 
 		// Origin baseline.
 		topo.Reset()
-		origin, _, err := sess.Recognize(epoch, class, 3003, ModeOrigin)
+		origin, _, err := sess.Recognize(context.Background(), epoch, class, 3003, ModeOrigin)
 		if err != nil {
 			return nil, fmt.Errorf("fig2a %s origin: %w", cond.Name, err)
 		}
@@ -130,7 +131,7 @@ func RunFig2bSizes(p Params, sizesKB []int) ([]Fig2bRow, error) {
 		client := NewClient(0, p)
 		sess := NewSession(client, edge, cloud, topo)
 
-		miss, err := sess.Render(epoch, id, ModeCoIC)
+		miss, err := sess.Render(context.Background(), epoch, id, ModeCoIC)
 		if err != nil {
 			return nil, fmt.Errorf("fig2b %dKB miss: %w", kb, err)
 		}
@@ -139,7 +140,7 @@ func RunFig2bSizes(p Params, sizesKB []int) ([]Fig2bRow, error) {
 		}
 
 		topo.Reset()
-		hit, err := sess.Render(epoch, id, ModeCoIC)
+		hit, err := sess.Render(context.Background(), epoch, id, ModeCoIC)
 		if err != nil {
 			return nil, fmt.Errorf("fig2b %dKB hit: %w", kb, err)
 		}
@@ -148,7 +149,7 @@ func RunFig2bSizes(p Params, sizesKB []int) ([]Fig2bRow, error) {
 		}
 
 		topo.Reset()
-		origin, err := sess.Render(epoch, id, ModeOrigin)
+		origin, err := sess.Render(context.Background(), epoch, id, ModeOrigin)
 		if err != nil {
 			return nil, fmt.Errorf("fig2b %dKB origin: %w", kb, err)
 		}
@@ -230,14 +231,14 @@ func RunTrace(p Params, cond netsim.Condition, events []trace.Event, mode Mode, 
 			switch ev.Task {
 			case wire.TaskRecognize:
 				class := vision.Class(ev.Object % int(vision.NumClasses))
-				b, _, err = sess.Recognize(eng.Now(), class, ev.ViewSeed, mode)
+				b, _, err = sess.Recognize(context.Background(), eng.Now(), class, ev.ViewSeed, mode)
 			case wire.TaskRender:
 				id := renderModels[ev.Object%len(renderModels)]
-				b, err = sess.Render(eng.Now(), id, mode)
+				b, err = sess.Render(context.Background(), eng.Now(), id, mode)
 			case wire.TaskPano:
 				video := fmt.Sprintf("video-%d", ev.Object%4)
 				vp := pano.Viewport{Yaw: float64(ev.ViewSeed%628) / 100, FOV: 1.6}
-				b, err = sess.Pano(eng.Now(), video, ev.Frame, vp, mode)
+				b, err = sess.Pano(context.Background(), eng.Now(), video, ev.Frame, vp, mode)
 			default:
 				err = fmt.Errorf("core: unknown task %v", ev.Task)
 			}
@@ -420,14 +421,14 @@ func runFederationPoint(p Params, cfg FederationConfigExp, n int, placement Plac
 			switch ev.Task {
 			case wire.TaskRecognize:
 				class := vision.Class(ev.Object % int(vision.NumClasses))
-				b, _, err = sess.Recognize(eng.Now(), class, ev.ViewSeed, ModeCoIC)
+				b, _, err = sess.Recognize(context.Background(), eng.Now(), class, ev.ViewSeed, ModeCoIC)
 			case wire.TaskRender:
 				id := renderModels[ev.Object%len(renderModels)]
-				b, err = sess.Render(eng.Now(), id, ModeCoIC)
+				b, err = sess.Render(context.Background(), eng.Now(), id, ModeCoIC)
 			case wire.TaskPano:
 				video := fmt.Sprintf("video-%d", ev.Object%4)
 				vp := pano.Viewport{Yaw: float64(ev.ViewSeed%628) / 100, FOV: 1.6}
-				b, err = sess.Pano(eng.Now(), video, ev.Frame, vp, ModeCoIC)
+				b, err = sess.Pano(context.Background(), eng.Now(), video, ev.Frame, vp, ModeCoIC)
 			default:
 				err = fmt.Errorf("core: unknown task %v", ev.Task)
 			}

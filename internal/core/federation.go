@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,7 +82,7 @@ func Federate(edges []*Edge, cfg FederationConfig) {
 // estimate keeps probes free of shared queueing state, so federated
 // experiments stay deterministic under any event interleaving.
 func peerProbe(p *Edge, link *netsim.Duplex) cache.PeerProbe {
-	return func(requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
+	return func(_ context.Context, requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
 		cost := p.Params.EdgeLookupTime
 		if link != nil {
 			if body, err := (wire.PeerLookup{Task: wire.Task(task), Desc: desc}).Marshal(); err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -29,6 +30,18 @@ import (
 // table, and the upstream connection itself is multiplexed, so a burst of
 // distinct misses overlaps its cloud round trips instead of serialising
 // them.
+//
+// Cancellation flows through every stage. Each request is dispatched
+// under its own context, cancelled by a MsgCancel frame naming it, by the
+// client disconnecting mid-pipeline, or by the caller's deadline; a
+// cancelled request still occupies its slot in the reply order and
+// answers with CodeCanceled. Coalesced fetches follow last-waiter-cancels
+// (cache.InflightTable): one departing waiter leaves the flight alone,
+// the last departure aborts the upstream round trip and forwards a
+// MsgCancel to the cloud. Cancelling the context passed to ServeContext
+// triggers graceful shutdown: the listener closes, readers stop accepting
+// new requests, queued and in-flight requests drain, replies flush, and
+// only then do connections close.
 
 // Serving tunables. Workers bounds how many requests one connection
 // processes concurrently; QueueDepth bounds how many more may be buffered
@@ -55,15 +68,37 @@ func overloadReply(msg wire.Message, inFlight int) wire.Message {
 	return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
 }
 
+// canceledReply answers a request whose context died before (or while)
+// it was being processed; it keeps the request's place in the reply
+// order.
+func canceledReply(reqID uint64) wire.Message {
+	body, _ := (wire.ErrorReply{Code: wire.CodeCanceled, Msg: "request canceled"}).Marshal()
+	return wire.Message{Type: wire.MsgError, RequestID: reqID, Body: body}
+}
+
+// isCanceled reports whether err is a context cancellation/expiry.
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // connPipeline serves one connection with the reader → worker pool →
 // ordered writer topology. MsgHello is handled inline on the reader (its
-// mode switch must stay ordered with the requests around it); every other
-// message is dispatched on a worker with the connection mode captured at
-// read time. When workers and queue are both full, the request is
-// rejected with CodeOverloaded instead of stalling the reader, keeping
-// the connection responsive under load. onOverload (optional) observes
-// each shed request.
-func connPipeline(conn net.Conn, workers, depth int, dispatch func(msg wire.Message, mode Mode) wire.Message, onOverload func()) {
+// mode switch must stay ordered with the requests around it), and so is
+// MsgCancel (it must observe the registration of every request read
+// before it); every other message is dispatched on a worker with the
+// connection mode captured at read time and a per-request context.
+// When workers and queue are both full, the request is rejected with
+// CodeOverloaded instead of stalling the reader, keeping the connection
+// responsive under load. onOverload (optional) observes each shed
+// request.
+//
+// ctx is the serving context: its cancellation stops the reader (no new
+// requests) but deliberately does NOT cancel per-request contexts —
+// admitted work drains, replies flush, then the connection closes. A
+// client disconnect, by contrast, cancels every in-flight request on the
+// connection: nobody is left to read the replies, so the work (and any
+// coalesced fetch it alone keeps alive) is abandoned.
+func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, onOverload func()) {
 	defer conn.Close()
 	if workers <= 0 {
 		workers = DefaultWorkers
@@ -72,10 +107,28 @@ func connPipeline(conn net.Conn, workers, depth int, dispatch func(msg wire.Mess
 		depth = DefaultQueueDepth
 	}
 
+	// connCtx is the parent of every per-request context on this
+	// connection. It is detached from the serving ctx (graceful shutdown
+	// drains rather than aborts) and cancelled when the client goes away.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+
+	// Graceful shutdown: unblock the reader so it stops admitting new
+	// requests; everything already admitted runs to completion.
+	stopReader := context.AfterFunc(ctx, func() { conn.SetReadDeadline(time.Now()) })
+	defer stopReader()
+
+	// cancels maps in-flight RequestIDs to their cancel functions, the
+	// MsgCancel lookup table. Only the reader inserts; workers remove.
+	var cancelMu sync.Mutex
+	cancels := map[uint64]context.CancelFunc{}
+
 	type job struct {
-		seq  uint64
-		msg  wire.Message
-		mode Mode
+		seq    uint64
+		msg    wire.Message
+		mode   Mode
+		ctx    context.Context
+		finish context.CancelFunc
 	}
 	jobs := make(chan job, depth)
 	replies := make(chan wire.SequencedMessage, workers+depth+1)
@@ -116,7 +169,15 @@ func connPipeline(conn net.Conn, workers, depth int, dispatch func(msg wire.Mess
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				replies <- wire.SequencedMessage{Seq: j.seq, Msg: dispatch(j.msg, j.mode)}
+				var m wire.Message
+				if j.ctx.Err() != nil {
+					// Cancelled while queued: skip the work entirely.
+					m = canceledReply(j.msg.RequestID)
+				} else {
+					m = dispatch(j.ctx, j.msg, j.mode)
+				}
+				j.finish()
+				replies <- wire.SequencedMessage{Seq: j.seq, Msg: m}
 			}
 		}()
 	}
@@ -126,7 +187,7 @@ func connPipeline(conn net.Conn, workers, depth int, dispatch func(msg wire.Mess
 	for {
 		msg, err := wire.ReadMessage(conn)
 		if err != nil {
-			break // connection closed or corrupt; peer re-dials
+			break // connection closed, corrupt, or shutdown deadline
 		}
 		slots <- struct{}{}
 		seq++
@@ -137,19 +198,77 @@ func connPipeline(conn net.Conn, workers, depth int, dispatch func(msg wire.Mess
 			replies <- wire.SequencedMessage{Seq: seq, Msg: wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}}
 			continue
 		}
+		if msg.Type == wire.MsgCancel {
+			// Abort the named request if it is still in flight; ack with
+			// an echo either way (the target may have already replied).
+			if cr, cerr := wire.UnmarshalCancelRequest(msg.Body); cerr == nil {
+				cancelMu.Lock()
+				cancel := cancels[cr.TargetID]
+				cancelMu.Unlock()
+				if cancel != nil {
+					cancel()
+				}
+			}
+			replies <- wire.SequencedMessage{Seq: seq, Msg: wire.Message{Type: wire.MsgCancel, RequestID: msg.RequestID}}
+			continue
+		}
+		jctx, jcancel := context.WithCancel(connCtx)
+		reqID := msg.RequestID
+		cancelMu.Lock()
+		cancels[reqID] = jcancel
+		cancelMu.Unlock()
+		finish := func() {
+			cancelMu.Lock()
+			delete(cancels, reqID)
+			cancelMu.Unlock()
+			jcancel()
+		}
 		select {
-		case jobs <- job{seq: seq, msg: msg, mode: mode}:
+		case jobs <- job{seq: seq, msg: msg, mode: mode, ctx: jctx, finish: finish}:
 		default:
 			if onOverload != nil {
 				onOverload()
 			}
+			finish()
 			replies <- wire.SequencedMessage{Seq: seq, Msg: overloadReply(msg, workers+depth)}
 		}
+	}
+	if ctx.Err() == nil {
+		// The client went away on its own: abandon its in-flight work so
+		// coalesced fetches it alone keeps alive can abort.
+		connCancel()
 	}
 	close(jobs)
 	wg.Wait()
 	close(replies)
 	<-writerDone
+}
+
+// serveLoop accepts connections until ln closes or ctx is cancelled,
+// handing each to handle; on shutdown it waits for every active
+// connection pipeline to drain before returning.
+func serveLoop(ctx context.Context, ln net.Listener, wrap ConnWrapper, handle func(ctx context.Context, conn net.Conn)) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if wrap != nil {
+			conn = wrap(conn)
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			handle(ctx, conn)
+		}()
+	}
 }
 
 // CloudServer exposes a Cloud over TCP.
@@ -167,28 +286,23 @@ type CloudServer struct {
 
 // Serve accepts connections until the listener is closed.
 func (s *CloudServer) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		if s.Wrap != nil {
-			conn = s.Wrap(conn)
-		}
-		go s.handle(conn)
-	}
+	return s.ServeContext(context.Background(), ln)
 }
 
-func (s *CloudServer) handle(conn net.Conn) {
-	connPipeline(conn, s.Workers, s.QueueDepth, func(msg wire.Message, _ Mode) wire.Message {
-		return s.dispatch(msg)
+// ServeContext accepts connections until the listener closes or ctx is
+// cancelled; on cancellation it shuts down gracefully — in-flight
+// requests drain, replies flush, connections close, then it returns nil.
+func (s *CloudServer) ServeContext(ctx context.Context, ln net.Listener) error {
+	return serveLoop(ctx, ln, s.Wrap, s.handle)
+}
+
+func (s *CloudServer) handle(ctx context.Context, conn net.Conn) {
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, func(jctx context.Context, msg wire.Message, _ Mode) wire.Message {
+		return s.dispatch(jctx, msg)
 	}, nil)
 }
 
-func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
+func (s *CloudServer) dispatch(ctx context.Context, msg wire.Message) wire.Message {
 	fail := func(code uint16, format string, args ...any) wire.Message {
 		body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
 		return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
@@ -206,6 +320,11 @@ func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
 		if err != nil {
 			return fail(wire.CodeInternal, "recognize: %v", err)
 		}
+		if ctx.Err() != nil {
+			// The edge abandoned the fetch mid-compute; a full reply would
+			// only be dropped by its read loop, so answer small.
+			return canceledReply(msg.RequestID)
+		}
 		body, _ := (wire.ExecReply{Source: wire.SourceCloud, Result: result}).Marshal()
 		return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 	case wire.MsgModelFetch:
@@ -217,6 +336,9 @@ func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
 		if err != nil {
 			return fail(wire.CodeUnknownModel, "%v", err)
 		}
+		if ctx.Err() != nil {
+			return canceledReply(msg.RequestID)
+		}
 		body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceCloud, Data: data}).Marshal()
 		return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 	case wire.MsgPanoFetch:
@@ -227,6 +349,9 @@ func (s *CloudServer) dispatch(msg wire.Message) wire.Message {
 		data, _, err := s.Cloud.FetchPano(req.VideoID, int(req.FrameIndex))
 		if err != nil {
 			return fail(wire.CodeInternal, "pano: %v", err)
+		}
+		if ctx.Err() != nil {
+			return canceledReply(msg.RequestID)
 		}
 		body, _ := (wire.PanoReply{Source: wire.SourceCloud, Data: data}).Marshal()
 		return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
@@ -390,21 +515,56 @@ func (m *cloudMux) readLoop(mc *muxConn) {
 		if ch != nil {
 			ch <- reply // buffered; never blocks the read loop
 		}
-		// Replies to abandoned (timed-out) requests are dropped.
+		// Replies to abandoned (cancelled or timed-out) requests are
+		// dropped.
 	}
+}
+
+// abandon withdraws one pending fetch whose caller's context died: the
+// reply slot is forgotten and a best-effort MsgCancel tells the cloud to
+// skip work it has not started. Unlike a timeout, an abandonment says
+// nothing about the connection's health, so the generation survives.
+func (m *cloudMux) abandon(mc *muxConn, id uint64) {
+	mc.mu.Lock()
+	_, pending := mc.pending[id]
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+	if !pending {
+		return // reply already arrived (and was or will be delivered)
+	}
+	m.mu.Lock()
+	m.seq++
+	cancelID := m.seq
+	m.mu.Unlock()
+	body, _ := (wire.CancelRequest{TargetID: id}).Marshal()
+	mc.wmu.Lock()
+	wire.WriteMessage(mc.conn, wire.Message{Type: wire.MsgCancel, RequestID: cancelID, Body: body})
+	mc.wmu.Unlock()
+	// The cloud acks the cancel and answers the target with CodeCanceled
+	// (or its completed result); both land on the read loop, which drops
+	// replies without a pending entry.
 }
 
 // roundTrip sends one fetch upstream and awaits its reply. One deadline
 // of m.timeout covers the whole fetch — waiting for an upstream slot,
 // dialing, and the round trip itself — so the caller (and any coalesced
 // group behind it) is never wedged longer than the configured timeout.
-func (m *cloudMux) roundTrip(msg wire.Message) (wire.Message, error) {
+// ctx aborts the fetch early: for a coalesced miss it is the flight
+// context, which dies only when the last interested waiter departs
+// (last-waiter-cancels), and its death withdraws the fetch and forwards
+// the cancellation upstream.
+func (m *cloudMux) roundTrip(ctx context.Context, msg wire.Message) (wire.Message, error) {
 	deadline := time.Now().Add(m.timeout)
-	slotTimer := time.NewTimer(m.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	slotTimer := time.NewTimer(time.Until(deadline))
 	defer slotTimer.Stop()
 	select {
 	case m.inflight <- struct{}{}:
 		defer func() { <-m.inflight }()
+	case <-ctx.Done():
+		return wire.Message{}, ctx.Err()
 	case <-slotTimer.C:
 		return wire.Message{}, fmt.Errorf("core: upstream saturated for %v (%d fetches in flight)", m.timeout, cap(m.inflight))
 	}
@@ -449,6 +609,9 @@ func (m *cloudMux) roundTrip(msg wire.Message) (wire.Message, error) {
 			return wire.Message{}, fmt.Errorf("core: cloud connection lost mid-fetch")
 		}
 		return reply, nil
+	case <-ctx.Done():
+		m.abandon(mc, id)
+		return wire.Message{}, ctx.Err()
 	case <-timer.C:
 		// A hung cloud must not wedge the coalesced group waiting on this
 		// fetch: tear the generation down (failing every other pending
@@ -482,20 +645,32 @@ const (
 )
 
 // roundTrip sends one frame to the peer and awaits its reply. The whole
-// exchange runs under a deadline: a peer that accepted the connection but
-// stopped responding is treated exactly like one that refused it — close,
-// back off, let the caller degrade to the cloud — rather than wedging
-// every miss behind the connection mutex. Because concurrent misses on
-// one key coalesce (cache.Federation's in-flight table), at most one
-// waiter group rides on any single probe.
-func (p *peerConn) roundTrip(msg wire.Message) (wire.Message, error) {
+// exchange runs under a deadline — peerDialTimeout, tightened further by
+// ctx's deadline if it has one, and interrupted outright if ctx is
+// cancelled mid-flight (a coalesced flight whose last waiter departed
+// must not hold the connection mutex and stall every other miss probing
+// this peer). A peer that accepted the connection but stopped responding
+// is treated exactly like one that refused it — close, back off, let the
+// caller degrade to the cloud; a probe cut short by *our own*
+// cancellation also closes the connection (its reply is now orphaned on
+// the lock-step stream) but does not back the healthy peer off. Because
+// concurrent misses on one key coalesce (cache.Federation's in-flight
+// table), at most one waiter group rides on any single probe.
+func (p *peerConn) roundTrip(ctx context.Context, msg wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.downTil.IsZero() && time.Now().Before(p.downTil) {
 		return wire.Message{}, fmt.Errorf("core: peer %s backing off", p.addr)
 	}
+	deadline := time.Now().Add(peerDialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	if p.conn == nil {
-		conn, err := net.DialTimeout("tcp", p.addr, peerDialTimeout)
+		conn, err := net.DialTimeout("tcp", p.addr, time.Until(deadline))
 		if err != nil {
 			p.downTil = time.Now().Add(peerBackoff)
 			return wire.Message{}, fmt.Errorf("core: edge cannot reach peer %s: %w", p.addr, err)
@@ -507,20 +682,40 @@ func (p *peerConn) roundTrip(msg wire.Message) (wire.Message, error) {
 		p.downTil = time.Time{}
 	}
 	conn := p.conn
-	fail := func(err error) (wire.Message, error) {
+	drop := func() {
 		conn.Close()
 		p.conn = nil
+	}
+	fail := func(err error) (wire.Message, error) {
+		drop()
 		p.downTil = time.Now().Add(peerBackoff)
 		return wire.Message{}, err
 	}
 	p.seq++
 	msg.RequestID = p.seq
-	conn.SetDeadline(time.Now().Add(peerDialTimeout))
+	conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{}) // no-op on a closed conn
+	// Cancellation mid-exchange yanks the deadline so the blocking
+	// write/read below returns promptly instead of waiting it out.
+	stopWatch := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
 	if err := wire.WriteMessage(conn, msg); err != nil {
+		if !stopWatch() || ctx.Err() != nil {
+			drop()
+			return wire.Message{}, ctx.Err()
+		}
 		return fail(err)
 	}
 	reply, err := wire.ReadMessage(conn)
+	// stopWatch()==false means the cancellation callback has started: the
+	// connection's deadline is (or is about to be) clobbered, so it must
+	// be retired either way — but without backing off the healthy peer.
+	if !stopWatch() {
+		drop()
+		if err != nil {
+			return wire.Message{}, ctx.Err()
+		}
+		return reply, nil // the answer beat the cancellation; use it
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -564,18 +759,19 @@ func (s *EdgeServer) SetupFederation(self string, peerAddrs []string) error {
 	return nil
 }
 
-// probePeer builds the TCP probe of one peer: a MsgPeerLookup round trip.
-// Errors (unreachable peer, corrupt reply) read as misses — the caller
-// falls back to the cloud, degrading to single-edge behaviour. Cost is
-// zero because TCP mode measures wall-clock time, not virtual time.
+// probePeer builds the TCP probe of one peer: a MsgPeerLookup round trip
+// bounded by the requesting caller's context. Errors (unreachable peer,
+// corrupt reply, expired caller) read as misses — the caller falls back
+// to the cloud, degrading to single-edge behaviour. Cost is zero because
+// TCP mode measures wall-clock time, not virtual time.
 func (s *EdgeServer) probePeer(pc *peerConn) cache.PeerProbe {
-	return func(requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
+	return func(ctx context.Context, requester int, task uint8, desc feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
 		miss := cache.LookupResult{Outcome: cache.OutcomeMiss}
 		body, err := (wire.PeerLookup{Task: wire.Task(task), Desc: desc}).Marshal()
 		if err != nil {
 			return nil, miss, 0
 		}
-		reply, err := pc.roundTrip(wire.Message{Type: wire.MsgPeerLookup, Body: body})
+		reply, err := pc.roundTrip(ctx, wire.Message{Type: wire.MsgPeerLookup, Body: body})
 		if err != nil || reply.Type != wire.MsgPeerReply {
 			return nil, miss, 0
 		}
@@ -593,38 +789,35 @@ func (s *EdgeServer) probePeer(pc *peerConn) cache.PeerProbe {
 // insertPeer builds the publish path to one peer: a MsgPeerInsert round
 // trip run on its own goroutine, keeping replication off the client's
 // miss reply path (the result is already cached locally; the client must
-// not wait on a peer RTT). Publish failures are dropped silently —
-// replication is best-effort.
+// not wait on a peer RTT). Publishing is deliberately detached from the
+// requesting context — the request that computed the value may be long
+// gone. Publish failures are dropped silently — replication is
+// best-effort.
 func (s *EdgeServer) insertPeer(pc *peerConn) cache.PeerInsert {
 	return func(desc feature.Descriptor, value []byte, cost float64) {
 		body, err := (wire.PeerInsert{Desc: desc, Cost: cost, Value: value}).Marshal()
 		if err != nil {
 			return
 		}
-		go pc.roundTrip(wire.Message{Type: wire.MsgPeerInsert, Body: body})
+		go pc.roundTrip(context.Background(), wire.Message{Type: wire.MsgPeerInsert, Body: body})
 	}
 }
 
 // Serve accepts client connections until the listener is closed.
 func (s *EdgeServer) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		if s.WrapClient != nil {
-			conn = s.WrapClient(conn)
-		}
-		go s.handle(conn)
-	}
+	return s.ServeContext(context.Background(), ln)
+}
+
+// ServeContext accepts client connections until the listener closes or
+// ctx is cancelled; cancellation drains in-flight requests before
+// returning nil (graceful shutdown).
+func (s *EdgeServer) ServeContext(ctx context.Context, ln net.Listener) error {
+	return serveLoop(ctx, ln, s.WrapClient, s.handle)
 }
 
 // roundTripCloud forwards one message upstream over the multiplexed
-// connection and awaits its reply, bounded by FetchTimeout.
-func (s *EdgeServer) roundTripCloud(msg wire.Message) (wire.Message, error) {
+// connection and awaits its reply, bounded by FetchTimeout and ctx.
+func (s *EdgeServer) roundTripCloud(ctx context.Context, msg wire.Message) (wire.Message, error) {
 	s.mu.Lock()
 	if s.cloud == nil {
 		limit := s.MaxUpstream
@@ -641,11 +834,11 @@ func (s *EdgeServer) roundTripCloud(msg wire.Message) (wire.Message, error) {
 	mux := s.cloud
 	s.mu.Unlock()
 	s.cloudFetches.Add(1)
-	return mux.roundTrip(msg)
+	return mux.roundTrip(ctx, msg)
 }
 
-func (s *EdgeServer) handle(conn net.Conn) {
-	connPipeline(conn, s.Workers, s.QueueDepth, s.dispatch, func() { s.overloads.Add(1) })
+func (s *EdgeServer) handle(ctx context.Context, conn net.Conn) {
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, func() { s.overloads.Add(1) })
 }
 
 // edgeError carries a protocol error code through the in-flight table so
@@ -663,11 +856,17 @@ func (e *edgeError) Error() string { return e.msg }
 // the cache and reports SourceCloud; waiters that joined its flight
 // report SourceEdge (the edge held the result for them). A failed fetch
 // propagates its error to every waiter and leaves the descriptor clean
-// for the next attempt.
-func (s *EdgeServer) fetchCoalesced(desc feature.Descriptor, msg wire.Message, want wire.MsgType, extract func(wire.Message) ([]byte, error)) ([]byte, uint8, error) {
-	val, leader, err := s.Edge.Inflight().Do(desc, func() ([]byte, error) {
-		reply, err := s.roundTripCloud(msg)
+// for the next attempt. The fetch runs under the flight context: it
+// survives any individual waiter's departure (ctx here only detaches the
+// caller) and aborts — withdrawing the upstream round trip — when the
+// last waiter is gone.
+func (s *EdgeServer) fetchCoalesced(ctx context.Context, desc feature.Descriptor, msg wire.Message, want wire.MsgType, extract func(wire.Message) ([]byte, error)) ([]byte, uint8, error) {
+	val, leader, err := s.Edge.Inflight().Do(ctx, desc, func(fctx context.Context) ([]byte, error) {
+		reply, err := s.roundTripCloud(fctx, msg)
 		if err != nil {
+			if isCanceled(err) {
+				return nil, err
+			}
 			return nil, &edgeError{code: wire.CodeUnavailable, msg: fmt.Sprintf("cloud: %v", err)}
 		}
 		if reply.Type == wire.MsgError {
@@ -693,12 +892,15 @@ func (s *EdgeServer) fetchCoalesced(desc feature.Descriptor, msg wire.Message, w
 	return val, src, err
 }
 
-func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
+func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) wire.Message {
 	fail := func(code uint16, format string, args ...any) wire.Message {
 		body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
 		return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
 	}
 	failErr := func(err error) wire.Message {
+		if isCanceled(err) {
+			return canceledReply(msg.RequestID)
+		}
 		var ee *edgeError
 		if errors.As(err, &ee) {
 			return fail(ee.code, "%s", ee.msg)
@@ -709,9 +911,9 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 	// no cache interaction and no coalescing (origin requests carry no
 	// meaningful descriptor to coalesce on).
 	forward := func() wire.Message {
-		reply, err := s.roundTripCloud(msg)
+		reply, err := s.roundTripCloud(ctx, msg)
 		if err != nil {
-			return fail(wire.CodeUnavailable, "cloud: %v", err)
+			return failErr(err)
 		}
 		reply.RequestID = msg.RequestID
 		return reply
@@ -726,11 +928,11 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 		if mode != ModeCoIC {
 			return forward()
 		}
-		if lr := s.Edge.Lookup(req.Task, req.Desc); lr.Hit() {
+		if lr := s.Edge.Lookup(ctx, req.Task, req.Desc); lr.Hit() {
 			body, _ := (wire.ExecReply{Source: wire.SourceEdge, Result: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 		}
-		result, src, err := s.fetchCoalesced(req.Desc, msg, wire.MsgExecReply, func(r wire.Message) ([]byte, error) {
+		result, src, err := s.fetchCoalesced(ctx, req.Desc, msg, wire.MsgExecReply, func(r wire.Message) ([]byte, error) {
 			er, err := wire.UnmarshalExecReply(r.Body)
 			if err != nil {
 				return nil, err
@@ -752,11 +954,11 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 			return forward()
 		}
 		desc := ModelDescriptor(req.ModelID)
-		if lr := s.Edge.Lookup(wire.TaskRender, desc); lr.Hit() {
+		if lr := s.Edge.Lookup(ctx, wire.TaskRender, desc); lr.Hit() {
 			body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceEdge, Data: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 		}
-		data, src, err := s.fetchCoalesced(desc, msg, wire.MsgModelReply, func(r wire.Message) ([]byte, error) {
+		data, src, err := s.fetchCoalesced(ctx, desc, msg, wire.MsgModelReply, func(r wire.Message) ([]byte, error) {
 			mr, err := wire.UnmarshalModelReply(r.Body)
 			if err != nil {
 				return nil, err
@@ -778,11 +980,11 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 			return forward()
 		}
 		desc := PanoDescriptor(req.VideoID, int(req.FrameIndex))
-		if lr := s.Edge.Lookup(wire.TaskPano, desc); lr.Hit() {
+		if lr := s.Edge.Lookup(ctx, wire.TaskPano, desc); lr.Hit() {
 			body, _ := (wire.PanoReply{Source: wire.SourceEdge, Data: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
 		}
-		data, src, err := s.fetchCoalesced(desc, msg, wire.MsgPanoReply, func(r wire.Message) ([]byte, error) {
+		data, src, err := s.fetchCoalesced(ctx, desc, msg, wire.MsgPanoReply, func(r wire.Message) ([]byte, error) {
 			pr, err := wire.UnmarshalPanoReply(r.Body)
 			if err != nil {
 				return nil, err
@@ -830,7 +1032,10 @@ func (s *EdgeServer) dispatch(msg wire.Message, mode Mode) wire.Message {
 // TCPClient drives a CoIC client against a live edge over TCP, measuring
 // wall-clock latency (the role of the paper's Pixel phone). It is
 // lock-step (one request in flight); pipelined load generators write
-// sequence-numbered frames directly — see docs/PROTOCOL.md.
+// sequence-numbered frames directly — see docs/PROTOCOL.md. The
+// *Context methods abort a pending request when ctx dies by sending a
+// MsgCancel frame and draining the cancelled reply plus its ack, so the
+// connection stays usable afterwards.
 type TCPClient struct {
 	Client *Client
 	Mode   Mode
@@ -841,12 +1046,22 @@ type TCPClient struct {
 
 // DialEdge connects a client to an edge server and announces its mode.
 func DialEdge(addr string, client *Client, mode Mode, wrap ConnWrapper) (*TCPClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialEdgeContext(context.Background(), addr, client, mode, wrap)
+}
+
+// DialEdgeContext is DialEdge bounded by ctx (dial and hello exchange).
+func DialEdgeContext(ctx context.Context, addr string, client *Client, mode Mode, wrap ConnWrapper) (*TCPClient, error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("core: dial edge: %w", err)
 	}
 	if wrap != nil {
 		conn = wrap(conn)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+		defer conn.SetDeadline(time.Time{})
 	}
 	t := &TCPClient{Client: client, Mode: mode, conn: conn}
 	hello := wire.Message{Type: wire.MsgHello, RequestID: t.next(), Body: []byte{byte(mode)}}
@@ -869,27 +1084,90 @@ func (t *TCPClient) next() uint64 {
 	return t.reqID
 }
 
-func (t *TCPClient) roundTrip(msg wire.Message) (wire.Message, error) {
+// cancelDrainTimeout bounds how long a cancelling client waits for the
+// edge to flush the cancelled reply and the cancel ack; a server that
+// cannot manage even that forfeits the connection.
+const cancelDrainTimeout = 5 * time.Second
+
+// errRemote converts an error reply into a client-side error.
+func errRemote(reply wire.Message) error {
+	if reply.Type != wire.MsgError {
+		return nil
+	}
+	er, uerr := wire.UnmarshalErrorReply(reply.Body)
+	if uerr != nil {
+		return fmt.Errorf("core: malformed error reply: %v", uerr)
+	}
+	return fmt.Errorf("core: remote error %d: %s", er.Code, er.Msg)
+}
+
+// roundTrip ships one request and awaits its reply, aborting through the
+// cancel protocol when ctx dies first. An already-expired ctx costs no
+// round trip at all.
+func (t *TCPClient) roundTrip(ctx context.Context, msg wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, err
+	}
 	if err := wire.WriteMessage(t.conn, msg); err != nil {
 		return wire.Message{}, err
 	}
-	reply, err := wire.ReadMessage(t.conn)
-	if err != nil {
-		return wire.Message{}, err
-	}
-	if reply.Type == wire.MsgError {
-		er, uerr := wire.UnmarshalErrorReply(reply.Body)
-		if uerr != nil {
-			return wire.Message{}, fmt.Errorf("core: malformed error reply: %v", uerr)
+	if ctx.Done() == nil {
+		// Uncancellable context: plain blocking read (the v1 path).
+		reply, err := wire.ReadMessage(t.conn)
+		if err != nil {
+			return wire.Message{}, err
 		}
-		return wire.Message{}, fmt.Errorf("core: remote error %d: %s", er.Code, er.Msg)
+		if err := errRemote(reply); err != nil {
+			return wire.Message{}, err
+		}
+		return reply, nil
 	}
-	return reply, nil
+
+	type readResult struct {
+		msg wire.Message
+		err error
+	}
+	ch := make(chan readResult, 1)
+	go func() {
+		m, err := wire.ReadMessage(t.conn)
+		ch <- readResult{m, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return wire.Message{}, r.err
+		}
+		if err := errRemote(r.msg); err != nil {
+			return wire.Message{}, err
+		}
+		return r.msg, nil
+	case <-ctx.Done():
+	}
+
+	// Abort: tell the edge, then drain our (now cancelled) reply and the
+	// cancel ack so the lock-step connection stays aligned.
+	body, _ := (wire.CancelRequest{TargetID: msg.RequestID}).Marshal()
+	cancelMsg := wire.Message{Type: wire.MsgCancel, RequestID: t.next(), Body: body}
+	if err := wire.WriteMessage(t.conn, cancelMsg); err != nil {
+		t.conn.Close()
+		return wire.Message{}, ctx.Err()
+	}
+	t.conn.SetReadDeadline(time.Now().Add(cancelDrainTimeout))
+	defer t.conn.SetReadDeadline(time.Time{})
+	if r := <-ch; r.err != nil { // the aborted request's reply
+		t.conn.Close()
+		return wire.Message{}, ctx.Err()
+	}
+	if _, err := wire.ReadMessage(t.conn); err != nil { // the cancel ack
+		t.conn.Close()
+	}
+	return wire.Message{}, ctx.Err()
 }
 
-// Recognize captures a frame, extracts the descriptor (CoIC mode), ships
-// the request and returns the result with measured wall-clock latency.
-func (t *TCPClient) Recognize(class vision.Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
+// RecognizeContext captures a frame, extracts the descriptor (CoIC mode),
+// ships the request and returns the result with measured wall-clock
+// latency, honouring ctx for cancellation and deadline.
+func (t *TCPClient) RecognizeContext(ctx context.Context, class vision.Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
 	frame := t.Client.CaptureFrame(class, viewSeed)
 	start := time.Now()
 	desc := originDescriptor
@@ -900,7 +1178,7 @@ func (t *TCPClient) Recognize(class vision.Class, viewSeed uint64) (wire.Recogni
 	if err != nil {
 		return wire.RecognitionResult{}, 0, err
 	}
-	reply, err := t.roundTrip(wire.Message{Type: wire.MsgExec, RequestID: t.next(), Body: body})
+	reply, err := t.roundTrip(ctx, wire.Message{Type: wire.MsgExec, RequestID: t.next(), Body: body})
 	if err != nil {
 		return wire.RecognitionResult{}, 0, err
 	}
@@ -912,14 +1190,20 @@ func (t *TCPClient) Recognize(class vision.Class, viewSeed uint64) (wire.Recogni
 	return res, time.Since(start), err
 }
 
-// Render fetches, loads and draws a model, returning measured latency.
-func (t *TCPClient) Render(modelID string) (time.Duration, error) {
+// Recognize is RecognizeContext without cancellation.
+func (t *TCPClient) Recognize(class vision.Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
+	return t.RecognizeContext(context.Background(), class, viewSeed)
+}
+
+// RenderContext fetches, loads and draws a model, returning measured
+// latency, honouring ctx for cancellation and deadline.
+func (t *TCPClient) RenderContext(ctx context.Context, modelID string) (time.Duration, error) {
 	start := time.Now()
 	body, err := (wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF}).Marshal()
 	if err != nil {
 		return 0, err
 	}
-	reply, err := t.roundTrip(wire.Message{Type: wire.MsgModelFetch, RequestID: t.next(), Body: body})
+	reply, err := t.roundTrip(ctx, wire.Message{Type: wire.MsgModelFetch, RequestID: t.next(), Body: body})
 	if err != nil {
 		return 0, err
 	}
@@ -937,15 +1221,20 @@ func (t *TCPClient) Render(modelID string) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// Pano fetches a panoramic frame and crops the viewport, returning
-// measured latency.
-func (t *TCPClient) Pano(videoID string, frameIdx int, vp pano.Viewport) (time.Duration, error) {
+// Render is RenderContext without cancellation.
+func (t *TCPClient) Render(modelID string) (time.Duration, error) {
+	return t.RenderContext(context.Background(), modelID)
+}
+
+// PanoContext fetches a panoramic frame and crops the viewport, returning
+// measured latency, honouring ctx for cancellation and deadline.
+func (t *TCPClient) PanoContext(ctx context.Context, videoID string, frameIdx int, vp pano.Viewport) (time.Duration, error) {
 	start := time.Now()
 	body, err := (wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx)}).Marshal()
 	if err != nil {
 		return 0, err
 	}
-	reply, err := t.roundTrip(wire.Message{Type: wire.MsgPanoFetch, RequestID: t.next(), Body: body})
+	reply, err := t.roundTrip(ctx, wire.Message{Type: wire.MsgPanoFetch, RequestID: t.next(), Body: body})
 	if err != nil {
 		return 0, err
 	}
@@ -957,4 +1246,9 @@ func (t *TCPClient) Pano(videoID string, frameIdx int, vp pano.Viewport) (time.D
 		return 0, err
 	}
 	return time.Since(start), nil
+}
+
+// Pano is PanoContext without cancellation.
+func (t *TCPClient) Pano(videoID string, frameIdx int, vp pano.Viewport) (time.Duration, error) {
+	return t.PanoContext(context.Background(), videoID, frameIdx, vp)
 }

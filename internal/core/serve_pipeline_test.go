@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -341,5 +343,208 @@ func TestTCPOriginModeStillForwards(t *testing.T) {
 	}
 	if got := es.Edge.Stats().Inserts; got != 0 {
 		t.Fatalf("origin mode inserted %d entries into the cache", got)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPClientCancelAbortsFetchAndKeepsConnection: a client whose
+// context dies mid-fetch gets ctx.Err() promptly, the edge aborts the
+// now-waiterless coalesced flight (last-waiter-cancels), and the same
+// connection serves the next request cleanly thanks to the cancel/ack
+// drain protocol.
+func TestTCPClientCancelAbortsFetchAndKeepsConnection(t *testing.T) {
+	p := testParams()
+	addr, es, stop := startSlowStack(t, p, 400*time.Millisecond, nil)
+	defer stop()
+
+	cli, err := DialEdge(addr, NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	vp := pano.Viewport{Yaw: 0.2, FOV: 1.5}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		waitFor(t, "the fetch to start", func() bool { return es.Edge.Inflight().Len() == 1 })
+		cancel()
+	}()
+	start := time.Now()
+	if _, err := cli.PanoContext(ctx, "cancel-video", 3, vp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — the client waited out the fetch instead of aborting", elapsed)
+	}
+	waitFor(t, "the abandoned flight to abort", func() bool {
+		return es.Edge.Inflight().Stats().Canceled == 1 && es.Edge.Inflight().Len() == 0
+	})
+
+	// The connection must still be aligned: the next request round-trips.
+	if _, err := cli.Pano("cancel-video", 4, vp); err != nil {
+		t.Fatalf("post-cancel request failed: %v", err)
+	}
+}
+
+// TestTCPCoalescedFetchSurvivesOneWaiterCancel: with two clients
+// coalesced onto one cloud fetch, the canceller departs with ctx.Err()
+// while the survivor still receives the result from the single shared
+// round trip.
+func TestTCPCoalescedFetchSurvivesOneWaiterCancel(t *testing.T) {
+	p := testParams()
+	addr, es, stop := startSlowStack(t, p, 400*time.Millisecond, nil)
+	defer stop()
+
+	survivor, err := DialEdge(addr, NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer survivor.Close()
+	quitter, err := DialEdge(addr, NewClient(1, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quitter.Close()
+
+	vp := pano.Viewport{Yaw: 0.4, FOV: 1.5}
+	survivorErr := make(chan error, 1)
+	go func() {
+		_, err := survivor.Pano("survivor-video", 9, vp)
+		survivorErr <- err
+	}()
+	waitFor(t, "the leader fetch to start", func() bool { return es.Edge.Inflight().Len() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	quitterErr := make(chan error, 1)
+	go func() {
+		_, err := quitter.PanoContext(ctx, "survivor-video", 9, vp)
+		quitterErr <- err
+	}()
+	waitFor(t, "the second client to coalesce", func() bool {
+		return es.Edge.Inflight().Stats().Coalesced == 1
+	})
+	cancel()
+
+	if err := <-quitterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("quitter error = %v, want context.Canceled", err)
+	}
+	if err := <-survivorErr; err != nil {
+		t.Fatalf("survivor failed after co-waiter cancelled: %v", err)
+	}
+	if got := es.CloudFetches(); got != 1 {
+		t.Fatalf("cloud fetches = %d, want 1 (one departure must not restart the fetch)", got)
+	}
+	if st := es.Edge.Inflight().Stats(); st.Canceled != 0 {
+		t.Fatalf("inflight stats = %+v: the flight completed, nothing should count as canceled", st)
+	}
+}
+
+// TestTCPClientDisconnectAbortsInflightFetch: a client that vanishes
+// mid-pipeline abandons its in-flight work — the edge cancels the
+// request contexts, the sole waiter departs, and the coalesced fetch
+// aborts long before the fetch timeout.
+func TestTCPClientDisconnectAbortsInflightFetch(t *testing.T) {
+	p := testParams()
+	cloudAddr, stopCloud := startHungCloud(t)
+	defer stopCloud()
+
+	es := &EdgeServer{
+		Edge:      NewEdge(p),
+		CloudAddr: cloudAddr,
+		// Deliberately enormous: only cancellation, not this timeout, can
+		// explain a prompt abort below.
+		FetchTimeout: 5 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go es.Serve(ln)
+
+	conn := rawEdgeConn(t, ln.Addr().String(), ModeCoIC)
+	if err := wire.WriteMessage(conn, panoFetchMsg(t, 2, "vanish-video", 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "the fetch to start", func() bool { return es.Edge.Inflight().Len() == 1 })
+	conn.Close() // the user walked away
+
+	deadline := time.Now().Add(10 * time.Second)
+	for es.Edge.Inflight().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("disconnected client's fetch still in flight — disconnect did not cancel it")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := es.Edge.Inflight().Stats(); st.Canceled != 1 {
+		t.Fatalf("inflight stats = %+v, want the abandoned flight counted as canceled", st)
+	}
+}
+
+// TestTCPGracefulShutdownDrains: cancelling the serve context must close
+// the listener to new connections but let the admitted in-flight request
+// finish and deliver its reply before the connection closes.
+func TestTCPGracefulShutdownDrains(t *testing.T) {
+	p := testParams()
+	cloud := NewCloud(p)
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudLn.Close()
+	go (&CloudServer{Cloud: cloud}).Serve(cloudLn)
+
+	es := &EdgeServer{
+		Edge:      NewEdge(p),
+		CloudAddr: cloudLn.Addr().String(),
+		WrapCloud: func(c net.Conn) net.Conn { return netsim.NewShaper(c, 0, 300*time.Millisecond) },
+	}
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- es.ServeContext(ctx, edgeLn) }()
+
+	cli, err := DialEdge(edgeLn.Addr().String(), NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	vp := pano.Viewport{Yaw: 0.1, FOV: 1.5}
+	replyErr := make(chan error, 1)
+	go func() {
+		_, err := cli.Pano("drain-video", 5, vp)
+		replyErr <- err
+	}()
+	waitFor(t, "the request to be in flight", func() bool { return es.Edge.Inflight().Len() == 1 })
+	cancel() // SIGTERM equivalent
+
+	if err := <-replyErr; err != nil {
+		t.Fatalf("in-flight request lost during graceful shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("ServeContext = %v, want nil on graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeContext did not return after drain")
+	}
+	if _, err := net.DialTimeout("tcp", edgeLn.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,9 +43,14 @@ func (s *Session) nextID() uint64 {
 var originDescriptor = feature.NewHash([]byte("origin"))
 
 // Recognize executes one recognition request and returns the latency
-// breakdown plus the (validated) recognition result.
-func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, mode Mode) (Breakdown, wire.RecognitionResult, error) {
+// breakdown plus the (validated) recognition result. ctx gates the
+// expensive stages: an expired context returns promptly — before the
+// (real) DNN runs — rather than computing a result nobody wants.
+func (s *Session) Recognize(ctx context.Context, at time.Time, class vision.Class, viewSeed uint64, mode Mode) (Breakdown, wire.RecognitionResult, error) {
 	b := Breakdown{Task: wire.TaskRecognize, Mode: mode, Start: at, Outcome: cache.OutcomeMiss}
+	if err := ctx.Err(); err != nil {
+		return b, wire.RecognitionResult{}, err
+	}
 	frame := s.Client.CaptureFrame(class, viewSeed)
 
 	desc := originDescriptor
@@ -70,7 +76,7 @@ func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, m
 
 	var resultBytes []byte
 	if mode == ModeCoIC {
-		lr := s.Edge.LookupAtAs(s.Client.ID, wire.TaskRecognize, desc, t)
+		lr := s.Edge.LookupAtAs(ctx, s.Client.ID, wire.TaskRecognize, desc, t)
 		b.EdgeProc += lr.Cost - lr.PeerCost
 		b.PeerHop += lr.PeerCost
 		b.Wait += lr.Wait
@@ -83,6 +89,11 @@ func (s *Session) Recognize(at time.Time, class vision.Class, viewSeed uint64, m
 	}
 
 	if resultBytes == nil { // miss or origin: forward the request to the cloud
+		if err := ctx.Err(); err != nil {
+			// The caller departed before the cloud round trip: abandon the
+			// request instead of paying for work nobody will read.
+			return b, wire.RecognitionResult{}, err
+		}
 		tCloud := s.Topo.EdgeCloud.Up.Transfer(t, upMsg.WireSize())
 		b.UpEC = tCloud.Sub(t)
 		t = tCloud
@@ -137,9 +148,14 @@ func ModelDescriptor(modelID string) feature.Descriptor {
 	return feature.NewHash([]byte("model:" + modelID))
 }
 
-// Render executes one 3D-model load-and-draw task.
-func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, error) {
+// Render executes one 3D-model load-and-draw task. An expired ctx
+// returns promptly, and a ctx that expires before the cloud fetch
+// abandons the request without paying for it.
+func (s *Session) Render(ctx context.Context, at time.Time, modelID string, mode Mode) (Breakdown, error) {
 	b := Breakdown{Task: wire.TaskRender, Mode: mode, Start: at, Outcome: cache.OutcomeMiss}
+	if err := ctx.Err(); err != nil {
+		return b, err
+	}
 	desc := ModelDescriptor(modelID)
 
 	fetch := wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF}
@@ -156,7 +172,7 @@ func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, er
 	var cmf []byte
 	var source uint8 = wire.SourceCloud
 	if mode == ModeCoIC {
-		lr := s.Edge.LookupAtAs(s.Client.ID, wire.TaskRender, desc, t)
+		lr := s.Edge.LookupAtAs(ctx, s.Client.ID, wire.TaskRender, desc, t)
 		b.EdgeProc += lr.Cost - lr.PeerCost
 		b.PeerHop += lr.PeerCost
 		b.Wait += lr.Wait
@@ -170,6 +186,9 @@ func (s *Session) Render(at time.Time, modelID string, mode Mode) (Breakdown, er
 	}
 
 	if cmf == nil {
+		if err := ctx.Err(); err != nil {
+			return b, err
+		}
 		tCloud := s.Topo.EdgeCloud.Up.Transfer(t, upMsg.WireSize())
 		b.UpEC = tCloud.Sub(t)
 		t = tCloud
@@ -230,9 +249,14 @@ func PanoDescriptor(videoID string, frameIdx int) feature.Descriptor {
 	return feature.NewHash([]byte(fmt.Sprintf("pano:%s:%d", videoID, frameIdx)))
 }
 
-// Pano executes one VR panorama fetch-and-crop task.
-func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewport, mode Mode) (Breakdown, error) {
+// Pano executes one VR panorama fetch-and-crop task. An expired ctx
+// returns promptly, and a ctx that expires before the cloud fetch
+// abandons the request without paying for it.
+func (s *Session) Pano(ctx context.Context, at time.Time, videoID string, frameIdx int, vp pano.Viewport, mode Mode) (Breakdown, error) {
 	b := Breakdown{Task: wire.TaskPano, Mode: mode, Start: at, Outcome: cache.OutcomeMiss}
+	if err := ctx.Err(); err != nil {
+		return b, err
+	}
 	desc := PanoDescriptor(videoID, frameIdx)
 
 	fetch := wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx)}
@@ -249,7 +273,7 @@ func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewp
 	var rle []byte
 	var source uint8 = wire.SourceCloud
 	if mode == ModeCoIC {
-		lr := s.Edge.LookupAtAs(s.Client.ID, wire.TaskPano, desc, t)
+		lr := s.Edge.LookupAtAs(ctx, s.Client.ID, wire.TaskPano, desc, t)
 		b.EdgeProc += lr.Cost - lr.PeerCost
 		b.PeerHop += lr.PeerCost
 		b.Wait += lr.Wait
@@ -263,6 +287,9 @@ func (s *Session) Pano(at time.Time, videoID string, frameIdx int, vp pano.Viewp
 	}
 
 	if rle == nil {
+		if err := ctx.Err(); err != nil {
+			return b, err
+		}
 		tCloud := s.Topo.EdgeCloud.Up.Transfer(t, upMsg.WireSize())
 		b.UpEC = tCloud.Sub(t)
 		t = tCloud

@@ -41,6 +41,17 @@ const (
 	MsgPeerLookup MsgType = 11 // edge->edge: probe a peer's cache
 	MsgPeerReply  MsgType = 12 // edge->edge: probe answer (+result on hit)
 	MsgPeerInsert MsgType = 13 // edge->edge: publish a result to the key's home edge
+
+	// MsgCancel aborts an in-flight request on the same connection. The
+	// body names the target RequestID; the frame's own RequestID is the
+	// cancel's identity and is echoed back as an ack (like MsgHello), so
+	// the cancel keeps its place in the connection's reply order. The
+	// cancelled request still produces its own reply — MsgError with
+	// CodeCanceled when the cancel landed in time, or its normal result if
+	// it had already completed. Client->edge aborts a served request;
+	// edge->cloud aborts a forwarded fetch whose last coalesced waiter
+	// departed.
+	MsgCancel MsgType = 14
 )
 
 // String names the message type for logs.
@@ -72,6 +83,8 @@ func (t MsgType) String() string {
 		return "peer-reply"
 	case MsgPeerInsert:
 		return "peer-insert"
+	case MsgCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}

@@ -423,6 +423,11 @@ const (
 	// processing. The client may retry after backing off; the connection
 	// stays healthy and the reply keeps its place in the response order.
 	CodeOverloaded uint16 = 5
+	// CodeCanceled is the reply of a request aborted by a MsgCancel frame
+	// or by its caller's context expiring (a client that disconnected
+	// mid-pipeline, a coalesced fetch whose last waiter departed). The
+	// work was abandoned, not failed; retrying is safe.
+	CodeCanceled uint16 = 6
 )
 
 // Marshal encodes the body.
@@ -449,6 +454,26 @@ func UnmarshalErrorReply(body []byte) (ErrorReply, error) {
 		Code: binary.LittleEndian.Uint16(body[0:]),
 		Msg:  string(body[4:]),
 	}, nil
+}
+
+// CancelRequest is the body of a MsgCancel frame: the RequestID (on the
+// same connection) of the in-flight request to abort.
+type CancelRequest struct {
+	TargetID uint64
+}
+
+// Marshal encodes the body.
+func (c CancelRequest) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 8)
+	return binary.LittleEndian.AppendUint64(out, c.TargetID), nil
+}
+
+// UnmarshalCancelRequest decodes a CancelRequest body.
+func UnmarshalCancelRequest(body []byte) (CancelRequest, error) {
+	if len(body) != 8 {
+		return CancelRequest{}, fmt.Errorf("%w: cancel body length %d", ErrBadMessage, len(body))
+	}
+	return CancelRequest{TargetID: binary.LittleEndian.Uint64(body)}, nil
 }
 
 // RecognitionResult is the application-level result of a recognition

@@ -369,3 +369,28 @@ func TestFrameFuzzNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCancelRequestRoundTrip(t *testing.T) {
+	body, err := (CancelRequest{TargetID: 0xDEADBEEFCAFE}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCancelRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TargetID != 0xDEADBEEFCAFE {
+		t.Fatalf("target id %x", got.TargetID)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, make([]byte, 9)} {
+		if _, err := UnmarshalCancelRequest(bad); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("body %v accepted (err=%v)", bad, err)
+		}
+	}
+}
+
+func TestCancelMsgTypeString(t *testing.T) {
+	if MsgCancel.String() != "cancel" {
+		t.Fatal(MsgCancel.String())
+	}
+}

@@ -1,0 +1,261 @@
+package coic
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/core"
+)
+
+// This file is the v2 deployment surface: edge and cloud servers built
+// from functional options and driven by a context —
+// NewEdgeServer(opts...).Serve(ctx) — replacing the positional
+// ServeEdgeWith/ServeEdgeFederated/ServeCloudWith sprawl. Cancelling the
+// serve context shuts the server down gracefully: the listener closes,
+// in-flight requests drain, replies flush, connections close, Serve
+// returns nil.
+
+// ServerOption configures a Server built by NewEdgeServer or
+// NewCloudServer.
+type ServerOption func(*serverConfig) error
+
+type serverConfig struct {
+	listener net.Listener
+	addr     string
+
+	params    Params
+	paramsSet bool
+
+	cloudAddr    string
+	cloudShape   ShapeSpec
+	self         string
+	peers        []string
+	workers      int
+	queueDepth   int
+	fetchTimeout time.Duration
+	maxUpstream  int
+
+	// edgeOnly names edge-specific options applied to a cloud server, an
+	// error surfaced at Serve.
+	edgeOnly []string
+}
+
+func (c *serverConfig) markEdgeOnly(name string) { c.edgeOnly = append(c.edgeOnly, name) }
+
+// WithListener serves on an existing listener instead of binding one;
+// useful for tests and for callers that want the port before serving.
+func WithListener(ln net.Listener) ServerOption {
+	return func(c *serverConfig) error { c.listener = ln; return nil }
+}
+
+// WithListenAddr binds a TCP listener on addr at Serve time (defaults:
+// ":9091" for edges, ":9090" for clouds).
+func WithListenAddr(addr string) ServerOption {
+	return func(c *serverConfig) error { c.addr = addr; return nil }
+}
+
+// WithServeParams overrides the reproduction parameters the server runs
+// with (DefaultParams() otherwise).
+func WithServeParams(p Params) ServerOption {
+	return func(c *serverConfig) error { c.params = p; c.paramsSet = true; return nil }
+}
+
+// WithCloud points an edge at the cloud tier it forwards misses to
+// (default "localhost:9090"). Edge servers only.
+func WithCloud(addr string) ServerOption {
+	return func(c *serverConfig) error { c.markEdgeOnly("WithCloud"); c.cloudAddr = addr; return nil }
+}
+
+// WithCloudShape conditions the edge→cloud uplink with a tc-style spec
+// (the B_E→C knob). Edge servers only; the spec is validated at Serve.
+func WithCloudShape(spec ShapeSpec) ServerOption {
+	return func(c *serverConfig) error { c.markEdgeOnly("WithCloudShape"); c.cloudShape = spec; return nil }
+}
+
+// WithFederation joins the edge to a cache federation: self is this
+// edge's advertised, dialable address — its federation identity, which
+// must appear verbatim in every peer's peer list — and peers are the
+// other members. Edge servers only.
+func WithFederation(self string, peers ...string) ServerOption {
+	return func(c *serverConfig) error {
+		c.markEdgeOnly("WithFederation")
+		c.self = self
+		c.peers = append([]string(nil), peers...)
+		return nil
+	}
+}
+
+// WithWorkers bounds concurrent request processing per connection
+// (core.DefaultWorkers when unset).
+func WithWorkers(n int) ServerOption {
+	return func(c *serverConfig) error { c.workers = n; return nil }
+}
+
+// WithQueueDepth bounds requests buffered awaiting a worker before the
+// server sheds load with an overloaded error (core.DefaultQueueDepth
+// when unset).
+func WithQueueDepth(n int) ServerOption {
+	return func(c *serverConfig) error { c.queueDepth = n; return nil }
+}
+
+// WithFetchTimeout bounds one edge→cloud fetch end to end, failing any
+// coalesced waiters fast when the cloud hangs. Edge servers only.
+func WithFetchTimeout(d time.Duration) ServerOption {
+	return func(c *serverConfig) error { c.markEdgeOnly("WithFetchTimeout"); c.fetchTimeout = d; return nil }
+}
+
+// WithMaxUpstream caps concurrent fetches on the edge's multiplexed
+// cloud connection; raise it in lockstep with the cloud's workers/queue.
+// Edge servers only.
+func WithMaxUpstream(n int) ServerOption {
+	return func(c *serverConfig) error { c.markEdgeOnly("WithMaxUpstream"); c.maxUpstream = n; return nil }
+}
+
+// Server is a CoIC tier (edge or cloud) assembled from options. Build it
+// with NewEdgeServer or NewCloudServer and run it with Serve; option
+// errors are deferred to Serve so construction chains.
+type Server struct {
+	role string // "edge" or "cloud"
+	cfg  serverConfig
+	err  error
+
+	mu   sync.Mutex
+	ln   net.Listener
+	edge *core.EdgeServer
+}
+
+// NewEdgeServer assembles the mobile-edge tier: the IC cache plus miss
+// forwarding to the cloud, optionally federated with peer edges.
+func NewEdgeServer(opts ...ServerOption) *Server {
+	s := &Server{role: "edge", cfg: serverConfig{addr: ":9091", cloudAddr: "localhost:9090"}}
+	s.apply(opts)
+	s.cfg.edgeOnly = nil // every edge-only option is legal here
+	return s
+}
+
+// NewCloudServer assembles the cloud tier: the full recognition DNN, the
+// 3D model repository and the VR panorama source.
+func NewCloudServer(opts ...ServerOption) *Server {
+	s := &Server{role: "cloud", cfg: serverConfig{addr: ":9090"}}
+	s.apply(opts)
+	if s.err == nil && len(s.cfg.edgeOnly) > 0 {
+		s.err = fmt.Errorf("coic: %v are edge-only options, not valid for a cloud server", s.cfg.edgeOnly)
+	}
+	return s
+}
+
+func (s *Server) apply(opts []ServerOption) {
+	for _, opt := range opts {
+		if err := opt(&s.cfg); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+}
+
+// Addr reports the bound listen address once Serve is running (nil
+// before). With WithListener the caller already holds the address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ServerStats counts an edge server's upstream traffic and load
+// shedding; zero-valued for cloud servers.
+type ServerStats struct {
+	// CloudFetches is how many upstream round trips the edge issued —
+	// the denominator of coalescing.
+	CloudFetches uint64
+	// Overloads is how many requests admission control shed.
+	Overloads uint64
+}
+
+// Stats snapshots the server's counters (edge servers only; a cloud
+// server reports zeros).
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	es := s.edge
+	s.mu.Unlock()
+	if es == nil {
+		return ServerStats{}
+	}
+	return ServerStats{CloudFetches: es.CloudFetches(), Overloads: es.Overloads()}
+}
+
+// Serve binds (unless WithListener supplied one) and serves until ctx is
+// cancelled or the listener fails. Cancellation is graceful shutdown:
+// in-flight requests drain and Serve returns nil. Serve may be called
+// once per Server.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.err != nil {
+		return s.err
+	}
+	p := s.cfg.params
+	if !s.cfg.paramsSet {
+		p = DefaultParams()
+	}
+	ln := s.cfg.listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", s.cfg.addr)
+		if err != nil {
+			return fmt.Errorf("coic: %s server: %w", s.role, err)
+		}
+		defer ln.Close()
+	}
+
+	if s.role == "cloud" {
+		s.mu.Lock()
+		s.ln = ln
+		s.mu.Unlock()
+		srv := &core.CloudServer{
+			Cloud:      core.NewCloud(p),
+			Workers:    s.cfg.workers,
+			QueueDepth: s.cfg.queueDepth,
+		}
+		return srv.ServeContext(ctx, ln)
+	}
+
+	wrap, err := s.cfg.cloudShape.wrapper()
+	if err != nil {
+		return err
+	}
+	srv := &core.EdgeServer{
+		Edge:         core.NewEdge(p),
+		CloudAddr:    s.cfg.cloudAddr,
+		WrapCloud:    wrap,
+		Workers:      s.cfg.workers,
+		QueueDepth:   s.cfg.queueDepth,
+		FetchTimeout: s.cfg.fetchTimeout,
+		MaxUpstream:  s.cfg.maxUpstream,
+	}
+	if len(s.cfg.peers) > 0 {
+		if err := srv.SetupFederation(s.cfg.self, s.cfg.peers); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.edge = srv
+	s.mu.Unlock()
+	return srv.ServeContext(ctx, ln)
+}
+
+// DialContext connects a mobile client to a running edge, bounded by
+// ctx. clientShape conditions the client→edge link (the B_M→E knob).
+// The returned Client's *Context methods honour per-request contexts:
+// cancelling one sends a MsgCancel frame and the connection stays
+// usable.
+func DialContext(ctx context.Context, edgeAddr string, p Params, mode Mode, clientShape ShapeSpec) (*Client, error) {
+	wrap, err := clientShape.wrapper()
+	if err != nil {
+		return nil, err
+	}
+	return core.DialEdgeContext(ctx, edgeAddr, core.NewClient(0, p), mode, wrap)
+}

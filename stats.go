@@ -1,0 +1,100 @@
+package coic
+
+import "github.com/edge-immersion/coic/internal/cache"
+
+// This file is the v2 observability surface: one coherent snapshot
+// struct instead of the v1 tuple-returning methods (whose CacheStats
+// silently discarded the similarity-hit counter of the edge cache).
+
+// Re-exported counter types: the public API speaks these names; the
+// internal packages own the implementations.
+type (
+	// InflightStats counts miss-coalescing outcomes (wall-clock TCP
+	// serving joins these through the edge's in-flight table).
+	InflightStats = cache.InflightStats
+	// FederationStats counts cooperative peer-lookup outcomes.
+	FederationStats = cache.FederationStats
+)
+
+// StoreStats describes the edge cache's resident state and raw store
+// traffic.
+type StoreStats struct {
+	// BytesUsed / Capacity are resident bytes versus the byte budget.
+	BytesUsed int64
+	Capacity  int64
+	// Entries is how many results are resident.
+	Entries int
+	// Insertions / Evictions / Expirations count store churn.
+	Insertions  uint64
+	Evictions   uint64
+	Expirations uint64
+}
+
+// QueryStats counts logical cache lookups — one outcome per query, which
+// is what hit ratios are computed from. SimilarHits is the counter the
+// deprecated CacheStats discarded: queries answered by a *different*
+// descriptor within the similarity threshold, the cross-user redundancy
+// the paper is built around.
+type QueryStats struct {
+	Queries     uint64
+	ExactHits   uint64
+	SimilarHits uint64
+}
+
+// HitRatio reports (exact+similar)/queries, or 0 with no traffic.
+func (q QueryStats) HitRatio() float64 {
+	if q.Queries == 0 {
+		return 0
+	}
+	return float64(q.ExactHits+q.SimilarHits) / float64(q.Queries)
+}
+
+// SystemStats is one coherent snapshot of a System's edge: the cache
+// store, the logical query counters, the miss-coalescing table and the
+// federation, taken together so related counters are mutually
+// consistent enough for dashboards and tests.
+type SystemStats struct {
+	// Store is the resident cache state and raw store churn.
+	Store StoreStats
+	// Queries are the logical lookup counters (hit ratio lives here).
+	Queries QueryStats
+	// Inflight counts wall-clock miss coalescing (TCP serving); virtual
+	// systems leave it zero.
+	Inflight InflightStats
+	// Federation counts peer cooperation; zero when standalone.
+	Federation FederationStats
+	// PrivacyBlocked counts hits withheld by the k-anonymity gate.
+	PrivacyBlocked uint64
+	// Coalesced counts virtual-time lookups that joined an in-flight
+	// fetch (InflightCoalesce mode).
+	Coalesced uint64
+}
+
+// Stats snapshots the system's edge-side counters.
+func (s *System) Stats() SystemStats {
+	storeStats, _ := s.edge.Cache.Stats()
+	queries, exact, similar := s.edge.Cache.QueryStats()
+	es := s.edge.Stats()
+	out := SystemStats{
+		Store: StoreStats{
+			BytesUsed:   storeStats.BytesUsed,
+			Capacity:    s.edge.Cache.Store().Capacity(),
+			Entries:     storeStats.Entries,
+			Insertions:  storeStats.Insertions,
+			Evictions:   storeStats.Evictions,
+			Expirations: storeStats.Expirations,
+		},
+		Queries: QueryStats{
+			Queries:     queries,
+			ExactHits:   exact,
+			SimilarHits: similar,
+		},
+		Inflight:       s.edge.Inflight().Stats(),
+		PrivacyBlocked: es.PrivacyBlocked,
+		Coalesced:      es.Coalesced,
+	}
+	if fed := s.edge.Federation(); fed != nil {
+		out.Federation = fed.Stats()
+	}
+	return out
+}
