@@ -14,12 +14,13 @@ all: build
 build:
 	$(GO) build ./...
 
-# lint = gofmt + go vet + staticcheck (skipped with a notice if the tool
-# is not installed; CI always runs it).
+# lint = gofmt + go vet + explicit example builds + staticcheck (skipped
+# with a notice if the tool is not installed; CI always runs it).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) build ./examples/...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -40,9 +41,12 @@ cover:
 		|| { echo "coverage $$total% fell below the recorded baseline $$baseline%"; exit 1; }
 
 # bench = the CI bench-smoke job: one iteration of every benchmark so
-# they cannot bit-rot.
+# they cannot bit-rot, plus the machine-readable bench tables CI uploads
+# as artifacts.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
+	$(GO) run ./cmd/coic-bench -experiment qos -json > bench-qos.json
+	$(GO) run ./cmd/coic-bench -experiment burst -json > bench-burst.json
 
 # api = the CI apidiff job: the public surface of the root package must
 # stay compatible with the committed baseline commit (skipped with a

@@ -168,6 +168,10 @@ func BenchmarkPanoStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamServe lives in bench_qos_test.go (package coic): it
+// shares the RunQoS ablation's live-stack harness so the benchmark and
+// the table cannot drift apart.
+
 // BenchmarkDescriptorExtraction measures the real client-side DNN trunk
 // cost (the dominant term of the CoIC hit path).
 func BenchmarkDescriptorExtraction(b *testing.B) {

@@ -1,31 +1,42 @@
 // Command coic-bench regenerates every table and figure of the CoIC
 // reproduction: Figure 2a, Figure 2b, and the ablation experiments listed
-// in DESIGN.md. Output is aligned text by default, CSV with -csv.
+// in DESIGN.md. Output is aligned text by default, CSV with -csv, or
+// machine-readable JSON with -json (one array of {title, columns, rows,
+// notes} objects — what CI uploads as the pinned bench artifact).
 //
 // Usage:
 //
 //	coic-bench                     # run everything
 //	coic-bench -experiment fig2a   # one experiment
 //	coic-bench -experiment fig2b -csv > fig2b.csv
+//	coic-bench -experiment qos -json > bench.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	coic "github.com/edge-immersion/coic"
+	"github.com/edge-immersion/coic/internal/metrics"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, finegrained, pano, privacy, qoe")
+		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, finegrained, pano, privacy, qoe")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of {title, columns, rows, notes} objects")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
 	flag.Parse()
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "coic-bench: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
 
 	// SIGINT/SIGTERM stops the sweep at the next experiment boundary
 	// (each experiment is seconds, so this is prompt enough for a CLI).
@@ -77,6 +88,9 @@ func main() {
 		{"burst", func() (*coic.Table, error) {
 			return coic.RunBurst(scaled(p), []int{4, 16, 64}, []float64{0, 0.5, 1})
 		}},
+		{"qos", func() (*coic.Table, error) {
+			return coic.RunQoS(scaled(p), 24, 120*time.Millisecond)
+		}},
 		{"finegrained", func() (*coic.Table, error) {
 			return coic.RunFinegrained(p, []int{1, 4, 16, 64}, 256), nil
 		}},
@@ -92,6 +106,7 @@ func main() {
 	}
 
 	ran := 0
+	var jsonTables []metrics.TableJSON
 	for _, r := range runners {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "coic-bench: interrupted")
@@ -106,12 +121,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "coic-bench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			jsonTables = append(jsonTables, table.JSON())
+		case *csv:
 			if err := table.RenderCSV(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "coic-bench: %v\n", err)
 				os.Exit(1)
 			}
-		} else {
+		default:
 			if err := table.Render(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "coic-bench: %v\n", err)
 				os.Exit(1)
@@ -122,6 +140,14 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "coic-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonTables); err != nil {
+			fmt.Fprintf(os.Stderr, "coic-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,15 +1,23 @@
 // Command coic-client plays the mobile device against a live edge: it
-// issues recognition, render or panorama requests and prints wall-clock
+// streams recognition, render or panorama requests and prints wall-clock
 // latency statistics. The -shape flag conditions the client-edge link the
 // way the paper's 802.11ac + tc setup does.
 //
-// SIGINT/SIGTERM cancels the run: an in-flight request is aborted with a
-// MsgCancel frame (the edge stops working on it) and the client exits
+// Requests flow through the streaming API: up to -window are in flight
+// at once and completions arrive out of order. -qos selects the service
+// class the edge schedules the stream under, and -deadline attaches a
+// per-request motion-to-photon budget — the edge sheds a request
+// unexecuted if the budget expires while it queues (those show up as
+// "late" below, mirrored by the edge's own shed counter).
+//
+// SIGINT/SIGTERM cancels the run: in-flight requests are aborted with
+// MsgCancel frames (the edge stops working on them) and the client exits
 // after printing the statistics gathered so far.
 //
 // Usage:
 //
 //	coic-client -edge localhost:9091 -task recognize -n 20
+//	coic-client -edge localhost:9091 -task pano -n 60 -window 8 -qos interactive -deadline 100ms
 //	coic-client -edge localhost:9091 -task render -model scene/1073kb -mode origin
 package main
 
@@ -33,6 +41,9 @@ func main() {
 	model := flag.String("model", "", "model id for -task render (default: per-class annotations)")
 	video := flag.String("video", "demo-video", "video id for -task pano")
 	n := flag.Int("n", 10, "number of requests")
+	window := flag.Int("window", 4, "requests kept in flight (stream window)")
+	qos := flag.String("qos", "besteffort", "service class: besteffort or interactive")
+	deadline := flag.Duration("deadline", 0, "per-request wall-clock budget (0 = none); expired queued requests are shed at the edge")
 	shape := flag.String("shape", "", `tc-style spec for the client->edge link, e.g. "rate 200mbit delay 1ms"`)
 	flag.Parse()
 
@@ -43,68 +54,149 @@ func main() {
 	if *mode == "origin" {
 		m = coic.ModeOrigin
 	}
+	var class coic.QoS
+	switch *qos {
+	case "besteffort":
+		class = coic.QoSBestEffort
+	case "interactive":
+		class = coic.QoSInteractive
+	default:
+		log.Fatalf("coic-client: unknown -qos %q (besteffort or interactive)", *qos)
+	}
+
 	p := coic.DefaultParams()
-	cli, err := coic.DialContext(ctx, *edge, p, m, coic.ShapeSpec(*shape))
+	cli, err := coic.NewClient(ctx, *edge,
+		coic.WithDialParams(p),
+		coic.WithDialMode(m),
+		coic.WithDialShape(coic.ShapeSpec(*shape)))
 	if err != nil {
 		log.Fatalf("coic-client: %v", err)
 	}
 	defer cli.Close()
 
+	stream, err := cli.Stream(ctx, coic.WithWindow(*window))
+	if err != nil {
+		log.Fatalf("coic-client: %v", err)
+	}
+	results := stream.Results()
+
 	classes := []coic.Class{
 		coic.ClassStopSign, coic.ClassCar, coic.ClassAvatar, coic.ClassTree,
 	}
-	var total, min, max time.Duration
-	done := 0
-	for i := 0; i < *n; i++ {
-		var lat time.Duration
-		var err error
+	buildReq := func(i int) (coic.Request, error) {
+		var req coic.Request
 		switch *task {
 		case "recognize":
-			class := classes[i%len(classes)]
-			res, rlat, rerr := cli.RecognizeContext(ctx, class, uint64(1000+i))
-			lat, err = rlat, rerr
-			if err == nil {
-				fmt.Printf("#%02d recognize %-14s -> %-14s conf=%.2f  %8.1fms\n",
-					i, class, res.Label, res.Confidence, ms(lat))
-			}
+			req = coic.RecognizeTask(classes[i%len(classes)], uint64(1000+i))
 		case "render":
 			id := *model
 			if id == "" {
 				id = coic.AnnotationModelID(classes[i%len(classes)])
 			}
-			lat, err = cli.RenderContext(ctx, id)
-			if err == nil {
-				fmt.Printf("#%02d render %-24s %8.1fms\n", i, id, ms(lat))
-			}
+			req = coic.RenderTask(id)
 		case "pano":
-			lat, err = cli.PanoContext(ctx, *video, i, coic.Viewport{Yaw: float64(i) * 0.3, FOV: 1.6})
-			if err == nil {
-				fmt.Printf("#%02d pano %s frame %-4d %8.1fms\n", i, *video, i, ms(lat))
-			}
+			req = coic.PanoTask(*video, i, coic.Viewport{Yaw: float64(i) * 0.3, FOV: 1.6})
 		default:
-			log.Fatalf("coic-client: unknown task %q", *task)
+			return req, fmt.Errorf("unknown task %q", *task)
 		}
-		if errors.Is(err, context.Canceled) {
-			fmt.Println("coic-client: interrupted; in-flight request cancelled at the edge")
-			break
+		// The execution mode is connection-level (WithDialMode above);
+		// only class and deadline ride per-request on a stream.
+		req = req.WithQoS(class)
+		if *deadline > 0 {
+			req = req.WithDeadline(*deadline)
 		}
-		if err != nil {
-			log.Fatalf("coic-client: request %d: %v", i, err)
+		return req, nil
+	}
+
+	// Submit on one goroutine (window backpressure paces it), collect
+	// out-of-order completions here.
+	submitted := make(chan int, 1)
+	go func() {
+		sent := 0
+		defer func() { submitted <- sent }()
+		for i := 0; i < *n; i++ {
+			req, err := buildReq(i)
+			if err != nil {
+				log.Fatalf("coic-client: %v", err)
+			}
+			if _, err := stream.Submit(ctx, req); err != nil {
+				if ctx.Err() != nil {
+					return // interrupted; in-flight requests are cancelled
+				}
+				log.Fatalf("coic-client: submit %d: %v", i, err)
+			}
+			sent++
+		}
+	}()
+
+	var total, min, max time.Duration
+	done, late, canceled, shed := 0, 0, 0, 0
+	collect := func(comp coic.Completion) {
+		switch {
+		case errors.Is(comp.Err, coic.ErrDeadlineExceeded):
+			late++
+			fmt.Printf("late %-24s %8.1fms (budget %v blown)\n", comp.Request, ms(comp.Latency), *deadline)
+			return
+		case errors.Is(comp.Err, context.Canceled):
+			canceled++
+			return
+		case errors.Is(comp.Err, coic.ErrOverloaded):
+			// Admission control rejected it: the run outpaced the edge's
+			// workers+queue. Count it and keep measuring — aborting
+			// would discard every statistic gathered so far.
+			shed++
+			fmt.Printf("shed %-24s (server overloaded; lower -window or raise edge -workers/-queue)\n", comp.Request)
+			return
+		case comp.Err != nil:
+			log.Fatalf("coic-client: %s: %v", comp.Request, comp.Err)
+		}
+		src := "cloud"
+		if comp.Source == coic.SourceEdge {
+			src = "edge"
+		}
+		if comp.Recognition != nil {
+			fmt.Printf("done %-24s -> %-14s conf=%.2f  %8.1fms (%s)\n",
+				comp.Request, comp.Recognition.Label, comp.Recognition.Confidence, ms(comp.Latency), src)
+		} else {
+			fmt.Printf("done %-24s %8.1fms (%s)\n", comp.Request, ms(comp.Latency), src)
 		}
 		done++
-		total += lat
-		if min == 0 || lat < min {
-			min = lat
+		total += comp.Latency
+		if min == 0 || comp.Latency < min {
+			min = comp.Latency
 		}
-		if lat > max {
-			max = lat
+		if comp.Latency > max {
+			max = comp.Latency
 		}
 	}
-	if done == 0 {
-		return
+
+	outstanding := -1 // unknown until the submitter reports
+	received := 0
+	for outstanding == -1 || received < outstanding {
+		select {
+		case sent := <-submitted:
+			outstanding = sent
+		case comp, ok := <-results:
+			if !ok {
+				outstanding = received
+				break
+			}
+			collect(comp)
+			received++
+		}
 	}
-	fmt.Printf("\n%d requests (%s, %s): mean=%.1fms min=%.1fms max=%.1fms\n",
-		done, *task, *mode, ms(total/time.Duration(done)), ms(min), ms(max))
+	if ctx.Err() != nil {
+		fmt.Println("coic-client: interrupted; in-flight requests cancelled at the edge")
+	}
+	stream.Close()
+
+	if done > 0 {
+		fmt.Printf("\n%d done / %d late / %d overloaded / %d canceled (%s, %s, qos=%s, window=%d): mean=%.1fms min=%.1fms max=%.1fms\n",
+			done, late, shed, canceled, *task, *mode, *qos, *window,
+			ms(total/time.Duration(done)), ms(min), ms(max))
+	} else {
+		fmt.Printf("\n0 done / %d late / %d overloaded / %d canceled\n", late, shed, canceled)
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -44,5 +44,10 @@ func main() {
 	if err := srv.Serve(ctx); err != nil {
 		log.Fatalf("coic-cloud: %v", err)
 	}
+	// The cloud schedules by the same QoS trailer the edge forwards, so
+	// its shed counters show deadline pressure that reached the WAN.
+	st := srv.Stats()
+	fmt.Printf("coic-cloud: served %d interactive + %d best-effort requests, shed %d expired deadlines, %d overloads\n",
+		st.AdmittedInteractive, st.AdmittedBestEffort, st.DeadlineSheds, st.Overloads)
 	fmt.Println("coic-cloud: shut down cleanly")
 }

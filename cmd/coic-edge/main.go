@@ -10,11 +10,16 @@
 // others list it.
 //
 // Each client connection is served pipelined by a bounded worker pool
-// (-workers / -queue), concurrent misses on the same descriptor coalesce
-// into one cloud fetch, and every fetch is bounded by -fetch-timeout so a
-// hung cloud sheds load instead of wedging connections. A client's
-// MsgCancel frame (or disconnect) cancels its in-flight requests, and a
-// coalesced fetch aborts when its last waiter departs.
+// (-workers / -queue) behind a deadline-aware scheduler: queued requests
+// dispatch strictly by QoS class (interactive before best-effort),
+// earliest-deadline-first within a class, and a request whose wall-clock
+// deadline passed while queued is shed unexecuted — no worker, no cloud
+// fetch (admission/shed counters print at shutdown). Concurrent misses
+// on the same descriptor coalesce into one cloud fetch, and every fetch
+// is bounded by -fetch-timeout so a hung cloud sheds load instead of
+// wedging connections. A client's MsgCancel frame (or disconnect)
+// cancels its in-flight requests, and a coalesced fetch aborts when its
+// last waiter departs.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener closes,
 // in-flight requests drain, replies flush, then the process exits.
@@ -89,8 +94,12 @@ func main() {
 	if len(peerAddrs) > 0 {
 		opts = append(opts, coic.WithFederation(*self, peerAddrs...))
 	}
-	if err := coic.NewEdgeServer(opts...).Serve(ctx); err != nil {
+	srv := coic.NewEdgeServer(opts...)
+	if err := srv.Serve(ctx); err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}
+	st := srv.Stats()
+	fmt.Printf("coic-edge: served %d interactive + %d best-effort requests, %d cloud fetches, shed %d expired deadlines, %d overloads\n",
+		st.AdmittedInteractive, st.AdmittedBestEffort, st.CloudFetches, st.DeadlineSheds, st.Overloads)
 	fmt.Println("coic-edge: shut down cleanly")
 }

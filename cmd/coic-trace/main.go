@@ -32,6 +32,7 @@ func main() {
 	locality := flag.Float64("locality", 0.7, "probability of requesting the cell hot set")
 	hotset := flag.Int("hotset", 8, "objects per cell hot set")
 	move := flag.Float64("move", 0.05, "per-request relocation probability")
+	interactive := flag.Float64("interactive", 0, "share of events tagged QoSInteractive (0..1) in the emitted JSONL; -analyze reports the split (replay paths do not consume the tag yet)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	analyze := flag.String("analyze", "", "analyze an existing JSONL trace instead of generating")
 	flag.Parse()
@@ -59,8 +60,9 @@ func main() {
 		Users: *users, Cells: *cells, Duration: *duration,
 		RatePerUser: *rate, Objects: *objects, ZipfAlpha: *alpha,
 		Locality: *locality, HotSetSize: *hotset, MoveProb: *move,
-		TaskMix: trace.TaskMix{Recognize: 0.5, Render: 0.3, Pano: 0.2},
-		Seed:    *seed,
+		TaskMix:          trace.TaskMix{Recognize: 0.5, Render: 0.3, Pano: 0.2},
+		InteractiveShare: *interactive,
+		Seed:             *seed,
 	})
 	if err != nil {
 		log.Fatalf("coic-trace: %v", err)
@@ -75,8 +77,8 @@ func main() {
 }
 
 func printStats(st trace.Stats) {
-	fmt.Fprintf(os.Stderr, "events=%d users=%d unique_objects=%d span=%v redundancy=%.1f%%\n",
-		st.Events, st.Users, st.UniqueObjs, st.Duration.Round(time.Millisecond), st.RedundantPct)
+	fmt.Fprintf(os.Stderr, "events=%d users=%d unique_objects=%d span=%v redundancy=%.1f%% interactive=%d\n",
+		st.Events, st.Users, st.UniqueObjs, st.Duration.Round(time.Millisecond), st.RedundantPct, st.Interactive)
 	for task, n := range st.PerTask {
 		fmt.Fprintf(os.Stderr, "  %-10s %d\n", task, n)
 	}

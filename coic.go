@@ -35,8 +35,24 @@
 //		coic.WithCloudShape("rate 20mbit delay 10ms"),
 //	).Serve(ctx)
 //
-// Clients dial with DialContext and issue RecognizeContext /
-// RenderContext / PanoContext; cancelling a request's context sends a
+// Clients are stream-first: NewClient dials a demultiplexed connection
+// from DialOptions, and Client.Stream opens a bounded window of
+// in-flight requests whose completions arrive out of band and out of
+// order:
+//
+//	cli, _ := coic.NewClient(ctx, "localhost:9091")
+//	st, _ := cli.Stream(ctx, coic.WithWindow(8))
+//	st.Submit(ctx, coic.PanoTask("coaster", 3, vp).
+//		WithQoS(coic.QoSInteractive).WithDeadline(100*time.Millisecond))
+//	for comp := range st.Results() { ... }
+//
+// A Request's QoS class and wall-clock deadline travel on the wire: the
+// edge (and, for forwarded misses, the cloud) dispatches queued work
+// strictly by class, earliest-deadline-first within a class, and sheds
+// a request unexecuted — ErrDeadlineExceeded, no worker, no upstream
+// fetch — if its budget expires in the queue. The per-task client
+// methods (RecognizeContext / RenderContext / PanoContext) remain as
+// one-request conveniences; cancelling a request's context sends a
 // cancel frame (see docs/PROTOCOL.md) and the connection stays usable.
 // Below the facade, cancellation reaches every layer: a cache miss
 // coalesced across N concurrent requests keeps exactly one cloud fetch
@@ -47,7 +63,8 @@
 // paper plus this reproduction's ablations; cmd/ holds the deployable
 // daemons. The v1 entry points (New with a Config literal is now
 // NewFromConfig, the per-task System methods, ServeCloud / ServeEdge /
-// Dial) remain as thin deprecated wrappers — see docs/MIGRATION.md.
+// Dial / DialContext) remain as thin deprecated wrappers — see
+// docs/MIGRATION.md.
 package coic
 
 import (
@@ -182,6 +199,7 @@ type System struct {
 	topo     *netsim.Topology
 	sessions []*core.Session
 	now      time.Time
+	qos      QoSStats
 }
 
 // NewFromConfig builds a System from cfg. Unset fields default sensibly.
@@ -412,13 +430,10 @@ func ServeEdgeWith(ln net.Listener, p Params, cloudAddr string, cloudShape Shape
 	return NewEdgeServer(opts...).Serve(context.Background())
 }
 
-// Client drives requests against a live edge over TCP.
-type Client = core.TCPClient
-
 // Dial connects a mobile client to a running edge. clientShape conditions
 // the client→edge link (the B_M→E knob).
 //
-// Deprecated: use DialContext.
+// Deprecated: use NewClient with DialOptions.
 func Dial(edgeAddr string, p Params, mode Mode, clientShape ShapeSpec) (*Client, error) {
 	return DialContext(context.Background(), edgeAddr, p, mode, clientShape)
 }

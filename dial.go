@@ -1,0 +1,195 @@
+package coic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/core"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// This file is the streaming client surface: a real Client type over a
+// demultiplexed connection, built by NewClient from DialOptions. The v1
+// Dial / DialContext entry points remain as deprecated wrappers, and the
+// v1 per-task methods (RecognizeContext / RenderContext / PanoContext
+// and their context-free forms) are preserved on the new type — they are
+// one-request windows over the same connection. Continuous workloads
+// should open a Stream (stream.go) instead.
+
+// DialOption configures a Client built by NewClient.
+type DialOption func(*dialConfig) error
+
+type dialConfig struct {
+	params    Params
+	paramsSet bool
+	mode      Mode
+	shape     ShapeSpec
+	clientID  int
+}
+
+// WithDialParams overrides the reproduction parameters the client runs
+// with (DefaultParams() otherwise). The client's DNN trunk must match the
+// serving tier's for descriptors to be comparable.
+func WithDialParams(p Params) DialOption {
+	return func(c *dialConfig) error { c.params = p; c.paramsSet = true; return nil }
+}
+
+// WithDialMode selects the execution mode announced at connection time:
+// ModeCoIC (default) or the paper's ModeOrigin baseline.
+func WithDialMode(m Mode) DialOption {
+	return func(c *dialConfig) error { c.mode = m; return nil }
+}
+
+// WithDialShape conditions the client→edge link with a tc-style spec
+// (the B_M→E knob); empty means unshaped.
+func WithDialShape(spec ShapeSpec) DialOption {
+	return func(c *dialConfig) error { c.shape = spec; return nil }
+}
+
+// WithClientID distinguishes this client in multi-user runs; it seeds
+// nothing security-relevant (identity is not authenticated).
+func WithClientID(id int) DialOption {
+	return func(c *dialConfig) error { c.clientID = id; return nil }
+}
+
+// Client drives requests against a live edge over TCP, measuring
+// wall-clock latency (the role of the paper's Pixel phone). The
+// connection is demultiplexed: any number of requests may be in flight,
+// matched to their replies by request ID, so one Client supports both
+// the lock-step per-task methods and any number of concurrent Streams.
+// Build one with NewClient; the exported fields mirror the v1 client.
+type Client struct {
+	// Client is the on-device half: frame capture, descriptor
+	// extraction, model loading and drawing, panorama cropping.
+	Client *core.Client
+	// Mode is the execution mode announced at connection time.
+	Mode Mode
+
+	mux *core.MuxClient
+}
+
+// NewClient connects a mobile client to a running edge. ctx bounds the
+// dial and hello exchange only; per-request cancellation is the ctx on
+// each method or Submit call.
+func NewClient(ctx context.Context, edgeAddr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{mode: ModeCoIC}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.paramsSet {
+		cfg.params = DefaultParams()
+	}
+	wrap, err := cfg.shape.wrapper()
+	if err != nil {
+		return nil, err
+	}
+	mux, err := core.DialMuxEdge(ctx, edgeAddr, core.NewClient(cfg.clientID, cfg.params), cfg.mode, wrap)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Client: mux.Client, Mode: cfg.mode, mux: mux}, nil
+}
+
+// Close releases the connection; in-flight requests and open streams
+// fail promptly.
+func (c *Client) Close() error { return c.mux.Close() }
+
+// ErrOverloaded reports a request rejected by server admission control
+// (the connection's worker pool and queue were full of live work). The
+// connection stays healthy; retry after backing off.
+var ErrOverloaded = errors.New("coic: server overloaded")
+
+// mapRemoteErr converts protocol error codes into the package's typed
+// errors so callers can errors.Is against semantics, not numbers.
+func mapRemoteErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *core.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	switch re.Code {
+	case wire.CodeDeadlineExceeded:
+		return fmt.Errorf("%w: shed at the edge: %s", ErrDeadlineExceeded, re.Msg)
+	case wire.CodeOverloaded:
+		return fmt.Errorf("%w: %s", ErrOverloaded, re.Msg)
+	case wire.CodeCanceled:
+		return fmt.Errorf("request canceled remotely: %s: %w", re.Msg, context.Canceled)
+	default:
+		return err
+	}
+}
+
+// RecognizeContext captures a frame, extracts the descriptor (CoIC
+// mode), ships the request and returns the result with measured
+// wall-clock latency, honouring ctx for cancellation and deadline.
+func (c *Client) RecognizeContext(ctx context.Context, class Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
+	start := time.Now()
+	msg, err := c.mux.BuildRecognize(class, viewSeed, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		return wire.RecognitionResult{}, 0, err
+	}
+	reply, err := c.mux.RoundTrip(ctx, msg)
+	if err != nil {
+		return wire.RecognitionResult{}, 0, mapRemoteErr(err)
+	}
+	res, _, err := c.mux.FinishRecognize(reply)
+	return res, time.Since(start), mapRemoteErr(err)
+}
+
+// Recognize is RecognizeContext without cancellation.
+func (c *Client) Recognize(class Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
+	return c.RecognizeContext(context.Background(), class, viewSeed)
+}
+
+// RenderContext fetches, loads and draws a model, returning measured
+// latency, honouring ctx for cancellation and deadline.
+func (c *Client) RenderContext(ctx context.Context, modelID string) (time.Duration, error) {
+	start := time.Now()
+	msg, err := c.mux.BuildRender(modelID, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		return 0, err
+	}
+	reply, err := c.mux.RoundTrip(ctx, msg)
+	if err != nil {
+		return 0, mapRemoteErr(err)
+	}
+	if _, err := c.mux.FinishRender(reply); err != nil {
+		return 0, mapRemoteErr(err)
+	}
+	return time.Since(start), nil
+}
+
+// Render is RenderContext without cancellation.
+func (c *Client) Render(modelID string) (time.Duration, error) {
+	return c.RenderContext(context.Background(), modelID)
+}
+
+// PanoContext fetches a panoramic frame and crops the viewport,
+// returning measured latency, honouring ctx for cancellation and
+// deadline.
+func (c *Client) PanoContext(ctx context.Context, videoID string, frameIdx int, vp Viewport) (time.Duration, error) {
+	start := time.Now()
+	msg, err := c.mux.BuildPano(videoID, frameIdx, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		return 0, err
+	}
+	reply, err := c.mux.RoundTrip(ctx, msg)
+	if err != nil {
+		return 0, mapRemoteErr(err)
+	}
+	if _, err := c.mux.FinishPano(reply, vp); err != nil {
+		return 0, mapRemoteErr(err)
+	}
+	return time.Since(start), nil
+}
+
+// Pano is PanoContext without cancellation.
+func (c *Client) Pano(videoID string, frameIdx int, vp Viewport) (time.Duration, error) {
+	return c.PanoContext(context.Background(), videoID, frameIdx, vp)
+}

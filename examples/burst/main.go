@@ -1,17 +1,22 @@
 // Burst: a crowd of users fires requests at the edge in the same instant
 // — everyone at a landmark recognising the same statue, an audience
-// jumping to the same VR scene. Without miss coalescing every concurrent
-// duplicate pays its own cloud fetch (the result is not cached yet when
-// the next request arrives); with it, the duplicates join the one
-// in-flight fetch and the cloud computes each result exactly once.
+// jumping to the same VR scene. This example drives a real burst through
+// the streaming API against a live TCP edge: one Stream submits the
+// whole burst without waiting for replies (that is what a streaming
+// window is for), duplicate misses coalesce into a single cloud fetch,
+// and completions arrive out of band. The virtual-time counterpart —
+// with the serial no-coalescing baseline — is `coic-bench -experiment
+// burst`.
 //
 //	go run ./examples/burst
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
+	"net"
+	"time"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -20,23 +25,78 @@ func main() {
 	p := coic.DefaultParams()
 	// Shrink payloads so the example runs in moments; the coalescing
 	// behaviour is size-independent.
-	p.CameraW, p.CameraH = 256, 256
-	p.DNNInput = 32
 	p.PanoWidth = 512
 
-	fmt.Println("One burst, two policies: serial (no coalescing) vs coalesce.")
-	fmt.Println()
-	table, err := coic.RunBurst(p, []int{8, 32}, []float64{0, 0.75, 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := table.Render(os.Stdout); err != nil {
+	go coic.NewCloudServer(coic.WithListener(cloudLn), coic.WithServeParams(p)).Serve(ctx)
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		log.Fatal(err)
 	}
+	edge := coic.NewEdgeServer(
+		coic.WithListener(edgeLn),
+		coic.WithServeParams(p),
+		coic.WithCloud(cloudLn.Addr().String()),
+		coic.WithCloudShape("rate 100mbit delay 25ms"),
+		coic.WithWorkers(16),
+	)
+	go edge.Serve(ctx)
+
+	cli, err := coic.NewClient(ctx, edgeLn.Addr().String(), coic.WithDialParams(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	const burst = 16
+	stream, err := cli.Stream(ctx, coic.WithWindow(burst))
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := stream.Results()
+
+	// The whole burst wants the same uncached frame: without coalescing
+	// this would be 16 cloud renders; with it, one.
+	fmt.Printf("burst of %d duplicate pano fetches, submitted back-to-back:\n", burst)
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		req := coic.PanoTask("landmark", 0, coic.Viewport{Yaw: float64(i) * 0.2, FOV: 1.6})
+		if _, err := stream.Submit(ctx, req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	submitAll := time.Since(start)
+
+	var fromCloud, fromEdge int
+	for i := 0; i < burst; i++ {
+		comp := <-results
+		if comp.Err != nil {
+			log.Fatal(comp.Err)
+		}
+		if comp.Source == coic.SourceCloud {
+			fromCloud++
+		} else {
+			fromEdge++
+		}
+	}
+	wall := time.Since(start)
+	stream.Close()
+
+	stats := edge.Stats()
+	fmt.Printf("  submitted in %v (no reply waits inside the window)\n", submitAll.Round(time.Microsecond))
+	fmt.Printf("  completed in %v wall clock\n", wall.Round(time.Millisecond))
+	fmt.Printf("  cloud fetches: %d (leader), served from edge: %d (coalesced waiters)\n", fromCloud, fromEdge)
+	fmt.Printf("  edge counters: %d cloud fetches for %d requests\n", stats.CloudFetches, burst)
 	fmt.Println()
-	fmt.Println("Read dup_ratio=1.00 rows pairwise: serial pays one cloud fetch per user,")
-	fmt.Println("coalesce pays exactly one for the whole burst (saved = users-1) and its")
-	fmt.Println("p99 drops because nobody queues behind redundant WAN transfers. The TCP")
-	fmt.Println("edge applies the same policy via its in-flight table (see -workers on")
-	fmt.Println("cmd/coic-edge and docs/PROTOCOL.md).")
+	fmt.Println("Every duplicate joined the leader's in-flight fetch: the cloud rendered")
+	fmt.Println("the panorama exactly once and the burst finished in about one round")
+	fmt.Println("trip. Compare `coic-bench -experiment burst` for the serial baseline,")
+	fmt.Println("and `coic-bench -experiment qos` for what class scheduling adds when a")
+	fmt.Println("burst of background traffic competes with interactive frames.")
 }

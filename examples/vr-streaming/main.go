@@ -1,9 +1,12 @@
-// VR streaming: several users watch the same panoramic VR video through
-// one edge. The cloud renders each panoramic frame once; every other
-// viewer's fetch hits the edge cache, and each client crops its own
-// viewport locally (the paper's third workload, after FlashBack/Furion).
-// Each fetch carries a per-request deadline — a VR viewer that misses its
-// frame budget has missed the frame, cached bytes or not.
+// VR streaming over the stream API: several viewers watch the same
+// panoramic video through one live TCP edge. Each viewer holds a Stream
+// whose submits are interactive-class with a per-frame motion-to-photon
+// budget: the cloud renders each panoramic frame once, every other
+// viewer's fetch hits the edge cache (or coalesces onto the in-flight
+// render), each client crops its own viewport locally, and a frame whose
+// budget expires while queued is shed at the edge without burning a
+// worker — for a VR display a late frame is a missed frame, cached bytes
+// or not.
 //
 //	go run ./examples/vr-streaming
 package main
@@ -13,64 +16,125 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	coic "github.com/edge-immersion/coic"
 )
 
 func main() {
-	ctx := context.Background()
-	const viewers = 4
-	sys, err := coic.New(coic.WithClients(viewers))
+	p := coic.DefaultParams()
+	// Shrink payloads so the example runs in moments.
+	p.PanoWidth = 512
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// An in-process deployment: cloud, then an edge whose WAN uplink
+	// pays a realistic delay — what makes cold frames miss the budget.
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	go coic.NewCloudServer(coic.WithListener(cloudLn), coic.WithServeParams(p)).Serve(ctx)
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	edge := coic.NewEdgeServer(
+		coic.WithListener(edgeLn),
+		coic.WithServeParams(p),
+		coic.WithCloud(cloudLn.Addr().String()),
+		coic.WithCloudShape("rate 100mbit delay 20ms"),
+	)
+	go edge.Serve(ctx)
 
-	video := "rollercoaster"
-	// An interactive budget between the cold path (a cloud render plus a
-	// WAN transfer) and a warm edge hit: cold frames miss it, edge hits
-	// never do.
-	const frameBudget = 100 * time.Millisecond
-	var cloudFetches, edgeHits, lateFrames int
-	var firstUserTotal, otherUsersTotal time.Duration
+	const (
+		viewers     = 4
+		frames      = 6
+		video       = "rollercoaster"
+		frameBudget = 150 * time.Millisecond
+	)
 
-	for frame := 0; frame < 6; frame++ {
-		for user := 0; user < viewers; user++ {
-			// Every viewer looks somewhere different; the panorama is
-			// shared, the crop is personal.
+	type viewer struct {
+		cli    *coic.Client
+		stream *coic.Stream
+	}
+	vs := make([]viewer, viewers)
+	for i := range vs {
+		cli, err := coic.NewClient(ctx, edgeLn.Addr().String(),
+			coic.WithDialParams(p), coic.WithClientID(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cli.Close()
+		st, err := cli.Stream(ctx, coic.WithWindow(2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		vs[i] = viewer{cli: cli, stream: st}
+	}
+
+	var cloudRenders, edgeHits, lateFrames int
+	var firstViewer, otherViewers time.Duration
+	var firstViewerN, otherViewersN int
+	for frame := 0; frame < frames; frame++ {
+		// All viewers ask for the same panoramic frame at display time;
+		// each crops a personal viewport from the shared panorama.
+		tickets := make([]*coic.Ticket, viewers)
+		for u := range vs {
 			vp := coic.Viewport{
-				Yaw:   float64(user)*1.5 - 2.2,
-				Pitch: 0.1 * float64(user%3),
+				Yaw:   float64(u)*1.5 - 2.2,
+				Pitch: 0.1 * float64(u%3),
 				FOV:   1.6,
 			}
-			res, err := sys.Do(ctx, user,
-				coic.PanoTask(video, frame, vp).WithDeadline(frameBudget))
-			if errors.Is(err, coic.ErrDeadlineExceeded) {
-				lateFrames++ // the result exists but arrived too late
-			} else if err != nil {
+			req := coic.PanoTask(video, frame, vp).
+				WithQoS(coic.QoSInteractive).
+				WithDeadline(frameBudget)
+			t, err := vs[u].stream.Submit(ctx, req)
+			if err != nil {
 				log.Fatal(err)
 			}
-			b := res.Breakdown
-			if b.Outcome.String() == "miss" {
-				cloudFetches++
+			tickets[u] = t
+		}
+		for u, t := range tickets {
+			comp, err := t.Await(ctx)
+			switch {
+			case errors.Is(err, coic.ErrDeadlineExceeded):
+				lateFrames++ // shed at the edge, or landed past the budget
+				continue
+			case err != nil:
+				log.Fatal(err)
+			}
+			if comp.Source == coic.SourceCloud {
+				cloudRenders++
 			} else {
 				edgeHits++
 			}
-			if user == 0 {
-				firstUserTotal += b.Total()
+			if u == 0 {
+				firstViewer += comp.Latency
+				firstViewerN++
 			} else {
-				otherUsersTotal += b.Total()
+				otherViewers += comp.Latency
+				otherViewersN++
 			}
 		}
-		sys.Advance(33 * time.Millisecond) // next frame at 30 fps
+		time.Sleep(33 * time.Millisecond) // next frame at 30 fps
 	}
 
-	fmt.Printf("%d viewers x 6 frames of %q (budget %v/frame)\n", viewers, video, frameBudget)
-	fmt.Printf("cloud renders: %d (one per frame)\n", cloudFetches)
-	fmt.Printf("edge hits:     %d (every other view)\n", edgeHits)
-	fmt.Printf("late frames:   %d\n", lateFrames)
-	fmt.Printf("first viewer mean:  %v/frame\n",
-		(firstUserTotal / 6).Round(time.Millisecond))
-	fmt.Printf("other viewers mean: %v/frame\n",
-		(otherUsersTotal / (6 * (viewers - 1))).Round(time.Millisecond))
+	stats := edge.Stats()
+	fmt.Printf("%d viewers x %d frames of %q (budget %v/frame, interactive class)\n",
+		viewers, frames, video, frameBudget)
+	fmt.Printf("cloud renders:  %d (ideally one per frame; concurrent viewers coalesce)\n", cloudRenders)
+	fmt.Printf("edge hits:      %d (every other view)\n", edgeHits)
+	fmt.Printf("late frames:    %d (edge shed %d of them unexecuted)\n", lateFrames, stats.DeadlineSheds)
+	fmt.Printf("cloud fetches:  %d for %d views\n", stats.CloudFetches, viewers*frames)
+	if firstViewerN > 0 {
+		fmt.Printf("first viewer mean:  %v/frame over %d on-time frames\n",
+			(firstViewer / time.Duration(firstViewerN)).Round(time.Millisecond), firstViewerN)
+	}
+	if otherViewersN > 0 {
+		fmt.Printf("other viewers mean: %v/frame over %d on-time frames\n",
+			(otherViewers / time.Duration(otherViewersN)).Round(time.Millisecond), otherViewersN)
+	}
 }

@@ -2,7 +2,9 @@ package coic
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/cache"
@@ -535,3 +537,211 @@ func RunQoE(p Params, users int, seed uint64) (*Table, error) {
 
 // GenerateTrace builds a workload trace for custom experiments.
 func GenerateTrace(cfg TraceConfig) ([]trace.Event, error) { return trace.Generate(cfg) }
+
+// RunQoS is the deadline-aware scheduling ablation, run on a live
+// in-process TCP stack through the public streaming API. One client
+// holds two streams on one connection: a background stream flooding the
+// edge with distinct (always-miss) panorama fetches, and a foreground
+// stream issuing one request at a time against a motion-to-photon
+// budget. The edge runs a single worker over a delay-dominated cloud
+// link, so queued work — not CPU — is what the foreground waits on.
+// Three rows isolate what the scheduler buys:
+//
+//   - none: no background load — the foreground floor.
+//   - fifo: foreground and background both carry no QoS metadata — the
+//     pre-QoS edge. The foreground absorbs the whole backlog and blows
+//     its budget (lateness is scored client-side against the same
+//     deadline).
+//   - qos:  background QoSBestEffort, foreground QoSInteractive with the
+//     deadline on the wire — the scheduler dispatches every queued
+//     interactive request first and sheds it unexecuted if the budget
+//     expires in the queue.
+//
+// interactiveN is how many foreground requests to measure per row;
+// deadline is their budget. Latencies are wall clock, so exact numbers
+// vary by host; the fifo vs qos contrast is the result.
+func RunQoS(p Params, interactiveN int, deadline time.Duration) (*Table, error) {
+	t := metrics.NewTable(
+		fmt.Sprintf("A-qos — interactive latency under best-effort background load (budget %v)", deadline),
+		"scheduling", "interactive_n", "p50_ms", "p99_ms", "late_or_shed", "edge_sheds", "bg_admitted", "bg_completed")
+	rows := []struct {
+		name string
+		load bool
+		qos  bool // encode class + deadline on the wire
+	}{
+		{"none", false, true},
+		{"fifo", true, false},
+		{"qos", true, true},
+	}
+	for _, row := range rows {
+		if err := runQoSRow(p, t, row.name, row.load, row.qos, interactiveN, deadline); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("fifo = no QoS metadata on the wire (the pre-QoS edge); qos = interactive class + deadline")
+	t.AddNote("late_or_shed = foreground completions past their budget (shed at the edge or landed late)")
+	return t, nil
+}
+
+// qosHarness is the live in-process TCP stack the RunQoS ablation and
+// BenchmarkStreamServe share, so the two measurements cannot drift
+// apart: a one-worker edge over a ~40ms-RTT shaped link (queued
+// requests wait on the wire, not the CPU, so scheduling order is what
+// decides the foreground's fate) and one client connection both streams
+// ride on.
+type qosHarness struct {
+	Edge   *Server
+	Client *Client
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func newQoSHarness(p Params) (*qosHarness, error) {
+	// Delay-dominated service: small panoramas keep render and crop
+	// cheap; the shaped link supplies the latency.
+	p.PanoWidth = 256
+	ctx, cancel := context.WithCancel(context.Background())
+	ok := false
+	defer func() {
+		if !ok {
+			cancel()
+		}
+	}()
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go NewCloudServer(WithListener(cloudLn), WithServeParams(p)).Serve(ctx)
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	edge := NewEdgeServer(
+		WithListener(edgeLn),
+		WithServeParams(p),
+		WithCloud(cloudLn.Addr().String()),
+		WithCloudShape("rate 200mbit delay 20ms"),
+		WithWorkers(1),
+		WithQueueDepth(64),
+	)
+	go edge.Serve(ctx)
+	cli, err := NewClient(ctx, edgeLn.Addr().String(), WithDialParams(p))
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &qosHarness{Edge: edge, Client: cli, ctx: ctx, cancel: cancel}, nil
+}
+
+// Close tears the stack down (servers drain, the client connection
+// closes).
+func (h *qosHarness) Close() {
+	h.Client.Close()
+	h.cancel()
+}
+
+// StartBackground floods the connection with distinct (always-miss)
+// pano fetches through a standing window; each one costs a shaped cloud
+// fetch, building a backlog in the edge's scheduler. tagged submits
+// them as QoSBestEffort; untagged carries no QoS metadata (the pre-QoS
+// FIFO baseline). The returned stop function ends the load, drains the
+// stream, and reports how many background fetches completed. It also
+// waits ~300ms so callers measure against an established backlog.
+func (h *qosHarness) StartBackground(tagged bool) (stop func() int, err error) {
+	bgCtx, bgStop := context.WithCancel(h.ctx)
+	bg, err := h.Client.Stream(bgCtx, WithWindow(6))
+	if err != nil {
+		bgStop()
+		return nil, err
+	}
+	results := bg.Results()
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		for comp := range results {
+			if comp.Err == nil {
+				n++
+			}
+		}
+		done <- n
+	}()
+	go func() {
+		for frame := 0; ; frame++ {
+			req := PanoTask("qos-bg", frame, Viewport{FOV: 1.6})
+			if tagged {
+				req = req.WithQoS(QoSBestEffort)
+			}
+			if _, err := bg.Submit(bgCtx, req); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond) // let the backlog build
+	return func() int {
+		bgStop()
+		bg.Close()
+		return <-done
+	}, nil
+}
+
+func runQoSRow(p Params, t *Table, name string, load, qos bool, interactiveN int, deadline time.Duration) error {
+	h, err := newQoSHarness(p)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	bgCompleted := 0
+	stopBG := func() {}
+	if load {
+		stop, err := h.StartBackground(qos)
+		if err != nil {
+			return err
+		}
+		stopped := false
+		stopBG = func() { // idempotent: called explicitly and deferred
+			if !stopped {
+				stopped = true
+				bgCompleted = stop()
+			}
+		}
+		defer stopBG()
+	}
+
+	fg, err := h.Client.Stream(h.ctx, WithWindow(1))
+	if err != nil {
+		return err
+	}
+	defer fg.Close()
+	hist := &metrics.Histogram{}
+	late := 0
+	for i := 0; i < interactiveN; i++ {
+		req := PanoTask("qos-fg", i, Viewport{FOV: 1.6})
+		if qos {
+			req = req.WithQoS(QoSInteractive).WithDeadline(deadline)
+		}
+		ticket, err := fg.Submit(h.ctx, req)
+		if err != nil {
+			return err
+		}
+		comp, err := ticket.Await(h.ctx)
+		switch {
+		case errors.Is(err, ErrDeadlineExceeded):
+			late++
+		case err != nil:
+			return fmt.Errorf("coic: qos row %s: %w", name, err)
+		case !qos && comp.Latency > deadline:
+			late++ // fifo row: score the same budget client-side
+		}
+		hist.Record(comp.Latency)
+		time.Sleep(2 * time.Millisecond) // display-rate pacing
+	}
+
+	stopBG() // drain the background stream so bg_completed is final
+	stats := h.Edge.Stats()
+	t.AddRow(name, interactiveN,
+		msCol(hist.Median()), msCol(hist.P99()),
+		late, stats.DeadlineSheds,
+		stats.AdmittedBestEffort+stats.AdmittedInteractive-uint64(interactiveN), bgCompleted)
+	return nil
+}

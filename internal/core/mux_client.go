@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// MuxClient is the demultiplexed mobile-side connection under the public
+// streaming API: any number of requests in flight on one TCP connection,
+// replies matched to waiters by RequestID on a background read loop. It
+// subsumes the lock-step TCPClient — a sync round trip is just a
+// one-request window — and adds what streams need: out-of-order
+// completion, per-request service class and wall-clock deadline, and
+// cancellation of one in-flight request without disturbing the others.
+type MuxClient struct {
+	Client *Client
+	Mode   Mode
+
+	conn net.Conn
+	wmu  sync.Mutex // serialises frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Message
+	seq     uint64
+	closed  bool
+}
+
+// ErrConnClosed reports a request whose connection died before its reply
+// arrived.
+var ErrConnClosed = errors.New("core: connection closed")
+
+// RemoteError is a protocol-level error reply surfaced to the caller,
+// carrying the wire error code so upper layers can map well-known codes
+// (deadline-shed, overload, cancel) to typed errors.
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("core: remote error %d: %s", e.Code, e.Msg)
+}
+
+// DialMuxEdge connects to an edge, announces the execution mode, and
+// starts the demultiplexing read loop. ctx bounds the dial and the hello
+// exchange only.
+func DialMuxEdge(ctx context.Context, addr string, client *Client, mode Mode, wrap ConnWrapper) (*MuxClient, error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial edge: %w", err)
+	}
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+		defer conn.SetDeadline(time.Time{})
+	}
+	m := &MuxClient{Client: client, Mode: mode, conn: conn, pending: map[uint64]chan wire.Message{}}
+	// The second hello byte requests completion-order replies: this
+	// client matches replies by RequestID, so a finished interactive
+	// reply must never wait behind a queued best-effort one.
+	hello := wire.Message{Type: wire.MsgHello, RequestID: 1, Body: []byte{byte(mode), wire.HelloFlagUnordered}}
+	m.seq = 1
+	if err := wire.WriteMessage(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := wire.ReadMessage(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// Close releases the connection; every in-flight request fails with
+// ErrConnClosed (its reply channel closes).
+func (m *MuxClient) Close() error { return m.conn.Close() }
+
+func (m *MuxClient) readLoop() {
+	for {
+		reply, err := wire.ReadMessage(m.conn)
+		if err != nil {
+			m.mu.Lock()
+			m.closed = true
+			for id, ch := range m.pending {
+				delete(m.pending, id)
+				close(ch)
+			}
+			m.mu.Unlock()
+			m.conn.Close()
+			return
+		}
+		m.mu.Lock()
+		ch := m.pending[reply.RequestID]
+		delete(m.pending, reply.RequestID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- reply // buffered; never blocks the read loop
+		}
+		// Replies nobody waits for — forgotten (cancelled) requests,
+		// cancel acks — are dropped.
+	}
+}
+
+// Start registers a reply slot and ships msg, returning the assigned
+// RequestID and the channel its reply (exactly one message, or a close
+// on connection loss) will arrive on.
+func (m *MuxClient) Start(msg wire.Message) (uint64, <-chan wire.Message, error) {
+	ch := make(chan wire.Message, 1)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, nil, ErrConnClosed
+	}
+	m.seq++
+	id := m.seq
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	msg.RequestID = id
+	m.wmu.Lock()
+	err := wire.WriteMessage(m.conn, msg)
+	m.wmu.Unlock()
+	if err != nil {
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		m.conn.Close() // a broken write poisons the framing; fail everything
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// Forget withdraws interest in a reply: if it has not arrived yet, the
+// read loop will drop it on arrival.
+func (m *MuxClient) Forget(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
+// SendCancel asks the server to abort the named in-flight request. The
+// target still answers in its reply slot — CodeCanceled, or its result
+// if the cancel lost the race — so a waiter that keeps listening observes
+// the outcome; the cancel's own ack is dropped by the read loop.
+func (m *MuxClient) SendCancel(target uint64) error {
+	body, err := (wire.CancelRequest{TargetID: target}).Marshal()
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrConnClosed
+	}
+	m.seq++
+	id := m.seq
+	m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return wire.WriteMessage(m.conn, wire.Message{Type: wire.MsgCancel, RequestID: id, Body: body})
+}
+
+// RoundTrip ships one request and awaits its reply. When ctx dies first
+// the request is cancelled server-side (best effort) and ctx.Err()
+// returns; the eventual reply is dropped. Error replies surface as
+// *RemoteError.
+func (m *MuxClient) RoundTrip(ctx context.Context, msg wire.Message) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Message{}, err
+	}
+	id, ch, err := m.Start(msg)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return wire.Message{}, ErrConnClosed
+		}
+		if err := ReplyError(reply); err != nil {
+			return wire.Message{}, err
+		}
+		return reply, nil
+	case <-ctx.Done():
+		m.Forget(id)
+		m.SendCancel(id)
+		return wire.Message{}, ctx.Err()
+	}
+}
+
+// ReplyError converts an error reply into a *RemoteError (nil for any
+// other frame type).
+func ReplyError(reply wire.Message) error {
+	if reply.Type != wire.MsgError {
+		return nil
+	}
+	er, uerr := wire.UnmarshalErrorReply(reply.Body)
+	if uerr != nil {
+		return fmt.Errorf("core: malformed error reply: %v", uerr)
+	}
+	return &RemoteError{Code: er.Code, Msg: er.Msg}
+}
+
+// --- request builders and reply finishers ------------------------------
+//
+// Builders construct the wire frame for one task (including the client's
+// on-device work: frame capture and descriptor extraction for
+// recognition); finishers decode a reply and run the client-side half of
+// the task (model load + draw, panorama crop). The split is what lets a
+// Stream overlap many requests: build → Start → ... → finish, with the
+// network round trips in between shared and out of order.
+
+// BuildRecognize captures the camera frame for (class, viewSeed),
+// extracts the descriptor in CoIC mode, and frames the exec request.
+func (m *MuxClient) BuildRecognize(class vision.Class, viewSeed uint64, qos wire.QoS, deadline time.Time) (wire.Message, error) {
+	frame := m.Client.CaptureFrame(class, viewSeed)
+	desc := originDescriptor
+	if m.Mode == ModeCoIC {
+		desc, _ = m.Client.Extract(frame)
+	}
+	req := wire.ExecRequest{Task: wire.TaskRecognize, Desc: desc, Payload: frame.Bytes(), QoS: qos}
+	if !deadline.IsZero() {
+		req.Deadline = deadline.UnixMicro()
+	}
+	body, err := req.Marshal()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return wire.Message{Type: wire.MsgExec, Body: body}, nil
+}
+
+// FinishRecognize decodes an exec reply into the recognition result.
+func (m *MuxClient) FinishRecognize(reply wire.Message) (wire.RecognitionResult, uint8, error) {
+	if err := ReplyError(reply); err != nil {
+		return wire.RecognitionResult{}, 0, err
+	}
+	er, err := wire.UnmarshalExecReply(reply.Body)
+	if err != nil {
+		return wire.RecognitionResult{}, 0, err
+	}
+	res, err := wire.UnmarshalRecognitionResult(er.Result)
+	return res, er.Source, err
+}
+
+// BuildRender frames a model fetch.
+func (m *MuxClient) BuildRender(modelID string, qos wire.QoS, deadline time.Time) (wire.Message, error) {
+	req := wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF, QoS: qos}
+	if !deadline.IsZero() {
+		req.Deadline = deadline.UnixMicro()
+	}
+	body, err := req.Marshal()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return wire.Message{Type: wire.MsgModelFetch, Body: body}, nil
+}
+
+// FinishRender decodes a model reply, loads the model and rasterises it
+// once — the client-side half of the render task.
+func (m *MuxClient) FinishRender(reply wire.Message) (uint8, error) {
+	if err := ReplyError(reply); err != nil {
+		return 0, err
+	}
+	mr, err := wire.UnmarshalModelReply(reply.Body)
+	if err != nil {
+		return 0, err
+	}
+	mesh, _, err := m.Client.LoadModel(mr.Data)
+	if err != nil {
+		return 0, err
+	}
+	if st, _ := m.Client.Draw(mesh); st.Pixels == 0 {
+		return 0, fmt.Errorf("core: model drew nothing")
+	}
+	return mr.Source, nil
+}
+
+// BuildPano frames a panorama fetch.
+func (m *MuxClient) BuildPano(videoID string, frameIdx int, qos wire.QoS, deadline time.Time) (wire.Message, error) {
+	req := wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx), QoS: qos}
+	if !deadline.IsZero() {
+		req.Deadline = deadline.UnixMicro()
+	}
+	body, err := req.Marshal()
+	if err != nil {
+		return wire.Message{}, err
+	}
+	return wire.Message{Type: wire.MsgPanoFetch, Body: body}, nil
+}
+
+// FinishPano decodes a pano reply and crops the viewport locally.
+func (m *MuxClient) FinishPano(reply wire.Message, vp pano.Viewport) (uint8, error) {
+	if err := ReplyError(reply); err != nil {
+		return 0, err
+	}
+	pr, err := wire.UnmarshalPanoReply(reply.Body)
+	if err != nil {
+		return 0, err
+	}
+	if _, _, err := m.Client.CropPano(pr.Data, vp, 256, 256); err != nil {
+		return 0, err
+	}
+	return pr.Source, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/vision"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// TestMuxClientTasksRoundTrip drives all three task kinds through the
+// demultiplexed client: build → RoundTrip → finish, against a live
+// edge+cloud stack.
+func TestMuxClientTasksRoundTrip(t *testing.T) {
+	p := testParams()
+	addr, _, stop := startSlowStack(t, p, 0, nil)
+	defer stop()
+
+	ctx := context.Background()
+	m, err := DialMuxEdge(ctx, addr, NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Recognition (exec path), with QoS metadata on the wire.
+	msg, err := m.BuildRecognize(vision.ClassCar, 7, wire.QoSInteractive, time.Now().Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := m.RoundTrip(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, src, err := m.FinishRecognize(reply)
+	if err != nil || res.Label == "" {
+		t.Fatalf("recognize = %+v, %v", res, err)
+	}
+	if src != wire.SourceCloud {
+		t.Fatalf("first recognition source = %d, want cloud", src)
+	}
+
+	// Render (model fetch + load + draw).
+	msg, err = m.BuildRender(AnnotationModelID(vision.ClassCar.String()), wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err = m.RoundTrip(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FinishRender(reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pano (fetch + crop).
+	msg, err = m.BuildPano("mux-video", 1, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err = m.RoundTrip(ctx, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FinishPano(reply, pano.Viewport{FOV: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A remote failure surfaces as *RemoteError with the wire code.
+	msg, err = m.BuildRender("no/such/model", wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.RoundTrip(ctx, msg)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeUnknownModel {
+		t.Fatalf("unknown model error = %v, want RemoteError{CodeUnknownModel}", err)
+	}
+	if !strings.Contains(re.Error(), "remote error") {
+		t.Fatalf("RemoteError.Error() = %q", re.Error())
+	}
+}
+
+// TestMuxClientCancelMidFlight: a context death mid-round-trip returns
+// promptly, cancels server-side, and leaves the connection usable for
+// the next request.
+func TestMuxClientCancelMidFlight(t *testing.T) {
+	p := testParams()
+	addr, es, stop := startSlowStack(t, p, 400*time.Millisecond, nil)
+	defer stop()
+
+	m, err := DialMuxEdge(context.Background(), addr, NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		waitFor(t, "the fetch to start", func() bool { return es.Edge.Inflight().Len() == 1 })
+		cancel()
+	}()
+	msg, err := m.BuildPano("mux-cancel", 3, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := m.RoundTrip(ctx, msg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled round trip = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation waited out the fetch")
+	}
+	waitFor(t, "the abandoned flight to abort", func() bool {
+		return es.Edge.Inflight().Len() == 0
+	})
+
+	// The connection survives: the next request round-trips fine.
+	msg, err = m.BuildPano("mux-cancel", 4, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RoundTrip(context.Background(), msg); err != nil {
+		t.Fatalf("post-cancel request failed: %v", err)
+	}
+}
+
+// TestMuxClientCloseFailsInflight: closing the connection fails pending
+// round trips with ErrConnClosed and further Starts too.
+func TestMuxClientCloseFailsInflight(t *testing.T) {
+	p := testParams()
+	cloudAddr, stopCloud := startHungCloud(t)
+	defer stopCloud()
+	addr, _, stop := startQoSEdge(t, cloudAddr, 1, 4)
+	defer stop()
+
+	m, err := DialMuxEdge(context.Background(), addr, NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := m.BuildPano("mux-close", 1, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch, err := m.Start(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("closed connection delivered a reply")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending reply channel never closed after Close")
+	}
+	if _, _, err := m.Start(msg); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("Start after close = %v, want ErrConnClosed", err)
+	}
+	if err := m.SendCancel(1); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("SendCancel after close = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestMuxClientForgetDropsReply: a forgotten request's reply is dropped
+// by the read loop instead of being delivered.
+func TestMuxClientForgetDropsReply(t *testing.T) {
+	p := testParams()
+	addr, _, stop := startSlowStack(t, p, 100*time.Millisecond, nil)
+	defer stop()
+
+	m, err := DialMuxEdge(context.Background(), addr, NewClient(0, p), ModeCoIC, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	msg, err := m.BuildPano("mux-forget", 1, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ch, err := m.Start(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Forget(id)
+	select {
+	case reply := <-ch:
+		t.Fatalf("forgotten request delivered %v", reply.Type)
+	case <-time.After(time.Second):
+	}
+	// The connection is still aligned for later requests.
+	msg, err = m.BuildPano("mux-forget", 2, wire.QoSBestEffort, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RoundTrip(context.Background(), msg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// This file is the per-connection request scheduler behind the pipelined
+// TCP servers. The seed served each connection through a plain FIFO
+// channel, which is exactly wrong for continuous immersive workloads: a
+// best-effort prefetch burst queued ahead of an interactive frame makes
+// the frame miss its motion-to-photon budget even though a worker could
+// have served it in time. The schedQueue replaces the channel with
+// deadline-aware priority dispatch:
+//
+//   - strict class ordering — every queued QoSInteractive request is
+//     dispatched before any QoSBestEffort one;
+//   - earliest-deadline-first within a class, with deadline-less
+//     requests after all deadlined ones in admission order;
+//   - shed-before-work — a request whose wall-clock deadline passed
+//     while it queued is answered CodeDeadlineExceeded without a worker
+//     executing it (and without an upstream fetch), and admission prefers
+//     evicting already-expired queued work over rejecting a live request
+//     with CodeOverloaded.
+
+// schedJob is one admitted request waiting for (or holding) a worker.
+type schedJob struct {
+	seq    uint64
+	msg    wire.Message
+	mode   Mode
+	ctx    context.Context
+	finish context.CancelFunc
+
+	class    wire.QoS
+	deadline time.Time // zero = none
+	order    uint64    // admission order, the FIFO tiebreak
+}
+
+// expired reports whether the job's result would be stale if started now.
+func (j *schedJob) expired(now time.Time) bool {
+	return !j.deadline.IsZero() && now.After(j.deadline)
+}
+
+// before orders two jobs of the same class: earliest deadline first,
+// deadline-less jobs after every deadlined one, admission order as the
+// tiebreak.
+func (j *schedJob) before(k *schedJob) bool {
+	switch {
+	case j.deadline.IsZero() && k.deadline.IsZero():
+		return j.order < k.order
+	case j.deadline.IsZero():
+		return false
+	case k.deadline.IsZero():
+		return true
+	case j.deadline.Equal(k.deadline):
+		return j.order < k.order
+	default:
+		return j.deadline.Before(k.deadline)
+	}
+}
+
+// jobHeap is one class's EDF queue.
+type jobHeap []schedJob
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return h[i].before(&h[j]) }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)         { *h = append(*h, x.(schedJob)) }
+func (h *jobHeap) Pop() any           { old := *h; n := len(old); j := old[n-1]; *h = old[:n-1]; return j }
+func (h jobHeap) peek() *schedJob     { return &h[0] }
+func (h *jobHeap) popJob() schedJob   { return heap.Pop(h).(schedJob) }
+func (h *jobHeap) pushJob(j schedJob) { heap.Push(h, j) }
+
+// schedQueue is the bounded priority queue feeding one connection's
+// worker pool. depth bounds queued (not yet popped) jobs, matching the
+// old FIFO channel's buffer semantics.
+type schedQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heaps  [wire.NumQoSClasses]jobHeap
+	size   int
+	depth  int
+	closed bool
+	order  uint64
+}
+
+func newSchedQueue(depth int) *schedQueue {
+	q := &schedQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// classIndex clamps unknown (future) classes into the scheduler's range
+// so a newer client never crashes an older server; anything above the
+// known ceiling schedules as the highest known class.
+func classIndex(c wire.QoS) int {
+	if int(c) >= wire.NumQoSClasses {
+		return wire.NumQoSClasses - 1
+	}
+	return int(c)
+}
+
+// push admits j, stamping its admission order. When the queue is full it
+// first sheds queued jobs whose deadlines have already passed — returned
+// to the caller to answer with CodeDeadlineExceeded — and admits j into
+// the freed room. ok=false means the queue is full of live work: the
+// caller sheds j itself with CodeOverloaded.
+func (q *schedQueue) push(j schedJob) (shed []schedJob, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, false
+	}
+	if q.size >= q.depth {
+		now := time.Now()
+		for i := range q.heaps {
+			// EDF ordering puts expired jobs at each class's head.
+			for q.heaps[i].Len() > 0 && q.heaps[i].peek().expired(now) {
+				shed = append(shed, q.heaps[i].popJob())
+				q.size--
+			}
+		}
+		if q.size >= q.depth {
+			return shed, false
+		}
+	}
+	q.order++
+	j.order = q.order
+	q.heaps[classIndex(j.class)].pushJob(j)
+	q.size++
+	q.cond.Signal()
+	return shed, true
+}
+
+// pop blocks for the highest-priority queued job: the highest non-empty
+// class, EDF within it. ok=false once the queue is closed and drained.
+func (q *schedQueue) pop() (schedJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		return schedJob{}, false
+	}
+	for i := len(q.heaps) - 1; i >= 0; i-- {
+		if q.heaps[i].Len() > 0 {
+			q.size--
+			return q.heaps[i].popJob(), true
+		}
+	}
+	return schedJob{}, false // unreachable: size > 0 implies a non-empty heap
+}
+
+// close stops admission and wakes every waiting worker; queued jobs are
+// still drained by pop (graceful shutdown completes admitted work).
+func (q *schedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

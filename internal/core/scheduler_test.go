@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+func schedJobWith(class wire.QoS, deadline time.Time) schedJob {
+	return schedJob{class: class, deadline: deadline}
+}
+
+func TestSchedQueueStrictClassOrder(t *testing.T) {
+	q := newSchedQueue(8)
+	for i := 0; i < 3; i++ {
+		if _, ok := q.push(schedJobWith(wire.QoSBestEffort, time.Time{})); !ok {
+			t.Fatal("push rejected with room to spare")
+		}
+	}
+	if _, ok := q.push(schedJobWith(wire.QoSInteractive, time.Time{})); !ok {
+		t.Fatal("interactive push rejected")
+	}
+	j, ok := q.pop()
+	if !ok || j.class != wire.QoSInteractive {
+		t.Fatalf("first pop = class %v, want interactive before any best-effort", j.class)
+	}
+	for i := 0; i < 3; i++ {
+		j, ok := q.pop()
+		if !ok || j.class != wire.QoSBestEffort {
+			t.Fatalf("pop %d = class %v, want best-effort", i, j.class)
+		}
+	}
+}
+
+func TestSchedQueueEDFWithinClass(t *testing.T) {
+	q := newSchedQueue(8)
+	base := time.Now().Add(time.Hour)
+	// Push deadlines out of order, plus two deadline-less jobs.
+	deadlines := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	for _, d := range deadlines {
+		q.push(schedJobWith(wire.QoSInteractive, base.Add(d)))
+	}
+	q.push(schedJobWith(wire.QoSInteractive, time.Time{}))
+	q.push(schedJobWith(wire.QoSInteractive, time.Time{}))
+
+	var got []time.Time
+	for i := 0; i < 5; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		got = append(got, j.deadline)
+	}
+	want := []time.Time{base.Add(time.Second), base.Add(2 * time.Second), base.Add(3 * time.Second), {}, {}}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("pop order %d = %v, want %v (EDF, deadline-less last)", i, got[i], want[i])
+		}
+	}
+	// The two deadline-less jobs must have come out in admission order.
+}
+
+func TestSchedQueueFIFOTiebreak(t *testing.T) {
+	q := newSchedQueue(8)
+	for i := 0; i < 4; i++ {
+		q.push(schedJobWith(wire.QoSBestEffort, time.Time{}))
+	}
+	var last uint64
+	for i := 0; i < 4; i++ {
+		j, _ := q.pop()
+		if j.order <= last && i > 0 {
+			t.Fatalf("deadline-less jobs popped out of admission order: %d after %d", j.order, last)
+		}
+		last = j.order
+	}
+}
+
+func TestSchedQueueOverloadAndExpiredEviction(t *testing.T) {
+	q := newSchedQueue(2)
+	q.push(schedJobWith(wire.QoSBestEffort, time.Time{}))
+	q.push(schedJobWith(wire.QoSBestEffort, time.Time{}))
+	// Full of live work: the new job is rejected, nothing shed.
+	if shed, ok := q.push(schedJobWith(wire.QoSInteractive, time.Time{})); ok || len(shed) != 0 {
+		t.Fatalf("push on full live queue: shed=%d ok=%v, want rejection", len(shed), ok)
+	}
+
+	// A queue holding expired work makes room instead of rejecting.
+	q2 := newSchedQueue(2)
+	expired := schedJobWith(wire.QoSBestEffort, time.Now().Add(-time.Second))
+	expired.finish = func() {}
+	q2.push(expired)
+	q2.push(schedJobWith(wire.QoSBestEffort, time.Time{}))
+	shed, ok := q2.push(schedJobWith(wire.QoSInteractive, time.Time{}))
+	if !ok {
+		t.Fatal("push rejected although an expired job could be evicted")
+	}
+	if len(shed) != 1 || shed[0].deadline.IsZero() {
+		t.Fatalf("shed = %+v, want exactly the expired job", shed)
+	}
+	j, _ := q2.pop()
+	if j.class != wire.QoSInteractive {
+		t.Fatalf("pop = class %v, want the newly admitted interactive job", j.class)
+	}
+}
+
+func TestSchedQueueCloseDrains(t *testing.T) {
+	q := newSchedQueue(4)
+	q.push(schedJobWith(wire.QoSBestEffort, time.Time{}))
+	q.push(schedJobWith(wire.QoSInteractive, time.Time{}))
+	q.close()
+	if _, ok := q.push(schedJobWith(wire.QoSBestEffort, time.Time{})); ok {
+		t.Fatal("push accepted after close")
+	}
+	if j, ok := q.pop(); !ok || j.class != wire.QoSInteractive {
+		t.Fatalf("drain pop 1 = %v/%v", j.class, ok)
+	}
+	if j, ok := q.pop(); !ok || j.class != wire.QoSBestEffort {
+		t.Fatalf("drain pop 2 = %v/%v", j.class, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop succeeded on a closed empty queue")
+	}
+}
+
+func TestClassIndexClampsUnknownClasses(t *testing.T) {
+	if classIndex(wire.QoS(200)) != wire.NumQoSClasses-1 {
+		t.Fatal("future class not clamped to the highest known class")
+	}
+	if classIndex(wire.QoSBestEffort) != 0 || classIndex(wire.QoSInteractive) != 1 {
+		t.Fatal("known classes misindexed")
+	}
+}

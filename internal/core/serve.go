@@ -76,21 +76,47 @@ func canceledReply(reqID uint64) wire.Message {
 	return wire.Message{Type: wire.MsgError, RequestID: reqID, Body: body}
 }
 
+// deadlineShedReply answers a request shed because its wall-clock
+// deadline passed while it was queued: no worker executed it, no
+// upstream fetch was issued, and the reply keeps its place in the
+// connection's reply order.
+func deadlineShedReply(reqID uint64) wire.Message {
+	body, _ := (wire.ErrorReply{
+		Code: wire.CodeDeadlineExceeded,
+		Msg:  "deadline passed while queued; request shed unexecuted",
+	}).Marshal()
+	return wire.Message{Type: wire.MsgError, RequestID: reqID, Body: body}
+}
+
+// pipelineHooks observes one connection pipeline's admission decisions;
+// any hook may be nil. onAdmit sees every request entering the scheduler
+// with its service class; onShed sees every request dropped because its
+// deadline expired in the queue; onOverload sees every request rejected
+// because the queue was full of live work.
+type pipelineHooks struct {
+	onAdmit    func(wire.QoS)
+	onShed     func()
+	onOverload func()
+}
+
 // isCanceled reports whether err is a context cancellation/expiry.
 func isCanceled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// connPipeline serves one connection with the reader → worker pool →
-// ordered writer topology. MsgHello is handled inline on the reader (its
-// mode switch must stay ordered with the requests around it), and so is
-// MsgCancel (it must observe the registration of every request read
-// before it); every other message is dispatched on a worker with the
-// connection mode captured at read time and a per-request context.
-// When workers and queue are both full, the request is rejected with
+// connPipeline serves one connection with the reader → priority
+// scheduler → worker pool → ordered writer topology. MsgHello is handled
+// inline on the reader (its mode switch must stay ordered with the
+// requests around it), and so is MsgCancel (it must observe the
+// registration of every request read before it); every other message is
+// admitted to the schedQueue with its QoS class and wall-clock deadline
+// peeked off the wire, and workers pop strictly by class then
+// earliest-deadline-first. A request whose deadline passes while queued
+// is shed with CodeDeadlineExceeded before any worker executes it. When
+// the queue is full of live work, the request is rejected with
 // CodeOverloaded instead of stalling the reader, keeping the connection
-// responsive under load. onOverload (optional) observes each shed
-// request.
+// responsive under load; expired queued work is evicted first to make
+// room. hooks observe admissions, deadline sheds and overloads.
 //
 // ctx is the serving context: its cancellation stops the reader (no new
 // requests) but deliberately does NOT cancel per-request contexts —
@@ -98,7 +124,7 @@ func isCanceled(err error) bool {
 // client disconnect, by contrast, cancels every in-flight request on the
 // connection: nobody is left to read the replies, so the work (and any
 // coalesced fetch it alone keeps alive) is abandoned.
-func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, onOverload func()) {
+func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, hooks pipelineHooks) {
 	defer conn.Close()
 	if workers <= 0 {
 		workers = DefaultWorkers
@@ -123,14 +149,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 	var cancelMu sync.Mutex
 	cancels := map[uint64]context.CancelFunc{}
 
-	type job struct {
-		seq    uint64
-		msg    wire.Message
-		mode   Mode
-		ctx    context.Context
-		finish context.CancelFunc
-	}
-	jobs := make(chan job, depth)
+	sched := newSchedQueue(depth)
 	replies := make(chan wire.SequencedMessage, workers+depth+1)
 	// slots bounds replies outstanding anywhere in the pipeline — being
 	// processed, queued, or parked out-of-order in the reorder buffer.
@@ -142,23 +161,35 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 	// keeps overload shedding responsive while the pool is merely full.
 	slots := make(chan struct{}, 2*(workers+depth))
 
+	// unordered is set by the connection's first hello frame
+	// (HelloFlagUnordered): clients that match replies by RequestID skip
+	// the reorder buffer, so a completed interactive reply is never
+	// head-of-line blocked behind a queued best-effort one.
+	var unordered atomic.Bool
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		buf := wire.NewReplyBuffer(1)
 		dead := false
+		emit := func(m wire.Message) {
+			<-slots
+			if dead {
+				return
+			}
+			if err := wire.WriteMessage(conn, m); err != nil {
+				// Keep draining so workers never block behind a dead
+				// connection; closing it also unsticks the reader.
+				dead = true
+				conn.Close()
+			}
+		}
 		for r := range replies {
+			if unordered.Load() {
+				emit(r.Msg)
+				continue
+			}
 			for _, m := range buf.Add(r.Seq, r.Msg) {
-				<-slots
-				if dead {
-					continue
-				}
-				if err := wire.WriteMessage(conn, m); err != nil {
-					// Keep draining so workers never block behind a dead
-					// connection; closing it also unsticks the reader.
-					dead = true
-					conn.Close()
-				}
+				emit(m)
 			}
 		}
 	}()
@@ -168,12 +199,25 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			for {
+				j, ok := sched.pop()
+				if !ok {
+					return
+				}
 				var m wire.Message
-				if j.ctx.Err() != nil {
+				switch {
+				case j.ctx.Err() != nil:
 					// Cancelled while queued: skip the work entirely.
 					m = canceledReply(j.msg.RequestID)
-				} else {
+				case j.expired(time.Now()):
+					// Shed-before-work: the deadline passed in the queue,
+					// so the result would be stale on arrival. No dispatch,
+					// no upstream fetch.
+					if hooks.onShed != nil {
+						hooks.onShed()
+					}
+					m = deadlineShedReply(j.msg.RequestID)
+				default:
 					m = dispatch(j.ctx, j.msg, j.mode)
 				}
 				j.finish()
@@ -192,8 +236,14 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		slots <- struct{}{}
 		seq++
 		if msg.Type == wire.MsgHello {
-			if len(msg.Body) == 1 && msg.Body[0] == byte(ModeOrigin) {
+			if len(msg.Body) >= 1 && msg.Body[0] == byte(ModeOrigin) {
 				mode = ModeOrigin
+			}
+			// The unordered-replies flag is only honoured on the very
+			// first frame: flipping it mid-connection could strand
+			// replies parked in the reorder buffer.
+			if seq == 1 && len(msg.Body) >= 2 && msg.Body[1]&wire.HelloFlagUnordered != 0 {
+				unordered.Store(true)
 			}
 			replies <- wire.SequencedMessage{Seq: seq, Msg: wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}}
 			continue
@@ -223,14 +273,39 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 			cancelMu.Unlock()
 			jcancel()
 		}
-		select {
-		case jobs <- job{seq: seq, msg: msg, mode: mode, ctx: jctx, finish: finish}:
-		default:
-			if onOverload != nil {
-				onOverload()
+		class, deadlineMicros := wire.PeekQoS(msg.Type, msg.Body)
+		// Federation frames carry no trailer but sit on another edge's
+		// client critical path: schedule them as interactive, or a
+		// sustained interactive stream here would starve peer probes
+		// into timeout+backoff and silently degrade the federation.
+		if msg.Type == wire.MsgPeerLookup || msg.Type == wire.MsgPeerInsert {
+			class = wire.QoSInteractive
+		}
+		var deadline time.Time
+		if deadlineMicros != 0 {
+			deadline = time.UnixMicro(deadlineMicros)
+		}
+		shed, ok := sched.push(schedJob{
+			seq: seq, msg: msg, mode: mode, ctx: jctx, finish: finish,
+			class: class, deadline: deadline,
+		})
+		// Expired queued work evicted to make room answers in its own
+		// reply slot; it never reaches a worker.
+		for _, s := range shed {
+			if hooks.onShed != nil {
+				hooks.onShed()
+			}
+			s.finish()
+			replies <- wire.SequencedMessage{Seq: s.seq, Msg: deadlineShedReply(s.msg.RequestID)}
+		}
+		if !ok {
+			if hooks.onOverload != nil {
+				hooks.onOverload()
 			}
 			finish()
 			replies <- wire.SequencedMessage{Seq: seq, Msg: overloadReply(msg, workers+depth)}
+		} else if hooks.onAdmit != nil {
+			hooks.onAdmit(class)
 		}
 	}
 	if ctx.Err() == nil {
@@ -238,7 +313,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		// coalesced fetches it alone keeps alive can abort.
 		connCancel()
 	}
-	close(jobs)
+	sched.close()
 	wg.Wait()
 	close(replies)
 	<-writerDone
@@ -282,6 +357,38 @@ type CloudServer struct {
 	// that lets those fetches actually execute in parallel cloud-side.
 	Workers    int
 	QueueDepth int
+
+	sched schedCounters
+}
+
+// schedCounters aggregates one server's scheduler decisions across every
+// connection pipeline it runs.
+type schedCounters struct {
+	admitted  [wire.NumQoSClasses]atomic.Uint64
+	sheds     atomic.Uint64
+	overloads atomic.Uint64
+}
+
+func (c *schedCounters) hooks() pipelineHooks {
+	return pipelineHooks{
+		onAdmit:    func(q wire.QoS) { c.admitted[classIndex(q)].Add(1) },
+		onShed:     func() { c.sheds.Add(1) },
+		onOverload: func() { c.overloads.Add(1) },
+	}
+}
+
+// DeadlineSheds reports how many queued requests this server dropped —
+// unexecuted — because their wall-clock deadline passed in the queue.
+func (s *CloudServer) DeadlineSheds() uint64 { return s.sched.sheds.Load() }
+
+// Overloads reports how many requests admission control rejected with
+// CodeOverloaded.
+func (s *CloudServer) Overloads() uint64 { return s.sched.overloads.Load() }
+
+// Admitted reports how many requests entered the scheduler in the given
+// service class.
+func (s *CloudServer) Admitted(q wire.QoS) uint64 {
+	return s.sched.admitted[classIndex(q)].Load()
 }
 
 // Serve accepts connections until the listener is closed.
@@ -299,7 +406,7 @@ func (s *CloudServer) ServeContext(ctx context.Context, ln net.Listener) error {
 func (s *CloudServer) handle(ctx context.Context, conn net.Conn) {
 	connPipeline(ctx, conn, s.Workers, s.QueueDepth, func(jctx context.Context, msg wire.Message, _ Mode) wire.Message {
 		return s.dispatch(jctx, msg)
-	}, nil)
+	}, s.sched.hooks())
 }
 
 func (s *CloudServer) dispatch(ctx context.Context, msg wire.Message) wire.Message {
@@ -399,7 +506,7 @@ type EdgeServer struct {
 	peers map[string]*peerConn
 
 	cloudFetches atomic.Uint64
-	overloads    atomic.Uint64
+	sched        schedCounters
 }
 
 func (s *EdgeServer) fetchTimeout() time.Duration {
@@ -414,8 +521,20 @@ func (s *EdgeServer) fetchTimeout() time.Duration {
 // descriptor should raise it by exactly 1.
 func (s *EdgeServer) CloudFetches() uint64 { return s.cloudFetches.Load() }
 
-// Overloads reports how many requests admission control has shed.
-func (s *EdgeServer) Overloads() uint64 { return s.overloads.Load() }
+// Overloads reports how many requests admission control has shed with
+// CodeOverloaded.
+func (s *EdgeServer) Overloads() uint64 { return s.sched.overloads.Load() }
+
+// DeadlineSheds reports how many queued requests this edge dropped —
+// unexecuted, no worker and no upstream fetch consumed — because their
+// wall-clock deadline passed in the queue.
+func (s *EdgeServer) DeadlineSheds() uint64 { return s.sched.sheds.Load() }
+
+// Admitted reports how many requests entered the scheduler in the given
+// service class.
+func (s *EdgeServer) Admitted(q wire.QoS) uint64 {
+	return s.sched.admitted[classIndex(q)].Load()
+}
 
 // cloudDialTimeout bounds establishing the upstream connection.
 const cloudDialTimeout = 10 * time.Second
@@ -473,6 +592,16 @@ func (m *cloudMux) get(budget time.Duration) (*muxConn, error) {
 	}
 	if m.wrap != nil {
 		conn = m.wrap(conn)
+	}
+	// First frame: request completion-order replies. This mux matches by
+	// RequestID, and in-order delivery would head-of-line block an
+	// interactive fetch's reply behind earlier best-effort ones, undoing
+	// the cloud scheduler's prioritisation. The ack is dropped by the
+	// read loop (no pending entry for id 0).
+	hello := wire.Message{Type: wire.MsgHello, Body: []byte{byte(ModeCoIC), wire.HelloFlagUnordered}}
+	if err := wire.WriteMessage(conn, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("core: cloud hello: %w", err)
 	}
 	mc := &muxConn{conn: conn, pending: map[uint64]chan wire.Message{}}
 	m.cur = mc
@@ -838,7 +967,7 @@ func (s *EdgeServer) roundTripCloud(ctx context.Context, msg wire.Message) (wire
 }
 
 func (s *EdgeServer) handle(ctx context.Context, conn net.Conn) {
-	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, func() { s.overloads.Add(1) })
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, s.sched.hooks())
 }
 
 // edgeError carries a protocol error code through the in-flight table so
@@ -1029,13 +1158,16 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 	}
 }
 
-// TCPClient drives a CoIC client against a live edge over TCP, measuring
-// wall-clock latency (the role of the paper's Pixel phone). It is
-// lock-step (one request in flight); pipelined load generators write
-// sequence-numbered frames directly — see docs/PROTOCOL.md. The
-// *Context methods abort a pending request when ctx dies by sending a
-// MsgCancel frame and draining the cancelled reply plus its ack, so the
-// connection stays usable afterwards.
+// TCPClient is the lock-step, positional reference client: one request
+// in flight, replies matched by arrival order — the ordered reply mode
+// every pre-streaming client speaks, which servers must keep supporting.
+// The public API now rides MuxClient (demultiplexed, completion-order
+// replies); TCPClient remains as the in-repo exerciser of the ordered
+// path and its cancel/drain protocol — the *Context methods abort a
+// pending request when ctx dies by sending a MsgCancel frame and
+// draining the cancelled reply plus its ack, so the connection stays
+// usable afterwards. Pipelined load generators write sequence-numbered
+// frames directly — see docs/PROTOCOL.md.
 type TCPClient struct {
 	Client *Client
 	Mode   Mode

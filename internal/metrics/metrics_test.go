@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"sort"
 	"strings"
@@ -171,6 +172,27 @@ func TestTableCSV(t *testing.T) {
 	want := "a,b\n1,\"x,y\"\n"
 	if buf.String() != want {
 		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("A-qos", "mode", "p99_ms")
+	tb.AddRow("fifo", 182.3)
+	tb.AddRow("qos", 51.0)
+	tb.AddNote("budget 120ms")
+	var buf bytes.Buffer
+	if err := tb.RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got TableJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("RenderJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Title != "A-qos" || len(got.Columns) != 2 || len(got.Rows) != 2 || len(got.Notes) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Rows[0][0] != "fifo" || got.Rows[1][1] != "51.00" {
+		t.Fatalf("rows = %v", got.Rows)
 	}
 }
 

@@ -39,6 +39,10 @@ type Event struct {
 	// the same Object get different seeds, hence different camera angles
 	// over the same content.
 	ViewSeed uint64 `json:"view_seed"`
+	// QoS is the request's service class (Config.InteractiveShare draws
+	// it); zero (best-effort) is omitted from the JSONL form, keeping
+	// pre-QoS traces byte-identical.
+	QoS wire.QoS `json:"qos,omitempty"`
 }
 
 // Config parameterises workload generation.
@@ -68,6 +72,11 @@ type Config struct {
 	// sum to 1 (normalised internally). Zero-value mix means
 	// recognition-only.
 	TaskMix TaskMix
+	// InteractiveShare is the probability an event is tagged
+	// QoSInteractive (0 = all best-effort). The draw happens only when
+	// positive, so zero-share traces replay bit-identically to pre-QoS
+	// ones.
+	InteractiveShare float64
 	// Seed drives all sampling.
 	Seed uint64
 }
@@ -98,6 +107,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("trace: Locality = %v", c.Locality)
 	case c.MoveProb < 0 || c.MoveProb > 1:
 		return fmt.Errorf("trace: MoveProb = %v", c.MoveProb)
+	case c.InteractiveShare < 0 || c.InteractiveShare > 1:
+		return fmt.Errorf("trace: InteractiveShare = %v", c.InteractiveShare)
 	}
 	return nil
 }
@@ -197,6 +208,9 @@ func Generate(cfg Config) ([]Event, error) {
 				// the same frames: frame index follows trace time.
 				ev.Frame = int(t / (33 * time.Millisecond)) // 30 fps
 			}
+			if cfg.InteractiveShare > 0 && userRng.Float64() < cfg.InteractiveShare {
+				ev.QoS = wire.QoSInteractive
+			}
 			events = append(events, ev)
 		}
 	}
@@ -227,6 +241,7 @@ type Stats struct {
 	PerTask      map[string]int
 	Duration     time.Duration
 	RedundantPct float64 // share of events whose (task, object) was seen before
+	Interactive  int     // events tagged QoSInteractive
 }
 
 // Analyze computes trace statistics, including the redundancy share that
@@ -242,6 +257,9 @@ func Analyze(events []Event) Stats {
 		users[e.User] = struct{}{}
 		objs[e.Object] = struct{}{}
 		st.PerTask[e.Task.String()]++
+		if e.QoS == wire.QoSInteractive {
+			st.Interactive++
+		}
 		if e.At > st.Duration {
 			st.Duration = e.At
 		}

@@ -54,6 +54,28 @@ const (
 	MsgCancel MsgType = 14
 )
 
+// HelloFlagUnordered, set in the second byte of a MsgHello body, asks
+// the server to write replies in completion order instead of arrival
+// order. Only clients that match replies to requests by RequestID (the
+// demultiplexed streaming client, the edge's upstream mux) may set it;
+// positional clients rely on arrival order. The flag is honoured only on
+// a connection's first frame — a later mode-switch hello cannot strand
+// replies parked in the reorder buffer.
+const HelloFlagUnordered uint8 = 1 << 0
+
+// AllMsgTypes is the canonical list of every protocol frame type, in wire
+// order. Tests iterate it so a new frame cannot ship without a String
+// name and round-trip coverage; keep it in sync with the constants above
+// (the wire tests cross-check it against the String method).
+func AllMsgTypes() []MsgType {
+	return []MsgType{
+		MsgProbe, MsgProbeReply, MsgExec, MsgExecReply,
+		MsgModelFetch, MsgModelReply, MsgPanoFetch, MsgPanoReply,
+		MsgError, MsgHello, MsgPeerLookup, MsgPeerReply, MsgPeerInsert,
+		MsgCancel,
+	}
+}
+
 // String names the message type for logs.
 func (t MsgType) String() string {
 	switch t {

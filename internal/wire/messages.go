@@ -39,6 +39,102 @@ const (
 	FormatCMF  uint8 = 2 // binary runtime format (edge cache)
 )
 
+// QoS is a request's service class. Classes are strict priorities at the
+// serving tiers: every queued interactive request is dispatched before
+// any best-effort one, and within a class requests run
+// earliest-deadline-first.
+type QoS uint8
+
+// Service classes (wire values). Zero is best-effort so frames from
+// clients that predate the QoS trailer keep their old scheduling.
+const (
+	QoSBestEffort  QoS = 0
+	QoSInteractive QoS = 1
+
+	// NumQoSClasses bounds the class space; the scheduler allocates one
+	// queue per class.
+	NumQoSClasses = 2
+)
+
+// String names the class for logs and tables.
+func (q QoS) String() string {
+	switch q {
+	case QoSBestEffort:
+		return "best-effort"
+	case QoSInteractive:
+		return "interactive"
+	default:
+		return fmt.Sprintf("qos(%d)", uint8(q))
+	}
+}
+
+// qosTrailerLen is the encoded size of the optional QoS trailer carried
+// at the end of ExecRequest, ModelFetch and PanoFetch bodies:
+// class u8 | deadline u64 (unix microseconds UTC, 0 = none).
+const qosTrailerLen = 9
+
+// appendQoSTrailer encodes the trailer only when it says something: a
+// zero class with no deadline marshals to the pre-QoS body, so old
+// servers keep accepting frames from upgraded clients that don't use the
+// feature.
+func appendQoSTrailer(out []byte, class QoS, deadline int64) []byte {
+	if class == QoSBestEffort && deadline == 0 {
+		return out
+	}
+	out = append(out, byte(class))
+	return binary.LittleEndian.AppendUint64(out, uint64(deadline))
+}
+
+// splitQoSTrailer validates rest as either empty or exactly one trailer.
+func splitQoSTrailer(rest []byte) (QoS, int64, error) {
+	switch len(rest) {
+	case 0:
+		return QoSBestEffort, 0, nil
+	case qosTrailerLen:
+		return QoS(rest[0]), int64(binary.LittleEndian.Uint64(rest[1:])), nil
+	default:
+		return 0, 0, fmt.Errorf("%w: trailing %d bytes are not a QoS trailer", ErrBadMessage, len(rest))
+	}
+}
+
+// PeekQoS extracts the scheduling metadata — service class and absolute
+// deadline in unix microseconds (0 = none) — from a request body without
+// decoding the payload, so the serving tiers can order and shed queued
+// work cheaply. Message types that carry no trailer, and malformed
+// bodies (the dispatcher will reject them anyway), read as best-effort
+// with no deadline.
+func PeekQoS(t MsgType, body []byte) (QoS, int64) {
+	base := -1
+	switch t {
+	case MsgExec:
+		if len(body) < 5 {
+			return QoSBestEffort, 0
+		}
+		dn := int(binary.LittleEndian.Uint32(body[1:]))
+		off := 5 + dn
+		if off+4 > len(body) {
+			return QoSBestEffort, 0
+		}
+		base = off + 4 + int(binary.LittleEndian.Uint32(body[off:]))
+	case MsgModelFetch:
+		if len(body) < 3 {
+			return QoSBestEffort, 0
+		}
+		base = 3 + int(binary.LittleEndian.Uint16(body[1:]))
+	case MsgPanoFetch:
+		if len(body) < 6 {
+			return QoSBestEffort, 0
+		}
+		base = 6 + int(binary.LittleEndian.Uint16(body[4:]))
+	default:
+		return QoSBestEffort, 0
+	}
+	if base < 0 || base+qosTrailerLen != len(body) {
+		return QoSBestEffort, 0
+	}
+	return QoS(body[base]), int64(binary.LittleEndian.Uint64(body[base+1:]))
+}
+
 // Cache outcomes carried in ProbeReply.
 const (
 	ProbeMiss    uint8 = 0
@@ -215,10 +311,18 @@ func UnmarshalPeerInsert(body []byte) (PeerInsert, error) {
 
 // ExecRequest carries a full IC task: the input payload plus the
 // descriptor so the edge can insert the eventual result into its cache.
+// QoS and Deadline ride in an optional trailer (see PeekQoS); a
+// zero-valued pair encodes to the pre-QoS body layout.
 type ExecRequest struct {
 	Task    Task
 	Desc    feature.Descriptor
 	Payload []byte
+	// QoS is the request's service class at the edge and cloud queues.
+	QoS QoS
+	// Deadline, when non-zero, is the absolute wall-clock instant (unix
+	// microseconds UTC) after which the result is useless; serving tiers
+	// shed the request from their queues once it passes.
+	Deadline int64
 }
 
 // Marshal encodes the body.
@@ -227,12 +331,13 @@ func (e ExecRequest) Marshal() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, 1+4+len(desc)+4+len(e.Payload))
+	out := make([]byte, 0, 1+4+len(desc)+4+len(e.Payload)+qosTrailerLen)
 	out = append(out, byte(e.Task))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(desc)))
 	out = append(out, desc...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Payload)))
-	return append(out, e.Payload...), nil
+	out = append(out, e.Payload...)
+	return appendQoSTrailer(out, e.QoS, e.Deadline), nil
 }
 
 // UnmarshalExecRequest decodes an ExecRequest body.
@@ -249,14 +354,21 @@ func UnmarshalExecRequest(body []byte) (ExecRequest, error) {
 	if err != nil {
 		return ExecRequest{}, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
-	pn := binary.LittleEndian.Uint32(body[off:])
-	if int(pn) != len(body)-off-4 {
+	pn := int(binary.LittleEndian.Uint32(body[off:]))
+	end := off + 4 + pn
+	if pn < 0 || end > len(body) {
 		return ExecRequest{}, fmt.Errorf("%w: exec payload length", ErrBadMessage)
 	}
+	qos, deadline, err := splitQoSTrailer(body[end:])
+	if err != nil {
+		return ExecRequest{}, err
+	}
 	return ExecRequest{
-		Task:    Task(body[0]),
-		Desc:    desc,
-		Payload: append([]byte(nil), body[off+4:]...),
+		Task:     Task(body[0]),
+		Desc:     desc,
+		Payload:  append([]byte(nil), body[off+4:end]...),
+		QoS:      qos,
+		Deadline: deadline,
 	}, nil
 }
 
@@ -292,10 +404,13 @@ func UnmarshalExecReply(body []byte) (ExecReply, error) {
 	return ExecReply{Source: body[0], Result: append([]byte(nil), body[5:]...)}, nil
 }
 
-// ModelFetch requests a 3D model in a given format.
+// ModelFetch requests a 3D model in a given format. QoS and Deadline are
+// the optional scheduling trailer (see ExecRequest).
 type ModelFetch struct {
-	ModelID string
-	Format  uint8
+	ModelID  string
+	Format   uint8
+	QoS      QoS
+	Deadline int64
 }
 
 // Marshal encodes the body.
@@ -303,10 +418,11 @@ func (m ModelFetch) Marshal() ([]byte, error) {
 	if len(m.ModelID) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: model id too long", ErrBadMessage)
 	}
-	out := make([]byte, 0, 1+2+len(m.ModelID))
+	out := make([]byte, 0, 1+2+len(m.ModelID)+qosTrailerLen)
 	out = append(out, m.Format)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.ModelID)))
-	return append(out, m.ModelID...), nil
+	out = append(out, m.ModelID...)
+	return appendQoSTrailer(out, m.QoS, m.Deadline), nil
 }
 
 // UnmarshalModelFetch decodes a ModelFetch body.
@@ -314,11 +430,15 @@ func UnmarshalModelFetch(body []byte) (ModelFetch, error) {
 	if len(body) < 3 {
 		return ModelFetch{}, fmt.Errorf("%w: model-fetch too short", ErrBadMessage)
 	}
-	n := binary.LittleEndian.Uint16(body[1:])
-	if int(n) != len(body)-3 {
+	end := 3 + int(binary.LittleEndian.Uint16(body[1:]))
+	if end > len(body) {
 		return ModelFetch{}, fmt.Errorf("%w: model id length", ErrBadMessage)
 	}
-	return ModelFetch{Format: body[0], ModelID: string(body[3:])}, nil
+	qos, deadline, err := splitQoSTrailer(body[end:])
+	if err != nil {
+		return ModelFetch{}, err
+	}
+	return ModelFetch{Format: body[0], ModelID: string(body[3:end]), QoS: qos, Deadline: deadline}, nil
 }
 
 // ModelReply carries model bytes in the named format.
@@ -348,10 +468,13 @@ func UnmarshalModelReply(body []byte) (ModelReply, error) {
 	return ModelReply{Format: body[0], Source: body[1], Data: append([]byte(nil), body[6:]...)}, nil
 }
 
-// PanoFetch requests one panoramic frame of a VR video.
+// PanoFetch requests one panoramic frame of a VR video. QoS and Deadline
+// are the optional scheduling trailer (see ExecRequest).
 type PanoFetch struct {
 	VideoID    string
 	FrameIndex uint32
+	QoS        QoS
+	Deadline   int64
 }
 
 // Marshal encodes the body.
@@ -359,10 +482,11 @@ func (p PanoFetch) Marshal() ([]byte, error) {
 	if len(p.VideoID) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: video id too long", ErrBadMessage)
 	}
-	out := make([]byte, 0, 4+2+len(p.VideoID))
+	out := make([]byte, 0, 4+2+len(p.VideoID)+qosTrailerLen)
 	out = binary.LittleEndian.AppendUint32(out, p.FrameIndex)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.VideoID)))
-	return append(out, p.VideoID...), nil
+	out = append(out, p.VideoID...)
+	return appendQoSTrailer(out, p.QoS, p.Deadline), nil
 }
 
 // UnmarshalPanoFetch decodes a PanoFetch body.
@@ -370,13 +494,19 @@ func UnmarshalPanoFetch(body []byte) (PanoFetch, error) {
 	if len(body) < 6 {
 		return PanoFetch{}, fmt.Errorf("%w: pano-fetch too short", ErrBadMessage)
 	}
-	n := binary.LittleEndian.Uint16(body[4:])
-	if int(n) != len(body)-6 {
+	end := 6 + int(binary.LittleEndian.Uint16(body[4:]))
+	if end > len(body) {
 		return PanoFetch{}, fmt.Errorf("%w: video id length", ErrBadMessage)
+	}
+	qos, deadline, err := splitQoSTrailer(body[end:])
+	if err != nil {
+		return PanoFetch{}, err
 	}
 	return PanoFetch{
 		FrameIndex: binary.LittleEndian.Uint32(body[0:]),
-		VideoID:    string(body[6:]),
+		VideoID:    string(body[6:end]),
+		QoS:        qos,
+		Deadline:   deadline,
 	}, nil
 }
 
@@ -428,6 +558,12 @@ const (
 	// mid-pipeline, a coalesced fetch whose last waiter departed). The
 	// work was abandoned, not failed; retrying is safe.
 	CodeCanceled uint16 = 6
+	// CodeDeadlineExceeded is the reply of a request shed because its
+	// wall-clock deadline (the QoS trailer) passed while it was queued:
+	// no worker touched it, no upstream fetch was issued — the result
+	// would have been stale on arrival. Retrying is safe but usually
+	// pointless; the next frame has already superseded this one.
+	CodeDeadlineExceeded uint16 = 7
 )
 
 // Marshal encodes the body.

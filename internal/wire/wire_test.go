@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -132,14 +133,45 @@ func TestFrameOverTCP(t *testing.T) {
 	}
 }
 
+// TestMsgTypeStrings iterates the canonical frame-type list instead of a
+// hand-written range (which once stopped at MsgPeerInsert and silently
+// skipped MsgCancel), and sweeps the whole value space to prove the list
+// and the String method agree: a new frame constant with a name must be
+// in AllMsgTypes, and everything in AllMsgTypes must have a name.
 func TestMsgTypeStrings(t *testing.T) {
-	for mt := MsgProbe; mt <= MsgPeerInsert; mt++ {
-		if s := mt.String(); s == "" || s == "unknown" {
-			t.Fatalf("type %d has no name", mt)
+	all := AllMsgTypes()
+	if len(all) == 0 {
+		t.Fatal("canonical frame-type list is empty")
+	}
+	listed := map[MsgType]bool{}
+	for _, mt := range all {
+		if listed[mt] {
+			t.Fatalf("type %d listed twice in AllMsgTypes", mt)
+		}
+		listed[mt] = true
+		if s := mt.String(); s == "" || strings.HasPrefix(s, "unknown(") {
+			t.Fatalf("canonical type %d has no name", mt)
+		}
+	}
+	for v := 0; v <= 255; v++ {
+		mt := MsgType(v)
+		named := !strings.HasPrefix(mt.String(), "unknown(")
+		if named != listed[mt] {
+			t.Fatalf("type %d: named=%v but in AllMsgTypes=%v — keep the list and String in sync", v, named, listed[mt])
 		}
 	}
 	if MsgType(200).String() != "unknown(200)" {
 		t.Fatal("unknown type name")
+	}
+}
+
+// TestAllMsgTypesContiguous locks the wire values: the canonical list
+// must cover 1..len with no holes, so "never reorder" is testable.
+func TestAllMsgTypesContiguous(t *testing.T) {
+	for i, mt := range AllMsgTypes() {
+		if int(mt) != i+1 {
+			t.Fatalf("AllMsgTypes[%d] = %d, want %d (contiguous wire values)", i, mt, i+1)
+		}
 	}
 }
 
@@ -392,5 +424,95 @@ func TestCancelRequestRoundTrip(t *testing.T) {
 func TestCancelMsgTypeString(t *testing.T) {
 	if MsgCancel.String() != "cancel" {
 		t.Fatal(MsgCancel.String())
+	}
+}
+
+// TestQoSTrailerRoundTrip covers the scheduling trailer on all three
+// request bodies: class and deadline survive a round trip, and PeekQoS
+// reads them without a full decode.
+func TestQoSTrailerRoundTrip(t *testing.T) {
+	const deadline = int64(1_700_000_123_456_789)
+	cases := []struct {
+		name string
+		t    MsgType
+		body func() ([]byte, error)
+		get  func([]byte) (QoS, int64, error)
+	}{
+		{"exec", MsgExec,
+			func() ([]byte, error) {
+				return ExecRequest{Task: TaskRecognize, Desc: feature.NewVector([]float32{1, 0}),
+					Payload: []byte("img"), QoS: QoSInteractive, Deadline: deadline}.Marshal()
+			},
+			func(b []byte) (QoS, int64, error) {
+				e, err := UnmarshalExecRequest(b)
+				return e.QoS, e.Deadline, err
+			}},
+		{"model-fetch", MsgModelFetch,
+			func() ([]byte, error) {
+				return ModelFetch{ModelID: "scene/1073kb", Format: FormatCMF,
+					QoS: QoSInteractive, Deadline: deadline}.Marshal()
+			},
+			func(b []byte) (QoS, int64, error) {
+				m, err := UnmarshalModelFetch(b)
+				return m.QoS, m.Deadline, err
+			}},
+		{"pano-fetch", MsgPanoFetch,
+			func() ([]byte, error) {
+				return PanoFetch{VideoID: "vr/coaster", FrameIndex: 7,
+					QoS: QoSInteractive, Deadline: deadline}.Marshal()
+			},
+			func(b []byte) (QoS, int64, error) {
+				p, err := UnmarshalPanoFetch(b)
+				return p.QoS, p.Deadline, err
+			}},
+	}
+	for _, tc := range cases {
+		body, err := tc.body()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		q, d, err := tc.get(body)
+		if err != nil || q != QoSInteractive || d != deadline {
+			t.Fatalf("%s: decoded qos=%v deadline=%d err=%v", tc.name, q, d, err)
+		}
+		if pq, pd := PeekQoS(tc.t, body); pq != QoSInteractive || pd != deadline {
+			t.Fatalf("%s: PeekQoS = %v, %d", tc.name, pq, pd)
+		}
+	}
+}
+
+// TestQoSTrailerBackwardCompatible proves the default class encodes to
+// the pre-QoS layout (old servers keep accepting it) and that pre-QoS
+// bodies decode with best-effort defaults (old clients keep working).
+func TestQoSTrailerBackwardCompatible(t *testing.T) {
+	plain, err := PanoFetch{VideoID: "v", FrameIndex: 1}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 + 2 + 1; len(plain) != want {
+		t.Fatalf("default-class body grew a trailer: %d bytes, want %d", len(plain), want)
+	}
+	got, err := UnmarshalPanoFetch(plain)
+	if err != nil || got.QoS != QoSBestEffort || got.Deadline != 0 {
+		t.Fatalf("legacy body decoded as %+v, %v", got, err)
+	}
+	if q, d := PeekQoS(MsgPanoFetch, plain); q != QoSBestEffort || d != 0 {
+		t.Fatalf("PeekQoS on legacy body = %v, %d", q, d)
+	}
+	// A trailer-bearing body must be longer by exactly the trailer.
+	tagged, err := PanoFetch{VideoID: "v", FrameIndex: 1, QoS: QoSInteractive}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tagged) != len(plain)+9 {
+		t.Fatalf("trailer size = %d, want 9", len(tagged)-len(plain))
+	}
+	// Garbage between body and trailer boundary is rejected, not misread.
+	if _, err := UnmarshalPanoFetch(append(plain, 0xFF)); err == nil {
+		t.Fatal("partial trailer accepted")
+	}
+	// PeekQoS on non-request frames is inert.
+	if q, d := PeekQoS(MsgHello, []byte{1}); q != QoSBestEffort || d != 0 {
+		t.Fatalf("PeekQoS(hello) = %v, %d", q, d)
 	}
 }

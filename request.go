@@ -44,15 +44,26 @@ type Request struct {
 	Pano      *PanoSpec
 
 	// Mode selects the CoIC protocol or the paper's Origin baseline for
-	// this request only.
+	// this request only. It applies to System.Do (virtual time); on the
+	// TCP path the mode is a connection-level property announced at dial
+	// time (WithDialMode), and Stream.Submit ignores this field.
 	Mode Mode
-	// Deadline, when positive, bounds the request's acceptable virtual
-	// latency: if the computed end-to-end latency exceeds it, Do returns
-	// ErrDeadlineExceeded alongside the (complete) Result — the answer
-	// arrived too late for a motion-to-photon budget, which for an
-	// immersive client is a miss even though the bytes exist. Virtual
-	// time still advances: the work was done, just not in time.
+	// Deadline, when positive, bounds the request's acceptable latency.
+	// In virtual time (System.Do): if the computed end-to-end latency
+	// exceeds it, Do returns ErrDeadlineExceeded alongside the
+	// (complete) Result — the answer arrived too late for a
+	// motion-to-photon budget, which for an immersive client is a miss
+	// even though the bytes exist; virtual time still advances. On a
+	// Stream (wall clock): the budget starts at Submit, is encoded on
+	// the wire as an absolute deadline, and the edge sheds the request
+	// unexecuted if it expires while queued.
 	Deadline time.Duration
+	// QoS is the request's service class. On the TCP path the edge and
+	// cloud schedulers dispatch strictly by class (interactive before
+	// best-effort), earliest-deadline-first within a class. The virtual
+	// System has no queue to schedule — there QoS is carried for
+	// accounting only (SystemStats.QoS).
+	QoS QoS
 }
 
 // RecognizeTask builds a CoIC-mode recognition request.
@@ -73,9 +84,12 @@ func PanoTask(videoID string, frame int, vp Viewport) Request {
 // WithMode returns a copy of the request running in the given mode.
 func (r Request) WithMode(m Mode) Request { r.Mode = m; return r }
 
-// WithDeadline returns a copy of the request with a virtual latency
-// budget.
+// WithDeadline returns a copy of the request with a latency budget
+// (virtual for System.Do, wall clock from Submit for streams).
 func (r Request) WithDeadline(d time.Duration) Request { r.Deadline = d; return r }
+
+// WithQoS returns a copy of the request in the given service class.
+func (r Request) WithQoS(q QoS) Request { r.QoS = q; return r }
 
 // Validate reports whether the request names exactly one task.
 func (r Request) Validate() error {
@@ -161,7 +175,13 @@ func (s *System) Do(ctx context.Context, client int, req Request) (Result, error
 		res = Result{Breakdown: b}
 	}
 	s.now = res.Breakdown.End
+	if req.QoS == QoSInteractive {
+		s.qos.Interactive++
+	} else {
+		s.qos.BestEffort++
+	}
 	if req.Deadline > 0 && res.Breakdown.Total() > req.Deadline {
+		s.qos.DeadlineMisses++
 		return res, fmt.Errorf("%w: %v > %v", ErrDeadlineExceeded, res.Breakdown.Total(), req.Deadline)
 	}
 	return res, nil

@@ -122,9 +122,10 @@ type Server struct {
 	cfg  serverConfig
 	err  error
 
-	mu   sync.Mutex
-	ln   net.Listener
-	edge *core.EdgeServer
+	mu    sync.Mutex
+	ln    net.Listener
+	edge  *core.EdgeServer
+	cloud *core.CloudServer
 }
 
 // NewEdgeServer assembles the mobile-edge tier: the IC cache plus miss
@@ -166,26 +167,49 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// ServerStats counts an edge server's upstream traffic and load
-// shedding; zero-valued for cloud servers.
+// ServerStats counts a server's admission and scheduling decisions plus
+// (edges only) its upstream traffic.
 type ServerStats struct {
 	// CloudFetches is how many upstream round trips the edge issued —
-	// the denominator of coalescing.
+	// the denominator of coalescing. Zero for cloud servers.
 	CloudFetches uint64
-	// Overloads is how many requests admission control shed.
+	// Overloads is how many requests admission control rejected with an
+	// overloaded error (the queue was full of live work).
 	Overloads uint64
+	// DeadlineSheds is how many queued requests were dropped unexecuted
+	// because their wall-clock deadline passed in the queue — no worker
+	// time and no upstream fetch was spent on them.
+	DeadlineSheds uint64
+	// AdmittedInteractive / AdmittedBestEffort count requests entering
+	// the scheduler per service class.
+	AdmittedInteractive uint64
+	AdmittedBestEffort  uint64
 }
 
-// Stats snapshots the server's counters (edge servers only; a cloud
-// server reports zeros).
+// Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
-	es := s.edge
+	es, cs := s.edge, s.cloud
 	s.mu.Unlock()
-	if es == nil {
+	switch {
+	case es != nil:
+		return ServerStats{
+			CloudFetches:        es.CloudFetches(),
+			Overloads:           es.Overloads(),
+			DeadlineSheds:       es.DeadlineSheds(),
+			AdmittedInteractive: es.Admitted(QoSInteractive),
+			AdmittedBestEffort:  es.Admitted(QoSBestEffort),
+		}
+	case cs != nil:
+		return ServerStats{
+			Overloads:           cs.Overloads(),
+			DeadlineSheds:       cs.DeadlineSheds(),
+			AdmittedInteractive: cs.Admitted(QoSInteractive),
+			AdmittedBestEffort:  cs.Admitted(QoSBestEffort),
+		}
+	default:
 		return ServerStats{}
 	}
-	return ServerStats{CloudFetches: es.CloudFetches(), Overloads: es.Overloads()}
 }
 
 // Serve binds (unless WithListener supplied one) and serves until ctx is
@@ -211,14 +235,15 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 
 	if s.role == "cloud" {
-		s.mu.Lock()
-		s.ln = ln
-		s.mu.Unlock()
 		srv := &core.CloudServer{
 			Cloud:      core.NewCloud(p),
 			Workers:    s.cfg.workers,
 			QueueDepth: s.cfg.queueDepth,
 		}
+		s.mu.Lock()
+		s.ln = ln
+		s.cloud = srv
+		s.mu.Unlock()
 		return srv.ServeContext(ctx, ln)
 	}
 
@@ -252,10 +277,11 @@ func (s *Server) Serve(ctx context.Context) error {
 // The returned Client's *Context methods honour per-request contexts:
 // cancelling one sends a MsgCancel frame and the connection stays
 // usable.
+//
+// Deprecated: use NewClient with DialOptions (WithDialParams,
+// WithDialMode, WithDialShape), which also opens the streaming surface
+// (Client.Stream).
 func DialContext(ctx context.Context, edgeAddr string, p Params, mode Mode, clientShape ShapeSpec) (*Client, error) {
-	wrap, err := clientShape.wrapper()
-	if err != nil {
-		return nil, err
-	}
-	return core.DialEdgeContext(ctx, edgeAddr, core.NewClient(0, p), mode, wrap)
+	return NewClient(ctx, edgeAddr,
+		WithDialParams(p), WithDialMode(mode), WithDialShape(clientShape))
 }

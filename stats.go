@@ -49,6 +49,20 @@ func (q QueryStats) HitRatio() float64 {
 	return float64(q.ExactHits+q.SimilarHits) / float64(q.Queries)
 }
 
+// QoSStats counts per-class traffic and deadline outcomes. For a
+// virtual System it tallies Do calls (there is no queue to schedule in
+// virtual time, so nothing sheds — misses are results that completed
+// past their budget); the TCP servers' scheduler counters live in
+// ServerStats instead.
+type QoSStats struct {
+	// Interactive / BestEffort count executed requests per class.
+	Interactive uint64
+	BestEffort  uint64
+	// DeadlineMisses counts requests whose result completed after the
+	// Request's Deadline budget (ErrDeadlineExceeded).
+	DeadlineMisses uint64
+}
+
 // SystemStats is one coherent snapshot of a System's edge: the cache
 // store, the logical query counters, the miss-coalescing table and the
 // federation, taken together so related counters are mutually
@@ -68,6 +82,8 @@ type SystemStats struct {
 	// Coalesced counts virtual-time lookups that joined an in-flight
 	// fetch (InflightCoalesce mode).
 	Coalesced uint64
+	// QoS counts per-class traffic and deadline misses (System.Do).
+	QoS QoSStats
 }
 
 // Stats snapshots the system's edge-side counters.
@@ -92,6 +108,7 @@ func (s *System) Stats() SystemStats {
 		Inflight:       s.edge.Inflight().Stats(),
 		PrivacyBlocked: es.PrivacyBlocked,
 		Coalesced:      es.Coalesced,
+		QoS:            s.qos,
 	}
 	if fed := s.edge.Federation(); fed != nil {
 		out.Federation = fed.Stats()
