@@ -7,7 +7,7 @@ API_BASELINE_FILE := .github/api-baseline-ref
 # The apidiff version CI pins; bump deliberately alongside Go bumps.
 APIDIFF_VERSION := v0.0.0-20240909161429-701f63a606c0
 
-.PHONY: all build lint test bench cover api ci
+.PHONY: all build lint test bench cover api smoke ci
 
 all: build
 
@@ -47,6 +47,23 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
 	$(GO) run ./cmd/coic-bench -experiment qos -json > bench-qos.json
 	$(GO) run ./cmd/coic-bench -experiment burst -json > bench-burst.json
+	$(GO) run ./cmd/coic-benchdiff BENCH_stream.json bench-qos.json
+
+# smoke = the CI ops-smoke job: boot the real daemons with the ops
+# sidecar, probe /healthz and /readyz, push client traffic through, and
+# lint the live /metrics payload (nonzero request counters required).
+smoke:
+	@$(GO) build -o bin/ ./cmd/coic-cloud ./cmd/coic-edge ./cmd/coic-client ./cmd/coic-promlint
+	@./bin/coic-cloud -listen 127.0.0.1:19090 & cloud=$$!; \
+	./bin/coic-edge -listen 127.0.0.1:19091 -cloud 127.0.0.1:19090 -http 127.0.0.1:19191 & edge=$$!; \
+	trap 'kill $$edge $$cloud 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS -o /dev/null http://127.0.0.1:19191/healthz 2>/dev/null && break; sleep 0.2; done; \
+	curl -fsS http://127.0.0.1:19191/healthz && \
+	curl -fsS http://127.0.0.1:19191/readyz && \
+	./bin/coic-client -edge 127.0.0.1:19091 -task pano -n 8 -request-id 0xC1C0FFEE >/dev/null && \
+	./bin/coic-promlint -url http://127.0.0.1:19191/metrics \
+		-require coic_requests_total,coic_connections_total,coic_stage_duration_seconds
 
 # api = the CI apidiff job: the public surface of the root package must
 # stay compatible with the committed baseline commit (skipped with a
@@ -67,4 +84,4 @@ api:
 		echo "apidiff not installed (go install golang.org/x/exp/cmd/apidiff@$(APIDIFF_VERSION), the version CI pins); skipping"; \
 	fi
 
-ci: lint build test bench api
+ci: lint build test bench api smoke

@@ -1,0 +1,114 @@
+// Command coic-benchdiff structurally compares two coic-bench -json
+// artifacts. Absolute numbers in bench tables are runner-dependent, so a
+// committed baseline cannot pin values; what it pins is the shape of the
+// experiment: the set and order of tables, each table's columns, the
+// number of rows and each row's key (its first cell — the sweep point).
+// CI diffs every fresh bench table against the committed baseline, so an
+// experiment that silently drops a sweep point, renames a column or
+// reorders its output fails the build instead of drifting unnoticed.
+//
+// Exit status: 0 structures match, 1 structural drift (differences are
+// listed), 2 usage or unreadable input.
+//
+// Usage:
+//
+//	coic-benchdiff BENCH_stream.json bench-qos.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/edge-immersion/coic/internal/metrics"
+)
+
+func load(path string) ([]metrics.TableJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tables []metrics.TableJSON
+	if err := json.Unmarshal(data, &tables); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tables, nil
+}
+
+// diff appends one line per structural difference between the baseline
+// and current table lists.
+func diff(base, cur []metrics.TableJSON) []string {
+	var out []string
+	if len(base) != len(cur) {
+		out = append(out, fmt.Sprintf("table count: baseline has %d, current has %d", len(base), len(cur)))
+	}
+	n := min(len(base), len(cur))
+	for i := 0; i < n; i++ {
+		b, c := base[i], cur[i]
+		at := fmt.Sprintf("table %d (%q)", i, b.Title)
+		if b.Title != c.Title {
+			out = append(out, fmt.Sprintf("%s: title changed to %q", at, c.Title))
+			continue // rows of a different experiment are not comparable
+		}
+		if !equalStrings(b.Columns, c.Columns) {
+			out = append(out, fmt.Sprintf("%s: columns %v -> %v", at, b.Columns, c.Columns))
+		}
+		if len(b.Rows) != len(c.Rows) {
+			out = append(out, fmt.Sprintf("%s: row count %d -> %d", at, len(b.Rows), len(c.Rows)))
+		}
+		for r := 0; r < min(len(b.Rows), len(c.Rows)); r++ {
+			bk, ck := rowKey(b.Rows[r]), rowKey(c.Rows[r])
+			if bk != ck {
+				out = append(out, fmt.Sprintf("%s row %d: key %q -> %q", at, r, bk, ck))
+			}
+		}
+	}
+	return out
+}
+
+func rowKey(row []string) string {
+	if len(row) == 0 {
+		return ""
+	}
+	return row[0]
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: coic-benchdiff <baseline.json> <current.json>")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coic-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coic-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	problems := diff(base, cur)
+	if len(problems) > 0 {
+		fmt.Printf("coic-benchdiff: %s and %s diverge structurally:\n", os.Args[1], os.Args[2])
+		for _, p := range problems {
+			fmt.Println("  " + p)
+		}
+		fmt.Println("If the experiment changed intentionally, regenerate the baseline:")
+		fmt.Printf("  go run ./cmd/coic-bench -experiment qos -json > %s\n", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Printf("coic-benchdiff: %s matches the structure of %s (%d tables)\n", os.Args[2], os.Args[1], len(base))
+}

@@ -10,6 +10,12 @@
 // unexecuted if the budget expires while it queues (those show up as
 // "late" below, mirrored by the edge's own shed counter).
 //
+// Every request travels under a trace ID that each tier logs: pass
+// -request-id to pin a known base (request i goes out as base+i), or
+// omit it and the stream mints random IDs, printed per completion —
+// either way the printed trace=... token is greppable in the edge and
+// cloud logs and /debug/requests rings.
+//
 // SIGINT/SIGTERM cancels the run: in-flight requests are aborted with
 // MsgCancel frames (the edge stops working on them) and the client exits
 // after printing the statistics gathered so far.
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -45,7 +52,17 @@ func main() {
 	qos := flag.String("qos", "besteffort", "service class: besteffort or interactive")
 	deadline := flag.Duration("deadline", 0, "per-request wall-clock budget (0 = none); expired queued requests are shed at the edge")
 	shape := flag.String("shape", "", `tc-style spec for the client->edge link, e.g. "rate 200mbit delay 1ms"`)
+	reqID := flag.String("request-id", "", "base trace ID (decimal or 0x-hex); request i is sent as base+i and shows up under that ID in every tier's logs. Empty: the stream mints random IDs, printed per completion")
 	flag.Parse()
+
+	var traceBase uint64
+	if *reqID != "" {
+		var err error
+		traceBase, err = strconv.ParseUint(*reqID, 0, 64)
+		if err != nil || traceBase == 0 {
+			log.Fatalf("coic-client: -request-id must be a nonzero decimal or 0x-hex uint64, got %q", *reqID)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -100,10 +117,13 @@ func main() {
 			return req, fmt.Errorf("unknown task %q", *task)
 		}
 		// The execution mode is connection-level (WithDialMode above);
-		// only class and deadline ride per-request on a stream.
+		// only class, deadline and trace ID ride per-request on a stream.
 		req = req.WithQoS(class)
 		if *deadline > 0 {
 			req = req.WithDeadline(*deadline)
+		}
+		if traceBase != 0 {
+			req = req.WithTraceID(traceBase + uint64(i))
 		}
 		return req, nil
 	}
@@ -132,10 +152,14 @@ func main() {
 	var total, min, max time.Duration
 	done, late, canceled, shed := 0, 0, 0, 0
 	collect := func(comp coic.Completion) {
+		// Every completion carries the trace ID the request travelled
+		// under (the -request-id passthrough, or the stream-minted one) —
+		// grep the edge/cloud logs and /debug/requests rings for it.
+		trace := fmt.Sprintf("trace=%016x", comp.TraceID)
 		switch {
 		case errors.Is(comp.Err, coic.ErrDeadlineExceeded):
 			late++
-			fmt.Printf("late %-24s %8.1fms (budget %v blown)\n", comp.Request, ms(comp.Latency), *deadline)
+			fmt.Printf("late %-24s %8.1fms %s (budget %v blown)\n", comp.Request, ms(comp.Latency), trace, *deadline)
 			return
 		case errors.Is(comp.Err, context.Canceled):
 			canceled++
@@ -145,7 +169,7 @@ func main() {
 			// workers+queue. Count it and keep measuring — aborting
 			// would discard every statistic gathered so far.
 			shed++
-			fmt.Printf("shed %-24s (server overloaded; lower -window or raise edge -workers/-queue)\n", comp.Request)
+			fmt.Printf("shed %-24s %s (server overloaded; lower -window or raise edge -workers/-queue)\n", comp.Request, trace)
 			return
 		case comp.Err != nil:
 			log.Fatalf("coic-client: %s: %v", comp.Request, comp.Err)
@@ -155,10 +179,10 @@ func main() {
 			src = "edge"
 		}
 		if comp.Recognition != nil {
-			fmt.Printf("done %-24s -> %-14s conf=%.2f  %8.1fms (%s)\n",
-				comp.Request, comp.Recognition.Label, comp.Recognition.Confidence, ms(comp.Latency), src)
+			fmt.Printf("done %-24s -> %-14s conf=%.2f  %8.1fms (%s) %s\n",
+				comp.Request, comp.Recognition.Label, comp.Recognition.Confidence, ms(comp.Latency), src, trace)
 		} else {
-			fmt.Printf("done %-24s %8.1fms (%s)\n", comp.Request, ms(comp.Latency), src)
+			fmt.Printf("done %-24s %8.1fms (%s) %s\n", comp.Request, ms(comp.Latency), src, trace)
 		}
 		done++
 		total += comp.Latency

@@ -1,22 +1,31 @@
 // Command coic-cloud runs the CoIC cloud tier: the full recognition DNN,
 // the 3D model repository, and the VR panorama source, served over TCP.
 //
+// With -http, the cloud also serves a live operations plane on a sidecar
+// HTTP listener: Prometheus text metrics at /metrics, liveness at
+// /healthz, readiness at /readyz, the slow/failed request ring at
+// /debug/requests, and net/http/pprof under /debug/pprof/.
+//
 // SIGINT/SIGTERM triggers graceful shutdown: the listener closes,
 // in-flight requests drain, replies flush, then the process exits.
 //
 // Usage:
 //
 //	coic-cloud -listen :9090
+//	coic-cloud -listen :9090 -http :9190 -slow 500ms
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os/signal"
 	"syscall"
+	"time"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -25,6 +34,8 @@ func main() {
 	listen := flag.String("listen", ":9090", "address to serve on")
 	workers := flag.Int("workers", 0, "concurrent requests per connection (0 = default); one edge funnels all its misses over one multiplexed connection, so this bounds its fetch parallelism")
 	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
+	httpAddr := flag.String("http", "", "ops sidecar address for /metrics, /healthz, /readyz, /debug (empty = disabled)")
+	slow := flag.Duration("slow", time.Second, "latency above which a successful request enters /debug/requests")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -40,7 +51,22 @@ func main() {
 		coic.WithServeParams(coic.DefaultParams()),
 		coic.WithWorkers(*workers),
 		coic.WithQueueDepth(*queue),
+		coic.WithSlowRequestThreshold(*slow),
 	)
+	if *httpAddr != "" {
+		opsLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("coic-cloud: ops listener: %v", err)
+		}
+		ops := &http.Server{Handler: srv.OpsHandler()}
+		defer ops.Close()
+		go func() {
+			if err := ops.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("coic-cloud: ops plane: %v", err)
+			}
+		}()
+		fmt.Printf("coic-cloud: ops plane on http://%s/metrics\n", opsLn.Addr())
+	}
 	if err := srv.Serve(ctx); err != nil {
 		log.Fatalf("coic-cloud: %v", err)
 	}

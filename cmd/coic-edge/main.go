@@ -21,6 +21,13 @@
 // cancels its in-flight requests, and a coalesced fetch aborts when its
 // last waiter departs.
 //
+// With -http, the edge also serves a live operations plane on a sidecar
+// HTTP listener: Prometheus text metrics at /metrics, liveness at
+// /healthz, readiness at /readyz (listener up AND the cloud reachable),
+// the slow/failed request ring at /debug/requests, and net/http/pprof
+// under /debug/pprof/. The wire protocol and the ops plane never share
+// a port.
+//
 // SIGINT/SIGTERM triggers graceful shutdown: the listener closes,
 // in-flight requests drain, replies flush, then the process exits.
 //
@@ -29,17 +36,21 @@
 //	coic-edge -listen :9091 -cloud localhost:9090 -cloud-shape "rate 20mbit delay 10ms"
 //	coic-edge -listen :9091 -self localhost:9091 -peers localhost:9092,localhost:9093
 //	coic-edge -listen :9091 -workers 32 -queue 128 -fetch-timeout 5s
+//	coic-edge -listen :9091 -http :9191 -slow 250ms
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	coic "github.com/edge-immersion/coic"
 )
@@ -53,6 +64,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent requests per client connection (0 = default)")
 	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
 	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch cloud timeout (0 = default)")
+	httpAddr := flag.String("http", "", "ops sidecar address for /metrics, /healthz, /readyz, /debug (empty = disabled)")
+	slow := flag.Duration("slow", time.Second, "latency above which a successful request enters /debug/requests")
 	flag.Parse()
 
 	var peerAddrs []string
@@ -90,11 +103,26 @@ func main() {
 		coic.WithWorkers(*workers),
 		coic.WithQueueDepth(*queue),
 		coic.WithFetchTimeout(*fetchTimeout),
+		coic.WithSlowRequestThreshold(*slow),
 	}
 	if len(peerAddrs) > 0 {
 		opts = append(opts, coic.WithFederation(*self, peerAddrs...))
 	}
 	srv := coic.NewEdgeServer(opts...)
+	if *httpAddr != "" {
+		opsLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("coic-edge: ops listener: %v", err)
+		}
+		ops := &http.Server{Handler: srv.OpsHandler()}
+		defer ops.Close()
+		go func() {
+			if err := ops.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("coic-edge: ops plane: %v", err)
+			}
+		}()
+		fmt.Printf("coic-edge: ops plane on http://%s/metrics\n", opsLn.Addr())
+	}
 	if err := srv.Serve(ctx); err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}

@@ -1,0 +1,127 @@
+// Command coic-promlint validates a Prometheus text exposition payload —
+// the promtool-style gate CI runs against a live /metrics endpoint
+// without pulling the Prometheus toolchain into the module. It checks
+// HELP/TYPE ordering, metric and label name syntax, histogram
+// completeness (+Inf bucket, _sum, _count) and the counter _total naming
+// convention (obs.Lint, the same checks the registry's own tests run).
+//
+// -require additionally asserts that named metric families are present
+// with a nonzero total across their samples, which is how the CI smoke
+// step proves real traffic flowed through the daemon it scraped.
+//
+// Exit status: 0 clean, 1 lint problems or a failed -require, 2 usage or
+// fetch errors.
+//
+// Usage:
+//
+//	coic-promlint -url http://localhost:9191/metrics
+//	coic-promlint -url http://localhost:9191/metrics -require coic_requests_total,coic_connections_total
+//	curl -s http://localhost:9191/metrics | coic-promlint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "metrics endpoint to fetch (empty = read stdin)")
+	require := flag.String("require", "", "comma-separated metric families that must be present with a nonzero total")
+	flag.Parse()
+
+	payload, err := fetch(*url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coic-promlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	if problems := obs.Lint(strings.NewReader(payload)); len(problems) > 0 {
+		failed = true
+		fmt.Printf("coic-promlint: %d lint problem(s):\n", len(problems))
+		for _, p := range problems {
+			fmt.Println("  " + p)
+		}
+	}
+
+	totals := familyTotals(payload)
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		total, ok := totals[name]
+		switch {
+		case !ok:
+			failed = true
+			fmt.Printf("coic-promlint: required family %q is absent\n", name)
+		case total == 0:
+			failed = true
+			fmt.Printf("coic-promlint: required family %q is present but zero across all samples\n", name)
+		default:
+			fmt.Printf("coic-promlint: %s total = %s\n", name, strconv.FormatFloat(total, 'g', -1, 64))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("coic-promlint: payload clean")
+}
+
+func fetch(url string) (string, error) {
+	if url == "" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	client := http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// familyTotals sums sample values per metric family, ignoring lines the
+// linter will already have flagged. Histogram series fold into their
+// base family name so -require works on the family, not the suffix.
+func familyTotals(payload string) map[string]float64 {
+	totals := map[string]float64{}
+	for _, line := range strings.Split(payload, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		} else if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		totals[name] += v
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				totals[strings.TrimSuffix(name, suffix)] += v
+			}
+		}
+	}
+	return totals
+}

@@ -130,7 +130,7 @@ func mapRemoteErr(err error) error {
 // wall-clock latency, honouring ctx for cancellation and deadline.
 func (c *Client) RecognizeContext(ctx context.Context, class Class, viewSeed uint64) (wire.RecognitionResult, time.Duration, error) {
 	start := time.Now()
-	msg, err := c.mux.BuildRecognize(class, viewSeed, wire.QoSBestEffort, time.Time{})
+	msg, err := c.mux.BuildRecognize(class, viewSeed, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		return wire.RecognitionResult{}, 0, err
 	}
@@ -151,7 +151,7 @@ func (c *Client) Recognize(class Class, viewSeed uint64) (wire.RecognitionResult
 // latency, honouring ctx for cancellation and deadline.
 func (c *Client) RenderContext(ctx context.Context, modelID string) (time.Duration, error) {
 	start := time.Now()
-	msg, err := c.mux.BuildRender(modelID, wire.QoSBestEffort, time.Time{})
+	msg, err := c.mux.BuildRender(modelID, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -175,7 +175,7 @@ func (c *Client) Render(modelID string) (time.Duration, error) {
 // deadline.
 func (c *Client) PanoContext(ctx context.Context, videoID string, frameIdx int, vp Viewport) (time.Duration, error) {
 	start := time.Now()
-	msg, err := c.mux.BuildPano(videoID, frameIdx, wire.QoSBestEffort, time.Time{})
+	msg, err := c.mux.BuildPano(videoID, frameIdx, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		return 0, err
 	}

@@ -259,6 +259,38 @@ func (sc *SimilarityCache) Stats() (Stats, uint64) {
 	return sc.store.Stats(), sim
 }
 
+// StatsSnapshot is one coherent reading of the cache's counters: the raw
+// store operation counters alongside the logical query counters, plus the
+// store's capacity. See SimilarityCache.StatsSnapshot for the epoch
+// guarantee.
+type StatsSnapshot struct {
+	Store       Stats
+	Capacity    int64
+	Queries     uint64
+	ExactHits   uint64
+	SimilarHits uint64
+}
+
+// StatsSnapshot reads the store counters and the logical query counters
+// in a single acquisition of the cache mutex. The separate
+// Stats()+QueryStats() pair takes the mutex twice, so lookups landing
+// between the two calls skew one side against the other — a test that
+// asserts Queries against Store.Hits+Store.Misses would flake under
+// concurrent traffic. One epoch removes that cross-call drift; a lookup
+// still mid-flight (queries bumped, store operation not yet issued) is
+// the only residual motion a snapshot can observe.
+func (sc *SimilarityCache) StatsSnapshot() StatsSnapshot {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return StatsSnapshot{
+		Store:       sc.store.Stats(),
+		Capacity:    sc.store.Capacity(),
+		Queries:     sc.queries,
+		ExactHits:   sc.exactHit,
+		SimilarHits: sc.simHits,
+	}
+}
+
 // Store exposes the underlying store for capacity/len inspection.
 func (sc *SimilarityCache) Store() Backend { return sc.store }
 

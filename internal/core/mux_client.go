@@ -224,13 +224,15 @@ func ReplyError(reply wire.Message) error {
 
 // BuildRecognize captures the camera frame for (class, viewSeed),
 // extracts the descriptor in CoIC mode, and frames the exec request.
-func (m *MuxClient) BuildRecognize(class vision.Class, viewSeed uint64, qos wire.QoS, deadline time.Time) (wire.Message, error) {
+// trace, when non-zero, rides the traced trailer so the edge and cloud
+// log this request under the same ID.
+func (m *MuxClient) BuildRecognize(class vision.Class, viewSeed uint64, qos wire.QoS, deadline time.Time, trace uint64) (wire.Message, error) {
 	frame := m.Client.CaptureFrame(class, viewSeed)
 	desc := originDescriptor
 	if m.Mode == ModeCoIC {
 		desc, _ = m.Client.Extract(frame)
 	}
-	req := wire.ExecRequest{Task: wire.TaskRecognize, Desc: desc, Payload: frame.Bytes(), QoS: qos}
+	req := wire.ExecRequest{Task: wire.TaskRecognize, Desc: desc, Payload: frame.Bytes(), QoS: qos, TraceID: trace}
 	if !deadline.IsZero() {
 		req.Deadline = deadline.UnixMicro()
 	}
@@ -255,8 +257,8 @@ func (m *MuxClient) FinishRecognize(reply wire.Message) (wire.RecognitionResult,
 }
 
 // BuildRender frames a model fetch.
-func (m *MuxClient) BuildRender(modelID string, qos wire.QoS, deadline time.Time) (wire.Message, error) {
-	req := wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF, QoS: qos}
+func (m *MuxClient) BuildRender(modelID string, qos wire.QoS, deadline time.Time, trace uint64) (wire.Message, error) {
+	req := wire.ModelFetch{ModelID: modelID, Format: wire.FormatCMF, QoS: qos, TraceID: trace}
 	if !deadline.IsZero() {
 		req.Deadline = deadline.UnixMicro()
 	}
@@ -288,8 +290,8 @@ func (m *MuxClient) FinishRender(reply wire.Message) (uint8, error) {
 }
 
 // BuildPano frames a panorama fetch.
-func (m *MuxClient) BuildPano(videoID string, frameIdx int, qos wire.QoS, deadline time.Time) (wire.Message, error) {
-	req := wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx), QoS: qos}
+func (m *MuxClient) BuildPano(videoID string, frameIdx int, qos wire.QoS, deadline time.Time, trace uint64) (wire.Message, error) {
+	req := wire.PanoFetch{VideoID: videoID, FrameIndex: uint32(frameIdx), QoS: qos, TraceID: trace}
 	if !deadline.IsZero() {
 		req.Deadline = deadline.UnixMicro()
 	}

@@ -28,7 +28,7 @@ func TestMuxClientTasksRoundTrip(t *testing.T) {
 	defer m.Close()
 
 	// Recognition (exec path), with QoS metadata on the wire.
-	msg, err := m.BuildRecognize(vision.ClassCar, 7, wire.QoSInteractive, time.Now().Add(time.Minute))
+	msg, err := m.BuildRecognize(vision.ClassCar, 7, wire.QoSInteractive, time.Now().Add(time.Minute), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestMuxClientTasksRoundTrip(t *testing.T) {
 	}
 
 	// Render (model fetch + load + draw).
-	msg, err = m.BuildRender(AnnotationModelID(vision.ClassCar.String()), wire.QoSBestEffort, time.Time{})
+	msg, err = m.BuildRender(AnnotationModelID(vision.ClassCar.String()), wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestMuxClientTasksRoundTrip(t *testing.T) {
 	}
 
 	// Pano (fetch + crop).
-	msg, err = m.BuildPano("mux-video", 1, wire.QoSBestEffort, time.Time{})
+	msg, err = m.BuildPano("mux-video", 1, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestMuxClientTasksRoundTrip(t *testing.T) {
 	}
 
 	// A remote failure surfaces as *RemoteError with the wire code.
-	msg, err = m.BuildRender("no/such/model", wire.QoSBestEffort, time.Time{})
+	msg, err = m.BuildRender("no/such/model", wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestMuxClientCancelMidFlight(t *testing.T) {
 		waitFor(t, "the fetch to start", func() bool { return es.Edge.Inflight().Len() == 1 })
 		cancel()
 	}()
-	msg, err := m.BuildPano("mux-cancel", 3, wire.QoSBestEffort, time.Time{})
+	msg, err := m.BuildPano("mux-cancel", 3, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestMuxClientCancelMidFlight(t *testing.T) {
 	})
 
 	// The connection survives: the next request round-trips fine.
-	msg, err = m.BuildPano("mux-cancel", 4, wire.QoSBestEffort, time.Time{})
+	msg, err = m.BuildPano("mux-cancel", 4, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestMuxClientCloseFailsInflight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	msg, err := m.BuildPano("mux-close", 1, wire.QoSBestEffort, time.Time{})
+	msg, err := m.BuildPano("mux-close", 1, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestMuxClientForgetDropsReply(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	msg, err := m.BuildPano("mux-forget", 1, wire.QoSBestEffort, time.Time{})
+	msg, err := m.BuildPano("mux-forget", 1, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestMuxClientForgetDropsReply(t *testing.T) {
 	case <-time.After(time.Second):
 	}
 	// The connection is still aligned for later requests.
-	msg, err = m.BuildPano("mux-forget", 2, wire.QoSBestEffort, time.Time{})
+	msg, err = m.BuildPano("mux-forget", 2, wire.QoSBestEffort, time.Time{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

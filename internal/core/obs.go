@@ -1,0 +1,176 @@
+package core
+
+import (
+	"time"
+
+	"github.com/edge-immersion/coic/internal/obs"
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// Pipeline stages instrumented with latency histograms. Each maps to one
+// coic_stage_duration_seconds{stage=...} series.
+const (
+	StageDecode      = "decode"       // request body unmarshal
+	StageCacheLookup = "cache_lookup" // edge cache probe (local + peers)
+	StageSchedWait   = "sched_wait"   // admission to worker pickup
+	StageExec        = "exec"         // worker dispatch end to end
+	StageCloudFetch  = "cloud_fetch"  // upstream round trip (incl. coalesced wait)
+	StageReplyWrite  = "reply_write"  // frame write back to the client
+)
+
+// Request outcomes counted in coic_requests_total{class,outcome}.
+const (
+	outcomeOK = iota
+	outcomeError
+	outcomeCanceled
+	outcomeDeadline
+	outcomeOverloaded
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{"ok", "error", "canceled", "deadline", "overloaded"}
+
+// ServerObs is one server's live instrumentation: per-stage latency
+// histograms, per-class request outcome counters, connection gauges and
+// the slow-request ring. All methods are nil-safe — a server built
+// without an observability registry pays only a nil check per call site,
+// which is what keeps the serving hot path benchmark-neutral.
+type ServerObs struct {
+	decode      *obs.Histogram
+	cacheLookup *obs.Histogram
+	schedWait   *obs.Histogram
+	exec        *obs.Histogram
+	cloudFetch  *obs.Histogram
+	replyWrite  *obs.Histogram
+
+	requests [wire.NumQoSClasses][numOutcomes]*obs.Counter
+
+	connsActive *obs.Gauge
+	connsTotal  *obs.Counter
+
+	reqLog *obs.RequestLog
+}
+
+// NewServerObs registers the serving-path metric families on reg and
+// returns the handle the pipeline observes through. rlog may be nil to
+// skip slow-request recording.
+func NewServerObs(reg *obs.Registry, rlog *obs.RequestLog) *ServerObs {
+	o := &ServerObs{reqLog: rlog}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("coic_stage_duration_seconds",
+			"Serving-pipeline stage latency in seconds.", nil, obs.L("stage", name))
+	}
+	o.decode = stage(StageDecode)
+	o.cacheLookup = stage(StageCacheLookup)
+	o.schedWait = stage(StageSchedWait)
+	o.exec = stage(StageExec)
+	o.cloudFetch = stage(StageCloudFetch)
+	o.replyWrite = stage(StageReplyWrite)
+	for c := 0; c < wire.NumQoSClasses; c++ {
+		for i, name := range outcomeNames {
+			o.requests[c][i] = reg.Counter("coic_requests_total",
+				"Requests completed, by service class and outcome.",
+				obs.L("class", wire.QoS(c).String()), obs.L("outcome", name))
+		}
+	}
+	o.connsActive = reg.Gauge("coic_connections_active",
+		"Client connections currently being served.")
+	o.connsTotal = reg.Counter("coic_connections_total",
+		"Client connections accepted since start.")
+	return o
+}
+
+func (o *ServerObs) connOpened() {
+	if o == nil {
+		return
+	}
+	o.connsActive.Inc()
+	o.connsTotal.Inc()
+}
+
+func (o *ServerObs) connClosed() {
+	if o == nil {
+		return
+	}
+	o.connsActive.Dec()
+}
+
+func (o *ServerObs) observeDecode(d time.Duration) {
+	if o != nil {
+		o.decode.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeCacheLookup(d time.Duration) {
+	if o != nil {
+		o.cacheLookup.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeSchedWait(d time.Duration) {
+	if o != nil {
+		o.schedWait.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeExec(d time.Duration) {
+	if o != nil {
+		o.exec.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeCloudFetch(d time.Duration) {
+	if o != nil {
+		o.cloudFetch.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeReplyWrite(d time.Duration) {
+	if o != nil {
+		o.replyWrite.Observe(d)
+	}
+}
+
+// outcomeOf classifies a reply frame: non-error replies are ok, error
+// replies map by code. Unmarshal runs only on the (rare) error path.
+func outcomeOf(m wire.Message) int {
+	if m.Type != wire.MsgError {
+		return outcomeOK
+	}
+	er, err := wire.UnmarshalErrorReply(m.Body)
+	if err != nil {
+		return outcomeError
+	}
+	switch er.Code {
+	case wire.CodeCanceled:
+		return outcomeCanceled
+	case wire.CodeDeadlineExceeded:
+		return outcomeDeadline
+	case wire.CodeOverloaded:
+		return outcomeOverloaded
+	default:
+		return outcomeError
+	}
+}
+
+// request accounts one finished request: outcome counter plus the
+// slow-request ring (which itself decides whether the event qualifies).
+// It is called wherever a reply takes a request's slot — the worker for
+// dispatched work, the reader for sheds and overload rejections.
+func (o *ServerObs) request(class wire.QoS, msg wire.Message, trace uint64, reply wire.Message, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	out := outcomeOf(reply)
+	o.requests[classIndex(class)][out].Inc()
+	if o.reqLog != nil {
+		o.reqLog.Record(obs.RequestEvent{
+			TraceID:  trace,
+			ReqID:    msg.RequestID,
+			Type:     msg.Type.String(),
+			Class:    class.String(),
+			Outcome:  outcomeNames[out],
+			Duration: dur,
+		})
+	}
+}

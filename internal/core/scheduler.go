@@ -38,6 +38,13 @@ type schedJob struct {
 	class    wire.QoS
 	deadline time.Time // zero = none
 	order    uint64    // admission order, the FIFO tiebreak
+
+	// admitted stamps when the reader pushed the job, feeding the
+	// sched_wait stage histogram; trace is the client-minted trace ID
+	// peeked off the wire for log correlation. Both are observability
+	// payload — the scheduler itself never reads them.
+	admitted time.Time
+	trace    uint64
 }
 
 // expired reports whether the job's result would be stale if started now.

@@ -116,7 +116,10 @@ func isCanceled(err error) bool {
 // the queue is full of live work, the request is rejected with
 // CodeOverloaded instead of stalling the reader, keeping the connection
 // responsive under load; expired queued work is evicted first to make
-// room. hooks observe admissions, deadline sheds and overloads.
+// room. hooks observe admissions, deadline sheds and overloads; obsv
+// (nil-safe) feeds the live metrics plane — per-stage histograms,
+// per-class outcome counters, connection gauges and the slow-request
+// ring.
 //
 // ctx is the serving context: its cancellation stops the reader (no new
 // requests) but deliberately does NOT cancel per-request contexts —
@@ -124,8 +127,10 @@ func isCanceled(err error) bool {
 // client disconnect, by contrast, cancels every in-flight request on the
 // connection: nobody is left to read the replies, so the work (and any
 // coalesced fetch it alone keeps alive) is abandoned.
-func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, hooks pipelineHooks) {
+func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, hooks pipelineHooks, obsv *ServerObs) {
 	defer conn.Close()
+	obsv.connOpened()
+	defer obsv.connClosed()
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
@@ -176,12 +181,15 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 			if dead {
 				return
 			}
+			start := time.Now()
 			if err := wire.WriteMessage(conn, m); err != nil {
 				// Keep draining so workers never block behind a dead
 				// connection; closing it also unsticks the reader.
 				dead = true
 				conn.Close()
+				return
 			}
+			obsv.observeReplyWrite(time.Since(start))
 		}
 		for r := range replies {
 			if unordered.Load() {
@@ -204,12 +212,14 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 				if !ok {
 					return
 				}
+				picked := time.Now()
+				obsv.observeSchedWait(picked.Sub(j.admitted))
 				var m wire.Message
 				switch {
 				case j.ctx.Err() != nil:
 					// Cancelled while queued: skip the work entirely.
 					m = canceledReply(j.msg.RequestID)
-				case j.expired(time.Now()):
+				case j.expired(picked):
 					// Shed-before-work: the deadline passed in the queue,
 					// so the result would be stale on arrival. No dispatch,
 					// no upstream fetch.
@@ -219,8 +229,10 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 					m = deadlineShedReply(j.msg.RequestID)
 				default:
 					m = dispatch(j.ctx, j.msg, j.mode)
+					obsv.observeExec(time.Since(picked))
 				}
 				j.finish()
+				obsv.request(j.class, j.msg, j.trace, m, time.Since(j.admitted))
 				replies <- wire.SequencedMessage{Seq: j.seq, Msg: m}
 			}
 		}()
@@ -274,6 +286,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 			jcancel()
 		}
 		class, deadlineMicros := wire.PeekQoS(msg.Type, msg.Body)
+		trace := wire.PeekTrace(msg.Type, msg.Body)
 		// Federation frames carry no trailer but sit on another edge's
 		// client critical path: schedule them as interactive, or a
 		// sustained interactive stream here would starve peer probes
@@ -288,6 +301,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		shed, ok := sched.push(schedJob{
 			seq: seq, msg: msg, mode: mode, ctx: jctx, finish: finish,
 			class: class, deadline: deadline,
+			admitted: time.Now(), trace: trace,
 		})
 		// Expired queued work evicted to make room answers in its own
 		// reply slot; it never reaches a worker.
@@ -296,14 +310,18 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 				hooks.onShed()
 			}
 			s.finish()
-			replies <- wire.SequencedMessage{Seq: s.seq, Msg: deadlineShedReply(s.msg.RequestID)}
+			m := deadlineShedReply(s.msg.RequestID)
+			obsv.request(s.class, s.msg, s.trace, m, time.Since(s.admitted))
+			replies <- wire.SequencedMessage{Seq: s.seq, Msg: m}
 		}
 		if !ok {
 			if hooks.onOverload != nil {
 				hooks.onOverload()
 			}
 			finish()
-			replies <- wire.SequencedMessage{Seq: seq, Msg: overloadReply(msg, workers+depth)}
+			m := overloadReply(msg, workers+depth)
+			obsv.request(class, msg, trace, m, 0)
+			replies <- wire.SequencedMessage{Seq: seq, Msg: m}
 		} else if hooks.onAdmit != nil {
 			hooks.onAdmit(class)
 		}
@@ -357,6 +375,8 @@ type CloudServer struct {
 	// that lets those fetches actually execute in parallel cloud-side.
 	Workers    int
 	QueueDepth int
+	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
+	Obs *ServerObs
 
 	sched schedCounters
 }
@@ -406,7 +426,7 @@ func (s *CloudServer) ServeContext(ctx context.Context, ln net.Listener) error {
 func (s *CloudServer) handle(ctx context.Context, conn net.Conn) {
 	connPipeline(ctx, conn, s.Workers, s.QueueDepth, func(jctx context.Context, msg wire.Message, _ Mode) wire.Message {
 		return s.dispatch(jctx, msg)
-	}, s.sched.hooks())
+	}, s.sched.hooks(), s.Obs)
 }
 
 func (s *CloudServer) dispatch(ctx context.Context, msg wire.Message) wire.Message {
@@ -416,7 +436,9 @@ func (s *CloudServer) dispatch(ctx context.Context, msg wire.Message) wire.Messa
 	}
 	switch msg.Type {
 	case wire.MsgExec:
+		decodeStart := time.Now()
 		req, err := wire.UnmarshalExecRequest(msg.Body)
+		s.Obs.observeDecode(time.Since(decodeStart))
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad exec: %v", err)
 		}
@@ -500,6 +522,8 @@ type EdgeServer struct {
 	// upstream as hard overload errors. Raise it in lockstep with the
 	// cloud's -workers/-queue.
 	MaxUpstream int
+	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
+	Obs *ServerObs
 
 	mu    sync.Mutex
 	cloud *cloudMux
@@ -967,7 +991,7 @@ func (s *EdgeServer) roundTripCloud(ctx context.Context, msg wire.Message) (wire
 }
 
 func (s *EdgeServer) handle(ctx context.Context, conn net.Conn) {
-	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, s.sched.hooks())
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, s.sched.hooks(), s.Obs)
 }
 
 // edgeError carries a protocol error code through the in-flight table so
@@ -990,6 +1014,8 @@ func (e *edgeError) Error() string { return e.msg }
 // caller) and aborts — withdrawing the upstream round trip — when the
 // last waiter is gone.
 func (s *EdgeServer) fetchCoalesced(ctx context.Context, desc feature.Descriptor, msg wire.Message, want wire.MsgType, extract func(wire.Message) ([]byte, error)) ([]byte, uint8, error) {
+	start := time.Now()
+	defer func() { s.Obs.observeCloudFetch(time.Since(start)) }()
 	val, leader, err := s.Edge.Inflight().Do(ctx, desc, func(fctx context.Context) ([]byte, error) {
 		reply, err := s.roundTripCloud(fctx, msg)
 		if err != nil {
@@ -1050,14 +1076,19 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 
 	switch msg.Type {
 	case wire.MsgExec:
+		decodeStart := time.Now()
 		req, err := wire.UnmarshalExecRequest(msg.Body)
+		s.Obs.observeDecode(time.Since(decodeStart))
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad exec: %v", err)
 		}
 		if mode != ModeCoIC {
 			return forward()
 		}
-		if lr := s.Edge.Lookup(ctx, req.Task, req.Desc); lr.Hit() {
+		lookupStart := time.Now()
+		lr := s.Edge.Lookup(ctx, req.Task, req.Desc)
+		s.Obs.observeCacheLookup(time.Since(lookupStart))
+		if lr.Hit() {
 			body, _ := (wire.ExecReply{Source: wire.SourceEdge, Result: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 		}
@@ -1075,7 +1106,9 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 		return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 
 	case wire.MsgModelFetch:
+		decodeStart := time.Now()
 		req, err := wire.UnmarshalModelFetch(msg.Body)
+		s.Obs.observeDecode(time.Since(decodeStart))
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad model fetch: %v", err)
 		}
@@ -1083,7 +1116,10 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 			return forward()
 		}
 		desc := ModelDescriptor(req.ModelID)
-		if lr := s.Edge.Lookup(ctx, wire.TaskRender, desc); lr.Hit() {
+		lookupStart := time.Now()
+		lr := s.Edge.Lookup(ctx, wire.TaskRender, desc)
+		s.Obs.observeCacheLookup(time.Since(lookupStart))
+		if lr.Hit() {
 			body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceEdge, Data: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 		}
@@ -1101,7 +1137,9 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 		return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 
 	case wire.MsgPanoFetch:
+		decodeStart := time.Now()
 		req, err := wire.UnmarshalPanoFetch(msg.Body)
+		s.Obs.observeDecode(time.Since(decodeStart))
 		if err != nil {
 			return fail(wire.CodeBadRequest, "bad pano fetch: %v", err)
 		}
@@ -1109,7 +1147,10 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 			return forward()
 		}
 		desc := PanoDescriptor(req.VideoID, int(req.FrameIndex))
-		if lr := s.Edge.Lookup(ctx, wire.TaskPano, desc); lr.Hit() {
+		lookupStart := time.Now()
+		lr := s.Edge.Lookup(ctx, wire.TaskPano, desc)
+		s.Obs.observeCacheLookup(time.Since(lookupStart))
+		if lr.Hit() {
 			body, _ := (wire.PanoReply{Source: wire.SourceEdge, Data: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
 		}

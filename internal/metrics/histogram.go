@@ -10,9 +10,18 @@ import (
 // Histogram records durations and answers quantile queries. It keeps the
 // exact samples (experiments here record at most a few hundred thousand
 // points), so quantiles are exact rather than bucket-approximated. The
-// zero value is ready to use. Histogram is not safe for concurrent use;
-// the simulation is single-threaded and the TCP client aggregates after
-// joining its workers.
+// zero value is ready to use.
+//
+// Histogram is NOT safe for concurrent use, deliberately: the simulation
+// is single-threaded, the TCP client aggregates after joining its
+// workers, and keeping the type lock-free keeps offline experiment loops
+// honest about their own cost. Callers that must share one instance
+// across goroutines serialise every method — including the read-side
+// Quantile/Median/P95/P99, which lazily sort the sample slice in place —
+// behind their own mutex. Live servers should not use this type on hot
+// paths at all; that is what obs.Histogram (atomic bounded buckets,
+// approximate quantiles) exists for. TestHistogramConcurrencyContract
+// guards this contract.
 type Histogram struct {
 	samples []time.Duration
 	sorted  bool

@@ -1,0 +1,15 @@
+// Package obs is the live operations plane of the CoIC daemons: lock-cheap
+// counters, gauges and bounded-bucket latency histograms rendered in
+// Prometheus text exposition format, an HTTP sidecar handler exposing
+// /metrics, /healthz, /readyz, /debug/requests and net/http/pprof, and a
+// ring buffer of recent slow requests for cross-tier correlation by trace
+// ID.
+//
+// It is deliberately not a Prometheus client library dependency: the
+// container images bake in no third-party modules, and the subset a
+// scraper needs — counter/gauge/histogram families with labels, HELP/TYPE
+// metadata, correct escaping — is small. metrics.Histogram (exact samples,
+// single-goroutine) remains the tool for offline experiments; obs.Histogram
+// trades exact quantiles for atomic per-bucket counters so the serving hot
+// path can observe every request without a lock.
+package obs

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("coic_requests_total", "Requests.", L("class", "interactive"), L("outcome", "ok")).Add(7)
+	rlog := NewRequestLog(8, time.Millisecond, nil)
+	rlog.Record(RequestEvent{TraceID: 0xabc, ReqID: 3, Type: "exec", Class: "interactive", Outcome: "deadline", Duration: 40 * time.Millisecond})
+
+	var unready atomic.Bool
+	ready := func(ctx context.Context) error {
+		if unready.Load() {
+			return errors.New("cloud link down")
+		}
+		return nil
+	}
+	srv := httptest.NewServer(Handler(reg, ready, rlog))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	unready.Store(true)
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "cloud link down") {
+		t.Fatalf("/readyz after drop = %d %q, want 503 with reason", code, body)
+	}
+	unready.Store(false)
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatal("/readyz should recover when the dependency returns")
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, `coic_requests_total{class="interactive",outcome="ok"} 7`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if problems := Lint(strings.NewReader(body)); len(problems) != 0 {
+		t.Fatalf("/metrics fails lint: %v", problems)
+	}
+
+	code, body = get("/debug/requests")
+	if code != 200 {
+		t.Fatalf("/debug/requests = %d", code)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/debug/requests not JSON: %v\n%s", err, body)
+	}
+	if len(evs) != 1 || evs[0]["trace_id"] != "0000000000000abc" || evs[0]["outcome"] != "deadline" {
+		t.Fatalf("/debug/requests = %v", evs)
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestHandlerNoRequestLog(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/debug/requests without ring = %d, want 404", resp.StatusCode)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz with nil ready = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRequestLogRing(t *testing.T) {
+	l := NewRequestLog(3, 10*time.Millisecond, nil)
+	l.Record(RequestEvent{ReqID: 1, Outcome: "ok", Duration: time.Millisecond}) // fast ok: dropped
+	for i := uint64(2); i <= 5; i++ {
+		l.Record(RequestEvent{ReqID: i, Outcome: "error"})
+	}
+	evs := l.Recent()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(evs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].ReqID != want {
+			t.Fatalf("ring order = %v, want oldest-first 3,4,5", evs)
+		}
+	}
+	l2 := NewRequestLog(4, 0, nil)
+	l2.Record(RequestEvent{ReqID: 1, Outcome: "ok", Duration: time.Hour})
+	if len(l2.Recent()) != 0 {
+		t.Fatal("slow<=0 should keep successes out of the ring")
+	}
+}
+
+func TestRequestLogSlogEmission(t *testing.T) {
+	var buf strings.Builder
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	l := NewRequestLog(4, time.Millisecond, logger)
+	l.Record(RequestEvent{TraceID: 0xdead, ReqID: 9, Type: "exec", Class: "interactive", Outcome: "ok", Duration: 50 * time.Millisecond})
+	out := buf.String()
+	if !strings.Contains(out, "000000000000dead") || !strings.Contains(out, "slow request") {
+		t.Fatalf("slog line missing trace: %s", out)
+	}
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-exposition payload the way
+// `promtool check metrics` would, without the promtool dependency:
+// metric/label name syntax, HELP/TYPE before samples of the same family,
+// parseable sample values, histograms complete with a +Inf bucket and
+// _sum/_count, counters named *_total (warning-grade in promtool,
+// error-grade here so our own catalog stays consistent). It returns one
+// message per problem; an empty slice means the payload is clean.
+func Lint(r io.Reader) []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type famState struct {
+		typ     string
+		samples bool
+		// histogram completeness tracking
+		hasInf, hasSum, hasCount bool
+	}
+	fams := map[string]*famState{}
+	order := []string{} // first-appearance order for final checks
+	fam := func(name string) *famState {
+		f := fams[name]
+		if f == nil {
+			f = &famState{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Plain comment; the format allows it.
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				addf(n, "invalid metric name %q in %s line", name, fields[1])
+				continue
+			}
+			f := fam(name)
+			if f.samples {
+				addf(n, "%s for %s after its samples", fields[1], name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					addf(n, "TYPE line for %s missing type", name)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					if f.typ != "" {
+						addf(n, "duplicate TYPE for %s", name)
+					}
+					f.typ = fields[3]
+				default:
+					addf(n, "unknown type %q for %s", fields[3], name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf(n, "%v", err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(n, "invalid metric name %q", name)
+			continue
+		}
+		for _, l := range labels {
+			if !validLabelName(l.Name) {
+				addf(n, "invalid label name %q on %s", l.Name, name)
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			addf(n, "unparseable value %q for %s", value, name)
+		}
+
+		// Resolve histogram series to their base family.
+		base := name
+		var suffix string
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, s)
+			if trimmed != name {
+				if bf, ok := fams[trimmed]; ok && bf.typ == "histogram" {
+					base, suffix = trimmed, s
+				}
+				break
+			}
+		}
+		f := fam(base)
+		f.samples = true
+		switch suffix {
+		case "_bucket":
+			for _, l := range labels {
+				if l.Name == "le" && l.Value == "+Inf" {
+					f.hasInf = true
+				}
+			}
+		case "_sum":
+			f.hasSum = true
+		case "_count":
+			f.hasCount = true
+		}
+		if f.typ == "histogram" && suffix == "" {
+			addf(n, "bare sample %s for histogram family", name)
+		}
+		if f.typ == "counter" && !strings.HasSuffix(base, "_total") {
+			addf(n, "counter %s should end in _total", base)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.typ == "" && f.samples {
+			problems = append(problems, fmt.Sprintf("metric %s has samples but no TYPE", name))
+		}
+		if f.typ == "histogram" && f.samples {
+			if !f.hasInf {
+				problems = append(problems, fmt.Sprintf("histogram %s missing +Inf bucket", name))
+			}
+			if !f.hasSum {
+				problems = append(problems, fmt.Sprintf("histogram %s missing _sum", name))
+			}
+			if !f.hasCount {
+				problems = append(problems, fmt.Sprintf("histogram %s missing _count", name))
+			}
+		}
+	}
+	return problems
+}
+
+// parseSample splits `name{l1="v1",...} value [timestamp]` into parts.
+func parseSample(line string) (name string, labels []Label, value string, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		name, rest = rest[:i], rest[i:]
+	} else {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, escaped := false, false
+		for i := 1; i < len(rest); i++ {
+			c := rest[i]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuote:
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, "", fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("sample %q needs a value and optional timestamp", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+func parseLabels(s string) ([]Label, error) {
+	var labels []Label
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label %q missing '='", s)
+		}
+		lname := s[:eq]
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("label %s value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %s", s[i], lname)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(s) {
+			return nil, fmt.Errorf("unterminated value for label %s", lname)
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}

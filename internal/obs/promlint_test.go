@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintStr(s string) []string { return Lint(strings.NewReader(s)) }
+
+func TestLintCleanPayload(t *testing.T) {
+	payload := `# HELP coic_requests_total Requests.
+# TYPE coic_requests_total counter
+coic_requests_total{class="interactive",outcome="ok"} 12
+# HELP coic_stage_duration_seconds Stage latency.
+# TYPE coic_stage_duration_seconds histogram
+coic_stage_duration_seconds_bucket{stage="exec",le="0.01"} 3
+coic_stage_duration_seconds_bucket{stage="exec",le="+Inf"} 4
+coic_stage_duration_seconds_sum{stage="exec"} 0.05
+coic_stage_duration_seconds_count{stage="exec"} 4
+`
+	if problems := lintStr(payload); len(problems) != 0 {
+		t.Fatalf("clean payload flagged: %v", problems)
+	}
+}
+
+func TestLintCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantSub string
+	}{
+		{
+			"samples without TYPE",
+			"mystery_metric 3\n",
+			"no TYPE",
+		},
+		{
+			"counter without _total",
+			"# TYPE hits counter\nhits 3\n",
+			"should end in _total",
+		},
+		{
+			"bad value",
+			"# TYPE x_total counter\nx_total three\n",
+			"unparseable value",
+		},
+		{
+			"histogram missing +Inf",
+			"# TYPE lat histogram\nlat_bucket{le=\"1\"} 2\nlat_sum 1\nlat_count 2\n",
+			"missing +Inf",
+		},
+		{
+			"histogram missing _count",
+			"# TYPE lat histogram\nlat_bucket{le=\"+Inf\"} 2\nlat_sum 1\n",
+			"missing _count",
+		},
+		{
+			"HELP after samples",
+			"# TYPE x_total counter\nx_total 1\n# HELP x_total late help\n",
+			"after its samples",
+		},
+		{
+			"bad metric name",
+			"# TYPE 9bad counter\n",
+			"invalid metric name",
+		},
+		{
+			"unterminated label set",
+			"# TYPE x_total counter\nx_total{a=\"b\" 1\n",
+			"unterminated",
+		},
+		{
+			"reserved label name",
+			"# TYPE x_total counter\nx_total{__name__=\"y\"} 1\n",
+			"invalid label name",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := lintStr(tc.payload)
+			for _, p := range problems {
+				if strings.Contains(p, tc.wantSub) {
+					return
+				}
+			}
+			t.Fatalf("want a problem containing %q, got %v", tc.wantSub, problems)
+		})
+	}
+}
+
+func TestLintAcceptsEscapedLabelValues(t *testing.T) {
+	payload := "# TYPE x_total counter\nx_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"
+	if problems := lintStr(payload); len(problems) != 0 {
+		t.Fatalf("escaped label value flagged: %v", problems)
+	}
+}

@@ -68,32 +68,79 @@ func (q QoS) String() string {
 	}
 }
 
-// qosTrailerLen is the encoded size of the optional QoS trailer carried
-// at the end of ExecRequest, ModelFetch and PanoFetch bodies:
-// class u8 | deadline u64 (unix microseconds UTC, 0 = none).
-const qosTrailerLen = 9
+// The optional scheduling trailer carried at the end of ExecRequest,
+// ModelFetch and PanoFetch bodies comes in two encoded sizes:
+//
+//	qosTrailerLen:   class u8 | deadline u64 (unix microseconds UTC, 0 = none)
+//	traceTrailerLen: class u8 | deadline u64 | trace u64
+//
+// The long form adds the client-minted trace ID; a request with no trace
+// marshals to the short (or absent) form so pre-trace servers keep
+// accepting frames from upgraded clients.
+const (
+	qosTrailerLen   = 9
+	traceTrailerLen = 17
+)
 
 // appendQoSTrailer encodes the trailer only when it says something: a
-// zero class with no deadline marshals to the pre-QoS body, so old
-// servers keep accepting frames from upgraded clients that don't use the
-// feature.
-func appendQoSTrailer(out []byte, class QoS, deadline int64) []byte {
-	if class == QoSBestEffort && deadline == 0 {
+// zero class with no deadline and no trace marshals to the pre-QoS body,
+// so old servers keep accepting frames from upgraded clients that don't
+// use the feature.
+func appendQoSTrailer(out []byte, class QoS, deadline int64, trace uint64) []byte {
+	if class == QoSBestEffort && deadline == 0 && trace == 0 {
 		return out
 	}
 	out = append(out, byte(class))
-	return binary.LittleEndian.AppendUint64(out, uint64(deadline))
+	out = binary.LittleEndian.AppendUint64(out, uint64(deadline))
+	if trace == 0 {
+		return out
+	}
+	return binary.LittleEndian.AppendUint64(out, trace)
 }
 
-// splitQoSTrailer validates rest as either empty or exactly one trailer.
-func splitQoSTrailer(rest []byte) (QoS, int64, error) {
+// splitQoSTrailer validates rest as either empty or exactly one trailer
+// (short or traced form).
+func splitQoSTrailer(rest []byte) (QoS, int64, uint64, error) {
 	switch len(rest) {
 	case 0:
-		return QoSBestEffort, 0, nil
+		return QoSBestEffort, 0, 0, nil
 	case qosTrailerLen:
-		return QoS(rest[0]), int64(binary.LittleEndian.Uint64(rest[1:])), nil
+		return QoS(rest[0]), int64(binary.LittleEndian.Uint64(rest[1:])), 0, nil
+	case traceTrailerLen:
+		return QoS(rest[0]), int64(binary.LittleEndian.Uint64(rest[1:])),
+			binary.LittleEndian.Uint64(rest[9:]), nil
 	default:
-		return 0, 0, fmt.Errorf("%w: trailing %d bytes are not a QoS trailer", ErrBadMessage, len(rest))
+		return 0, 0, 0, fmt.Errorf("%w: trailing %d bytes are not a QoS trailer", ErrBadMessage, len(rest))
+	}
+}
+
+// trailerBase finds the offset where a request body's trailer would start
+// (the end of the fixed payload), or -1 when the type carries no trailer
+// or the body is malformed.
+func trailerBase(t MsgType, body []byte) int {
+	switch t {
+	case MsgExec:
+		if len(body) < 5 {
+			return -1
+		}
+		dn := int(binary.LittleEndian.Uint32(body[1:]))
+		off := 5 + dn
+		if off+4 > len(body) {
+			return -1
+		}
+		return off + 4 + int(binary.LittleEndian.Uint32(body[off:]))
+	case MsgModelFetch:
+		if len(body) < 3 {
+			return -1
+		}
+		return 3 + int(binary.LittleEndian.Uint16(body[1:]))
+	case MsgPanoFetch:
+		if len(body) < 6 {
+			return -1
+		}
+		return 6 + int(binary.LittleEndian.Uint16(body[4:]))
+	default:
+		return -1
 	}
 }
 
@@ -104,35 +151,23 @@ func splitQoSTrailer(rest []byte) (QoS, int64, error) {
 // bodies (the dispatcher will reject them anyway), read as best-effort
 // with no deadline.
 func PeekQoS(t MsgType, body []byte) (QoS, int64) {
-	base := -1
-	switch t {
-	case MsgExec:
-		if len(body) < 5 {
-			return QoSBestEffort, 0
-		}
-		dn := int(binary.LittleEndian.Uint32(body[1:]))
-		off := 5 + dn
-		if off+4 > len(body) {
-			return QoSBestEffort, 0
-		}
-		base = off + 4 + int(binary.LittleEndian.Uint32(body[off:]))
-	case MsgModelFetch:
-		if len(body) < 3 {
-			return QoSBestEffort, 0
-		}
-		base = 3 + int(binary.LittleEndian.Uint16(body[1:]))
-	case MsgPanoFetch:
-		if len(body) < 6 {
-			return QoSBestEffort, 0
-		}
-		base = 6 + int(binary.LittleEndian.Uint16(body[4:]))
-	default:
-		return QoSBestEffort, 0
-	}
-	if base < 0 || base+qosTrailerLen != len(body) {
+	base := trailerBase(t, body)
+	if base < 0 || (base+qosTrailerLen != len(body) && base+traceTrailerLen != len(body)) {
 		return QoSBestEffort, 0
 	}
 	return QoS(body[base]), int64(binary.LittleEndian.Uint64(body[base+1:]))
+}
+
+// PeekTrace extracts the client-minted trace ID from a request body
+// without decoding the payload, for log correlation on the serving hot
+// path. Requests without the traced trailer (and malformed bodies) read
+// as 0.
+func PeekTrace(t MsgType, body []byte) uint64 {
+	base := trailerBase(t, body)
+	if base < 0 || base+traceTrailerLen != len(body) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(body[base+qosTrailerLen:])
 }
 
 // Cache outcomes carried in ProbeReply.
@@ -323,6 +358,11 @@ type ExecRequest struct {
 	// microseconds UTC) after which the result is useless; serving tiers
 	// shed the request from their queues once it passes.
 	Deadline int64
+	// TraceID, when non-zero, is the client-minted identifier logged by
+	// every tier the request crosses (client, edge, cloud) so one slow
+	// frame can be correlated across their logs. It rides the traced form
+	// of the trailer; zero marshals to the short form.
+	TraceID uint64
 }
 
 // Marshal encodes the body.
@@ -337,7 +377,7 @@ func (e ExecRequest) Marshal() ([]byte, error) {
 	out = append(out, desc...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Payload)))
 	out = append(out, e.Payload...)
-	return appendQoSTrailer(out, e.QoS, e.Deadline), nil
+	return appendQoSTrailer(out, e.QoS, e.Deadline, e.TraceID), nil
 }
 
 // UnmarshalExecRequest decodes an ExecRequest body.
@@ -359,7 +399,7 @@ func UnmarshalExecRequest(body []byte) (ExecRequest, error) {
 	if pn < 0 || end > len(body) {
 		return ExecRequest{}, fmt.Errorf("%w: exec payload length", ErrBadMessage)
 	}
-	qos, deadline, err := splitQoSTrailer(body[end:])
+	qos, deadline, trace, err := splitQoSTrailer(body[end:])
 	if err != nil {
 		return ExecRequest{}, err
 	}
@@ -369,6 +409,7 @@ func UnmarshalExecRequest(body []byte) (ExecRequest, error) {
 		Payload:  append([]byte(nil), body[off+4:end]...),
 		QoS:      qos,
 		Deadline: deadline,
+		TraceID:  trace,
 	}, nil
 }
 
@@ -411,6 +452,7 @@ type ModelFetch struct {
 	Format   uint8
 	QoS      QoS
 	Deadline int64
+	TraceID  uint64
 }
 
 // Marshal encodes the body.
@@ -422,7 +464,7 @@ func (m ModelFetch) Marshal() ([]byte, error) {
 	out = append(out, m.Format)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.ModelID)))
 	out = append(out, m.ModelID...)
-	return appendQoSTrailer(out, m.QoS, m.Deadline), nil
+	return appendQoSTrailer(out, m.QoS, m.Deadline, m.TraceID), nil
 }
 
 // UnmarshalModelFetch decodes a ModelFetch body.
@@ -434,11 +476,11 @@ func UnmarshalModelFetch(body []byte) (ModelFetch, error) {
 	if end > len(body) {
 		return ModelFetch{}, fmt.Errorf("%w: model id length", ErrBadMessage)
 	}
-	qos, deadline, err := splitQoSTrailer(body[end:])
+	qos, deadline, trace, err := splitQoSTrailer(body[end:])
 	if err != nil {
 		return ModelFetch{}, err
 	}
-	return ModelFetch{Format: body[0], ModelID: string(body[3:end]), QoS: qos, Deadline: deadline}, nil
+	return ModelFetch{Format: body[0], ModelID: string(body[3:end]), QoS: qos, Deadline: deadline, TraceID: trace}, nil
 }
 
 // ModelReply carries model bytes in the named format.
@@ -475,6 +517,7 @@ type PanoFetch struct {
 	FrameIndex uint32
 	QoS        QoS
 	Deadline   int64
+	TraceID    uint64
 }
 
 // Marshal encodes the body.
@@ -486,7 +529,7 @@ func (p PanoFetch) Marshal() ([]byte, error) {
 	out = binary.LittleEndian.AppendUint32(out, p.FrameIndex)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.VideoID)))
 	out = append(out, p.VideoID...)
-	return appendQoSTrailer(out, p.QoS, p.Deadline), nil
+	return appendQoSTrailer(out, p.QoS, p.Deadline, p.TraceID), nil
 }
 
 // UnmarshalPanoFetch decodes a PanoFetch body.
@@ -498,7 +541,7 @@ func UnmarshalPanoFetch(body []byte) (PanoFetch, error) {
 	if end > len(body) {
 		return PanoFetch{}, fmt.Errorf("%w: video id length", ErrBadMessage)
 	}
-	qos, deadline, err := splitQoSTrailer(body[end:])
+	qos, deadline, trace, err := splitQoSTrailer(body[end:])
 	if err != nil {
 		return PanoFetch{}, err
 	}
@@ -507,6 +550,7 @@ func UnmarshalPanoFetch(body []byte) (PanoFetch, error) {
 		VideoID:    string(body[6:end]),
 		QoS:        qos,
 		Deadline:   deadline,
+		TraceID:    trace,
 	}, nil
 }
 

@@ -1,0 +1,205 @@
+package coic
+
+// End-to-end tests for the live operations plane: boot a real cloud+edge
+// stack, drive QoS traffic through a stream, then scrape the edge's
+// OpsHandler the way Prometheus would and assert the counters agree with
+// ServerStats. Readiness is exercised by killing the cloud under a live
+// edge.
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/obs"
+)
+
+// scrape GETs path from the ops server and returns status and body.
+func scrape(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// parseMetrics indexes a Prometheus text payload by full sample name
+// (labels included, exactly as rendered).
+func parseMetrics(t *testing.T, payload string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(payload, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func TestOpsMetricsEndToEnd(t *testing.T) {
+	edge, addr, stop := startStreamStack(t, 0, 2, 32)
+	defer stop()
+
+	ops := httptest.NewServer(edge.OpsHandler())
+	defer ops.Close()
+
+	cli := streamClient(t, addr)
+	defer cli.Close()
+	ctx := context.Background()
+	st, err := cli.Stream(ctx, WithWindow(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := st.Results()
+
+	// Three best-effort + three interactive panorama fetches, distinct
+	// frames so each one misses and pays a cloud fetch.
+	const perClass = 3
+	for i := 0; i < 2*perClass; i++ {
+		req := PanoTask("ops-video", i, Viewport{FOV: 1.5})
+		if i%2 == 1 {
+			req = req.WithQoS(QoSInteractive)
+		}
+		if _, err := st.Submit(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*perClass; i++ {
+		if comp := <-results; comp.Err != nil {
+			t.Fatalf("completion %d failed: %v", i, comp.Err)
+		}
+	}
+
+	// The worker accounts a request after handing its reply to the
+	// writer, so the scrape can trail the client's completion by a
+	// moment — poll until the counters converge.
+	var metrics map[string]float64
+	waitForStats(t, "outcome counters to converge", func() bool {
+		status, body := scrape(t, ops.URL, "/metrics")
+		if status != http.StatusOK {
+			t.Fatalf("/metrics status = %d", status)
+		}
+		metrics = parseMetrics(t, body)
+		return metrics[`coic_requests_total{class="best-effort",outcome="ok"}`] == perClass &&
+			metrics[`coic_requests_total{class="interactive",outcome="ok"}`] == perClass
+	})
+
+	// The scrape must agree with the server's own counters.
+	stats := edge.Stats()
+	for sample, want := range map[string]float64{
+		`coic_sched_admitted_total{class="best-effort"}`:              float64(stats.AdmittedBestEffort),
+		`coic_sched_admitted_total{class="interactive"}`:              float64(stats.AdmittedInteractive),
+		`coic_sched_deadline_sheds_total`:                             float64(stats.DeadlineSheds),
+		`coic_sched_overloads_total`:                                  float64(stats.Overloads),
+		`coic_cloud_fetches_total`:                                    float64(stats.CloudFetches),
+		`coic_requests_total{class="best-effort",outcome="deadline"}`: 0,
+		`coic_connections_total`:                                      1,
+		`coic_connections_active`:                                     1,
+	} {
+		if got, ok := metrics[sample]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", sample, got, ok, want)
+		}
+	}
+
+	// Every pipeline stage histogram observed the traffic: +Inf bucket
+	// and _count are nonzero, and cloud_fetch matches the fetch counter.
+	for _, stage := range []string{"decode", "cache_lookup", "sched_wait", "exec", "cloud_fetch", "reply_write"} {
+		inf := `coic_stage_duration_seconds_bucket{stage="` + stage + `",le="+Inf"}`
+		if metrics[inf] == 0 {
+			t.Errorf("stage %q histogram recorded nothing", stage)
+		}
+		count := `coic_stage_duration_seconds_count{stage="` + stage + `"}`
+		if metrics[count] != metrics[inf] {
+			t.Errorf("stage %q _count = %v, want +Inf bucket %v", stage, metrics[count], metrics[inf])
+		}
+	}
+	if got := metrics[`coic_stage_duration_seconds_count{stage="cloud_fetch"}`]; got != float64(stats.CloudFetches) {
+		t.Errorf("cloud_fetch histogram count = %v, want CloudFetches %d", got, stats.CloudFetches)
+	}
+	if got := metrics[`coic_stage_duration_seconds_count{stage="exec"}`]; got != 2*perClass {
+		t.Errorf("exec histogram count = %v, want %d", got, 2*perClass)
+	}
+
+	// The payload itself must be exposition-clean.
+	_, body := scrape(t, ops.URL, "/metrics")
+	if problems := obs.Lint(strings.NewReader(body)); len(problems) > 0 {
+		t.Errorf("metrics payload fails lint: %v", problems)
+	}
+
+	if status, body := scrape(t, ops.URL, "/healthz"); status != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q, want 200 ok", status, body)
+	}
+	if status, _ := scrape(t, ops.URL, "/readyz"); status != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200 with the cloud up", status)
+	}
+}
+
+// TestOpsReadinessFlipsWhenCloudDrops boots the stack with the cloud on
+// its own lifetime, confirms the edge probes ready, then kills the cloud
+// and watches /readyz flip to 503: the edge is alive (healthz) but
+// cannot serve misses, which is exactly what a load balancer must see.
+func TestOpsReadinessFlipsWhenCloudDrops(t *testing.T) {
+	p := testConfig().Params
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudCtx, stopCloud := context.WithCancel(ctx)
+	defer stopCloud()
+	go NewCloudServer(WithListener(cloudLn), WithServeParams(p)).Serve(cloudCtx)
+
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := NewEdgeServer(
+		WithListener(edgeLn),
+		WithServeParams(p),
+		WithCloud(cloudLn.Addr().String()),
+	)
+	go edge.Serve(ctx)
+
+	ops := httptest.NewServer(edge.OpsHandler())
+	defer ops.Close()
+
+	// Ready once Serve has registered the listener and the cloud accepts.
+	waitForStats(t, "the edge to probe ready", func() bool {
+		status, _ := scrape(t, ops.URL, "/readyz")
+		return status == http.StatusOK
+	})
+
+	// Kill the cloud; its listener closes and the edge's dial probe fails.
+	stopCloud()
+	waitForStats(t, "readiness to flip after the cloud died", func() bool {
+		status, body := scrape(t, ops.URL, "/readyz")
+		return status == http.StatusServiceUnavailable && strings.Contains(body, "cloud link down")
+	})
+
+	// Liveness is unaffected: the edge process itself is healthy.
+	if status, _ := scrape(t, ops.URL, "/healthz"); status != http.StatusOK {
+		t.Errorf("/healthz = %d after cloud death, want 200", status)
+	}
+}

@@ -64,6 +64,12 @@ type Request struct {
 	// System has no queue to schedule — there QoS is carried for
 	// accounting only (SystemStats.QoS).
 	QoS QoS
+	// TraceID, when non-zero, identifies this request in every tier's
+	// structured logs (client, edge, cloud) for cross-tier correlation of
+	// slow frames. Stream.Submit mints a random ID when it is zero; set it
+	// explicitly to correlate with an external system. Virtual-time
+	// System.Do ignores it (there is nothing to correlate across).
+	TraceID uint64
 }
 
 // RecognizeTask builds a CoIC-mode recognition request.
@@ -90,6 +96,10 @@ func (r Request) WithDeadline(d time.Duration) Request { r.Deadline = d; return 
 
 // WithQoS returns a copy of the request in the given service class.
 func (r Request) WithQoS(q QoS) Request { r.QoS = q; return r }
+
+// WithTraceID returns a copy of the request carrying the given trace ID
+// on the wire (see Request.TraceID).
+func (r Request) WithTraceID(id uint64) Request { r.TraceID = id; return r }
 
 // Validate reports whether the request names exactly one task.
 func (r Request) Validate() error {

@@ -3,11 +3,14 @@ package coic
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/core"
+	"github.com/edge-immersion/coic/internal/obs"
 )
 
 // This file is the v2 deployment surface: edge and cloud servers built
@@ -37,6 +40,10 @@ type serverConfig struct {
 	queueDepth   int
 	fetchTimeout time.Duration
 	maxUpstream  int
+
+	slowThreshold time.Duration
+	slowSet       bool
+	logger        *slog.Logger
 
 	// edgeOnly names edge-specific options applied to a cloud server, an
 	// error surfaced at Serve.
@@ -114,6 +121,20 @@ func WithMaxUpstream(n int) ServerOption {
 	return func(c *serverConfig) error { c.markEdgeOnly("WithMaxUpstream"); c.maxUpstream = n; return nil }
 }
 
+// WithSlowRequestThreshold sets the latency above which a successful
+// request is captured in the /debug/requests ring (failed requests are
+// always captured). The default is 1s; zero or negative keeps successes
+// out of the ring entirely.
+func WithSlowRequestThreshold(d time.Duration) ServerOption {
+	return func(c *serverConfig) error { c.slowThreshold = d; c.slowSet = true; return nil }
+}
+
+// WithLogger routes the server's structured logs — currently slow-request
+// warnings — through l instead of slog.Default().
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(c *serverConfig) error { c.logger = l; return nil }
+}
+
 // Server is a CoIC tier (edge or cloud) assembled from options. Build it
 // with NewEdgeServer or NewCloudServer and run it with Serve; option
 // errors are deferred to Serve so construction chains.
@@ -121,6 +142,9 @@ type Server struct {
 	role string // "edge" or "cloud"
 	cfg  serverConfig
 	err  error
+
+	reg  *obs.Registry
+	rlog *obs.RequestLog
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -134,6 +158,7 @@ func NewEdgeServer(opts ...ServerOption) *Server {
 	s := &Server{role: "edge", cfg: serverConfig{addr: ":9091", cloudAddr: "localhost:9090"}}
 	s.apply(opts)
 	s.cfg.edgeOnly = nil // every edge-only option is legal here
+	s.initObs()
 	return s
 }
 
@@ -145,7 +170,20 @@ func NewCloudServer(opts ...ServerOption) *Server {
 	if s.err == nil && len(s.cfg.edgeOnly) > 0 {
 		s.err = fmt.Errorf("coic: %v are edge-only options, not valid for a cloud server", s.cfg.edgeOnly)
 	}
+	s.initObs()
 	return s
+}
+
+// initObs builds the live metrics registry and the slow-request ring.
+// Both exist from construction so OpsHandler works before Serve (the
+// scrape just reports an idle server).
+func (s *Server) initObs() {
+	slow := s.cfg.slowThreshold
+	if !s.cfg.slowSet {
+		slow = time.Second
+	}
+	s.reg = obs.NewRegistry()
+	s.rlog = obs.NewRequestLog(128, slow, s.cfg.logger)
 }
 
 func (s *Server) apply(opts []ServerOption) {
@@ -233,13 +271,23 @@ func (s *Server) Serve(ctx context.Context) error {
 		}
 		defer ln.Close()
 	}
+	defer func() {
+		// The listener is the readiness signal; with Serve gone the
+		// server must probe not-ready again.
+		s.mu.Lock()
+		s.ln = nil
+		s.mu.Unlock()
+	}()
+	sobs := core.NewServerObs(s.reg, s.rlog)
 
 	if s.role == "cloud" {
 		srv := &core.CloudServer{
 			Cloud:      core.NewCloud(p),
 			Workers:    s.cfg.workers,
 			QueueDepth: s.cfg.queueDepth,
+			Obs:        sobs,
 		}
+		s.registerSchedBridges(srv.Admitted, srv.DeadlineSheds, srv.Overloads)
 		s.mu.Lock()
 		s.ln = ln
 		s.cloud = srv
@@ -259,17 +307,79 @@ func (s *Server) Serve(ctx context.Context) error {
 		QueueDepth:   s.cfg.queueDepth,
 		FetchTimeout: s.cfg.fetchTimeout,
 		MaxUpstream:  s.cfg.maxUpstream,
+		Obs:          sobs,
 	}
 	if len(s.cfg.peers) > 0 {
 		if err := srv.SetupFederation(s.cfg.self, s.cfg.peers); err != nil {
 			return err
 		}
 	}
+	s.registerSchedBridges(srv.Admitted, srv.DeadlineSheds, srv.Overloads)
+	s.reg.CounterFunc("coic_cloud_fetches_total",
+		"Upstream edge-to-cloud round trips issued (after coalescing).",
+		func() float64 { return float64(srv.CloudFetches()) })
+	s.reg.GaugeFunc("coic_cache_entries",
+		"Entries resident in the edge IC cache.",
+		func() float64 { st, _ := srv.Edge.Cache.Stats(); return float64(st.Entries) })
+	s.reg.GaugeFunc("coic_cache_bytes",
+		"Bytes resident in the edge IC cache.",
+		func() float64 { st, _ := srv.Edge.Cache.Stats(); return float64(st.BytesUsed) })
 	s.mu.Lock()
 	s.ln = ln
 	s.edge = srv
 	s.mu.Unlock()
 	return srv.ServeContext(ctx, ln)
+}
+
+// registerSchedBridges exposes the scheduler's existing counters as
+// scrape-time metrics. They are read on demand rather than double
+// counted on the hot path.
+func (s *Server) registerSchedBridges(admitted func(QoS) uint64, sheds, overloads func() uint64) {
+	for _, class := range []QoS{QoSBestEffort, QoSInteractive} {
+		class := class
+		s.reg.CounterFunc("coic_sched_admitted_total",
+			"Requests admitted into the per-connection scheduler by service class.",
+			func() float64 { return float64(admitted(class)) },
+			obs.L("class", class.String()))
+	}
+	s.reg.CounterFunc("coic_sched_deadline_sheds_total",
+		"Queued requests dropped unexecuted because their deadline passed.",
+		func() float64 { return float64(sheds()) })
+	s.reg.CounterFunc("coic_sched_overloads_total",
+		"Requests rejected by admission control with an overloaded error.",
+		func() float64 { return float64(overloads()) })
+}
+
+// OpsHandler returns the live operations plane: Prometheus text metrics
+// at /metrics, liveness at /healthz, readiness at /readyz (see Ready),
+// the slow/failed request ring at /debug/requests, and net/http/pprof
+// under /debug/pprof/. Mount it on a sidecar HTTP listener — the CoIC
+// wire protocol and the ops plane never share a port.
+func (s *Server) OpsHandler() http.Handler {
+	return obs.Handler(s.reg, s.Ready, s.rlog)
+}
+
+// Ready reports whether the server can usefully take traffic: the wire
+// listener must be up, and an edge must additionally be able to reach
+// its cloud tier (a TCP dial bounded by ctx). A cloud server is ready as
+// soon as it listens.
+func (s *Server) Ready(ctx context.Context) error {
+	s.mu.Lock()
+	ln, role, cloudAddr := s.ln, s.role, s.cfg.cloudAddr
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("%s server not serving", role)
+	}
+	if role != "edge" || cloudAddr == "" {
+		return nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", cloudAddr)
+	if err != nil {
+		return fmt.Errorf("cloud link down: %w", err)
+	}
+	conn.Close()
+	return nil
 }
 
 // DialContext connects a mobile client to a running edge, bounded by

@@ -86,24 +86,25 @@ type SystemStats struct {
 	QoS QoSStats
 }
 
-// Stats snapshots the system's edge-side counters.
+// Stats snapshots the system's edge-side counters. Store and query
+// counters are read in one lock epoch (cache.StatsSnapshot), so the two
+// sides cannot skew against each other under concurrent traffic.
 func (s *System) Stats() SystemStats {
-	storeStats, _ := s.edge.Cache.Stats()
-	queries, exact, similar := s.edge.Cache.QueryStats()
+	snap := s.edge.Cache.StatsSnapshot()
 	es := s.edge.Stats()
 	out := SystemStats{
 		Store: StoreStats{
-			BytesUsed:   storeStats.BytesUsed,
-			Capacity:    s.edge.Cache.Store().Capacity(),
-			Entries:     storeStats.Entries,
-			Insertions:  storeStats.Insertions,
-			Evictions:   storeStats.Evictions,
-			Expirations: storeStats.Expirations,
+			BytesUsed:   snap.Store.BytesUsed,
+			Capacity:    snap.Capacity,
+			Entries:     snap.Store.Entries,
+			Insertions:  snap.Store.Insertions,
+			Evictions:   snap.Store.Evictions,
+			Expirations: snap.Store.Expirations,
 		},
 		Queries: QueryStats{
-			Queries:     queries,
-			ExactHits:   exact,
-			SimilarHits: similar,
+			Queries:     snap.Queries,
+			ExactHits:   snap.ExactHits,
+			SimilarHits: snap.SimilarHits,
 		},
 		Inflight:       s.edge.Inflight().Stats(),
 		PrivacyBlocked: es.PrivacyBlocked,

@@ -3,12 +3,23 @@ package coic
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/wire"
 )
+
+// mintTraceID draws a random non-zero trace identifier (zero means "no
+// trace" on the wire).
+func mintTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
 
 // This file is the streaming request surface — the shape of CoIC's real
 // workloads. An AR client recognises objects every frame and a VR client
@@ -72,6 +83,10 @@ func WithWindow(n int) StreamOption {
 type Completion struct {
 	// ID is the ticket's request identifier on the connection.
 	ID uint64
+	// TraceID is the request's cross-tier trace identifier: the one the
+	// caller set on the Request, or the one Submit minted for it. Grep the
+	// edge and cloud logs for its %016x rendering to follow the request.
+	TraceID uint64
 	// Request echoes what was submitted.
 	Request Request
 	// Recognition is set for successful recognition requests.
@@ -218,15 +233,20 @@ func (s *Stream) Submit(ctx context.Context, req Request) (*Ticket, error) {
 	if req.Deadline > 0 {
 		deadline = submitted.Add(req.Deadline)
 	}
+	if req.TraceID == 0 {
+		// Mint the cross-tier correlation ID here, where the request's
+		// life begins; every tier it crosses logs the same value.
+		req.TraceID = mintTraceID()
+	}
 	var msg wire.Message
 	var err error
 	switch {
 	case req.Recognize != nil:
-		msg, err = s.c.mux.BuildRecognize(req.Recognize.Class, req.Recognize.ViewSeed, req.QoS, deadline)
+		msg, err = s.c.mux.BuildRecognize(req.Recognize.Class, req.Recognize.ViewSeed, req.QoS, deadline, req.TraceID)
 	case req.Render != nil:
-		msg, err = s.c.mux.BuildRender(req.Render.ModelID, req.QoS, deadline)
+		msg, err = s.c.mux.BuildRender(req.Render.ModelID, req.QoS, deadline, req.TraceID)
 	case req.Pano != nil:
-		msg, err = s.c.mux.BuildPano(req.Pano.VideoID, req.Pano.Frame, req.QoS, deadline)
+		msg, err = s.c.mux.BuildPano(req.Pano.VideoID, req.Pano.Frame, req.QoS, deadline, req.TraceID)
 	}
 	if err != nil {
 		return nil, err
@@ -267,7 +287,7 @@ func (s *Stream) Submit(ctx context.Context, req Request) (*Ticket, error) {
 // of the task, stamp latency and deliver.
 func (s *Stream) await(t *Ticket, ch <-chan wire.Message) {
 	defer s.wg.Done()
-	comp := Completion{ID: t.id, Request: t.req}
+	comp := Completion{ID: t.id, TraceID: t.req.TraceID, Request: t.req}
 	reply, ok := <-ch
 	if !ok {
 		comp.Err = fmt.Errorf("coic: connection closed with request in flight")
