@@ -7,7 +7,10 @@ API_BASELINE_FILE := .github/api-baseline-ref
 # The apidiff version CI pins; bump deliberately alongside Go bumps.
 APIDIFF_VERSION := v0.0.0-20240909161429-701f63a606c0
 
-.PHONY: all build lint test bench cover api smoke ci
+.PHONY: all build lint test bench cover api smoke fuzz ci
+
+# How long each fuzz target mutates (the CI fuzz-smoke duration).
+FUZZ_TIME ?= 30s
 
 all: build
 
@@ -45,9 +48,17 @@ cover:
 # as artifacts.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
-	$(GO) run ./cmd/coic-bench -experiment qos -json > bench-qos.json
+	$(GO) run ./cmd/coic-bench -experiment qos,batch -json > bench-qos.json
 	$(GO) run ./cmd/coic-bench -experiment burst -json > bench-burst.json
 	$(GO) run ./cmd/coic-benchdiff BENCH_stream.json bench-qos.json
+
+# fuzz = the CI fuzz-smoke job: a short randomized run of every fuzz
+# target (their committed seed corpora already replay under `make test`).
+# go test takes one -fuzz pattern per invocation, hence the three runs.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzReadMessage -fuzztime=$(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run=NONE -fuzz=FuzzExecRequestTrailer -fuzztime=$(FUZZ_TIME) ./internal/wire/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeModel -fuzztime=$(FUZZ_TIME) ./internal/dnn/
 
 # smoke = the CI ops-smoke job: boot the real daemons with the ops
 # sidecar, probe /healthz and /readyz, push client traffic through, and
@@ -84,4 +95,4 @@ api:
 		echo "apidiff not installed (go install golang.org/x/exp/cmd/apidiff@$(APIDIFF_VERSION), the version CI pins); skipping"; \
 	fi
 
-ci: lint build test bench api smoke
+ci: lint build test bench fuzz api smoke

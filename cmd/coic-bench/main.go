@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, finegrained, pano, privacy, qoe")
+		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, finegrained, batch, pano, privacy, qoe")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of {title, columns, rows, notes} objects")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
@@ -94,6 +95,9 @@ func main() {
 		{"finegrained", func() (*coic.Table, error) {
 			return coic.RunFinegrained(p, []int{1, 4, 16, 64}, 256), nil
 		}},
+		{"batch", func() (*coic.Table, error) {
+			return coic.RunBatch(scaled(p), []int{1, 2, 4, 8, 16}, 12), nil
+		}},
 		{"pano", func() (*coic.Table, error) {
 			return coic.RunPanoStreaming(scaled(p), 8, 40)
 		}},
@@ -105,6 +109,15 @@ func main() {
 		}},
 	}
 
+	// -experiment takes a comma-separated subset; tables render in the
+	// runner order above regardless of how the flag orders the names.
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*experiment, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
+
 	ran := 0
 	var jsonTables []metrics.TableJSON
 	for _, r := range runners {
@@ -112,7 +125,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "coic-bench: interrupted")
 			os.Exit(130)
 		}
-		if *experiment != "all" && *experiment != r.name {
+		if !selected["all"] && !selected[r.name] {
 			continue
 		}
 		ran++

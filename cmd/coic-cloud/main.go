@@ -34,6 +34,8 @@ func main() {
 	listen := flag.String("listen", ":9090", "address to serve on")
 	workers := flag.Int("workers", 0, "concurrent requests per connection (0 = default); one edge funnels all its misses over one multiplexed connection, so this bounds its fetch parallelism")
 	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
+	batch := flag.Int("batch", 0, "max exec requests one worker executes as a single batched DNN pass (0 or 1 = serial)")
+	batchSlack := flag.Duration("batch-slack", 2*time.Millisecond, "longest a best-effort request waits for batchmates (interactive never waits); needs -batch")
 	httpAddr := flag.String("http", "", "ops sidecar address for /metrics, /healthz, /readyz, /debug (empty = disabled)")
 	slow := flag.Duration("slow", time.Second, "latency above which a successful request enters /debug/requests")
 	flag.Parse()
@@ -51,6 +53,8 @@ func main() {
 		coic.WithServeParams(coic.DefaultParams()),
 		coic.WithWorkers(*workers),
 		coic.WithQueueDepth(*queue),
+		coic.WithBatch(*batch),
+		coic.WithBatchSlack(*batchSlack),
 		coic.WithSlowRequestThreshold(*slow),
 	)
 	if *httpAddr != "" {
@@ -75,5 +79,8 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("coic-cloud: served %d interactive + %d best-effort requests, shed %d expired deadlines, %d overloads\n",
 		st.AdmittedInteractive, st.AdmittedBestEffort, st.DeadlineSheds, st.Overloads)
+	if st.Batches > 0 {
+		fmt.Printf("coic-cloud: executed %d batches carrying %d requests\n", st.Batches, st.BatchedRequests)
+	}
 	fmt.Println("coic-cloud: shut down cleanly")
 }

@@ -63,6 +63,8 @@ func main() {
 	self := flag.String("self", "", "this edge's advertised address in the federation (required with -peers; must match what peers list)")
 	workers := flag.Int("workers", 0, "concurrent requests per client connection (0 = default)")
 	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
+	batch := flag.Int("batch", 0, "max exec requests one worker dispatches together, coalescing duplicates and bursting misses upstream (0 or 1 = serial)")
+	batchSlack := flag.Duration("batch-slack", 2*time.Millisecond, "longest a best-effort request waits for batchmates (interactive never waits); needs -batch")
 	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch cloud timeout (0 = default)")
 	httpAddr := flag.String("http", "", "ops sidecar address for /metrics, /healthz, /readyz, /debug (empty = disabled)")
 	slow := flag.Duration("slow", time.Second, "latency above which a successful request enters /debug/requests")
@@ -102,6 +104,8 @@ func main() {
 		coic.WithCloudShape(coic.ShapeSpec(*cloudShape)),
 		coic.WithWorkers(*workers),
 		coic.WithQueueDepth(*queue),
+		coic.WithBatch(*batch),
+		coic.WithBatchSlack(*batchSlack),
 		coic.WithFetchTimeout(*fetchTimeout),
 		coic.WithSlowRequestThreshold(*slow),
 	}
@@ -129,5 +133,8 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("coic-edge: served %d interactive + %d best-effort requests, %d cloud fetches, shed %d expired deadlines, %d overloads\n",
 		st.AdmittedInteractive, st.AdmittedBestEffort, st.CloudFetches, st.DeadlineSheds, st.Overloads)
+	if st.Batches > 0 {
+		fmt.Printf("coic-edge: executed %d batches carrying %d requests\n", st.Batches, st.BatchedRequests)
+	}
 	fmt.Println("coic-edge: shut down cleanly")
 }

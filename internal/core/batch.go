@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// This file is the batch executor between the QoS scheduler and the
+// exec dispatchers. Batching is entirely server-local: the wire protocol
+// is untouched, clients see one reply per request, and replies keep their
+// per-request sequencing — a batch is just several queued jobs sharing
+// one worker's dispatch pass. Cloud-side that pass is a genuinely batched
+// DNN run (dnn.ForwardBatch: one blocked matmul per Dense layer, shared
+// passes for bit-identical activations); edge-side the members fan out
+// concurrently so identical descriptors collapse in the singleflight
+// table and the misses arrive at the cloud together — where they batch.
+//
+// Drain policy: a worker that pops a batchable job first takes every
+// compatible job already queued (schedQueue.tryDrain — strictly in
+// class-then-EDF order, stopping at the first incompatible head, so
+// batching never reorders dispatch). Only a best-effort head then waits,
+// up to the deadline-capped slack window, for more arrivals; an
+// interactive head never waits — its batch is whatever was already there.
+
+// batchJob is one live member of a drained batch. The batch dispatcher
+// (batchPlan.run) must set reply for every member before returning.
+type batchJob struct {
+	ctx   context.Context
+	msg   wire.Message
+	mode  Mode
+	reply wire.Message
+}
+
+// batchPlan configures batching for one connection pipeline. A nil plan
+// (or max <= 1) means serial dispatch.
+type batchPlan struct {
+	max   int           // largest batch a worker may assemble
+	slack time.Duration // longest a best-effort head waits for fill
+	match func(*schedJob) bool
+	run   func([]*batchJob)
+}
+
+// batchable reports whether a job may join a batch on this plan.
+func (p *batchPlan) batchable(j *schedJob) bool {
+	return p != nil && p.max > 1 && p.match(j)
+}
+
+// waitBudget caps the slack window by the head's wall-clock deadline:
+// waiting must never turn a live job into a shed one.
+func (p *batchPlan) waitBudget(head *schedJob, now time.Time) time.Duration {
+	if head.class != wire.QoSBestEffort || p.slack <= 0 {
+		return 0
+	}
+	budget := p.slack
+	if !head.deadline.IsZero() {
+		if until := head.deadline.Sub(now); until < budget {
+			budget = until
+		}
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// errorReply builds an error frame, the batch dispatchers' counterpart of
+// the serial dispatchers' local fail closures.
+func errorReply(reqID uint64, code uint16, format string, args ...any) wire.Message {
+	body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
+	return wire.Message{Type: wire.MsgError, RequestID: reqID, Body: body}
+}
+
+// batchPlan returns the cloud's batching configuration: exec requests
+// batch into one ForwardBatch pass; model/pano fetches stay serial.
+func (s *CloudServer) batchPlan() *batchPlan {
+	if s.Batch <= 1 {
+		return nil
+	}
+	return &batchPlan{
+		max:   s.Batch,
+		slack: s.BatchSlack,
+		match: func(j *schedJob) bool { return j.msg.Type == wire.MsgExec },
+		run:   s.runBatch,
+	}
+}
+
+// runBatch dispatches a batch of exec requests through one batched
+// recognition pass. Per-member decode failures answer individually —
+// one malformed frame must not poison its batchmates.
+func (s *CloudServer) runBatch(jobs []*batchJob) {
+	payloads := make([][]byte, 0, len(jobs))
+	members := make([]*batchJob, 0, len(jobs))
+	for _, bj := range jobs {
+		decodeStart := time.Now()
+		req, err := wire.UnmarshalExecRequest(bj.msg.Body)
+		s.Obs.observeDecode(time.Since(decodeStart))
+		switch {
+		case err != nil:
+			bj.reply = errorReply(bj.msg.RequestID, wire.CodeBadRequest, "bad exec: %v", err)
+		case req.Task != wire.TaskRecognize:
+			bj.reply = errorReply(bj.msg.RequestID, wire.CodeBadRequest,
+				"cloud exec supports recognition only, got %v", req.Task)
+		default:
+			payloads = append(payloads, req.Payload)
+			members = append(members, bj)
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+	results, errs, _ := s.Cloud.RecognizeBatch(payloads)
+	for i, bj := range members {
+		switch {
+		case errs[i] != nil:
+			bj.reply = errorReply(bj.msg.RequestID, wire.CodeInternal, "recognize: %v", errs[i])
+		case bj.ctx.Err() != nil:
+			bj.reply = canceledReply(bj.msg.RequestID)
+		default:
+			body, _ := (wire.ExecReply{Source: wire.SourceCloud, Result: results[i]}).Marshal()
+			bj.reply = wire.Message{Type: wire.MsgExecReply, RequestID: bj.msg.RequestID, Body: body}
+		}
+	}
+}
+
+// batchPlan returns the edge's batching configuration for exec requests.
+func (s *EdgeServer) batchPlan() *batchPlan {
+	if s.Batch <= 1 {
+		return nil
+	}
+	return &batchPlan{
+		max:   s.Batch,
+		slack: s.BatchSlack,
+		match: func(j *schedJob) bool { return j.msg.Type == wire.MsgExec },
+		run:   s.runBatch,
+	}
+}
+
+// runBatch on the edge dispatches the members concurrently: the edge
+// runs no DNN, so the win is overlap — cache probes run together,
+// identical descriptors coalesce into one upstream fetch via the
+// inflight table, and distinct misses reach the cloud as one burst the
+// cloud-side batcher can drain into a single ForwardBatch pass.
+func (s *EdgeServer) runBatch(jobs []*batchJob) {
+	if len(jobs) == 1 {
+		jobs[0].reply = s.dispatch(jobs[0].ctx, jobs[0].msg, jobs[0].mode)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, bj := range jobs {
+		bj := bj
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bj.reply = s.dispatch(bj.ctx, bj.msg, bj.mode)
+		}()
+	}
+	wg.Wait()
+}

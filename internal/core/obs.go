@@ -16,7 +16,12 @@ const (
 	StageExec        = "exec"         // worker dispatch end to end
 	StageCloudFetch  = "cloud_fetch"  // upstream round trip (incl. coalesced wait)
 	StageReplyWrite  = "reply_write"  // frame write back to the client
+	StageBatchWait   = "batch_wait"   // slack a batch head spent waiting for fill
 )
+
+// batchSizeBuckets bound the coic_batch_size histogram: executed batch
+// sizes in requests (powers of two up to the largest sane -batch).
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
 // Request outcomes counted in coic_requests_total{class,outcome}.
 const (
@@ -42,6 +47,8 @@ type ServerObs struct {
 	exec        *obs.Histogram
 	cloudFetch  *obs.Histogram
 	replyWrite  *obs.Histogram
+	batchWait   *obs.Histogram
+	batchSize   *obs.Histogram
 
 	requests [wire.NumQoSClasses][numOutcomes]*obs.Counter
 
@@ -66,6 +73,9 @@ func NewServerObs(reg *obs.Registry, rlog *obs.RequestLog) *ServerObs {
 	o.exec = stage(StageExec)
 	o.cloudFetch = stage(StageCloudFetch)
 	o.replyWrite = stage(StageReplyWrite)
+	o.batchWait = stage(StageBatchWait)
+	o.batchSize = reg.Histogram("coic_batch_size",
+		"Executed batch sizes, in requests per batch.", batchSizeBuckets)
 	for c := 0; c < wire.NumQoSClasses; c++ {
 		for i, name := range outcomeNames {
 			o.requests[c][i] = reg.Counter("coic_requests_total",
@@ -128,6 +138,18 @@ func (o *ServerObs) observeCloudFetch(d time.Duration) {
 func (o *ServerObs) observeReplyWrite(d time.Duration) {
 	if o != nil {
 		o.replyWrite.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeBatchWait(d time.Duration) {
+	if o != nil {
+		o.batchWait.Observe(d)
+	}
+}
+
+func (o *ServerObs) observeBatchSize(n int) {
+	if o != nil {
+		o.batchSize.ObserveValue(float64(n))
 	}
 }
 

@@ -93,10 +93,21 @@ type schedQueue struct {
 	depth  int
 	closed bool
 	order  uint64
+
+	// arrivals gets a non-blocking token per push so a batching worker
+	// can wait out its slack window in a select (sync.Cond has no timed
+	// wait); done closes with the queue so that wait never outlives
+	// shutdown.
+	arrivals chan struct{}
+	done     chan struct{}
 }
 
 func newSchedQueue(depth int) *schedQueue {
-	q := &schedQueue{depth: depth}
+	q := &schedQueue{
+		depth:    depth,
+		arrivals: make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -140,6 +151,10 @@ func (q *schedQueue) push(j schedJob) (shed []schedJob, ok bool) {
 	q.heaps[classIndex(j.class)].pushJob(j)
 	q.size++
 	q.cond.Signal()
+	select {
+	case q.arrivals <- struct{}{}:
+	default:
+	}
 	return shed, true
 }
 
@@ -163,11 +178,44 @@ func (q *schedQueue) pop() (schedJob, bool) {
 	return schedJob{}, false // unreachable: size > 0 implies a non-empty heap
 }
 
+// tryDrain pops up to max additional jobs for a batch without blocking.
+// It only ever takes the queue's current head — the highest non-empty
+// class, EDF within it — and stops at the first head match fails on, so
+// a drained batch is exactly the prefix a sequence of pop calls would
+// have returned: batching never lets a lower-priority job overtake a
+// higher-priority one it is incompatible with. blocked reports that a
+// non-matching head (not an empty queue) ended the drain, which tells a
+// slack-waiting worker to stop waiting and free its slot for that job.
+func (q *schedQueue) tryDrain(max int, match func(*schedJob) bool) (jobs []schedJob, blocked bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(jobs) < max && q.size > 0 {
+		var h *jobHeap
+		for i := len(q.heaps) - 1; i >= 0; i-- {
+			if q.heaps[i].Len() > 0 {
+				h = &q.heaps[i]
+				break
+			}
+		}
+		if !match(h.peek()) {
+			return jobs, true
+		}
+		jobs = append(jobs, h.popJob())
+		q.size--
+	}
+	return jobs, false
+}
+
 // close stops admission and wakes every waiting worker; queued jobs are
 // still drained by pop (graceful shutdown completes admitted work).
 func (q *schedQueue) close() {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.closed = true
+	close(q.done)
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }

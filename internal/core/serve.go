@@ -97,6 +97,9 @@ type pipelineHooks struct {
 	onAdmit    func(wire.QoS)
 	onShed     func()
 	onOverload func()
+	// onBatch sees the live size of every batch a worker executes
+	// through the batch dispatcher (including size 1).
+	onBatch func(n int)
 }
 
 // isCanceled reports whether err is a context cancellation/expiry.
@@ -127,7 +130,7 @@ func isCanceled(err error) bool {
 // client disconnect, by contrast, cancels every in-flight request on the
 // connection: nobody is left to read the replies, so the work (and any
 // coalesced fetch it alone keeps alive) is abandoned.
-func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, hooks pipelineHooks, obsv *ServerObs) {
+func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, batch *batchPlan, hooks pipelineHooks, obsv *ServerObs) {
 	defer conn.Close()
 	obsv.connOpened()
 	defer obsv.connClosed()
@@ -202,6 +205,99 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		}
 	}()
 
+	// finishJob releases a job's cancel registration, accounts it and
+	// hands its reply to the writer — every job exits through here
+	// exactly once, serial or batched.
+	finishJob := func(j schedJob, m wire.Message) {
+		j.finish()
+		obsv.request(j.class, j.msg, j.trace, m, time.Since(j.admitted))
+		replies <- wire.SequencedMessage{Seq: j.seq, Msg: m}
+	}
+
+	// runBatchHead assembles and executes a batch around a live,
+	// batchable head job: first every compatible job already queued
+	// (strictly in scheduler order — tryDrain stops at the first
+	// incompatible head), then, for a best-effort head only, whatever
+	// arrives inside the deadline-capped slack window. Members that were
+	// cancelled or expired while the batch formed shed individually,
+	// exactly as the serial path would have shed them.
+	runBatchHead := func(head schedJob, picked time.Time) {
+		jobs := []schedJob{head}
+		drained, _ := sched.tryDrain(batch.max-1, batch.match)
+		jobs = append(jobs, drained...)
+		var waited time.Duration
+		if budget := batch.waitBudget(&head, picked); budget > 0 && len(jobs) < batch.max {
+			waitStart := time.Now()
+			timer := time.NewTimer(budget)
+			for len(jobs) < batch.max {
+				more, blocked := sched.tryDrain(batch.max-len(jobs), batch.match)
+				jobs = append(jobs, more...)
+				if blocked || len(jobs) >= batch.max {
+					break
+				}
+				stop := false
+				select {
+				case <-sched.arrivals:
+				case <-timer.C:
+					stop = true
+				case <-sched.done:
+					stop = true
+				}
+				if stop {
+					// Final sweep for anything that raced the timer.
+					more, _ := sched.tryDrain(batch.max-len(jobs), batch.match)
+					jobs = append(jobs, more...)
+					break
+				}
+			}
+			timer.Stop()
+			waited = time.Since(waitStart)
+		}
+		obsv.observeBatchWait(waited)
+
+		now := time.Now()
+		live := make([]*batchJob, 0, len(jobs))
+		liveJobs := make([]schedJob, 0, len(jobs))
+		for i, j := range jobs {
+			if i > 0 {
+				// Drained members left the queue here, not via pop.
+				obsv.observeSchedWait(now.Sub(j.admitted))
+			}
+			switch {
+			case j.ctx.Err() != nil:
+				finishJob(j, canceledReply(j.msg.RequestID))
+			case j.expired(now):
+				if hooks.onShed != nil {
+					hooks.onShed()
+				}
+				finishJob(j, deadlineShedReply(j.msg.RequestID))
+			default:
+				live = append(live, &batchJob{ctx: j.ctx, msg: j.msg, mode: j.mode})
+				liveJobs = append(liveJobs, j)
+			}
+		}
+		if len(live) == 0 {
+			return
+		}
+		obsv.observeBatchSize(len(live))
+		if hooks.onBatch != nil {
+			hooks.onBatch(len(live))
+		}
+		execStart := time.Now()
+		batch.run(live)
+		execDur := time.Since(execStart)
+		for i, bj := range live {
+			m := bj.reply
+			if m.Type == 0 {
+				// A dispatcher that misses a member is a server bug, but
+				// the client still deserves an answer over a hang.
+				m = errorReply(bj.msg.RequestID, wire.CodeInternal, "batch dispatcher produced no reply")
+			}
+			obsv.observeExec(execDur)
+			finishJob(liveJobs[i], m)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -214,6 +310,10 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 				}
 				picked := time.Now()
 				obsv.observeSchedWait(picked.Sub(j.admitted))
+				if j.ctx.Err() == nil && !j.expired(picked) && batch.batchable(&j) {
+					runBatchHead(j, picked)
+					continue
+				}
 				var m wire.Message
 				switch {
 				case j.ctx.Err() != nil:
@@ -231,9 +331,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 					m = dispatch(j.ctx, j.msg, j.mode)
 					obsv.observeExec(time.Since(picked))
 				}
-				j.finish()
-				obsv.request(j.class, j.msg, j.trace, m, time.Since(j.admitted))
-				replies <- wire.SequencedMessage{Seq: j.seq, Msg: m}
+				finishJob(j, m)
 			}
 		}()
 	}
@@ -375,6 +473,12 @@ type CloudServer struct {
 	// that lets those fetches actually execute in parallel cloud-side.
 	Workers    int
 	QueueDepth int
+	// Batch, when > 1, lets a worker drain up to Batch compatible exec
+	// requests from the scheduler and run them as one batched DNN pass;
+	// BatchSlack bounds how long a best-effort batch head may wait for
+	// the batch to fill (interactive heads never wait). See batch.go.
+	Batch      int
+	BatchSlack time.Duration
 	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
 	Obs *ServerObs
 
@@ -387,6 +491,11 @@ type schedCounters struct {
 	admitted  [wire.NumQoSClasses]atomic.Uint64
 	sheds     atomic.Uint64
 	overloads atomic.Uint64
+	// batches counts multi-request batches executed; batched counts the
+	// requests that rode them (size-1 batch-path dispatches count in
+	// neither — they are serial work that found no companions).
+	batches atomic.Uint64
+	batched atomic.Uint64
 }
 
 func (c *schedCounters) hooks() pipelineHooks {
@@ -394,6 +503,12 @@ func (c *schedCounters) hooks() pipelineHooks {
 		onAdmit:    func(q wire.QoS) { c.admitted[classIndex(q)].Add(1) },
 		onShed:     func() { c.sheds.Add(1) },
 		onOverload: func() { c.overloads.Add(1) },
+		onBatch: func(n int) {
+			if n > 1 {
+				c.batches.Add(1)
+				c.batched.Add(uint64(n))
+			}
+		},
 	}
 }
 
@@ -426,8 +541,13 @@ func (s *CloudServer) ServeContext(ctx context.Context, ln net.Listener) error {
 func (s *CloudServer) handle(ctx context.Context, conn net.Conn) {
 	connPipeline(ctx, conn, s.Workers, s.QueueDepth, func(jctx context.Context, msg wire.Message, _ Mode) wire.Message {
 		return s.dispatch(jctx, msg)
-	}, s.sched.hooks(), s.Obs)
+	}, s.batchPlan(), s.sched.hooks(), s.Obs)
 }
+
+// Batches reports how many multi-request batches this server executed;
+// BatchedRequests reports how many requests those batches carried.
+func (s *CloudServer) Batches() uint64         { return s.sched.batches.Load() }
+func (s *CloudServer) BatchedRequests() uint64 { return s.sched.batched.Load() }
 
 func (s *CloudServer) dispatch(ctx context.Context, msg wire.Message) wire.Message {
 	fail := func(code uint16, format string, args ...any) wire.Message {
@@ -508,6 +628,11 @@ type EdgeServer struct {
 	// DefaultWorkers / DefaultQueueDepth); see connPipeline.
 	Workers    int
 	QueueDepth int
+	// Batch / BatchSlack enable batched exec dispatch exactly as on
+	// CloudServer; edge-side the batch members run concurrently so
+	// identical descriptors coalesce and misses burst upstream together.
+	Batch      int
+	BatchSlack time.Duration
 	// FetchTimeout bounds one cloud fetch end to end — upstream slot
 	// wait, dialing, and the round trip (DefaultFetchTimeout when zero).
 	// On expiry the upstream connection is torn down, failing every
@@ -991,7 +1116,14 @@ func (s *EdgeServer) roundTripCloud(ctx context.Context, msg wire.Message) (wire
 }
 
 func (s *EdgeServer) handle(ctx context.Context, conn net.Conn) {
-	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, s.sched.hooks(), s.Obs)
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, s.batchPlan(), s.sched.hooks(), s.Obs)
+}
+
+// Batches reports how many multi-request batches this server executed;
+// BatchedRequests reports how many requests those batches carried.
+func (s *EdgeServer) Batches() uint64 { return s.sched.batches.Load() }
+func (s *EdgeServer) BatchedRequests() uint64 {
+	return s.sched.batched.Load()
 }
 
 // edgeError carries a protocol error code through the in-flight table so

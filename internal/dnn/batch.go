@@ -1,0 +1,223 @@
+package dnn
+
+import (
+	"math"
+
+	"github.com/edge-immersion/coic/internal/tensor"
+)
+
+// This file implements batched network execution: N inputs advance
+// through the layer stack together, and members whose activations are
+// bit-identical at a layer boundary share a single forward pass of that
+// layer (the paper's fine-grained reuse, applied *inside* one batch).
+// Identical camera frames from co-located users collapse at the input;
+// activations that only become identical mid-network — e.g. inputs that
+// differ in values a ReLU clamps away — merge at the first boundary where
+// their bits agree, share the remaining prefix, and fork again only at
+// the output scatter.
+//
+// The golden contract: every output is bit-for-bit identical to a serial
+// Forward of the same input. Sharing therefore requires exact equality
+// (hash-bucketed, then confirmed byte-wise — a hash collision must never
+// merge two genuinely different activations), and the batched Dense
+// kernel (tensor.MatMulT) accumulates in MatVec's exact order.
+
+// batchGroup is the set of batch members whose activations are
+// bit-identical at the current layer boundary.
+type batchGroup struct {
+	x       *tensor.Tensor
+	hash    uint64
+	members []int
+	// aliased marks x as shared with a CachedRunner memo entry: it must
+	// be cloned, never handed out, so cache contents stay immutable.
+	aliased bool
+}
+
+// tensorsEqual reports bit-pattern equality (shape and every element).
+// Plain == would treat equal NaN bit patterns as different; batching
+// compares bits, exactly like hashTensor digests them.
+func tensorsEqual(a, b *tensor.Tensor) bool {
+	if !tensor.EqualShape(a, b) {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Float32bits(v) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// coalesce merges groups whose current activations are bit-identical,
+// concatenating their member lists. Group order (by first member) is
+// preserved, keeping batched execution deterministic.
+func coalesce(groups []*batchGroup) []*batchGroup {
+	if len(groups) <= 1 {
+		return groups
+	}
+	res := groups[:0:0]
+	index := map[uint64][]int{}
+	for _, g := range groups {
+		merged := false
+		for _, ri := range index[g.hash] {
+			r := res[ri]
+			if tensorsEqual(r.x, g.x) {
+				r.members = append(r.members, g.members...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			index[g.hash] = append(index[g.hash], len(res))
+			res = append(res, g)
+		}
+	}
+	return res
+}
+
+// groupInputs buckets the batch inputs into initial groups.
+func groupInputs(ins []*tensor.Tensor) []*batchGroup {
+	groups := make([]*batchGroup, len(ins))
+	for i, t := range ins {
+		groups[i] = &batchGroup{x: t, hash: hashTensor(t), members: []int{i}}
+	}
+	return coalesce(groups)
+}
+
+// batchedDense runs one Dense layer over every group as a single blocked
+// matmul: group activations pack into an (nGroups, In) matrix, one
+// MatMulT pass reuses each weight row across the whole batch, and the
+// bias adds after the full sum — the exact operation order of the serial
+// MatVec + AddInPlace path.
+func batchedDense(d *Dense, groups []*batchGroup) {
+	n := len(groups)
+	xbuf := tensor.GetBuf(n * d.In)
+	for gi, g := range groups {
+		if g.x.Len() != d.In {
+			// Mirror the serial panic path rather than batch past it.
+			d.Forward(g.x)
+		}
+		copy(xbuf[gi*d.In:(gi+1)*d.In], g.x.Data)
+	}
+	ybuf := tensor.GetBuf(n * d.Out)
+	tensor.MatMulTInto(ybuf, xbuf, d.W.Data, n, d.Out, d.In)
+	for gi, g := range groups {
+		y := tensor.New(d.Out)
+		copy(y.Data, ybuf[gi*d.Out:(gi+1)*d.Out])
+		y.AddInPlace(d.B)
+		g.x, g.aliased = y, false
+	}
+	tensor.PutBuf(xbuf)
+	tensor.PutBuf(ybuf)
+}
+
+// forwardGroups advances every group through layers[lo:hi], sharing one
+// layer pass per unique activation and re-merging groups whose outputs
+// converge. memo, when non-nil, additionally consults/fills the
+// CachedRunner's cross-request layer memo. layerRuns, when non-nil,
+// counts actual layer executions (the sharing ablation's numerator).
+func forwardGroups(layers []Layer, lo, hi int, groups []*batchGroup, memo *CachedRunner, layerRuns *int) []*batchGroup {
+	for li := lo; li < hi; li++ {
+		l := layers[li]
+		switch {
+		case memo != nil:
+			for _, g := range groups {
+				out, fromCache := memo.step(li, l, g.x, g.hash)
+				g.x, g.aliased = out, fromCache
+				if !fromCache && layerRuns != nil {
+					*layerRuns++
+				}
+			}
+		default:
+			if d, ok := l.(*Dense); ok && len(groups) > 1 {
+				batchedDense(d, groups)
+			} else {
+				// Groups are independent, so the pass parallelises
+				// without changing any group's operation order.
+				tensor.ParallelFor(len(groups), 1, func(s, e int) {
+					for i := s; i < e; i++ {
+						groups[i].x = l.Forward(groups[i].x)
+						groups[i].aliased = false
+					}
+				})
+			}
+			if layerRuns != nil {
+				*layerRuns += len(groups)
+			}
+		}
+		for _, g := range groups {
+			g.hash = hashTensor(g.x)
+		}
+		groups = coalesce(groups)
+	}
+	return groups
+}
+
+// scatter hands each batch member its own output tensor: the group's
+// tensor goes to its first member when exclusively owned, clones
+// everywhere else, so no two members (and no memo entry) alias storage.
+func scatter(groups []*batchGroup, n int) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, n)
+	for _, g := range groups {
+		for mi, m := range g.members {
+			if mi == 0 && !g.aliased {
+				outs[m] = g.x
+			} else {
+				outs[m] = g.x.Clone()
+			}
+		}
+	}
+	return outs
+}
+
+// ForwardBatch runs the full network over a batch of inputs and returns
+// one output per input, each bit-for-bit identical to Forward of that
+// input alone. Members with identical activations share layer passes;
+// Dense layers run the whole batch as one blocked matmul.
+func (n *Network) ForwardBatch(ins []*tensor.Tensor) []*tensor.Tensor {
+	outs, _ := n.forwardBatch(ins, nil, nil)
+	return outs
+}
+
+func (n *Network) forwardBatch(ins []*tensor.Tensor, memo *CachedRunner, layerRuns *int) ([]*tensor.Tensor, []*batchGroup) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	groups := forwardGroups(n.Layers, 0, len(n.Layers), groupInputs(ins), memo, layerRuns)
+	return scatter(groups, len(ins)), groups
+}
+
+// FeaturesBatch computes the trunk feature descriptor for a batch of
+// inputs, sharing trunk passes across bit-identical activations. Each
+// returned vector equals Features of that input alone.
+func (n *Network) FeaturesBatch(ins []*tensor.Tensor) [][]float32 {
+	if len(ins) == 0 {
+		return nil
+	}
+	if n.FeatureLayer < 0 || n.FeatureLayer >= len(n.Layers) {
+		return [][]float32{n.Features(ins[0])} // trigger the serial panic path
+	}
+	groups := forwardGroups(n.Layers, 0, n.FeatureLayer+1, groupInputs(ins), nil, nil)
+	outs := make([][]float32, len(ins))
+	for _, g := range groups {
+		f := featureVector(g.x)
+		for mi, m := range g.members {
+			if mi == 0 {
+				outs[m] = f
+			} else {
+				outs[m] = append([]float32(nil), f...)
+			}
+		}
+	}
+	return outs
+}
+
+// ForwardBatch is the batched form of Forward: unique activations run
+// each layer once (consulting and filling the cross-request memo), and
+// members fork copies only where their activations diverge. Outputs are
+// bit-identical to serial Forward calls. Hits and misses count once per
+// unique activation group per layer, not once per member.
+func (c *CachedRunner) ForwardBatch(ins []*tensor.Tensor) []*tensor.Tensor {
+	outs, _ := c.Net.forwardBatch(ins, c, nil)
+	return outs
+}

@@ -1,0 +1,105 @@
+package dnn
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/tensor"
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// batchWorkload builds a batch of camera-frame-sized inputs where
+// dupEvery members share one exact frame — the paper's co-located-users
+// premise (several users uploading the same view), which is where
+// intra-batch sharing pays.
+func batchWorkload(rng *xrand.RNG, n, side int, dupEvery int) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		if dupEvery > 1 && i%dupEvery != 0 {
+			ins[i] = ins[i-i%dupEvery]
+			continue
+		}
+		in := tensor.New(3, side, side)
+		in.RandNormal(rng, 1)
+		ins[i] = in
+	}
+	return ins
+}
+
+// BenchmarkBatchedExec contrasts serial Forward against ForwardBatch on
+// the bench workload. Workers are pinned to one so ns/op is per-core
+// time and the serial/batched ratio is throughput per core; the speedup
+// comes from intra-batch sharing plus the blocked Dense kernel, not from
+// occupying more cores. items/sec is reported per sub-benchmark:
+// batched/serial at equal batch size is the acceptance ratio.
+func BenchmarkBatchedExec(b *testing.B) {
+	defer tensor.SetMaxWorkers(tensor.SetMaxWorkers(1))
+	net := NewEdgeNet(testClasses, 64, 1)
+	for _, cfg := range []struct {
+		batch, dupEvery int
+	}{
+		{8, 2}, {8, 1}, {16, 2}, {1, 1},
+	} {
+		ins := batchWorkload(xrand.New(42), cfg.batch, 64, cfg.dupEvery)
+		name := fmt.Sprintf("batch=%d/dupEvery=%d", cfg.batch, cfg.dupEvery)
+		b.Run("serial/"+name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, in := range ins {
+					net.Forward(in)
+				}
+			}
+			b.ReportMetric(float64(cfg.batch)*float64(b.N)/b.Elapsed().Seconds(), "items/sec")
+		})
+		b.Run("batched/"+name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.ForwardBatch(ins)
+			}
+			b.ReportMetric(float64(cfg.batch)*float64(b.N)/b.Elapsed().Seconds(), "items/sec")
+		})
+	}
+}
+
+// BenchmarkBatchedExecParallel measures the same batch with ParallelFor
+// unpinned: the wall-clock (not per-core) win when idle cores are free to
+// take independent groups.
+func BenchmarkBatchedExecParallel(b *testing.B) {
+	net := NewEdgeNet(testClasses, 64, 1)
+	ins := batchWorkload(xrand.New(42), 8, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(ins)
+	}
+	b.ReportMetric(float64(len(ins))*float64(b.N)/b.Elapsed().Seconds(), "items/sec")
+}
+
+// TestForwardBatchAllocBudget is the allocation gate: batching must not
+// cost more allocations per batch than serial execution of the same
+// members (pooled scratch plus shared layer passes should cost *fewer*),
+// and the absolute count is pinned so an accidental per-element
+// allocation in the kernels fails loudly rather than shaving the
+// benchmark quietly.
+func TestForwardBatchAllocBudget(t *testing.T) {
+	defer tensor.SetMaxWorkers(tensor.SetMaxWorkers(1))
+	net := NewEdgeNet(testClasses, 32, 1)
+	ins := batchWorkload(xrand.New(42), 8, 32, 2)
+	serial := testing.AllocsPerRun(5, func() {
+		for _, in := range ins {
+			net.Forward(in)
+		}
+	})
+	batched := testing.AllocsPerRun(5, func() {
+		net.ForwardBatch(ins)
+	})
+	if batched > serial {
+		t.Fatalf("ForwardBatch allocates more than serial: %v > %v allocs per batch", batched, serial)
+	}
+	// Absolute ceiling: ~13 layers × 4 unique groups × a few allocations
+	// per layer pass, plus grouping overhead. Generous headroom over the
+	// measured count (~160) without room for a per-element regression.
+	const budget = 400
+	if batched > budget {
+		t.Fatalf("ForwardBatch allocations %v exceed the pinned budget %d", batched, budget)
+	}
+}

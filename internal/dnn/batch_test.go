@@ -1,0 +1,220 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/tensor"
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// requireBitEqual fails unless got and want carry identical shapes and
+// identical float32 bit patterns — the golden contract is ==-exact, not
+// within-epsilon.
+func requireBitEqual(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !tensor.EqualShape(got, want) {
+		t.Fatalf("%s: shape %v != %v", label, got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d: %v (bits %#x) != %v (bits %#x)",
+				label, i, got.Data[i], math.Float32bits(got.Data[i]),
+				want.Data[i], math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// randomNet builds a small randomized conv+dense network so golden tests
+// cover varying widths, not one hand-picked topology.
+func randomNet(rng *xrand.RNG, inputSize int) *Network {
+	classes := testClasses[:2+rng.Intn(len(testClasses)-2)]
+	return NewEdgeNet(classes, inputSize, uint64(rng.Intn(1<<30)))
+}
+
+// randomBatch builds n inputs with some exact duplicates mixed in, the
+// co-located-users workload batching exists for.
+func randomBatch(rng *xrand.RNG, n, side int) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		if i > 0 && rng.Float64() < 0.4 {
+			ins[i] = ins[rng.Intn(i)] // exact duplicate of an earlier member
+			continue
+		}
+		in := tensor.New(3, side, side)
+		in.RandNormal(rng, 1)
+		ins[i] = in
+	}
+	return ins
+}
+
+// TestForwardBatchGolden asserts ForwardBatch output is element-exact
+// against N serial Forward calls across randomized networks, batch sizes
+// (including 1) and duplicate mixes.
+func TestForwardBatchGolden(t *testing.T) {
+	rng := newTestRNG()
+	for trial := 0; trial < 6; trial++ {
+		side := 8 * (1 + rng.Intn(2))
+		net := randomNet(rng, side)
+		for _, n := range []int{1, 2, 5, 9} {
+			ins := randomBatch(rng, n, side)
+			outs := net.ForwardBatch(ins)
+			if len(outs) != n {
+				t.Fatalf("trial %d: %d outputs for %d inputs", trial, len(outs), n)
+			}
+			for i, in := range ins {
+				requireBitEqual(t, fmt.Sprintf("trial %d batch %d member %d", trial, n, i),
+					outs[i], net.Forward(in))
+			}
+		}
+	}
+}
+
+// TestForwardBatchOutputsUnaliased guards the scatter contract: members
+// of a merged group must not share backing storage — mutating one output
+// must not corrupt another.
+func TestForwardBatchOutputsUnaliased(t *testing.T) {
+	rng := newTestRNG()
+	net := randomNet(rng, 8)
+	in := tensor.New(3, 8, 8)
+	in.RandNormal(rng, 1)
+	outs := net.ForwardBatch([]*tensor.Tensor{in, in, in})
+	want := outs[1].Clone()
+	for i := range outs[0].Data {
+		outs[0].Data[i] = -1
+	}
+	requireBitEqual(t, "member 1 after mutating member 0", outs[1], want)
+}
+
+// sharedPrefixNet starts with a ReLU so inputs that differ only in
+// negative values converge after layer 0: the batch engine must merge
+// them there, share every later layer, and fork at the output.
+func sharedPrefixNet(rng *xrand.RNG) *Network {
+	d := NewDense("fc", 12, 5)
+	d.W.RandNormal(rng, 1)
+	d.B.RandNormal(rng, 1)
+	return &Network{
+		NetName:    "prefixnet",
+		InputShape: []int{3, 2, 2},
+		Layers: []Layer{
+			&ReLU{LayerName: "relu0"},
+			&Flatten{LayerName: "flat"},
+			d,
+			&Softmax{LayerName: "softmax"},
+		},
+		FeatureLayer: 1,
+		Classes:      []string{"a", "b", "c", "d", "e"},
+	}
+}
+
+// TestForwardBatchSharedPrefixFork exercises the fork path: two distinct
+// inputs whose activations become bit-identical mid-network must produce
+// serial-exact outputs AND actually share the converged layers.
+func TestForwardBatchSharedPrefixFork(t *testing.T) {
+	rng := newTestRNG()
+	net := sharedPrefixNet(rng)
+	a := tensor.New(3, 2, 2)
+	a.RandNormal(rng, 1)
+	b := a.Clone()
+	// Flip positives so ReLU collapses both to the same activation while
+	// the raw inputs stay different.
+	changed := false
+	for i, v := range a.Data {
+		if v < 0 {
+			b.Data[i] = v * 3
+			changed = true
+		}
+	}
+	if !changed || tensorsEqual(a, b) {
+		t.Fatal("test setup: inputs must differ only in ReLU-clamped values")
+	}
+	ins := []*tensor.Tensor{a, b}
+	var layerRuns int
+	outs, groups := net.forwardBatch(ins, nil, &layerRuns)
+	for i, in := range ins {
+		requireBitEqual(t, fmt.Sprintf("member %d", i), outs[i], net.Forward(in))
+	}
+	// Layer 0 runs once per input (2 runs); the remaining 3 layers run
+	// once for the merged group.
+	if want := 2 + (len(net.Layers) - 1); layerRuns != want {
+		t.Fatalf("layerRuns = %d, want %d (prefix not shared)", layerRuns, want)
+	}
+	if len(groups) != 1 || len(groups[0].members) != 2 {
+		t.Fatalf("final groups = %+v, want one group holding both members", groups)
+	}
+}
+
+// TestFeaturesBatchGolden asserts the batched trunk descriptor is
+// element-exact against serial Features, duplicates included.
+func TestFeaturesBatchGolden(t *testing.T) {
+	rng := newTestRNG()
+	net := randomNet(rng, 16)
+	ins := randomBatch(rng, 7, 16)
+	feats := net.FeaturesBatch(ins)
+	for i, in := range ins {
+		want := net.Features(in)
+		if len(feats[i]) != len(want) {
+			t.Fatalf("member %d: feature dim %d != %d", i, len(feats[i]), len(want))
+		}
+		for j := range want {
+			if math.Float32bits(feats[i][j]) != math.Float32bits(want[j]) {
+				t.Fatalf("member %d feature %d: %v != %v", i, j, feats[i][j], want[j])
+			}
+		}
+	}
+	// Duplicate members must get independent storage.
+	feats[0][0] = 42
+	if feats[1][0] == 42 && ins[0] == ins[1] {
+		t.Fatal("duplicate members share feature storage")
+	}
+}
+
+// TestCachedRunnerForwardBatchGolden asserts the memoised batch path is
+// element-exact against serial Forward — both against a cold runner and
+// against a runner pre-warmed by serial traffic (cross-request reuse).
+func TestCachedRunnerForwardBatchGolden(t *testing.T) {
+	rng := newTestRNG()
+	net := randomNet(rng, 8)
+	ins := randomBatch(rng, 6, 8)
+	want := make([]*tensor.Tensor, len(ins))
+	for i, in := range ins {
+		want[i] = net.Forward(in)
+	}
+
+	cold := NewCachedRunner(net, 0)
+	for i, out := range cold.ForwardBatch(ins) {
+		requireBitEqual(t, fmt.Sprintf("cold member %d", i), out, want[i])
+	}
+	if hits, misses := cold.Stats(); hits+misses == 0 {
+		t.Fatal("cold batch recorded no layer steps")
+	}
+
+	warm := NewCachedRunner(net, 0)
+	warm.Forward(ins[0]) // pre-warm: batch members hitting the memo get cloned entries
+	outs := warm.ForwardBatch(ins)
+	for i, out := range outs {
+		requireBitEqual(t, fmt.Sprintf("warm member %d", i), out, want[i])
+	}
+	hits, _ := warm.Stats()
+	if hits == 0 {
+		t.Fatal("warm batch never hit the memo")
+	}
+	// Outputs must not alias memo entries: mutating one cannot change a
+	// later run's result.
+	for i := range outs[0].Data {
+		outs[0].Data[i] = -99
+	}
+	requireBitEqual(t, "rerun after output mutation", warm.Forward(ins[0]), want[0])
+}
+
+// TestForwardBatchEmpty pins the trivial edges: nil and empty batches.
+func TestForwardBatchEmpty(t *testing.T) {
+	net := randomNet(newTestRNG(), 8)
+	if out := net.ForwardBatch(nil); out != nil {
+		t.Fatalf("ForwardBatch(nil) = %v", out)
+	}
+	if out := net.FeaturesBatch([]*tensor.Tensor{}); out != nil {
+		t.Fatalf("FeaturesBatch(empty) = %v", out)
+	}
+}

@@ -16,6 +16,23 @@ import (
 // requests share a prefix of identical activations — same frame uploaded by
 // co-located users, same pre-processed crop — every shared layer is a hit
 // and only the divergent suffix is recomputed.
+//
+// Concurrency contract: a CachedRunner is safe for concurrent use by
+// multiple goroutines — batch workers share one runner so intra-batch
+// dedup composes with cross-request reuse. The contract rests on two
+// invariants guarded by TestCachedRunnerConcurrencyContract:
+//
+//   - every access to entries/hits/misses happens inside a single
+//     critical section per layer step, so a concurrent Reset can never
+//     interleave between a lookup and its counter update (the tear the
+//     pre-batching code risked with split lock acquisitions);
+//   - memoised tensors are write-once — inserted as private clones and
+//     never mutated after — which is what makes cloning a fetched entry
+//     *outside* the lock sound.
+//
+// A CachedRunner must not be copied after first use (it would share the
+// mutex but fork the map); go vet's copylocks check enforces this via the
+// embedded sync.Mutex.
 type CachedRunner struct {
 	Net *Network
 
@@ -66,27 +83,40 @@ func hashTensor(t *tensor.Tensor) uint64 {
 func (c *CachedRunner) Forward(in *tensor.Tensor) *tensor.Tensor {
 	x := in
 	for i, l := range c.Net.Layers {
-		key := layerKey{layer: i, hash: hashTensor(x)}
-		c.mu.Lock()
-		cached, ok := c.entries[key]
-		c.mu.Unlock()
-		if ok {
-			c.mu.Lock()
-			c.hits++
-			c.mu.Unlock()
-			x = cached.Clone()
-			continue
+		out, fromCache := c.step(i, l, x, hashTensor(x))
+		if fromCache {
+			out = out.Clone()
 		}
-		out := l.Forward(x)
-		c.mu.Lock()
-		c.misses++
-		if len(c.entries) < c.maxEnts {
-			c.entries[key] = out.Clone()
-		}
-		c.mu.Unlock()
 		x = out
 	}
 	return x
+}
+
+// step advances one layer: a hit returns the memo entry itself (the
+// caller must clone before exposing it — fromCache reports this), a miss
+// computes, memoises a private clone and returns the freshly computed
+// tensor. The lookup and its counter update share one critical section;
+// the layer compute and the hit clone deliberately run outside the lock
+// (entries are write-once, so the pointer stays valid across Reset).
+func (c *CachedRunner) step(layer int, l Layer, x *tensor.Tensor, hash uint64) (out *tensor.Tensor, fromCache bool) {
+	key := layerKey{layer: layer, hash: hash}
+	c.mu.Lock()
+	if cached, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return cached, true
+	}
+	c.mu.Unlock()
+	out = l.Forward(x)
+	c.mu.Lock()
+	c.misses++
+	if len(c.entries) < c.maxEnts {
+		if _, dup := c.entries[key]; !dup {
+			c.entries[key] = out.Clone()
+		}
+	}
+	c.mu.Unlock()
+	return out, false
 }
 
 // Stats reports cumulative layer-level hits and misses.

@@ -1,0 +1,53 @@
+package dnn
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/vision"
+)
+
+// FuzzDecodeModel feeds arbitrary bytes to the CDNN model decoder. The
+// invariants: never panic whatever the input, and any model that decodes
+// is valid and re-encodes deterministically (encode∘decode is the
+// identity on the canonical encoding).
+func FuzzDecodeModel(f *testing.F) {
+	// Seed with a real (tiny) model and a few corruptions of it.
+	net := NewEdgeNet(vision.ClassNames[:2], 8, 7)
+	enc, err := EncodeBytes(net)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	trunc := append([]byte(nil), enc[:len(enc)/2]...)
+	f.Add(trunc)
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("CDNN"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid model: %v", err)
+		}
+		re, err := EncodeBytes(n)
+		if err != nil {
+			t.Fatalf("decoded model fails to re-encode: %v", err)
+		}
+		n2, err := DecodeBytes(re)
+		if err != nil {
+			t.Fatalf("re-encoded model fails to decode: %v", err)
+		}
+		re2, err := EncodeBytes(n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("encoding is not a fixed point after one decode/encode cycle")
+		}
+	})
+}

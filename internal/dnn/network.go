@@ -65,6 +65,12 @@ func (n *Network) Features(in *tensor.Tensor) []float32 {
 	for i := 0; i <= n.FeatureLayer; i++ {
 		x = n.Layers[i].Forward(x)
 	}
+	return featureVector(x)
+}
+
+// featureVector post-processes a feature-layer activation into the
+// descriptor: mean-centred, L2-normalised, copied out of the activation.
+func featureVector(x *tensor.Tensor) []float32 {
 	v := x.Clone()
 	var mean float32
 	for _, f := range v.Data {

@@ -1,0 +1,187 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the batched kernels behind dnn's ForwardBatch path.
+// The contract that shapes everything here is bit-exactness: a batched
+// kernel must produce the same float32 bit patterns as the serial kernel
+// it replaces, so golden-equivalence tests can compare outputs with ==
+// instead of a tolerance. Two rules follow:
+//
+//   - additions into one output element always run in ascending-k order
+//     with a single float32 accumulator, exactly like MatVec — blocking
+//     may tile the loops for cache locality but never reorders the sum;
+//   - parallelism only splits work across *independent* output rows,
+//     never across the reduction dimension.
+
+// Blocking factors for MatMulT. kBlock keeps a strip of each B row in L1
+// while a panel of A rows streams past it; nBlock bounds how many B rows
+// that strip spans so the working set stays cache-sized.
+const (
+	kBlock = 256
+	nBlock = 64
+)
+
+// maxWorkers caps ParallelFor's fan-out. 0 means GOMAXPROCS. It is a
+// package global (not a parameter) so benchmarks and per-core ablations
+// can pin kernels to one core without threading a knob through every
+// layer type.
+var maxWorkersVar atomic.Int32
+
+// SetMaxWorkers caps the goroutines ParallelFor may use; n <= 0 restores
+// the default (GOMAXPROCS). It returns the previous cap so callers can
+// defer-restore.
+func SetMaxWorkers(n int) int {
+	old := maxWorkersVar.Swap(int32(n))
+	return int(old)
+}
+
+func workerCap() int {
+	n := int(maxWorkersVar.Load())
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelFor runs fn over the half-open ranges that partition [0, n),
+// using up to min(workerCap, n/minPerWorker) goroutines. Ranges are
+// contiguous and disjoint, so fn invocations may not overlap indices;
+// results are deterministic whenever fn writes only to its own range.
+// With one worker (or a small n) it runs inline on the caller's
+// goroutine.
+func ParallelFor(n, minPerWorker int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	workers := workerCap()
+	if byWork := n / minPerWorker; workers > byWork {
+		workers = byWork
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// bufPools holds sync.Pools of []float32 bucketed by power-of-two
+// capacity, so batch kernels can reuse packing scratch across calls
+// instead of allocating per batch.
+var bufPools [33]sync.Pool
+
+func poolIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1)) // smallest p with 1<<p >= n
+}
+
+// GetBuf returns a zeroed []float32 of length n, reusing pooled backing
+// storage when available. Pair with PutBuf when the buffer is dead.
+func GetBuf(n int) []float32 {
+	idx := poolIndex(n)
+	if v := bufPools[idx].Get(); v != nil {
+		b := v.([]float32)[:n]
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]float32, n, 1<<idx)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to its pool.
+func PutBuf(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	idx := poolIndex(cap(b))
+	if 1<<idx != cap(b) {
+		idx-- // non-power-of-two cap: park in the bucket it can satisfy
+	}
+	bufPools[idx].Put(b[:0])
+}
+
+// MatMulT computes C = A·Bᵀ where A has shape (m, k) and B has shape
+// (n, k): c[r,o] = Σ_j a[r,j]·b[o,j]. This is the batched form of MatVec
+// (each row of A is one MatVec against the same weight matrix B), blocked
+// over k and n for cache reuse and parallelised over rows of A. For every
+// (r, o) the reduction runs in ascending-j order through one float32
+// accumulator, so MatMulT of a single row is bit-identical to MatVec.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT operands must be rank 2")
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, bk := b.shape[0], b.shape[1]
+	if k != bk {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, bk))
+	}
+	c := New(m, n)
+	MatMulTInto(c.Data, a.Data, b.Data, m, n, k)
+	return c
+}
+
+// MatMulTInto is MatMulT writing into a caller-provided (and zeroed)
+// buffer of length m*n, letting hot paths reuse pooled storage.
+func MatMulTInto(c, a, b []float32, m, n, k int) {
+	if len(c) < m*n || len(a) < m*k || len(b) < n*k {
+		panic("tensor: MatMulTInto buffer too small")
+	}
+	// Each worker owns a contiguous strip of A rows, so writes into c
+	// never overlap. 8 rows per worker keeps tiny batches inline.
+	ParallelFor(m, 8, func(rs, re int) {
+		for k0 := 0; k0 < k; k0 += kBlock {
+			k1 := k0 + kBlock
+			if k1 > k {
+				k1 = k
+			}
+			for n0 := 0; n0 < n; n0 += nBlock {
+				n1 := n0 + nBlock
+				if n1 > n {
+					n1 = n
+				}
+				for r := rs; r < re; r++ {
+					arow := a[r*k+k0 : r*k+k1]
+					crow := c[r*n : (r+1)*n]
+					for o := n0; o < n1; o++ {
+						brow := b[o*k+k0 : o*k+k1]
+						// Resuming from crow[o] keeps the global
+						// per-(r,o) addition order ascending in j even
+						// though j is tiled: float32 rounds identically
+						// whether the partial sits in a register or in
+						// memory between tiles.
+						acc := crow[o]
+						for j, av := range arow {
+							acc += av * brow[j]
+						}
+						crow[o] = acc
+					}
+				}
+			}
+		}
+	})
+}

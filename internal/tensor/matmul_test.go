@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/xrand"
+)
+
+// TestMatMulTMatchesMatVec is the kernel-level golden contract: every row
+// of the blocked batched product must be bit-identical to a serial MatVec
+// of that row, across shapes small enough to stay in one block and large
+// enough to tile both k and n.
+func TestMatMulTMatchesMatVec(t *testing.T) {
+	rng := xrand.New(7)
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {3, 5, 7}, {8, 64, 64},
+		{4, nBlock + 9, kBlock + 33}, // forces n and k tiling
+		{17, 130, 301},
+	}
+	for _, s := range shapes {
+		a := New(s.m, s.k)
+		b := New(s.n, s.k)
+		a.RandNormal(rng, 1)
+		b.RandNormal(rng, 1)
+		c := MatMulT(a, b)
+		if c.Dim(0) != s.m || c.Dim(1) != s.n {
+			t.Fatalf("shape %v: got %v", s, c.Shape())
+		}
+		for r := 0; r < s.m; r++ {
+			row := FromSlice(a.Data[r*s.k:(r+1)*s.k], s.k)
+			want := MatVec(b, row)
+			for o := 0; o < s.n; o++ {
+				got := c.At(r, o)
+				if math.Float32bits(got) != math.Float32bits(want.Data[o]) {
+					t.Fatalf("shape %v row %d col %d: %v != MatVec %v", s, r, o, got, want.Data[o])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTSingleWorkerIdentical pins determinism across parallelism:
+// the parallel product must equal the single-worker product bit for bit.
+func TestMatMulTSingleWorkerIdentical(t *testing.T) {
+	rng := xrand.New(11)
+	a := New(33, 90)
+	b := New(40, 90)
+	a.RandNormal(rng, 1)
+	b.RandNormal(rng, 1)
+	parallel := MatMulT(a, b)
+	defer SetMaxWorkers(SetMaxWorkers(1))
+	serial := MatMulT(a, b)
+	for i := range serial.Data {
+		if math.Float32bits(parallel.Data[i]) != math.Float32bits(serial.Data[i]) {
+			t.Fatalf("element %d: parallel %v != serial %v", i, parallel.Data[i], serial.Data[i])
+		}
+	}
+}
+
+// TestParallelForPartition verifies [0, n) is covered exactly once for
+// assorted n and worker caps.
+func TestParallelForPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		defer SetMaxWorkers(SetMaxWorkers(workers))
+		for _, n := range []int{0, 1, 7, 64, 1001} {
+			counts := make([]atomic.Int32, n)
+			ParallelFor(n, 1, func(s, e int) {
+				for i := s; i < e; i++ {
+					counts[i].Add(1)
+				}
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGetBufZeroedAfterReuse guards the pool contract: a recycled buffer
+// comes back zeroed at the requested length.
+func TestGetBufZeroedAfterReuse(t *testing.T) {
+	b := GetBuf(100)
+	for i := range b {
+		b[i] = 3.5
+	}
+	PutBuf(b)
+	c := GetBuf(70)
+	if len(c) != 70 {
+		t.Fatalf("len = %d, want 70", len(c))
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	PutBuf(c)
+}

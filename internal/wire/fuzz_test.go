@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/edge-immersion/coic/internal/feature"
+)
+
+// FuzzReadMessage feeds arbitrary bytes to the frame decoder. The
+// invariants: never panic, never allocate past MaxBody, and any frame
+// that decodes re-encodes to exactly the bytes the reader consumed (the
+// frame format has one canonical encoding).
+func FuzzReadMessage(f *testing.F) {
+	for _, m := range []Message{
+		{Type: MsgHello, RequestID: 1, Body: []byte{0}},
+		{Type: MsgExec, RequestID: 42, Body: []byte("payload")},
+		{Type: MsgError, RequestID: 7, Body: nil},
+	} {
+		enc, err := m.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x49, 1, 3}) // magic + version, truncated header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		m, err := ReadMessage(r)
+		if err != nil {
+			return
+		}
+		if len(m.Body) > MaxBody {
+			t.Fatalf("decoded body of %d bytes exceeds MaxBody", len(m.Body))
+		}
+		consumed := len(data) - r.Len()
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data[:consumed]) {
+			t.Fatalf("re-encode diverges from the %d consumed bytes", consumed)
+		}
+	})
+}
+
+// FuzzExecRequestTrailer cross-checks the zero-copy trailer peekers
+// against the full decoder: for any body, PeekQoS/PeekTrace must never
+// panic, and when the body is a valid ExecRequest they must agree with
+// UnmarshalExecRequest. Valid requests must also round-trip through
+// their canonical marshalled form.
+func FuzzExecRequestTrailer(f *testing.F) {
+	desc := feature.NewVector([]float32{1, 0})
+	for _, e := range []ExecRequest{
+		{Task: TaskRecognize, Desc: desc, Payload: []byte("frame")},
+		{Task: TaskRecognize, Desc: desc, Payload: []byte("frame"), QoS: QoSInteractive, Deadline: 1234567},
+		{Task: TaskRender, Desc: desc, Payload: []byte("x"), QoS: QoSBestEffort, Deadline: 99, TraceID: 0xfeed},
+	} {
+		body, err := e.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(TaskRecognize), 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		qos, deadline := PeekQoS(MsgExec, body)
+		trace := PeekTrace(MsgExec, body)
+		req, err := UnmarshalExecRequest(body)
+		if err != nil {
+			return
+		}
+		if req.QoS != qos || req.Deadline != deadline {
+			t.Fatalf("PeekQoS = (%v, %d), decoder says (%v, %d)", qos, deadline, req.QoS, req.Deadline)
+		}
+		if req.TraceID != trace {
+			t.Fatalf("PeekTrace = %d, decoder says %d", trace, req.TraceID)
+		}
+
+		// Canonical round trip: marshal, re-decode, and the peekers must
+		// agree on the canonical form too (the trailer may be re-encoded
+		// shorter, never with different meaning).
+		canon, err := req.Marshal()
+		if err != nil {
+			t.Fatalf("decoded request fails to marshal: %v", err)
+		}
+		req2, err := UnmarshalExecRequest(canon)
+		if err != nil {
+			t.Fatalf("canonical form fails to decode: %v", err)
+		}
+		if req2.Task != req.Task || !bytes.Equal(req2.Payload, req.Payload) ||
+			req2.QoS != req.QoS || req2.Deadline != req.Deadline || req2.TraceID != req.TraceID {
+			t.Fatal("round trip through canonical form changed the request")
+		}
+		if q2, d2 := PeekQoS(MsgExec, canon); q2 != req.QoS || d2 != req.Deadline {
+			t.Fatalf("PeekQoS on canonical form = (%v, %d), want (%v, %d)", q2, d2, req.QoS, req.Deadline)
+		}
+		if tr2 := PeekTrace(MsgExec, canon); tr2 != req.TraceID {
+			t.Fatalf("PeekTrace on canonical form = %d, want %d", tr2, req.TraceID)
+		}
+	})
+}

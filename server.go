@@ -38,6 +38,8 @@ type serverConfig struct {
 	peers        []string
 	workers      int
 	queueDepth   int
+	batch        int
+	batchSlack   time.Duration
 	fetchTimeout time.Duration
 	maxUpstream  int
 
@@ -106,6 +108,23 @@ func WithWorkers(n int) ServerOption {
 // when unset).
 func WithQueueDepth(n int) ServerOption {
 	return func(c *serverConfig) error { c.queueDepth = n; return nil }
+}
+
+// WithBatch lets a worker execute up to n compatible exec requests as
+// one batch (cloud: a single batched DNN pass; edge: concurrent
+// dispatch that coalesces identical descriptors). Zero or one disables
+// batching. Batching is server-local — the wire protocol and reply
+// ordering are unchanged.
+func WithBatch(n int) ServerOption {
+	return func(c *serverConfig) error { c.batch = n; return nil }
+}
+
+// WithBatchSlack lets a worker that picked up a best-effort exec
+// request wait up to d for more batchable arrivals (capped by the
+// head request's deadline). Interactive requests never wait — their
+// batch is whatever was already queued. Meaningful only with WithBatch.
+func WithBatchSlack(d time.Duration) ServerOption {
+	return func(c *serverConfig) error { c.batchSlack = d; return nil }
 }
 
 // WithFetchTimeout bounds one edge→cloud fetch end to end, failing any
@@ -222,6 +241,11 @@ type ServerStats struct {
 	// the scheduler per service class.
 	AdmittedInteractive uint64
 	AdmittedBestEffort  uint64
+	// Batches counts multi-request batches executed (batches of one are
+	// not counted); BatchedRequests is the total requests they carried.
+	// Both are zero unless WithBatch enabled batching.
+	Batches         uint64
+	BatchedRequests uint64
 }
 
 // Stats snapshots the server's counters.
@@ -237,6 +261,8 @@ func (s *Server) Stats() ServerStats {
 			DeadlineSheds:       es.DeadlineSheds(),
 			AdmittedInteractive: es.Admitted(QoSInteractive),
 			AdmittedBestEffort:  es.Admitted(QoSBestEffort),
+			Batches:             es.Batches(),
+			BatchedRequests:     es.BatchedRequests(),
 		}
 	case cs != nil:
 		return ServerStats{
@@ -244,6 +270,8 @@ func (s *Server) Stats() ServerStats {
 			DeadlineSheds:       cs.DeadlineSheds(),
 			AdmittedInteractive: cs.Admitted(QoSInteractive),
 			AdmittedBestEffort:  cs.Admitted(QoSBestEffort),
+			Batches:             cs.Batches(),
+			BatchedRequests:     cs.BatchedRequests(),
 		}
 	default:
 		return ServerStats{}
@@ -285,6 +313,8 @@ func (s *Server) Serve(ctx context.Context) error {
 			Cloud:      core.NewCloud(p),
 			Workers:    s.cfg.workers,
 			QueueDepth: s.cfg.queueDepth,
+			Batch:      s.cfg.batch,
+			BatchSlack: s.cfg.batchSlack,
 			Obs:        sobs,
 		}
 		s.registerSchedBridges(srv.Admitted, srv.DeadlineSheds, srv.Overloads)
@@ -305,6 +335,8 @@ func (s *Server) Serve(ctx context.Context) error {
 		WrapCloud:    wrap,
 		Workers:      s.cfg.workers,
 		QueueDepth:   s.cfg.queueDepth,
+		Batch:        s.cfg.batch,
+		BatchSlack:   s.cfg.batchSlack,
 		FetchTimeout: s.cfg.fetchTimeout,
 		MaxUpstream:  s.cfg.maxUpstream,
 		Obs:          sobs,
