@@ -29,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, finegrained, batch, pano, privacy, qoe")
+		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, noisy, finegrained, batch, pano, privacy, qoe")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of {title, columns, rows, notes} objects")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
@@ -91,6 +91,9 @@ func main() {
 		}},
 		{"qos", func() (*coic.Table, error) {
 			return coic.RunQoS(scaled(p), 24, 120*time.Millisecond)
+		}},
+		{"noisy", func() (*coic.Table, error) {
+			return coic.RunNoisyNeighbor(scaled(p), 30, 150*time.Millisecond)
 		}},
 		{"finegrained", func() (*coic.Table, error) {
 			return coic.RunFinegrained(p, []int{1, 4, 16, 64}, 256), nil

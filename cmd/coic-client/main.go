@@ -53,6 +53,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request wall-clock budget (0 = none); expired queued requests are shed at the edge")
 	shape := flag.String("shape", "", `tc-style spec for the client->edge link, e.g. "rate 200mbit delay 1ms"`)
 	reqID := flag.String("request-id", "", "base trace ID (decimal or 0x-hex); request i is sent as base+i and shows up under that ID in every tier's logs. Empty: the stream mints random IDs, printed per completion")
+	tenant := flag.String("tenant", "", "tenant to authenticate as on the hello handshake (empty = the default tenant)")
+	tenantToken := flag.String("tenant-token", "", "shared secret for -tenant, when the edge requires one")
 	flag.Parse()
 
 	var traceBase uint64
@@ -85,7 +87,8 @@ func main() {
 	cli, err := coic.NewClient(ctx, *edge,
 		coic.WithDialParams(p),
 		coic.WithDialMode(m),
-		coic.WithDialShape(coic.ShapeSpec(*shape)))
+		coic.WithDialShape(coic.ShapeSpec(*shape)),
+		coic.WithTenant(*tenant, *tenantToken))
 	if err != nil {
 		log.Fatalf("coic-client: %v", err)
 	}

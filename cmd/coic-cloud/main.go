@@ -24,6 +24,8 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +40,27 @@ func main() {
 	batchSlack := flag.Duration("batch-slack", 2*time.Millisecond, "longest a best-effort request waits for batchmates (interactive never waits); needs -batch")
 	httpAddr := flag.String("http", "", "ops sidecar address for /metrics, /healthz, /readyz, /debug (empty = disabled)")
 	slow := flag.Duration("slow", time.Second, "latency above which a successful request enters /debug/requests")
+	var tenantOpts []coic.ServerOption
+	flag.Func("tenant-quota", `tenant limits as "name:key=value,..." (keys: token, rate, burst, weight; cache is edge-only); repeatable`, func(spec string) error {
+		name, cfg, err := coic.ParseTenantQuota(spec)
+		if err != nil {
+			return err
+		}
+		tenantOpts = append(tenantOpts, coic.WithTenantQuota(name, cfg))
+		return nil
+	})
+	flag.Func("tenant-weight", `tenant fair-share weight as "name=weight"; repeatable, merges with -tenant-quota`, func(spec string) error {
+		name, val, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("%q is not name=weight", spec)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil {
+			return err
+		}
+		tenantOpts = append(tenantOpts, coic.WithTenantWeight(name, w))
+		return nil
+	})
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -48,7 +71,7 @@ func main() {
 		log.Fatalf("coic-cloud: %v", err)
 	}
 	fmt.Printf("coic-cloud: serving on %s\n", ln.Addr())
-	srv := coic.NewCloudServer(
+	opts := []coic.ServerOption{
 		coic.WithListener(ln),
 		coic.WithServeParams(coic.DefaultParams()),
 		coic.WithWorkers(*workers),
@@ -56,7 +79,9 @@ func main() {
 		coic.WithBatch(*batch),
 		coic.WithBatchSlack(*batchSlack),
 		coic.WithSlowRequestThreshold(*slow),
-	)
+	}
+	opts = append(opts, tenantOpts...)
+	srv := coic.NewCloudServer(opts...)
 	if *httpAddr != "" {
 		opsLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {

@@ -48,6 +48,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -68,6 +69,27 @@ func main() {
 	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch cloud timeout (0 = default)")
 	httpAddr := flag.String("http", "", "ops sidecar address for /metrics, /healthz, /readyz, /debug (empty = disabled)")
 	slow := flag.Duration("slow", time.Second, "latency above which a successful request enters /debug/requests")
+	var tenantOpts []coic.ServerOption
+	flag.Func("tenant-quota", `tenant limits as "name:key=value,..." (keys: token, rate, burst, weight, cache); repeatable`, func(spec string) error {
+		name, cfg, err := coic.ParseTenantQuota(spec)
+		if err != nil {
+			return err
+		}
+		tenantOpts = append(tenantOpts, coic.WithTenantQuota(name, cfg))
+		return nil
+	})
+	flag.Func("tenant-weight", `tenant fair-share weight as "name=weight"; repeatable, merges with -tenant-quota`, func(spec string) error {
+		name, val, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("%q is not name=weight", spec)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil {
+			return err
+		}
+		tenantOpts = append(tenantOpts, coic.WithTenantWeight(name, w))
+		return nil
+	})
 	flag.Parse()
 
 	var peerAddrs []string
@@ -109,6 +131,7 @@ func main() {
 		coic.WithFetchTimeout(*fetchTimeout),
 		coic.WithSlowRequestThreshold(*slow),
 	}
+	opts = append(opts, tenantOpts...)
 	if len(peerAddrs) > 0 {
 		opts = append(opts, coic.WithFederation(*self, peerAddrs...))
 	}

@@ -1,0 +1,300 @@
+package coic
+
+// Multi-tenant tests at the public surface: the fairness ablation's
+// ordering (pooled degrades, fair and quota hold the victim near its
+// uncontended floor), legacy-hello interop (a pre-tenant client against
+// a tenant-aware edge), and token authentication on the handshake. All
+// run under -race in CI.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/wire"
+)
+
+// noisyRows runs the noisy-neighbor ablation and indexes its rows by the
+// isolation column.
+func noisyRows(t *testing.T, victimN int, budget time.Duration) map[string][]string {
+	t.Helper()
+	tab, err := RunNoisyNeighbor(testConfig().Params, victimN, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]string)
+	for _, r := range tab.Rows() {
+		rows[r[0]] = r
+	}
+	return rows
+}
+
+func cellFloat(t *testing.T, row []string, idx int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(row[idx], 64)
+	if err != nil {
+		t.Fatalf("row %v cell %d: %v", row, idx, err)
+	}
+	return v
+}
+
+// TestTenantFairShareUnderFlood is the tentpole acceptance test: with a
+// competing tenant flooding best-effort misses from its own connection,
+// weighted fair-share keeps the victim tenant's interactive p99 within
+// 2x of its uncontended floor, while the pooled (tenantless) edge lets
+// the flood own every upstream slot. Thresholds carry slack for -race
+// and loaded CI hosts; the structural gap they witness is ~5x vs ~1x.
+func TestTenantFairShareUnderFlood(t *testing.T) {
+	const victimN = 20
+	rows := noisyRows(t, victimN, 150*time.Millisecond)
+	const (
+		p99Col      = 3
+		admittedCol = 5
+		rejectedCol = 7
+	)
+	solo := cellFloat(t, rows["solo"], p99Col)
+	pooled := cellFloat(t, rows["pooled"], p99Col)
+	fair := cellFloat(t, rows["fair"], p99Col)
+	quota := cellFloat(t, rows["quota"], p99Col)
+	t.Logf("victim p99 ms: solo %.1f, pooled %.1f, fair %.1f, quota %.1f", solo, pooled, fair, quota)
+
+	// The acceptance bound is 2x the uncontended floor. Under the race
+	// detector the flooded rows pay heavy instrumentation overhead on
+	// top of scheduling, so the bound widens: the ordering, not the
+	// exact ratio, is what -race is here to witness.
+	ratio, slack := 2.0, 15.0
+	if raceEnabled {
+		ratio, slack = 6.0, 60.0
+	}
+
+	// The victim's paced interactive stream must be admitted in full in
+	// every row — fairness must not come from shedding the victim.
+	for name, row := range rows {
+		if got := cellFloat(t, row, admittedCol); got != victimN {
+			t.Errorf("%s row: victim admitted %v of %d requests", name, got, victimN)
+		}
+	}
+
+	// Isolation holds: fair stays within the bound of the uncontended
+	// floor (absolute slack absorbs scheduler jitter at ms scale).
+	if limit := ratio*solo + slack; fair > limit {
+		t.Errorf("fair p99 %.1fms exceeds %.0fx solo floor %.1fms (+%.0fms slack)", fair, ratio, solo, slack)
+	}
+	if limit := ratio*solo + slack; quota > limit {
+		t.Errorf("quota p99 %.1fms exceeds %.0fx solo floor %.1fms (+%.0fms slack)", quota, ratio, solo, slack)
+	}
+	// The pooled edge visibly degrades — the contrast fairness buys.
+	if pooled < 1.5*fair {
+		t.Errorf("pooled p99 %.1fms not clearly worse than fair %.1fms — flood had no effect", pooled, fair)
+	}
+	// The quota row actually rejected flood admissions.
+	if got := cellFloat(t, rows["quota"], rejectedCol); got == 0 {
+		t.Error("quota row rejected nothing — the noisy bucket never emptied")
+	}
+}
+
+// TestParseTenantQuota covers the daemons' -tenant-quota flag grammar.
+func TestParseTenantQuota(t *testing.T) {
+	name, cfg, err := ParseTenantQuota("acme:token=s3cret,rate=100,burst=20,weight=4,cache=1048576")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TenantConfig{Token: "s3cret", Rate: 100, Burst: 20, Weight: 4, CacheBytes: 1 << 20}
+	if name != "acme" || cfg != want {
+		t.Fatalf("got %q %+v, want acme %+v", name, cfg, want)
+	}
+
+	name, cfg, err = ParseTenantQuota("guest")
+	if err != nil || name != "guest" || cfg != (TenantConfig{}) {
+		t.Fatalf("bare name: got %q %+v, %v", name, cfg, err)
+	}
+
+	for _, bad := range []string{"", ":rate=1", "a:rate", "a:rate=x", "a:speed=9"} {
+		if _, _, err := ParseTenantQuota(bad); err == nil {
+			t.Errorf("ParseTenantQuota(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLegacyHelloRunsAsDefaultTenant speaks the pre-tenant wire protocol
+// by hand — a version-0 one-byte hello, then a pano fetch — against an
+// edge with tenants configured, and asserts the connection runs as the
+// default tenant with its traffic admitted and accounted there.
+func TestLegacyHelloRunsAsDefaultTenant(t *testing.T) {
+	p := testConfig().Params
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go NewCloudServer(WithListener(cloudLn), WithServeParams(p)).Serve(ctx)
+
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := NewEdgeServer(
+		WithListener(edgeLn),
+		WithServeParams(p),
+		WithCloud(cloudLn.Addr().String()),
+		WithTenantQuota("victim", TenantConfig{Token: "tok", Weight: 4}),
+	)
+	go edge.Serve(ctx)
+
+	conn, err := net.Dial("tcp", edgeLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// The legacy preamble: exactly the bytes a pre-tenant client sent.
+	helloBody, err := wire.Hello{Version: 0, Mode: wire.HelloModeCoIC}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(helloBody) > 2 {
+		t.Fatalf("legacy hello body is %d bytes, want the old 0-2 byte form", len(helloBody))
+	}
+	if err := wire.WriteMessage(conn, wire.Message{Type: wire.MsgHello, RequestID: 1, Body: helloBody}); err != nil {
+		t.Fatal(err)
+	}
+	fetch, err := wire.PanoFetch{VideoID: "legacy-vid", FrameIndex: 3}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteMessage(conn, wire.Message{Type: wire.MsgPanoFetch, RequestID: 2, Body: fetch}); err != nil {
+		t.Fatal(err)
+	}
+
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			t.Fatalf("reading reply: %v", err)
+		}
+		if msg.RequestID == 1 {
+			continue // hello ack
+		}
+		if msg.RequestID != 2 {
+			t.Fatalf("unexpected reply id %d (type %v)", msg.RequestID, msg.Type)
+		}
+		if msg.Type != wire.MsgPanoReply {
+			t.Fatalf("pano fetch answered with %v", msg.Type)
+		}
+		pr, err := wire.UnmarshalPanoReply(msg.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Data) == 0 {
+			t.Fatal("empty pano frame")
+		}
+		break
+	}
+
+	stats := edge.Stats()
+	def := stats.Tenants[DefaultTenant]
+	if def.AdmittedBestEffort+def.AdmittedInteractive == 0 {
+		t.Fatalf("legacy connection's traffic not accounted to %q: %+v", DefaultTenant, stats.Tenants)
+	}
+}
+
+// TestTenantTokenHandshake dials with WithTenant against an edge whose
+// tenant requires a token: the right token connects and the tenant's
+// traffic lands in its own stats bucket; the wrong token is refused at
+// the handshake.
+func TestTenantTokenHandshake(t *testing.T) {
+	p := testConfig().Params
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go NewCloudServer(WithListener(cloudLn), WithServeParams(p)).Serve(ctx)
+
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := NewEdgeServer(
+		WithListener(edgeLn),
+		WithServeParams(p),
+		WithCloud(cloudLn.Addr().String()),
+		WithTenantQuota("acme", TenantConfig{Token: "opensesame"}),
+	)
+	go edge.Serve(ctx)
+	addr := edgeLn.Addr().String()
+
+	if _, err := NewClient(ctx, addr, WithDialParams(p), WithTenant("acme", "wrong")); err == nil {
+		t.Fatal("bad token connected")
+	}
+
+	cli, err := NewClient(ctx, addr, WithDialParams(p), WithTenant("acme", "opensesame"))
+	if err != nil {
+		t.Fatalf("good token refused: %v", err)
+	}
+	defer cli.Close()
+	if _, err := cli.PanoContext(ctx, "vid-a", 1, Viewport{FOV: 1.6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := edge.Stats().Tenants["acme"]; got.AdmittedInteractive+got.AdmittedBestEffort == 0 {
+		t.Fatalf("acme traffic not accounted: %+v", edge.Stats().Tenants)
+	}
+}
+
+// TestTenantQuotaRejectionSurfacesToClient floods past a tiny bucket and
+// checks the client sees ErrQuotaExceeded while the edge counts the
+// rejections against the tenant.
+func TestTenantQuotaRejectionSurfacesToClient(t *testing.T) {
+	p := testConfig().Params
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go NewCloudServer(WithListener(cloudLn), WithServeParams(p)).Serve(ctx)
+
+	edgeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := NewEdgeServer(
+		WithListener(edgeLn),
+		WithServeParams(p),
+		WithCloud(cloudLn.Addr().String()),
+		WithTenantQuota("metered", TenantConfig{Rate: 0.001, Burst: 2}),
+	)
+	go edge.Serve(ctx)
+
+	cli, err := NewClient(ctx, edgeLn.Addr().String(), WithDialParams(p), WithTenant("metered", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var rejected bool
+	for i := 0; i < 10; i++ {
+		_, err := cli.PanoContext(ctx, "vid-q", i, Viewport{FOV: 1.6})
+		if errors.Is(err, ErrQuotaExceeded) {
+			rejected = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("fetch %d: unexpected error %v", i, err)
+		}
+	}
+	if !rejected {
+		t.Fatal("no fetch rejected with ErrQuotaExceeded past a burst of 2")
+	}
+	if got := edge.Stats().QuotaRejections; got == 0 {
+		t.Fatal("edge counted no quota rejections")
+	}
+}

@@ -22,11 +22,13 @@ import (
 type DialOption func(*dialConfig) error
 
 type dialConfig struct {
-	params    Params
-	paramsSet bool
-	mode      Mode
-	shape     ShapeSpec
-	clientID  int
+	params      Params
+	paramsSet   bool
+	mode        Mode
+	shape       ShapeSpec
+	clientID    int
+	tenant      string
+	tenantToken string
 }
 
 // WithDialParams overrides the reproduction parameters the client runs
@@ -52,6 +54,22 @@ func WithDialShape(spec ShapeSpec) DialOption {
 // nothing security-relevant (identity is not authenticated).
 func WithClientID(id int) DialOption {
 	return func(c *dialConfig) error { c.clientID = id; return nil }
+}
+
+// WithTenant authenticates the connection as tenant id with token. The
+// claim travels in the versioned hello and the server validates it
+// before serving any request: a bad token fails NewClient with the
+// server's error. Connections without WithTenant run as the server's
+// default tenant, which is also where every legacy (pre-hello-v1)
+// client lands — so tenanted and tenantless clients share one edge.
+// The token is required only for tenants the server configured with
+// one (TenantConfig.Token); pass "" otherwise.
+func WithTenant(id, token string) DialOption {
+	return func(c *dialConfig) error {
+		c.tenant = id
+		c.tenantToken = token
+		return nil
+	}
 }
 
 // Client drives requests against a live edge over TCP, measuring
@@ -87,7 +105,8 @@ func NewClient(ctx context.Context, edgeAddr string, opts ...DialOption) (*Clien
 	if err != nil {
 		return nil, err
 	}
-	mux, err := core.DialMuxEdge(ctx, edgeAddr, core.NewClient(cfg.clientID, cfg.params), cfg.mode, wrap)
+	mux, err := core.DialMuxEdgeTenant(ctx, edgeAddr, core.NewClient(cfg.clientID, cfg.params), cfg.mode, wrap,
+		cfg.tenant, cfg.tenantToken)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +121,12 @@ func (c *Client) Close() error { return c.mux.Close() }
 // (the connection's worker pool and queue were full of live work). The
 // connection stays healthy; retry after backing off.
 var ErrOverloaded = errors.New("coic: server overloaded")
+
+// ErrQuotaExceeded reports a request rejected by the connection's
+// per-tenant admission quota (TenantConfig.Rate): the tenant's token
+// bucket was empty. The connection stays healthy and other tenants are
+// unaffected; retry after the bucket refills.
+var ErrQuotaExceeded = errors.New("coic: tenant quota exceeded")
 
 // mapRemoteErr converts protocol error codes into the package's typed
 // errors so callers can errors.Is against semantics, not numbers.
@@ -118,6 +143,8 @@ func mapRemoteErr(err error) error {
 		return fmt.Errorf("%w: shed at the edge: %s", ErrDeadlineExceeded, re.Msg)
 	case wire.CodeOverloaded:
 		return fmt.Errorf("%w: %s", ErrOverloaded, re.Msg)
+	case wire.CodeQuotaExceeded:
+		return fmt.Errorf("%w: %s", ErrQuotaExceeded, re.Msg)
 	case wire.CodeCanceled:
 		return fmt.Errorf("request canceled remotely: %s: %w", re.Msg, context.Canceled)
 	default:

@@ -640,11 +640,16 @@ func RunQoS(p Params, interactiveN int, deadline time.Duration) (*Table, error) 
 type qosHarness struct {
 	Edge   *Server
 	Client *Client
+	addr   string
+	params Params
 	ctx    context.Context
 	cancel context.CancelFunc
 }
 
-func newQoSHarness(p Params) (*qosHarness, error) {
+// newQoSHarness boots the stack; extra server options (tenant quotas,
+// worker counts, upstream limits) are appended to the base edge
+// configuration, so later options win.
+func newQoSHarness(p Params, extra ...ServerOption) (*qosHarness, error) {
 	// Delay-dominated service: small panoramas keep render and crop
 	// cheap; the shaped link supplies the latency.
 	p.PanoWidth = 256
@@ -664,21 +669,32 @@ func newQoSHarness(p Params) (*qosHarness, error) {
 	if err != nil {
 		return nil, err
 	}
-	edge := NewEdgeServer(
+	edge := NewEdgeServer(append([]ServerOption{
 		WithListener(edgeLn),
 		WithServeParams(p),
 		WithCloud(cloudLn.Addr().String()),
 		WithCloudShape("rate 200mbit delay 20ms"),
 		WithWorkers(1),
 		WithQueueDepth(64),
-	)
+	}, extra...)...)
 	go edge.Serve(ctx)
 	cli, err := NewClient(ctx, edgeLn.Addr().String(), WithDialParams(p))
 	if err != nil {
 		return nil, err
 	}
 	ok = true
-	return &qosHarness{Edge: edge, Client: cli, ctx: ctx, cancel: cancel}, nil
+	return &qosHarness{
+		Edge: edge, Client: cli,
+		addr: edgeLn.Addr().String(), params: p,
+		ctx: ctx, cancel: cancel,
+	}, nil
+}
+
+// Dial opens an additional client connection to the harness edge (the
+// noisy-neighbor ablation gives each tenant its own connection, which
+// is how real apps arrive).
+func (h *qosHarness) Dial(opts ...DialOption) (*Client, error) {
+	return NewClient(h.ctx, h.addr, append([]DialOption{WithDialParams(h.params)}, opts...)...)
 }
 
 // Close tears the stack down (servers drain, the client connection
@@ -696,19 +712,35 @@ func (h *qosHarness) Close() {
 // stream, and reports how many background fetches completed. It also
 // waits ~300ms so callers measure against an established backlog.
 func (h *qosHarness) StartBackground(tagged bool) (stop func() int, err error) {
+	stopOn, err := h.startBackgroundOn(h.Client, tagged, 6)
+	if err != nil {
+		return nil, err
+	}
+	return func() int { n, _ := stopOn(); return n }, nil
+}
+
+// startBackgroundOn is StartBackground through an arbitrary client
+// connection (the noisy-neighbor ablation floods through its own tenant
+// connection). The returned stop reports how many background fetches
+// completed and how many were rejected by per-tenant admission quota.
+func (h *qosHarness) startBackgroundOn(cli *Client, tagged bool, window int) (stop func() (completed, rejected int), err error) {
 	bgCtx, bgStop := context.WithCancel(h.ctx)
-	bg, err := h.Client.Stream(bgCtx, WithWindow(6))
+	bg, err := cli.Stream(bgCtx, WithWindow(window))
 	if err != nil {
 		bgStop()
 		return nil, err
 	}
 	results := bg.Results()
-	done := make(chan int, 1)
+	type tally struct{ completed, rejected int }
+	done := make(chan tally, 1)
 	go func() {
-		n := 0
+		var n tally
 		for comp := range results {
-			if comp.Err == nil {
-				n++
+			switch {
+			case comp.Err == nil:
+				n.completed++
+			case errors.Is(comp.Err, ErrQuotaExceeded):
+				n.rejected++
 			}
 		}
 		done <- n
@@ -725,10 +757,11 @@ func (h *qosHarness) StartBackground(tagged bool) (stop func() int, err error) {
 		}
 	}()
 	time.Sleep(300 * time.Millisecond) // let the backlog build
-	return func() int {
+	return func() (int, int) {
 		bgStop()
 		bg.Close()
-		return <-done
+		n := <-done
+		return n.completed, n.rejected
 	}, nil
 }
 
@@ -791,5 +824,164 @@ func runQoSRow(p Params, t *Table, name string, load, qos bool, interactiveN int
 		msCol(hist.Median()), msCol(hist.P99()),
 		late, stats.DeadlineSheds,
 		stats.AdmittedBestEffort+stats.AdmittedInteractive-uint64(interactiveN), bgCompleted)
+	return nil
+}
+
+// RunNoisyNeighbor is the multi-tenant isolation ablation. Two tenants
+// share one edge from separate connections — which is how distinct apps
+// arrive, so the per-connection QoS scheduler cannot arbitrate between
+// them: their traffic meets at the edge's shared upstream link. The
+// noisy tenant floods best-effort always-miss panorama fetches; the
+// victim issues paced interactive requests and its p99 is the result.
+// Four rows isolate what each tenant mechanism buys:
+//
+//   - solo:   no noisy tenant — the victim's uncontended floor.
+//   - pooled: both tenants land on the default tenant (the pre-tenant
+//     edge). The flood owns every upstream slot and the victim's
+//     fetches wait behind the whole backlog.
+//   - fair:   tenants authenticate via WithTenant and the edge caps
+//     each tenant at its weighted share of the upstream slots — the
+//     flood can no longer hold every slot, so the victim finds one
+//     free (or at worst one in-service residual away) instead of
+//     waiting behind the whole backlog.
+//   - quota:  fair plus a token-bucket admission rate on the noisy
+//     tenant, so most of the flood is rejected with CodeQuotaExceeded
+//     before it ever competes for a slot.
+//
+// victimN is how many victim requests to measure per row; budget is
+// the latency each completion is scored against (client-side — victim
+// requests carry no wire deadline, so p99 reflects true service time,
+// never an early shed).
+func RunNoisyNeighbor(p Params, victimN int, budget time.Duration) (*Table, error) {
+	t := metrics.NewTable(
+		fmt.Sprintf("A-noisy — victim interactive latency under a competing tenant's flood (budget %v)", budget),
+		"isolation", "victim_n", "p50_ms", "p99_ms", "over_budget",
+		"victim_admitted", "noisy_admitted", "noisy_quota_rejected", "noisy_completed")
+	rows := []struct {
+		name    string
+		load    bool // run the noisy tenant's flood
+		tenants bool // authenticate tenants and weight the upstream gate
+		quota   bool // rate-limit the noisy tenant's admission
+	}{
+		{"solo", false, true, false},
+		{"pooled", true, false, false},
+		{"fair", true, true, false},
+		{"quota", true, true, true},
+	}
+	for _, row := range rows {
+		if err := runNoisyRow(p, t, row.name, row.load, row.tenants, row.quota, victimN, budget); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("pooled = tenantless dials sharing the default tenant (the pre-tenant edge)")
+	t.AddNote("fair = WithTenant dials + weighted fair upstream slots; quota = fair + noisy admission rate cap")
+	t.AddNote("over_budget = victim completions slower than the budget, scored client-side")
+	return t, nil
+}
+
+func runNoisyRow(p Params, t *Table, name string, load, tenants, quota bool, victimN int, budget time.Duration) error {
+	// Eight workers per connection let the flood actually reach the
+	// upstream gate concurrently; three slots make the gate — not the
+	// per-connection pool — the contended resource, as it is when many
+	// connections share one uplink.
+	serverOpts := []ServerOption{WithWorkers(8), WithMaxUpstream(3)}
+	if tenants {
+		serverOpts = append(serverOpts,
+			WithTenantQuota("victim", TenantConfig{Weight: 4}),
+			WithTenantWeight("noisy", 1))
+	}
+	if quota {
+		serverOpts = append(serverOpts,
+			WithTenantQuota("noisy", TenantConfig{Rate: 10, Burst: 2, Weight: 1}))
+	}
+	h, err := newQoSHarness(p, serverOpts...)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	victimTenant, noisyTenant := DefaultTenant, DefaultTenant
+	var victimDial, noisyDial []DialOption
+	if tenants {
+		victimTenant, noisyTenant = "victim", "noisy"
+		victimDial = append(victimDial, WithTenant("victim", ""))
+		noisyDial = append(noisyDial, WithTenant("noisy", ""))
+	}
+	victim, err := h.Dial(victimDial...)
+	if err != nil {
+		return err
+	}
+	defer victim.Close()
+
+	// One unrecorded warmup fetch before the flood exists: it pays the
+	// lazy upstream-mux dial so the solo floor (and every other row)
+	// measures steady-state service, not connection setup.
+	warm, err := victim.Stream(h.ctx, WithWindow(1))
+	if err != nil {
+		return err
+	}
+	ticket, err := warm.Submit(h.ctx, PanoTask("noisy-warm", 0, Viewport{FOV: 1.6}))
+	if err != nil {
+		return err
+	}
+	if _, err := ticket.Await(h.ctx); err != nil {
+		return fmt.Errorf("coic: noisy row %s warmup: %w", name, err)
+	}
+	warm.Close()
+
+	bgCompleted := 0
+	stopBG := func() {}
+	if load {
+		noisy, err := h.Dial(noisyDial...)
+		if err != nil {
+			return err
+		}
+		defer noisy.Close()
+		stop, err := h.startBackgroundOn(noisy, true, 12)
+		if err != nil {
+			return err
+		}
+		stopped := false
+		stopBG = func() { // idempotent: called explicitly and deferred
+			if !stopped {
+				stopped = true
+				bgCompleted, _ = stop()
+			}
+		}
+		defer stopBG()
+	}
+
+	fg, err := victim.Stream(h.ctx, WithWindow(1))
+	if err != nil {
+		return err
+	}
+	defer fg.Close()
+	hist := &metrics.Histogram{}
+	over := 0
+	for i := 0; i < victimN; i++ {
+		req := PanoTask("noisy-fg", i, Viewport{FOV: 1.6}).WithQoS(QoSInteractive)
+		ticket, err := fg.Submit(h.ctx, req)
+		if err != nil {
+			return err
+		}
+		comp, err := ticket.Await(h.ctx)
+		if err != nil {
+			return fmt.Errorf("coic: noisy row %s: %w", name, err)
+		}
+		if comp.Latency > budget {
+			over++
+		}
+		hist.Record(comp.Latency)
+		time.Sleep(2 * time.Millisecond) // display-rate pacing
+	}
+
+	stopBG() // drain the flood so noisy_completed is final
+	stats := h.Edge.Stats()
+	t.AddRow(name, victimN,
+		msCol(hist.Median()), msCol(hist.P99()), over,
+		stats.Tenants[victimTenant].AdmittedInteractive,
+		stats.Tenants[noisyTenant].AdmittedBestEffort,
+		stats.Tenants[noisyTenant].QuotaRejections,
+		bgCompleted)
 	return nil
 }

@@ -1,10 +1,22 @@
 package cache
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/edge-immersion/coic/internal/feature"
 )
+
+// DefaultOwner is the tenant every untagged insert and lookup is
+// accounted to; it matches the servers' default tenant so single-tenant
+// deployments see all residency under one label.
+const DefaultOwner = "default"
+
+// ErrTenantShare rejects an insert that would push its tenant past the
+// configured byte share. The request already has its answer — the value
+// is served through uncached — and other tenants' residency is untouched
+// (a tenant can exhaust its own share, never evict a neighbour's).
+var ErrTenantShare = errors.New("cache: tenant byte share exhausted")
 
 // Outcome classifies a SimilarityCache lookup for metrics.
 type Outcome int
@@ -89,6 +101,42 @@ type SimilarityCache struct {
 	queries  uint64
 	exactHit uint64
 	simHits  uint64
+
+	// Tenant accounting, all under mu. owners/sizes track which tenant
+	// inserted each resident key and how many bytes it holds; caps bound a
+	// tenant's resident bytes (0 = unbounded); tenants holds the per-tenant
+	// counters. A tenant may *hit* on any tenant's entry — cross-tenant
+	// reuse is the point of the shared cache — but only its own inserts
+	// charge its share.
+	owners  map[string]string
+	sizes   map[string]int64
+	caps    map[string]int64
+	tenants map[string]*tenantCacheStats
+}
+
+// tenantCacheStats is the mutable per-tenant ledger (under sc.mu).
+type tenantCacheStats struct {
+	queries  uint64
+	hits     uint64
+	inserts  uint64
+	rejected uint64
+	evicted  uint64
+	bytes    int64
+}
+
+// TenantCacheStats is one tenant's cache ledger as exposed by
+// StatsSnapshot. Hits count the tenant's lookups that resolved from the
+// cache regardless of which tenant inserted the entry; Evicted counts
+// the tenant's own entries dropped from residency; Rejected counts
+// inserts refused because the tenant's byte share was exhausted.
+type TenantCacheStats struct {
+	Queries  uint64
+	Hits     uint64
+	Inserts  uint64
+	Rejected uint64
+	Evicted  uint64
+	Bytes    int64
+	CapBytes int64
 }
 
 // SimilarityConfig assembles a SimilarityCache.
@@ -126,6 +174,10 @@ func NewSimilarity(cfg SimilarityConfig) *SimilarityCache {
 		ids:       map[string]uint64{},
 		keys:      map[uint64]string{},
 		descs:     map[string][]byte{},
+		owners:    map[string]string{},
+		sizes:     map[string]int64{},
+		caps:      map[string]int64{},
+		tenants:   map[string]*tenantCacheStats{},
 	}
 	opts := append([]StoreOption{WithOnEvict(sc.dropKey)}, cfg.StoreOptions...)
 	if cfg.Shards > 1 {
@@ -150,11 +202,46 @@ func NewSimilarity(cfg SimilarityConfig) *SimilarityCache {
 	return sc
 }
 
-// dropKey unlinks an evicted store key from the vector index. Called by
-// the store outside its lock.
+// tenantStatsLocked returns tenant's ledger, creating it on first touch.
+// Callers hold sc.mu.
+func (sc *SimilarityCache) tenantStatsLocked(tenant string) *tenantCacheStats {
+	ts := sc.tenants[tenant]
+	if ts == nil {
+		ts = &tenantCacheStats{}
+		sc.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// SetTenantCap bounds tenant's resident bytes; 0 removes the bound.
+// Already-resident bytes are never evicted by a new cap — it gates
+// future inserts only.
+func (sc *SimilarityCache) SetTenantCap(tenant string, capBytes int64) {
+	if tenant == "" {
+		tenant = DefaultOwner
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if capBytes <= 0 {
+		delete(sc.caps, tenant)
+		return
+	}
+	sc.caps[tenant] = capBytes
+}
+
+// dropKey unlinks an evicted store key from the vector index and settles
+// its owner's byte accounting. Called by the store outside its lock.
 func (sc *SimilarityCache) dropKey(key string) {
 	sc.mu.Lock()
 	delete(sc.descs, key)
+	if sz, owned := sc.sizes[key]; owned {
+		owner := sc.owners[key]
+		delete(sc.sizes, key)
+		delete(sc.owners, key)
+		ts := sc.tenantStatsLocked(owner)
+		ts.bytes -= sz
+		ts.evicted++
+	}
 	id, ok := sc.ids[key]
 	if ok {
 		delete(sc.ids, key)
@@ -166,16 +253,28 @@ func (sc *SimilarityCache) dropKey(key string) {
 	}
 }
 
-// Lookup resolves a descriptor to a cached value. Exact key matches win;
-// vector descriptors then fall back to nearest-neighbour search within the
-// threshold.
+// Lookup resolves a descriptor to a cached value under the default
+// tenant. Exact key matches win; vector descriptors then fall back to
+// nearest-neighbour search within the threshold.
 func (sc *SimilarityCache) Lookup(desc feature.Descriptor) ([]byte, LookupResult) {
+	return sc.LookupAs(DefaultOwner, desc)
+}
+
+// LookupAs is Lookup with the querying tenant named for accounting; the
+// match itself is tenant-blind (any tenant's entry can answer — the
+// cross-tenant reuse the shared cache exists for).
+func (sc *SimilarityCache) LookupAs(tenant string, desc feature.Descriptor) ([]byte, LookupResult) {
+	if tenant == "" {
+		tenant = DefaultOwner
+	}
 	sc.mu.Lock()
 	sc.queries++
+	sc.tenantStatsLocked(tenant).queries++
 	sc.mu.Unlock()
 	if v, ok := sc.store.Get(desc.Key()); ok {
 		sc.mu.Lock()
 		sc.exactHit++
+		sc.tenantStatsLocked(tenant).hits++
 		sc.mu.Unlock()
 		return v, LookupResult{Outcome: OutcomeExact, Key: desc.Key()}
 	}
@@ -199,6 +298,7 @@ func (sc *SimilarityCache) Lookup(desc feature.Descriptor) ([]byte, LookupResult
 	}
 	sc.mu.Lock()
 	sc.simHits++
+	sc.tenantStatsLocked(tenant).hits++
 	sc.mu.Unlock()
 	return v, LookupResult{Outcome: OutcomeSimilar, Distance: dist, Key: key}
 }
@@ -213,15 +313,37 @@ func (sc *SimilarityCache) QueryStats() (queries, exact, similar uint64) {
 }
 
 // Insert caches value under the descriptor with a recomputation-cost hint
-// for cost-aware policies. Vector descriptors are also registered in the
-// similarity index. Returns ErrTooLarge when the value can never fit.
+// for cost-aware policies, accounted to the default tenant. Vector
+// descriptors are also registered in the similarity index. Returns
+// ErrTooLarge when the value can never fit.
 func (sc *SimilarityCache) Insert(desc feature.Descriptor, value []byte, cost float64) error {
+	return sc.InsertAs(DefaultOwner, desc, value, cost)
+}
+
+// InsertAs is Insert with the entry charged against tenant's byte share.
+// A tenant at its configured cap gets ErrTenantShare — the value serves
+// through uncached and no other tenant's residency is disturbed.
+func (sc *SimilarityCache) InsertAs(tenant string, desc feature.Descriptor, value []byte, cost float64) error {
+	if tenant == "" {
+		tenant = DefaultOwner
+	}
 	key := desc.Key()
 	descBytes, derr := desc.Marshal()
 	if derr != nil {
 		return derr
 	}
 	sc.mu.Lock()
+	if capBytes, capped := sc.caps[tenant]; capped {
+		projected := sc.tenantStatsLocked(tenant).bytes + int64(len(value))
+		if sz, resident := sc.sizes[key]; resident && sc.owners[key] == tenant {
+			projected -= sz // replacing our own entry frees its bytes
+		}
+		if projected > capBytes {
+			sc.tenantStatsLocked(tenant).rejected++
+			sc.mu.Unlock()
+			return ErrTenantShare
+		}
+	}
 	sc.descs[key] = descBytes
 	sc.mu.Unlock()
 	var id uint64
@@ -246,6 +368,18 @@ func (sc *SimilarityCache) Insert(desc feature.Descriptor, value []byte, cost fl
 		}
 		return err
 	}
+	sc.mu.Lock()
+	if sz, resident := sc.sizes[key]; resident {
+		// Same-key replacement: release the previous owner's bytes (the
+		// store updated the entry in place, so no eviction fired).
+		sc.tenantStatsLocked(sc.owners[key]).bytes -= sz
+	}
+	sc.owners[key] = tenant
+	sc.sizes[key] = int64(len(value))
+	ts := sc.tenantStatsLocked(tenant)
+	ts.bytes += int64(len(value))
+	ts.inserts++
+	sc.mu.Unlock()
 	return nil
 }
 
@@ -269,6 +403,10 @@ type StatsSnapshot struct {
 	Queries     uint64
 	ExactHits   uint64
 	SimilarHits uint64
+	// Tenants is the per-tenant ledger, read in the same lock epoch as
+	// every other field — a tenant's Bytes never disagrees with the global
+	// counters because a lookup or insert landed between two lock passes.
+	Tenants map[string]TenantCacheStats
 }
 
 // StatsSnapshot reads the store counters and the logical query counters
@@ -282,12 +420,25 @@ type StatsSnapshot struct {
 func (sc *SimilarityCache) StatsSnapshot() StatsSnapshot {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	tenants := make(map[string]TenantCacheStats, len(sc.tenants))
+	for t, ts := range sc.tenants {
+		tenants[t] = TenantCacheStats{
+			Queries:  ts.queries,
+			Hits:     ts.hits,
+			Inserts:  ts.inserts,
+			Rejected: ts.rejected,
+			Evicted:  ts.evicted,
+			Bytes:    ts.bytes,
+			CapBytes: sc.caps[t],
+		}
+	}
 	return StatsSnapshot{
 		Store:       sc.store.Stats(),
 		Capacity:    sc.store.Capacity(),
 		Queries:     sc.queries,
 		ExactHits:   sc.exactHit,
 		SimilarHits: sc.simHits,
+		Tenants:     tenants,
 	}
 }
 

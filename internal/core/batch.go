@@ -29,10 +29,11 @@ import (
 // batchJob is one live member of a drained batch. The batch dispatcher
 // (batchPlan.run) must set reply for every member before returning.
 type batchJob struct {
-	ctx   context.Context
-	msg   wire.Message
-	mode  Mode
-	reply wire.Message
+	ctx    context.Context
+	msg    wire.Message
+	mode   Mode
+	tenant string
+	reply  wire.Message
 }
 
 // batchPlan configures batching for one connection pipeline. A nil plan
@@ -146,7 +147,7 @@ func (s *EdgeServer) batchPlan() *batchPlan {
 // cloud-side batcher can drain into a single ForwardBatch pass.
 func (s *EdgeServer) runBatch(jobs []*batchJob) {
 	if len(jobs) == 1 {
-		jobs[0].reply = s.dispatch(jobs[0].ctx, jobs[0].msg, jobs[0].mode)
+		jobs[0].reply = s.dispatch(jobs[0].ctx, jobs[0].msg, jobs[0].mode, jobs[0].tenant)
 		return
 	}
 	var wg sync.WaitGroup
@@ -155,7 +156,7 @@ func (s *EdgeServer) runBatch(jobs []*batchJob) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			bj.reply = s.dispatch(bj.ctx, bj.msg, bj.mode)
+			bj.reply = s.dispatch(bj.ctx, bj.msg, bj.mode, bj.tenant)
 		}()
 	}
 	wg.Wait()

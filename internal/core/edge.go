@@ -287,11 +287,20 @@ type LookupResult struct {
 // Hit reports whether a usable cached value was found.
 func (r LookupResult) Hit() bool { return r.Outcome != cache.OutcomeMiss }
 
-// Lookup queries the cache anonymously (no privacy gating); it is the
-// path the TCP server uses, where user identity is not authenticated.
-// ctx bounds any federation probe the lookup makes on a local miss.
+// Lookup queries the cache anonymously (no privacy gating) under the
+// default tenant; it is the path pre-tenant TCP callers use. ctx bounds
+// any federation probe the lookup makes on a local miss.
 func (e *Edge) Lookup(ctx context.Context, task wire.Task, desc feature.Descriptor) LookupResult {
 	return e.LookupAs(ctx, anonymousUser, task, desc)
+}
+
+// LookupTenant is Lookup with the requesting tenant named: the tenant's
+// cache ledger counts the query and any hit, and a peer hit adopted into
+// the local cache charges the tenant's byte share (their traffic pulled
+// it in). The match itself is tenant-blind — cross-tenant reuse is the
+// point of the shared edge cache.
+func (e *Edge) LookupTenant(ctx context.Context, tenant string, task wire.Task, desc feature.Descriptor) LookupResult {
+	return e.lookupAtAs(ctx, anonymousUser, tenant, task, desc, time.Time{})
 }
 
 // anonymousUser marks lookups without an authenticated identity; the
@@ -305,7 +314,13 @@ func (e *Edge) LookupAs(ctx context.Context, user int, task wire.Task, desc feat
 	return e.LookupAtAs(ctx, user, task, desc, time.Time{})
 }
 
-// LookupAtAs queries the local cache for user at virtual instant now,
+// LookupAtAs is the virtual-time lookup under the default tenant; see
+// lookupAtAs for the full semantics.
+func (e *Edge) LookupAtAs(ctx context.Context, user int, task wire.Task, desc feature.Descriptor, now time.Time) LookupResult {
+	return e.lookupAtAs(ctx, user, DefaultTenant, task, desc, now)
+}
+
+// lookupAtAs queries the local cache for user at virtual instant now,
 // then the federation: the key's home edge under consistent-hash routing,
 // or every peer in order under broadcast cooperation. A peer hit is (by
 // default) copied into the local cache so the next local request hits
@@ -314,8 +329,9 @@ func (e *Edge) LookupAs(ctx context.Context, user int, task wire.Task, desc feat
 // from strangers. A non-zero now engages the virtual in-flight policy
 // (see InflightMode); a zero now behaves as InflightInstant. ctx bounds
 // the federation probe phase: TCP peers honour its deadline and
-// cancellation, virtual-time probes ignore it.
-func (e *Edge) LookupAtAs(ctx context.Context, user int, task wire.Task, desc feature.Descriptor, now time.Time) LookupResult {
+// cancellation, virtual-time probes ignore it. tenant names whose cache
+// ledger the query is accounted to.
+func (e *Edge) lookupAtAs(ctx context.Context, user int, tenant string, task wire.Task, desc feature.Descriptor, now time.Time) LookupResult {
 	e.mu.Lock()
 	e.stats.Lookups[task]++
 	fed := e.fed
@@ -323,7 +339,7 @@ func (e *Edge) LookupAtAs(ctx context.Context, user int, task wire.Task, desc fe
 	e.mu.Unlock()
 
 	cost := e.Params.EdgeLookupTime
-	if v, res := e.Cache.Lookup(desc); res.Hit() {
+	if v, res := e.Cache.LookupAs(tenant, desc); res.Hit() {
 		if !e.shareAllowed(user, res.Key) {
 			e.mu.Lock()
 			e.stats.PrivacyBlocked++
@@ -359,8 +375,9 @@ func (e *Edge) LookupAtAs(ctx context.Context, user int, task wire.Task, desc fe
 		cost += peerCost
 		if ok {
 			if replicate {
-				// Adopt the result locally (cooperative fill).
-				_ = e.Cache.Insert(desc, v, 1)
+				// Adopt the result locally (cooperative fill), charged to
+				// the tenant whose traffic pulled it in.
+				_ = e.Cache.InsertAs(tenant, desc, v, 1)
 			}
 			e.mu.Lock()
 			e.stats.PeerHits++
@@ -471,9 +488,16 @@ func (e *Edge) shareAllowed(user int, key string) bool {
 	return allowed
 }
 
-// Insert stores a task result anonymously.
+// Insert stores a task result anonymously under the default tenant.
 func (e *Edge) Insert(desc feature.Descriptor, value []byte, costHint float64) time.Duration {
 	return e.InsertAs(anonymousUser, desc, value, costHint)
+}
+
+// InsertTenant stores a task result charged against tenant's cache byte
+// share; a tenant at its cap serves the value through uncached (the
+// insert is silently skipped, like any other best-effort insert failure).
+func (e *Edge) InsertTenant(tenant string, desc feature.Descriptor, value []byte, costHint float64) time.Duration {
+	return e.insertAtAs(anonymousUser, tenant, desc, value, costHint, time.Time{})
 }
 
 // InsertAs stores a task result with no virtual timestamp (wall-clock
@@ -482,17 +506,23 @@ func (e *Edge) InsertAs(user int, desc feature.Descriptor, value []byte, costHin
 	return e.InsertAtAs(user, desc, value, costHint, time.Time{})
 }
 
-// InsertAtAs stores a task result under its descriptor on behalf of user,
+// InsertAtAs is the virtual-time insert under the default tenant; see
+// insertAtAs.
+func (e *Edge) InsertAtAs(user int, desc feature.Descriptor, value []byte, costHint float64, at time.Time) time.Duration {
+	return e.insertAtAs(user, DefaultTenant, desc, value, costHint, at)
+}
+
+// insertAtAs stores a task result under its descriptor on behalf of user,
 // returning the virtual insertion cost. at is the virtual instant the
 // insert begins; when an in-flight policy is active, the entry is
 // considered ready — visible to honestly-replayed lookups — only from
-// at + EdgeInsertTime. Values too large for the cache are silently
-// skipped (the request already has its answer; caching is best-effort).
-// Under consistent-hash federation the result is also published to the
-// key's home edge — off the critical path, so the publish adds no
-// user-visible latency.
-func (e *Edge) InsertAtAs(user int, desc feature.Descriptor, value []byte, costHint float64, at time.Time) time.Duration {
-	if err := e.Cache.Insert(desc, value, costHint); err == nil {
+// at + EdgeInsertTime. Values too large for the cache (or over tenant's
+// byte share) are silently skipped (the request already has its answer;
+// caching is best-effort). Under consistent-hash federation the result is
+// also published to the key's home edge — off the critical path, so the
+// publish adds no user-visible latency.
+func (e *Edge) insertAtAs(user int, tenant string, desc feature.Descriptor, value []byte, costHint float64, at time.Time) time.Duration {
+	if err := e.Cache.InsertAs(tenant, desc, value, costHint); err == nil {
 		e.mu.Lock()
 		e.stats.Inserts++
 		if !at.IsZero() && e.inflightMode != InflightInstant {

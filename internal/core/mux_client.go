@@ -51,8 +51,27 @@ func (e *RemoteError) Error() string {
 
 // DialMuxEdge connects to an edge, announces the execution mode, and
 // starts the demultiplexing read loop. ctx bounds the dial and the hello
-// exchange only.
+// exchange only. The connection runs as the default tenant; see
+// DialMuxEdgeTenant to authenticate one.
 func DialMuxEdge(ctx context.Context, addr string, client *Client, mode Mode, wrap ConnWrapper) (*MuxClient, error) {
+	return DialMuxEdgeTenant(ctx, addr, client, mode, wrap, "", "")
+}
+
+// DialMuxEdgeTenant is DialMuxEdge with a tenant claim: the versioned
+// hello carries tenant and token, the server authenticates them before
+// any request is served, and a rejected claim fails the dial with the
+// server's error. An empty tenant runs as the default tenant.
+func DialMuxEdgeTenant(ctx context.Context, addr string, client *Client, mode Mode, wrap ConnWrapper, tenant, token string) (*MuxClient, error) {
+	helloBody, err := (wire.Hello{
+		Version: wire.HelloVersion,
+		Mode:    uint8(mode),
+		Flags:   wire.HelloFlagUnordered,
+		Tenant:  tenant,
+		Token:   token,
+	}).Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("core: hello: %w", err)
+	}
 	d := net.Dialer{Timeout: 10 * time.Second}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -66,16 +85,23 @@ func DialMuxEdge(ctx context.Context, addr string, client *Client, mode Mode, wr
 		defer conn.SetDeadline(time.Time{})
 	}
 	m := &MuxClient{Client: client, Mode: mode, conn: conn, pending: map[uint64]chan wire.Message{}}
-	// The second hello byte requests completion-order replies: this
-	// client matches replies by RequestID, so a finished interactive
-	// reply must never wait behind a queued best-effort one.
-	hello := wire.Message{Type: wire.MsgHello, RequestID: 1, Body: []byte{byte(mode), wire.HelloFlagUnordered}}
+	// HelloFlagUnordered requests completion-order replies: this client
+	// matches replies by RequestID, so a finished interactive reply must
+	// never wait behind a queued best-effort one.
+	hello := wire.Message{Type: wire.MsgHello, RequestID: 1, Body: helloBody}
 	m.seq = 1
 	if err := wire.WriteMessage(conn, hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if _, err := wire.ReadMessage(conn); err != nil {
+	ack, err := wire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := ReplyError(ack); err != nil {
+		// The server refused the handshake (bad token, malformed hello)
+		// and is dropping the connection; surface its reason.
 		conn.Close()
 		return nil, err
 	}

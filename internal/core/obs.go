@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/obs"
@@ -23,17 +24,18 @@ const (
 // sizes in requests (powers of two up to the largest sane -batch).
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
-// Request outcomes counted in coic_requests_total{class,outcome}.
+// Request outcomes counted in coic_requests_total{tenant,class,outcome}.
 const (
 	outcomeOK = iota
 	outcomeError
 	outcomeCanceled
 	outcomeDeadline
 	outcomeOverloaded
+	outcomeQuota
 	numOutcomes
 )
 
-var outcomeNames = [numOutcomes]string{"ok", "error", "canceled", "deadline", "overloaded"}
+var outcomeNames = [numOutcomes]string{"ok", "error", "canceled", "deadline", "overloaded", "quota"}
 
 // ServerObs is one server's live instrumentation: per-stage latency
 // histograms, per-class request outcome counters, connection gauges and
@@ -50,12 +52,27 @@ type ServerObs struct {
 	batchWait   *obs.Histogram
 	batchSize   *obs.Histogram
 
-	requests [wire.NumQoSClasses][numOutcomes]*obs.Counter
+	// Per-tenant counter sets, registered lazily on a tenant's first
+	// request (tenants arrive at runtime via the hello handshake, so the
+	// full label space is not knowable at construction). DefaultTenant is
+	// pre-registered so tenantless deployments expose every family from
+	// the first scrape. reg is retained only for this lazy registration.
+	reg      *obs.Registry
+	tenantMu sync.RWMutex
+	byTenant map[string]*tenantObs
 
 	connsActive *obs.Gauge
 	connsTotal  *obs.Counter
 
 	reqLog *obs.RequestLog
+}
+
+// tenantObs is one tenant's counter set: request outcomes, scheduler
+// admissions, and quota rejections.
+type tenantObs struct {
+	requests [wire.NumQoSClasses][numOutcomes]*obs.Counter
+	admitted [wire.NumQoSClasses]*obs.Counter
+	quota    *obs.Counter
 }
 
 // NewServerObs registers the serving-path metric families on reg and
@@ -76,18 +93,68 @@ func NewServerObs(reg *obs.Registry, rlog *obs.RequestLog) *ServerObs {
 	o.batchWait = stage(StageBatchWait)
 	o.batchSize = reg.Histogram("coic_batch_size",
 		"Executed batch sizes, in requests per batch.", batchSizeBuckets)
-	for c := 0; c < wire.NumQoSClasses; c++ {
-		for i, name := range outcomeNames {
-			o.requests[c][i] = reg.Counter("coic_requests_total",
-				"Requests completed, by service class and outcome.",
-				obs.L("class", wire.QoS(c).String()), obs.L("outcome", name))
-		}
-	}
+	o.reg = reg
+	o.byTenant = map[string]*tenantObs{}
+	o.registerTenant(DefaultTenant)
 	o.connsActive = reg.Gauge("coic_connections_active",
 		"Client connections currently being served.")
 	o.connsTotal = reg.Counter("coic_connections_total",
 		"Client connections accepted since start.")
 	return o
+}
+
+// registerTenant builds (and registers) tenant's counter set. Callers
+// must not hold tenantMu; racing registrations converge because the
+// registry itself is find-or-create.
+func (o *ServerObs) registerTenant(tenant string) *tenantObs {
+	t := &tenantObs{}
+	for c := 0; c < wire.NumQoSClasses; c++ {
+		for i, name := range outcomeNames {
+			t.requests[c][i] = o.reg.Counter("coic_requests_total",
+				"Requests completed, by tenant, service class and outcome.",
+				obs.L("tenant", tenant), obs.L("class", wire.QoS(c).String()), obs.L("outcome", name))
+		}
+		t.admitted[c] = o.reg.Counter("coic_tenant_admitted_total",
+			"Requests admitted to the scheduler, by tenant and service class.",
+			obs.L("tenant", tenant), obs.L("class", wire.QoS(c).String()))
+	}
+	t.quota = o.reg.Counter("coic_tenant_quota_rejections_total",
+		"Requests rejected by per-tenant admission quota, by tenant.",
+		obs.L("tenant", tenant))
+	o.tenantMu.Lock()
+	defer o.tenantMu.Unlock()
+	if existing := o.byTenant[tenant]; existing != nil {
+		return existing
+	}
+	o.byTenant[tenant] = t
+	return t
+}
+
+// tenant returns tenant's counter set, registering it on first sight.
+func (o *ServerObs) tenant(tenant string) *tenantObs {
+	o.tenantMu.RLock()
+	t := o.byTenant[tenant]
+	o.tenantMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	return o.registerTenant(tenant)
+}
+
+// observeTenantAdmit counts one scheduler admission for tenant.
+func (o *ServerObs) observeTenantAdmit(tenant string, class wire.QoS) {
+	if o == nil {
+		return
+	}
+	o.tenant(tenant).admitted[classIndex(class)].Inc()
+}
+
+// observeTenantQuota counts one quota rejection for tenant.
+func (o *ServerObs) observeTenantQuota(tenant string) {
+	if o == nil {
+		return
+	}
+	o.tenant(tenant).quota.Inc()
 }
 
 func (o *ServerObs) connOpened() {
@@ -170,6 +237,8 @@ func outcomeOf(m wire.Message) int {
 		return outcomeDeadline
 	case wire.CodeOverloaded:
 		return outcomeOverloaded
+	case wire.CodeQuotaExceeded:
+		return outcomeQuota
 	default:
 		return outcomeError
 	}
@@ -179,17 +248,18 @@ func outcomeOf(m wire.Message) int {
 // slow-request ring (which itself decides whether the event qualifies).
 // It is called wherever a reply takes a request's slot — the worker for
 // dispatched work, the reader for sheds and overload rejections.
-func (o *ServerObs) request(class wire.QoS, msg wire.Message, trace uint64, reply wire.Message, dur time.Duration) {
+func (o *ServerObs) request(tenant string, class wire.QoS, msg wire.Message, trace uint64, reply wire.Message, dur time.Duration) {
 	if o == nil {
 		return
 	}
 	out := outcomeOf(reply)
-	o.requests[classIndex(class)][out].Inc()
+	o.tenant(tenant).requests[classIndex(class)][out].Inc()
 	if o.reqLog != nil {
 		o.reqLog.Record(obs.RequestEvent{
 			TraceID:  trace,
 			ReqID:    msg.RequestID,
 			Type:     msg.Type.String(),
+			Tenant:   tenant,
 			Class:    class.String(),
 			Outcome:  outcomeNames[out],
 			Duration: dur,

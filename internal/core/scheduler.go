@@ -19,13 +19,21 @@ import (
 //
 //   - strict class ordering — every queued QoSInteractive request is
 //     dispatched before any QoSBestEffort one;
-//   - earliest-deadline-first within a class, with deadline-less
-//     requests after all deadlined ones in admission order;
+//   - deficit-round-robin across tenants within a class — one tenant's
+//     flood cannot starve another tenant of the same class; weights set
+//     the drain ratio under contention (weight 4 drains four requests
+//     per weight-1 request);
+//   - earliest-deadline-first within a tenant's class queue, with
+//     deadline-less requests after all deadlined ones in admission order;
 //   - shed-before-work — a request whose wall-clock deadline passed
 //     while it queued is answered CodeDeadlineExceeded without a worker
 //     executing it (and without an upstream fetch), and admission prefers
 //     evicting already-expired queued work over rejecting a live request
 //     with CodeOverloaded.
+//
+// With a single tenant (every pre-tenant caller lands on one), the DRR
+// ring has one member and the queue degenerates to exactly the old
+// class-then-EDF order — the property tests pin that equivalence.
 
 // schedJob is one admitted request waiting for (or holding) a worker.
 type schedJob struct {
@@ -38,6 +46,7 @@ type schedJob struct {
 	class    wire.QoS
 	deadline time.Time // zero = none
 	order    uint64    // admission order, the FIFO tiebreak
+	tenant   string    // DRR key; the connection's authenticated tenant
 
 	// admitted stamps when the reader pushed the job, feeding the
 	// sched_wait stage histogram; trace is the client-minted trace ID
@@ -52,9 +61,9 @@ func (j *schedJob) expired(now time.Time) bool {
 	return !j.deadline.IsZero() && now.After(j.deadline)
 }
 
-// before orders two jobs of the same class: earliest deadline first,
-// deadline-less jobs after every deadlined one, admission order as the
-// tiebreak.
+// before orders two jobs of the same class and tenant: earliest deadline
+// first, deadline-less jobs after every deadlined one, admission order as
+// the tiebreak.
 func (j *schedJob) before(k *schedJob) bool {
 	switch {
 	case j.deadline.IsZero() && k.deadline.IsZero():
@@ -70,7 +79,7 @@ func (j *schedJob) before(k *schedJob) bool {
 	}
 }
 
-// jobHeap is one class's EDF queue.
+// jobHeap is one tenant's EDF queue within one class.
 type jobHeap []schedJob
 
 func (h jobHeap) Len() int            { return len(h) }
@@ -82,17 +91,122 @@ func (h jobHeap) peek() *schedJob     { return &h[0] }
 func (h *jobHeap) popJob() schedJob   { return heap.Pop(h).(schedJob) }
 func (h *jobHeap) pushJob(j schedJob) { heap.Push(h, j) }
 
+// classQueue is one QoS class's queue: an EDF heap per tenant, drained
+// deficit-round-robin across the tenants that have work queued. The ring
+// holds active tenants in arrival order; cur is the tenant currently
+// being served and credit its remaining deficit (in requests — the DRR
+// quantum is the tenant's weight). Invariants between calls: every ring
+// member's heap is non-empty, and credit > 0 whenever the ring is
+// non-empty — so head() is pure and always agrees with the next pop().
+type classQueue struct {
+	byTenant map[string]*jobHeap
+	ring     []string
+	cur      int
+	credit   int
+	size     int
+}
+
+func (c *classQueue) push(j schedJob, weightOf func(string) int) {
+	h := c.byTenant[j.tenant]
+	if h == nil {
+		if c.byTenant == nil {
+			c.byTenant = make(map[string]*jobHeap)
+		}
+		h = new(jobHeap)
+		c.byTenant[j.tenant] = h
+		c.ring = append(c.ring, j.tenant)
+		if len(c.ring) == 1 {
+			c.cur = 0
+			c.credit = weightOf(j.tenant)
+		}
+	}
+	h.pushJob(j)
+	c.size++
+}
+
+// head returns the job the next pop would dispatch, without side effects.
+func (c *classQueue) head() *schedJob {
+	if c.size == 0 {
+		return nil
+	}
+	return c.byTenant[c.ring[c.cur]].peek()
+}
+
+func (c *classQueue) pop(weightOf func(string) int) schedJob {
+	h := c.byTenant[c.ring[c.cur]]
+	j := h.popJob()
+	c.size--
+	if h.Len() == 0 {
+		c.remove(c.cur, weightOf)
+	} else {
+		c.credit--
+		if c.credit <= 0 {
+			c.advance(weightOf)
+		}
+	}
+	return j
+}
+
+// advance moves service to the next ring tenant and refills its deficit.
+func (c *classQueue) advance(weightOf func(string) int) {
+	c.cur++
+	if c.cur >= len(c.ring) {
+		c.cur = 0
+	}
+	c.credit = weightOf(c.ring[c.cur])
+}
+
+// remove drops ring[i] (its heap is empty) and keeps cur pointing at the
+// tenant being served — or, when the served tenant itself left, at its
+// successor with a fresh deficit.
+func (c *classQueue) remove(i int, weightOf func(string) int) {
+	delete(c.byTenant, c.ring[i])
+	c.ring = append(c.ring[:i], c.ring[i+1:]...)
+	if len(c.ring) == 0 {
+		c.cur, c.credit = 0, 0
+		return
+	}
+	switch {
+	case i < c.cur:
+		c.cur--
+	case i == c.cur:
+		if c.cur >= len(c.ring) {
+			c.cur = 0
+		}
+		c.credit = weightOf(c.ring[c.cur])
+	}
+}
+
+// evictExpired sheds every queued job whose deadline already passed (EDF
+// puts them at each tenant heap's head) and prunes emptied tenants.
+func (c *classQueue) evictExpired(now time.Time, weightOf func(string) int, shed []schedJob) []schedJob {
+	for i := 0; i < len(c.ring); {
+		h := c.byTenant[c.ring[i]]
+		for h.Len() > 0 && h.peek().expired(now) {
+			shed = append(shed, h.popJob())
+			c.size--
+		}
+		if h.Len() == 0 {
+			c.remove(i, weightOf)
+			continue
+		}
+		i++
+	}
+	return shed
+}
+
 // schedQueue is the bounded priority queue feeding one connection's
 // worker pool. depth bounds queued (not yet popped) jobs, matching the
 // old FIFO channel's buffer semantics.
 type schedQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	heaps  [wire.NumQoSClasses]jobHeap
-	size   int
-	depth  int
-	closed bool
-	order  uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	classes  [wire.NumQoSClasses]classQueue
+	weightOf func(string) int
+	size     int
+	depth    int
+	closed   bool
+	order    uint64
 
 	// arrivals gets a non-blocking token per push so a batching worker
 	// can wait out its slack window in a select (sync.Cond has no timed
@@ -103,8 +217,20 @@ type schedQueue struct {
 }
 
 func newSchedQueue(depth int) *schedQueue {
+	return newSchedQueueWeighted(depth, nil)
+}
+
+// newSchedQueueWeighted builds a queue whose DRR quanta come from
+// weightOf (nil = every tenant weight 1). Weights are read under the
+// queue mutex at tenant-rotation points only — the callback must be fast
+// and must never call back into the queue.
+func newSchedQueueWeighted(depth int, weightOf func(string) int) *schedQueue {
+	if weightOf == nil {
+		weightOf = func(string) int { return 1 }
+	}
 	q := &schedQueue{
 		depth:    depth,
+		weightOf: func(t string) int { return max(1, weightOf(t)) },
 		arrivals: make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
@@ -135,12 +261,10 @@ func (q *schedQueue) push(j schedJob) (shed []schedJob, ok bool) {
 	}
 	if q.size >= q.depth {
 		now := time.Now()
-		for i := range q.heaps {
-			// EDF ordering puts expired jobs at each class's head.
-			for q.heaps[i].Len() > 0 && q.heaps[i].peek().expired(now) {
-				shed = append(shed, q.heaps[i].popJob())
-				q.size--
-			}
+		for i := range q.classes {
+			before := q.classes[i].size
+			shed = q.classes[i].evictExpired(now, q.weightOf, shed)
+			q.size -= before - q.classes[i].size
 		}
 		if q.size >= q.depth {
 			return shed, false
@@ -148,7 +272,7 @@ func (q *schedQueue) push(j schedJob) (shed []schedJob, ok bool) {
 	}
 	q.order++
 	j.order = q.order
-	q.heaps[classIndex(j.class)].pushJob(j)
+	q.classes[classIndex(j.class)].push(j, q.weightOf)
 	q.size++
 	q.cond.Signal()
 	select {
@@ -159,7 +283,8 @@ func (q *schedQueue) push(j schedJob) (shed []schedJob, ok bool) {
 }
 
 // pop blocks for the highest-priority queued job: the highest non-empty
-// class, EDF within it. ok=false once the queue is closed and drained.
+// class, the DRR ring's current tenant within it, EDF within that
+// tenant. ok=false once the queue is closed and drained.
 func (q *schedQueue) pop() (schedJob, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -169,38 +294,40 @@ func (q *schedQueue) pop() (schedJob, bool) {
 	if q.size == 0 {
 		return schedJob{}, false
 	}
-	for i := len(q.heaps) - 1; i >= 0; i-- {
-		if q.heaps[i].Len() > 0 {
+	for i := len(q.classes) - 1; i >= 0; i-- {
+		if q.classes[i].size > 0 {
 			q.size--
-			return q.heaps[i].popJob(), true
+			return q.classes[i].pop(q.weightOf), true
 		}
 	}
-	return schedJob{}, false // unreachable: size > 0 implies a non-empty heap
+	return schedJob{}, false // unreachable: size > 0 implies a non-empty class
 }
 
 // tryDrain pops up to max additional jobs for a batch without blocking.
 // It only ever takes the queue's current head — the highest non-empty
-// class, EDF within it — and stops at the first head match fails on, so
-// a drained batch is exactly the prefix a sequence of pop calls would
-// have returned: batching never lets a lower-priority job overtake a
-// higher-priority one it is incompatible with. blocked reports that a
-// non-matching head (not an empty queue) ended the drain, which tells a
-// slack-waiting worker to stop waiting and free its slot for that job.
+// class, the DRR tenant within it, EDF within that tenant — and stops at
+// the first head match fails on, so a drained batch is exactly the
+// prefix a sequence of pop calls would have returned: batching never
+// lets a lower-priority job overtake a higher-priority one it is
+// incompatible with (and never lets one tenant raid another's DRR
+// share). blocked reports that a non-matching head (not an empty queue)
+// ended the drain, which tells a slack-waiting worker to stop waiting
+// and free its slot for that job.
 func (q *schedQueue) tryDrain(max int, match func(*schedJob) bool) (jobs []schedJob, blocked bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(jobs) < max && q.size > 0 {
-		var h *jobHeap
-		for i := len(q.heaps) - 1; i >= 0; i-- {
-			if q.heaps[i].Len() > 0 {
-				h = &q.heaps[i]
+		var c *classQueue
+		for i := len(q.classes) - 1; i >= 0; i-- {
+			if q.classes[i].size > 0 {
+				c = &q.classes[i]
 				break
 			}
 		}
-		if !match(h.peek()) {
+		if !match(c.head()) {
 			return jobs, true
 		}
-		jobs = append(jobs, h.popJob())
+		jobs = append(jobs, c.pop(q.weightOf))
 		q.size--
 	}
 	return jobs, false

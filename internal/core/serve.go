@@ -88,15 +88,29 @@ func deadlineShedReply(reqID uint64) wire.Message {
 	return wire.Message{Type: wire.MsgError, RequestID: reqID, Body: body}
 }
 
+// quotaReply answers a request rejected by its tenant's token bucket: it
+// never entered the scheduler, and the reply keeps the request's place
+// in the connection's reply order.
+func quotaReply(reqID uint64, tenant string) wire.Message {
+	body, _ := (wire.ErrorReply{
+		Code: wire.CodeQuotaExceeded,
+		Msg:  fmt.Sprintf("tenant %q admission quota exceeded; retry after backing off", tenant),
+	}).Marshal()
+	return wire.Message{Type: wire.MsgError, RequestID: reqID, Body: body}
+}
+
 // pipelineHooks observes one connection pipeline's admission decisions;
 // any hook may be nil. onAdmit sees every request entering the scheduler
-// with its service class; onShed sees every request dropped because its
-// deadline expired in the queue; onOverload sees every request rejected
-// because the queue was full of live work.
+// with the connection's tenant and the request's service class; onShed
+// sees every request dropped because its deadline expired in the queue;
+// onOverload sees every request rejected because the queue was full of
+// live work; onQuota sees every request rejected by its tenant's token
+// bucket.
 type pipelineHooks struct {
-	onAdmit    func(wire.QoS)
+	onAdmit    func(tenant string, q wire.QoS)
 	onShed     func()
 	onOverload func()
+	onQuota    func(tenant string)
 	// onBatch sees the live size of every batch a worker executes
 	// through the batch dispatcher (including size 1).
 	onBatch func(n int)
@@ -113,16 +127,29 @@ func isCanceled(err error) bool {
 // requests around it), and so is MsgCancel (it must observe the
 // registration of every request read before it); every other message is
 // admitted to the schedQueue with its QoS class and wall-clock deadline
-// peeked off the wire, and workers pop strictly by class then
+// peeked off the wire, and workers pop strictly by class, then
+// deficit-round-robin across tenants within the class, then
 // earliest-deadline-first. A request whose deadline passes while queued
 // is shed with CodeDeadlineExceeded before any worker executes it. When
 // the queue is full of live work, the request is rejected with
 // CodeOverloaded instead of stalling the reader, keeping the connection
 // responsive under load; expired queued work is evicted first to make
-// room. hooks observe admissions, deadline sheds and overloads; obsv
-// (nil-safe) feeds the live metrics plane — per-stage histograms,
-// per-class outcome counters, connection gauges and the slow-request
-// ring.
+// room.
+//
+// tenants (nil = open policy) governs the connection's tenant identity:
+// the first hello frame authenticates a tenant onto the connection
+// (structured hellos carry an explicit claim; legacy and absent hellos
+// run as DefaultTenant), a failed authentication answers CodeBadRequest
+// and closes the connection, and each subsequent request spends a token
+// from the tenant's bucket before entering the scheduler — an empty
+// bucket answers CodeQuotaExceeded without queueing. Peer federation
+// frames are quota-exempt: they spend another edge's client budget, not
+// this tenant's.
+//
+// hooks observe admissions, deadline sheds, overloads and quota
+// rejections; obsv (nil-safe) feeds the live metrics plane — per-stage
+// histograms, per-tenant-and-class outcome counters, connection gauges
+// and the slow-request ring.
 //
 // ctx is the serving context: its cancellation stops the reader (no new
 // requests) but deliberately does NOT cancel per-request contexts —
@@ -130,7 +157,7 @@ func isCanceled(err error) bool {
 // client disconnect, by contrast, cancels every in-flight request on the
 // connection: nobody is left to read the replies, so the work (and any
 // coalesced fetch it alone keeps alive) is abandoned.
-func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispatch func(ctx context.Context, msg wire.Message, mode Mode) wire.Message, batch *batchPlan, hooks pipelineHooks, obsv *ServerObs) {
+func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenants *TenantPolicy, dispatch func(ctx context.Context, msg wire.Message, mode Mode, tenant string) wire.Message, batch *batchPlan, hooks pipelineHooks, obsv *ServerObs) {
 	defer conn.Close()
 	obsv.connOpened()
 	defer obsv.connClosed()
@@ -157,7 +184,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 	var cancelMu sync.Mutex
 	cancels := map[uint64]context.CancelFunc{}
 
-	sched := newSchedQueue(depth)
+	sched := newSchedQueueWeighted(depth, tenants.Weight)
 	replies := make(chan wire.SequencedMessage, workers+depth+1)
 	// slots bounds replies outstanding anywhere in the pipeline — being
 	// processed, queued, or parked out-of-order in the reorder buffer.
@@ -210,7 +237,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 	// exactly once, serial or batched.
 	finishJob := func(j schedJob, m wire.Message) {
 		j.finish()
-		obsv.request(j.class, j.msg, j.trace, m, time.Since(j.admitted))
+		obsv.request(j.tenant, j.class, j.msg, j.trace, m, time.Since(j.admitted))
 		replies <- wire.SequencedMessage{Seq: j.seq, Msg: m}
 	}
 
@@ -272,7 +299,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 				}
 				finishJob(j, deadlineShedReply(j.msg.RequestID))
 			default:
-				live = append(live, &batchJob{ctx: j.ctx, msg: j.msg, mode: j.mode})
+				live = append(live, &batchJob{ctx: j.ctx, msg: j.msg, mode: j.mode, tenant: j.tenant})
 				liveJobs = append(liveJobs, j)
 			}
 		}
@@ -328,7 +355,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 					}
 					m = deadlineShedReply(j.msg.RequestID)
 				default:
-					m = dispatch(j.ctx, j.msg, j.mode)
+					m = dispatch(j.ctx, j.msg, j.mode, j.tenant)
 					obsv.observeExec(time.Since(picked))
 				}
 				finishJob(j, m)
@@ -337,6 +364,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 	}
 
 	mode := ModeCoIC
+	tenant := DefaultTenant
 	var seq uint64
 	for {
 		msg, err := wire.ReadMessage(conn)
@@ -346,14 +374,32 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		slots <- struct{}{}
 		seq++
 		if msg.Type == wire.MsgHello {
-			if len(msg.Body) >= 1 && msg.Body[0] == byte(ModeOrigin) {
+			h, herr := wire.UnmarshalHello(msg.Body)
+			if herr != nil {
+				replies <- wire.SequencedMessage{Seq: seq,
+					Msg: errorReply(msg.RequestID, wire.CodeBadRequest, "bad hello: %v", herr)}
+				break // the preamble is garbage; drop the connection
+			}
+			if h.Mode == wire.HelloModeOrigin {
 				mode = ModeOrigin
 			}
-			// The unordered-replies flag is only honoured on the very
-			// first frame: flipping it mid-connection could strand
-			// replies parked in the reorder buffer.
-			if seq == 1 && len(msg.Body) >= 2 && msg.Body[1]&wire.HelloFlagUnordered != 0 {
-				unordered.Store(true)
+			// Tenant identity and the unordered-replies flag are only
+			// honoured on the very first frame: rebinding the tenant
+			// mid-connection would let a throttled tenant launder requests
+			// through a cheap re-hello, and flipping the reply order could
+			// strand replies parked in the reorder buffer. Later hellos
+			// remain pure mode switches, as before tenancy existed.
+			if seq == 1 {
+				authed, aerr := tenants.Authenticate(h.Tenant, h.Token)
+				if aerr != nil {
+					replies <- wire.SequencedMessage{Seq: seq,
+						Msg: errorReply(msg.RequestID, wire.CodeBadRequest, "hello rejected: %v", aerr)}
+					break // unauthenticated connections do not proceed
+				}
+				tenant = authed
+				if h.Flags&wire.HelloFlagUnordered != 0 {
+					unordered.Store(true)
+				}
 			}
 			replies <- wire.SequencedMessage{Seq: seq, Msg: wire.Message{Type: wire.MsgHello, RequestID: msg.RequestID}}
 			continue
@@ -396,9 +442,24 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 		if deadlineMicros != 0 {
 			deadline = time.UnixMicro(deadlineMicros)
 		}
+		// Per-tenant rationing runs before global admission: a request the
+		// tenant's token bucket rejects never competes for queue room.
+		// Federation frames ride another edge's client critical path and
+		// are exempt — they are not this tenant's traffic to ration.
+		if msg.Type != wire.MsgPeerLookup && msg.Type != wire.MsgPeerInsert && !tenants.Admit(tenant) {
+			if hooks.onQuota != nil {
+				hooks.onQuota(tenant)
+			}
+			obsv.observeTenantQuota(tenant)
+			finish()
+			m := quotaReply(msg.RequestID, tenant)
+			obsv.request(tenant, class, msg, trace, m, 0)
+			replies <- wire.SequencedMessage{Seq: seq, Msg: m}
+			continue
+		}
 		shed, ok := sched.push(schedJob{
 			seq: seq, msg: msg, mode: mode, ctx: jctx, finish: finish,
-			class: class, deadline: deadline,
+			class: class, deadline: deadline, tenant: tenant,
 			admitted: time.Now(), trace: trace,
 		})
 		// Expired queued work evicted to make room answers in its own
@@ -409,7 +470,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 			}
 			s.finish()
 			m := deadlineShedReply(s.msg.RequestID)
-			obsv.request(s.class, s.msg, s.trace, m, time.Since(s.admitted))
+			obsv.request(s.tenant, s.class, s.msg, s.trace, m, time.Since(s.admitted))
 			replies <- wire.SequencedMessage{Seq: s.seq, Msg: m}
 		}
 		if !ok {
@@ -418,10 +479,13 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, dispat
 			}
 			finish()
 			m := overloadReply(msg, workers+depth)
-			obsv.request(class, msg, trace, m, 0)
+			obsv.request(tenant, class, msg, trace, m, 0)
 			replies <- wire.SequencedMessage{Seq: seq, Msg: m}
-		} else if hooks.onAdmit != nil {
-			hooks.onAdmit(class)
+		} else {
+			if hooks.onAdmit != nil {
+				hooks.onAdmit(tenant, class)
+			}
+			obsv.observeTenantAdmit(tenant, class)
 		}
 	}
 	if ctx.Err() == nil {
@@ -479,6 +543,10 @@ type CloudServer struct {
 	// the batch to fill (interactive heads never wait). See batch.go.
 	Batch      int
 	BatchSlack time.Duration
+	// Tenants, when non-nil, authenticates tenants on the hello
+	// handshake and meters their admission (token buckets) and
+	// fair-share (DRR weights); nil is the open single-tenant policy.
+	Tenants *TenantPolicy
 	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
 	Obs *ServerObs
 
@@ -491,18 +559,74 @@ type schedCounters struct {
 	admitted  [wire.NumQoSClasses]atomic.Uint64
 	sheds     atomic.Uint64
 	overloads atomic.Uint64
+	quota     atomic.Uint64
 	// batches counts multi-request batches executed; batched counts the
 	// requests that rode them (size-1 batch-path dispatches count in
 	// neither — they are serial work that found no companions).
 	batches atomic.Uint64
 	batched atomic.Uint64
+
+	// Per-tenant admission ledger. Tenants appear lazily at their first
+	// admitted (or quota-rejected) request; the hot path is one mutex
+	// acquisition plus two map hits.
+	mu      sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+type tenantCounters struct {
+	admitted [wire.NumQoSClasses]atomic.Uint64
+	quota    atomic.Uint64
+}
+
+// TenantCounters is one tenant's admission ledger, as read by the stats
+// surface.
+type TenantCounters struct {
+	Admitted        [wire.NumQoSClasses]uint64
+	QuotaRejections uint64
+}
+
+func (c *schedCounters) tenant(t string) *tenantCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tc := c.tenants[t]
+	if tc == nil {
+		if c.tenants == nil {
+			c.tenants = make(map[string]*tenantCounters)
+		}
+		tc = &tenantCounters{}
+		c.tenants[t] = tc
+	}
+	return tc
+}
+
+// tenantCounts snapshots the per-tenant ledger.
+func (c *schedCounters) tenantCounts() map[string]TenantCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]TenantCounters, len(c.tenants))
+	for t, tc := range c.tenants {
+		var tv TenantCounters
+		for i := range tv.Admitted {
+			tv.Admitted[i] = tc.admitted[i].Load()
+		}
+		tv.QuotaRejections = tc.quota.Load()
+		out[t] = tv
+	}
+	return out
 }
 
 func (c *schedCounters) hooks() pipelineHooks {
 	return pipelineHooks{
-		onAdmit:    func(q wire.QoS) { c.admitted[classIndex(q)].Add(1) },
+		onAdmit: func(t string, q wire.QoS) {
+			c.admitted[classIndex(q)].Add(1)
+			c.tenant(t).admitted[classIndex(q)].Add(1)
+		},
 		onShed:     func() { c.sheds.Add(1) },
 		onOverload: func() { c.overloads.Add(1) },
+		onQuota: func(t string) {
+			c.quota.Add(1)
+			c.tenant(t).quota.Add(1)
+		},
 		onBatch: func(n int) {
 			if n > 1 {
 				c.batches.Add(1)
@@ -526,6 +650,13 @@ func (s *CloudServer) Admitted(q wire.QoS) uint64 {
 	return s.sched.admitted[classIndex(q)].Load()
 }
 
+// QuotaRejections reports how many requests per-tenant admission control
+// rejected with CodeQuotaExceeded.
+func (s *CloudServer) QuotaRejections() uint64 { return s.sched.quota.Load() }
+
+// TenantCounts snapshots the per-tenant admission ledger.
+func (s *CloudServer) TenantCounts() map[string]TenantCounters { return s.sched.tenantCounts() }
+
 // Serve accepts connections until the listener is closed.
 func (s *CloudServer) Serve(ln net.Listener) error {
 	return s.ServeContext(context.Background(), ln)
@@ -539,7 +670,7 @@ func (s *CloudServer) ServeContext(ctx context.Context, ln net.Listener) error {
 }
 
 func (s *CloudServer) handle(ctx context.Context, conn net.Conn) {
-	connPipeline(ctx, conn, s.Workers, s.QueueDepth, func(jctx context.Context, msg wire.Message, _ Mode) wire.Message {
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.Tenants, func(jctx context.Context, msg wire.Message, _ Mode, _ string) wire.Message {
 		return s.dispatch(jctx, msg)
 	}, s.batchPlan(), s.sched.hooks(), s.Obs)
 }
@@ -647,6 +778,10 @@ type EdgeServer struct {
 	// upstream as hard overload errors. Raise it in lockstep with the
 	// cloud's -workers/-queue.
 	MaxUpstream int
+	// Tenants, when non-nil, authenticates tenants on the hello
+	// handshake and meters their admission (token buckets) and
+	// fair-share (DRR weights); nil is the open single-tenant policy.
+	Tenants *TenantPolicy
 	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
 	Obs *ServerObs
 
@@ -685,6 +820,13 @@ func (s *EdgeServer) Admitted(q wire.QoS) uint64 {
 	return s.sched.admitted[classIndex(q)].Load()
 }
 
+// QuotaRejections reports how many requests per-tenant admission control
+// rejected with CodeQuotaExceeded.
+func (s *EdgeServer) QuotaRejections() uint64 { return s.sched.quota.Load() }
+
+// TenantCounts snapshots the per-tenant admission ledger.
+func (s *EdgeServer) TenantCounts() map[string]TenantCounters { return s.sched.tenantCounts() }
+
 // cloudDialTimeout bounds establishing the upstream connection.
 const cloudDialTimeout = 10 * time.Second
 
@@ -698,10 +840,14 @@ type cloudMux struct {
 	addr    string
 	wrap    ConnWrapper
 	timeout time.Duration
-	// inflight caps concurrent round trips so the edge never exceeds the
+	// gate caps concurrent round trips so the edge never exceeds the
 	// cloud's per-connection admission budget (which would surface as
-	// hard overload errors to coalesced waiters).
-	inflight chan struct{}
+	// hard overload errors to coalesced waiters), and partitions the
+	// slots across tenants by weighted share — the upstream link is the
+	// one bottleneck every tenant's misses meet, and the per-connection
+	// scheduler cannot see across connections.
+	gate  *upstreamGate
+	limit int
 
 	mu  sync.Mutex
 	cur *muxConn
@@ -745,9 +891,16 @@ func (m *cloudMux) get(budget time.Duration) (*muxConn, error) {
 	// First frame: request completion-order replies. This mux matches by
 	// RequestID, and in-order delivery would head-of-line block an
 	// interactive fetch's reply behind earlier best-effort ones, undoing
-	// the cloud scheduler's prioritisation. The ack is dropped by the
-	// read loop (no pending entry for id 0).
-	hello := wire.Message{Type: wire.MsgHello, Body: []byte{byte(ModeCoIC), wire.HelloFlagUnordered}}
+	// the cloud scheduler's prioritisation. The edge speaks the versioned
+	// hello upstream and runs as the cloud's default tenant — per-client
+	// tenancy is enforced at the edge, not re-litigated per fetch. The ack
+	// is dropped by the read loop (no pending entry for id 0).
+	helloBody, _ := (wire.Hello{
+		Version: wire.HelloVersion,
+		Mode:    wire.HelloModeCoIC,
+		Flags:   wire.HelloFlagUnordered,
+	}).Marshal()
+	hello := wire.Message{Type: wire.MsgHello, Body: helloBody}
 	if err := wire.WriteMessage(conn, hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("core: cloud hello: %w", err)
@@ -830,22 +983,23 @@ func (m *cloudMux) abandon(mc *muxConn, id uint64) {
 // ctx aborts the fetch early: for a coalesced miss it is the flight
 // context, which dies only when the last interested waiter departs
 // (last-waiter-cancels), and its death withdraws the fetch and forwards
-// the cancellation upstream.
-func (m *cloudMux) roundTrip(ctx context.Context, msg wire.Message) (wire.Message, error) {
+// the cancellation upstream. tenant is who the slot wait is charged to:
+// the flight leader's tenant for coalesced misses, so the gate's fair
+// share follows whoever's quota paid for the fetch.
+func (m *cloudMux) roundTrip(ctx context.Context, tenant string, msg wire.Message) (wire.Message, error) {
 	deadline := time.Now().Add(m.timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	slotTimer := time.NewTimer(time.Until(deadline))
 	defer slotTimer.Stop()
-	select {
-	case m.inflight <- struct{}{}:
-		defer func() { <-m.inflight }()
-	case <-ctx.Done():
-		return wire.Message{}, ctx.Err()
-	case <-slotTimer.C:
-		return wire.Message{}, fmt.Errorf("core: upstream saturated for %v (%d fetches in flight)", m.timeout, cap(m.inflight))
+	if err := m.gate.acquire(ctx, tenant, slotTimer.C); err != nil {
+		if errors.Is(err, errUpstreamSaturated) {
+			return wire.Message{}, fmt.Errorf("core: upstream saturated for %v (%d fetches in flight)", m.timeout, m.limit)
+		}
+		return wire.Message{}, err
 	}
+	defer m.gate.release(tenant)
 
 	mc, err := m.get(time.Until(deadline))
 	if err != nil {
@@ -1095,7 +1249,8 @@ func (s *EdgeServer) ServeContext(ctx context.Context, ln net.Listener) error {
 
 // roundTripCloud forwards one message upstream over the multiplexed
 // connection and awaits its reply, bounded by FetchTimeout and ctx.
-func (s *EdgeServer) roundTripCloud(ctx context.Context, msg wire.Message) (wire.Message, error) {
+// tenant is charged for the upstream slot wait (see upstreamGate).
+func (s *EdgeServer) roundTripCloud(ctx context.Context, tenant string, msg wire.Message) (wire.Message, error) {
 	s.mu.Lock()
 	if s.cloud == nil {
 		limit := s.MaxUpstream
@@ -1103,20 +1258,21 @@ func (s *EdgeServer) roundTripCloud(ctx context.Context, msg wire.Message) (wire
 			limit = DefaultWorkers + DefaultQueueDepth
 		}
 		s.cloud = &cloudMux{
-			addr:     s.CloudAddr,
-			wrap:     s.WrapCloud,
-			timeout:  s.fetchTimeout(),
-			inflight: make(chan struct{}, limit),
+			addr:    s.CloudAddr,
+			wrap:    s.WrapCloud,
+			timeout: s.fetchTimeout(),
+			gate:    newUpstreamGate(limit, s.Tenants),
+			limit:   limit,
 		}
 	}
 	mux := s.cloud
 	s.mu.Unlock()
 	s.cloudFetches.Add(1)
-	return mux.roundTrip(ctx, msg)
+	return mux.roundTrip(ctx, tenant, msg)
 }
 
 func (s *EdgeServer) handle(ctx context.Context, conn net.Conn) {
-	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.dispatch, s.batchPlan(), s.sched.hooks(), s.Obs)
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.Tenants, s.dispatch, s.batchPlan(), s.sched.hooks(), s.Obs)
 }
 
 // Batches reports how many multi-request batches this server executed;
@@ -1145,11 +1301,11 @@ func (e *edgeError) Error() string { return e.msg }
 // survives any individual waiter's departure (ctx here only detaches the
 // caller) and aborts — withdrawing the upstream round trip — when the
 // last waiter is gone.
-func (s *EdgeServer) fetchCoalesced(ctx context.Context, desc feature.Descriptor, msg wire.Message, want wire.MsgType, extract func(wire.Message) ([]byte, error)) ([]byte, uint8, error) {
+func (s *EdgeServer) fetchCoalesced(ctx context.Context, tenant string, desc feature.Descriptor, msg wire.Message, want wire.MsgType, extract func(wire.Message) ([]byte, error)) ([]byte, uint8, error) {
 	start := time.Now()
 	defer func() { s.Obs.observeCloudFetch(time.Since(start)) }()
 	val, leader, err := s.Edge.Inflight().Do(ctx, desc, func(fctx context.Context) ([]byte, error) {
-		reply, err := s.roundTripCloud(fctx, msg)
+		reply, err := s.roundTripCloud(fctx, tenant, msg)
 		if err != nil {
 			if isCanceled(err) {
 				return nil, err
@@ -1169,7 +1325,10 @@ func (s *EdgeServer) fetchCoalesced(ctx context.Context, desc feature.Descriptor
 		if err != nil {
 			return nil, &edgeError{code: wire.CodeInternal, msg: fmt.Sprintf("corrupt cloud reply: %v", err)}
 		}
-		s.Edge.Insert(desc, data, 1)
+		// The flight's leader inserts on behalf of its own tenant: the
+		// fetch was charged to that tenant's quota, so the resident bytes
+		// land on its cache share too.
+		s.Edge.InsertTenant(tenant, desc, data, 1)
 		return data, nil
 	})
 	src := wire.SourceCloud
@@ -1179,7 +1338,7 @@ func (s *EdgeServer) fetchCoalesced(ctx context.Context, desc feature.Descriptor
 	return val, src, err
 }
 
-func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) wire.Message {
+func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode, tenant string) wire.Message {
 	fail := func(code uint16, format string, args ...any) wire.Message {
 		body, _ := (wire.ErrorReply{Code: code, Msg: fmt.Sprintf(format, args...)}).Marshal()
 		return wire.Message{Type: wire.MsgError, RequestID: msg.RequestID, Body: body}
@@ -1198,7 +1357,7 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 	// no cache interaction and no coalescing (origin requests carry no
 	// meaningful descriptor to coalesce on).
 	forward := func() wire.Message {
-		reply, err := s.roundTripCloud(ctx, msg)
+		reply, err := s.roundTripCloud(ctx, tenant, msg)
 		if err != nil {
 			return failErr(err)
 		}
@@ -1218,13 +1377,13 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 			return forward()
 		}
 		lookupStart := time.Now()
-		lr := s.Edge.Lookup(ctx, req.Task, req.Desc)
+		lr := s.Edge.LookupTenant(ctx, tenant, req.Task, req.Desc)
 		s.Obs.observeCacheLookup(time.Since(lookupStart))
 		if lr.Hit() {
 			body, _ := (wire.ExecReply{Source: wire.SourceEdge, Result: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgExecReply, RequestID: msg.RequestID, Body: body}
 		}
-		result, src, err := s.fetchCoalesced(ctx, req.Desc, msg, wire.MsgExecReply, func(r wire.Message) ([]byte, error) {
+		result, src, err := s.fetchCoalesced(ctx, tenant, req.Desc, msg, wire.MsgExecReply, func(r wire.Message) ([]byte, error) {
 			er, err := wire.UnmarshalExecReply(r.Body)
 			if err != nil {
 				return nil, err
@@ -1249,13 +1408,13 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 		}
 		desc := ModelDescriptor(req.ModelID)
 		lookupStart := time.Now()
-		lr := s.Edge.Lookup(ctx, wire.TaskRender, desc)
+		lr := s.Edge.LookupTenant(ctx, tenant, wire.TaskRender, desc)
 		s.Obs.observeCacheLookup(time.Since(lookupStart))
 		if lr.Hit() {
 			body, _ := (wire.ModelReply{Format: wire.FormatCMF, Source: wire.SourceEdge, Data: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgModelReply, RequestID: msg.RequestID, Body: body}
 		}
-		data, src, err := s.fetchCoalesced(ctx, desc, msg, wire.MsgModelReply, func(r wire.Message) ([]byte, error) {
+		data, src, err := s.fetchCoalesced(ctx, tenant, desc, msg, wire.MsgModelReply, func(r wire.Message) ([]byte, error) {
 			mr, err := wire.UnmarshalModelReply(r.Body)
 			if err != nil {
 				return nil, err
@@ -1280,13 +1439,13 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode) 
 		}
 		desc := PanoDescriptor(req.VideoID, int(req.FrameIndex))
 		lookupStart := time.Now()
-		lr := s.Edge.Lookup(ctx, wire.TaskPano, desc)
+		lr := s.Edge.LookupTenant(ctx, tenant, wire.TaskPano, desc)
 		s.Obs.observeCacheLookup(time.Since(lookupStart))
 		if lr.Hit() {
 			body, _ := (wire.PanoReply{Source: wire.SourceEdge, Data: lr.Value}).Marshal()
 			return wire.Message{Type: wire.MsgPanoReply, RequestID: msg.RequestID, Body: body}
 		}
-		data, src, err := s.fetchCoalesced(ctx, desc, msg, wire.MsgPanoReply, func(r wire.Message) ([]byte, error) {
+		data, src, err := s.fetchCoalesced(ctx, tenant, desc, msg, wire.MsgPanoReply, func(r wire.Message) ([]byte, error) {
 			pr, err := wire.UnmarshalPanoReply(r.Body)
 			if err != nil {
 				return nil, err

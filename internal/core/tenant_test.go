@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-immersion/coic/internal/clock"
+)
+
+// TestTokenBucketRefillDeterministic drives a tenant's admission bucket
+// on a virtual clock: every refill is an exact function of advanced
+// time, so the admitted/denied sequence is fully deterministic.
+func TestTokenBucketRefillDeterministic(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1000, 0))
+	p := NewTenantPolicy(clk)
+	p.Set("metered", TenantLimit{Rate: 5, Burst: 2})
+
+	// The bucket starts full at its burst of 2.
+	for i := 0; i < 2; i++ {
+		if !p.Admit("metered") {
+			t.Fatalf("admit %d: denied with %d tokens banked", i, 2-i)
+		}
+	}
+	if p.Admit("metered") {
+		t.Fatal("admitted on an empty bucket")
+	}
+
+	// 200ms at 5 req/s refills exactly one token — and only one.
+	clk.Advance(200 * time.Millisecond)
+	if !p.Admit("metered") {
+		t.Fatal("denied after refilling one token")
+	}
+	if p.Admit("metered") {
+		t.Fatal("admitted a second request off a single refilled token")
+	}
+
+	// A long idle period refills to burst, never beyond it.
+	clk.Advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if p.Admit("metered") {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("after idle refill admitted %d, want burst of 2", admitted)
+	}
+
+	// Unmetered tenants never consult a bucket.
+	for i := 0; i < 100; i++ {
+		if !p.Admit("open") {
+			t.Fatal("unmetered tenant denied")
+		}
+	}
+}
+
+// TestTenantAuthenticate covers the three hello outcomes: empty claims
+// collapse to the default tenant, configured tokens must match, and
+// unknown tenants are accepted openly.
+func TestTenantAuthenticate(t *testing.T) {
+	p := NewTenantPolicy(nil)
+	p.Set("secure", TenantLimit{Token: "s3cret"})
+
+	if got, err := p.Authenticate("", ""); err != nil || got != DefaultTenant {
+		t.Fatalf("empty claim: got %q, %v", got, err)
+	}
+	if got, err := p.Authenticate("secure", "s3cret"); err != nil || got != "secure" {
+		t.Fatalf("good token: got %q, %v", got, err)
+	}
+	if _, err := p.Authenticate("secure", "wrong"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	if _, err := p.Authenticate("secure", ""); err == nil {
+		t.Fatal("missing token accepted")
+	}
+	if got, err := p.Authenticate("unknown", "whatever"); err != nil || got != "unknown" {
+		t.Fatalf("unknown tenant: got %q, %v", got, err)
+	}
+
+	var nilPolicy *TenantPolicy
+	if got, err := nilPolicy.Authenticate("anyone", ""); err != nil || got != "anyone" {
+		t.Fatalf("nil policy: got %q, %v", got, err)
+	}
+}
+
+// TestSlotCap checks the standing weighted partition of upstream slots.
+func TestSlotCap(t *testing.T) {
+	p := NewTenantPolicy(nil)
+	p.Set("victim", TenantLimit{Weight: 4})
+	p.Set("noisy", TenantLimit{Weight: 1})
+
+	cases := []struct {
+		tenant string
+		slots  int
+		want   int
+	}{
+		{"victim", 2, 2}, // ceil(2*4/5)
+		{"noisy", 2, 1},  // ceil(2*1/5)
+		{"victim", 10, 8},
+		{"noisy", 10, 2},
+		{"stranger", 2, 1}, // unconfigured: weight 1 of 6
+		{"noisy", 1, 1},    // never below one slot
+	}
+	for _, c := range cases {
+		if got := p.SlotCap(c.tenant, c.slots); got != c.want {
+			t.Errorf("SlotCap(%q, %d) = %d, want %d", c.tenant, c.slots, got, c.want)
+		}
+	}
+
+	var nilPolicy *TenantPolicy
+	if got := nilPolicy.SlotCap("anyone", 7); got != 7 {
+		t.Errorf("nil policy SlotCap = %d, want the whole budget", got)
+	}
+	empty := NewTenantPolicy(nil)
+	if got := empty.SlotCap("anyone", 7); got != 7 {
+		t.Errorf("empty policy SlotCap = %d, want the whole budget", got)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// errUpstreamSaturated reports a fetch that timed out waiting for an
+// upstream slot; roundTrip wraps it with the configured timeout and
+// slot budget.
+var errUpstreamSaturated = errors.New("core: upstream saturated")
+
+// upstreamGate rations the edge's concurrent cloud fetches. Capacity is
+// the MaxUpstream slot budget; tenancy partitions it: a tenant may hold
+// at most its weighted share of the slots (TenantPolicy.SlotCap, never
+// below one), with waiters queued FIFO per tenant and freed slots
+// granted to the most underserved eligible tenant by holdings-to-weight
+// ratio. The per-connection scheduler cannot arbitrate here — each
+// connection carries one tenant, and the upstream link is where their
+// misses meet — so the cap is what keeps one tenant's miss flood from
+// monopolizing the uplink: isolation is standing, not reactive, which
+// is exactly what a paced interactive tenant needs against a saturating
+// one (by the time it asks, a reactive scheme has already handed every
+// slot to the flood). With a nil policy every cap is the whole budget
+// and a single wait queue drains FIFO — the semaphore this replaces.
+type upstreamGate struct {
+	tenants *TenantPolicy // nil is the open policy: no partitioning
+	slots   int
+
+	mu       sync.Mutex
+	free     int
+	holdings map[string]int
+	waiting  map[string][]chan struct{}
+	order    []string // tenants with waiters, in first-wait order
+}
+
+func newUpstreamGate(slots int, tenants *TenantPolicy) *upstreamGate {
+	return &upstreamGate{
+		tenants:  tenants,
+		slots:    slots,
+		free:     slots,
+		holdings: map[string]int{},
+		waiting:  map[string][]chan struct{}{},
+	}
+}
+
+// acquire obtains one slot for tenant, blocking until granted, ctx
+// dies, or expire fires. expire is the caller's overall fetch deadline
+// timer (not stopped here). Every successful acquire must be paired
+// with release(tenant).
+func (g *upstreamGate) acquire(ctx context.Context, tenant string, expire <-chan time.Time) error {
+	g.mu.Lock()
+	if g.free > 0 && g.holdings[tenant] < g.tenants.SlotCap(tenant, g.slots) {
+		g.free--
+		g.holdings[tenant]++
+		g.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{}, 1)
+	if len(g.waiting[tenant]) == 0 {
+		g.order = append(g.order, tenant)
+	}
+	g.waiting[tenant] = append(g.waiting[tenant], ch)
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		if !g.withdraw(tenant, ch) {
+			g.release(tenant) // the grant raced our departure; hand it on
+		}
+		return ctx.Err()
+	case <-expire:
+		if !g.withdraw(tenant, ch) {
+			g.release(tenant)
+		}
+		return errUpstreamSaturated
+	}
+}
+
+// withdraw removes ch from tenant's wait queue, reporting whether it
+// was still queued. False means a grant raced the withdrawal: the
+// caller owns a slot it must release.
+func (g *upstreamGate) withdraw(tenant string, ch chan struct{}) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	q := g.waiting[tenant]
+	for i, c := range q {
+		if c == ch {
+			g.waiting[tenant] = append(q[:i], q[i+1:]...)
+			if len(g.waiting[tenant]) == 0 {
+				g.dropWaiterLocked(tenant)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// dropWaiterLocked removes a tenant whose wait queue emptied from the
+// scan order.
+func (g *upstreamGate) dropWaiterLocked(tenant string) {
+	delete(g.waiting, tenant)
+	for i, t := range g.order {
+		if t == tenant {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// release returns tenant's slot and grants it onward. A freed slot goes
+// to the waiting tenant that is furthest under its fair share — lowest
+// holdings-to-weight ratio among tenants below their cap — with FIFO
+// order within the tenant; it is banked only when no waiter is
+// eligible.
+func (g *upstreamGate) release(tenant string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.holdings[tenant] <= 1 {
+		delete(g.holdings, tenant)
+	} else {
+		g.holdings[tenant]--
+	}
+	g.free++
+	g.grantLocked()
+}
+
+func (g *upstreamGate) grantLocked() {
+	for g.free > 0 {
+		best := ""
+		bestRatio := 0.0
+		for _, t := range g.order {
+			if g.holdings[t] >= g.tenants.SlotCap(t, g.slots) {
+				continue
+			}
+			ratio := float64(g.holdings[t]) / float64(g.tenants.Weight(t))
+			if best == "" || ratio < bestRatio {
+				best, bestRatio = t, ratio
+			}
+		}
+		if best == "" {
+			return // every waiter is at its cap; the slot stays banked
+		}
+		q := g.waiting[best]
+		ch := q[0]
+		g.waiting[best] = q[1:]
+		if len(g.waiting[best]) == 0 {
+			g.dropWaiterLocked(best)
+		}
+		g.free--
+		g.holdings[best]++
+		ch <- struct{}{} // buffered; the waiter may already have left
+	}
+}

@@ -21,10 +21,13 @@ type RequestEvent struct {
 	ReqID uint64 `json:"req_id"`
 	// Type is the wire message type name ("exec", "model_fetch", ...).
 	Type string `json:"type"`
+	// Tenant is the connection's authenticated tenant (empty when the
+	// server runs tenantless instrumentation).
+	Tenant string `json:"tenant,omitempty"`
 	// Class is the QoS class name ("interactive", "best_effort").
 	Class string `json:"class"`
 	// Outcome is the terminal state: ok, error, canceled, deadline,
-	// overloaded.
+	// overloaded, quota.
 	Outcome string `json:"outcome"`
 	// Duration is queue wait plus execution, as measured by the server.
 	Duration time.Duration `json:"-"`
@@ -87,6 +90,7 @@ func (l *RequestLog) Record(ev RequestEvent) {
 			slog.String("trace_id", fmt.Sprintf("%016x", ev.TraceID)),
 			slog.Uint64("req_id", ev.ReqID),
 			slog.String("type", ev.Type),
+			slog.String("tenant", ev.Tenant),
 			slog.String("class", ev.Class),
 			slog.String("outcome", ev.Outcome),
 			slog.Duration("duration", ev.Duration),

@@ -54,13 +54,14 @@ const (
 	MsgCancel MsgType = 14
 )
 
-// HelloFlagUnordered, set in the second byte of a MsgHello body, asks
-// the server to write replies in completion order instead of arrival
-// order. Only clients that match replies to requests by RequestID (the
-// demultiplexed streaming client, the edge's upstream mux) may set it;
-// positional clients rely on arrival order. The flag is honoured only on
-// a connection's first frame — a later mode-switch hello cannot strand
-// replies parked in the reorder buffer.
+// HelloFlagUnordered, carried in Hello.Flags (the second body byte of a
+// legacy version-0 hello), asks the server to write replies in
+// completion order instead of arrival order. Only clients that match
+// replies to requests by RequestID (the demultiplexed streaming client,
+// the edge's upstream mux) may set it; positional clients rely on
+// arrival order. The flag is honoured only on a connection's first
+// frame — a later mode-switch hello cannot strand replies parked in the
+// reorder buffer.
 const HelloFlagUnordered uint8 = 1 << 0
 
 // AllMsgTypes is the canonical list of every protocol frame type, in wire

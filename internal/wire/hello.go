@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// HelloVersion is the current structured hello version. Version 0 is the
+// legacy ad-hoc form: a 0–2 byte body of [mode[, flags]] with no tenant.
+const HelloVersion uint8 = 1
+
+// Hello mode bytes (the execution mode the connection runs under). The
+// values match internal/core.Mode and are on the wire; never reorder.
+const (
+	HelloModeOrigin uint8 = 0 // bypass the cache — the paper's baseline
+	HelloModeCoIC   uint8 = 1 // full CoIC protocol
+)
+
+// Hello is the structured connection preamble carried in a MsgHello body.
+// It replaces the legacy role+flags byte pair: besides the execution mode
+// and connection flags it authenticates a tenant onto the connection
+// (per-tenant admission quotas, fair-share scheduling and cache shares
+// all key off it). An empty Tenant means the implicit "default" tenant —
+// the server, not the codec, applies that mapping.
+type Hello struct {
+	// Version selects the encoding: 0 emits the legacy 1–2 byte form
+	// (Tenant and Token must be empty), >=1 the structured form below.
+	Version uint8
+	Mode    uint8 // HelloModeOrigin or HelloModeCoIC
+	Flags   uint8 // HelloFlagUnordered, ...
+	Tenant  string
+	Token   string
+}
+
+// maxHelloString bounds Tenant and Token (u8 length prefix).
+const maxHelloString = math.MaxUint8
+
+// Marshal encodes the hello body.
+//
+// Version >= 1 (structured):
+//
+//	version u8 | mode u8 | flags u8 | tenantLen u8 | tenant | tokenLen u8 | token
+//
+// Version 0 (legacy): [mode] when Flags is zero, [mode, flags] otherwise —
+// byte-identical to what pre-tenant clients send.
+func (h Hello) Marshal() ([]byte, error) {
+	if h.Version == 0 {
+		if h.Tenant != "" || h.Token != "" {
+			return nil, fmt.Errorf("%w: legacy (version 0) hello cannot carry a tenant", ErrBadMessage)
+		}
+		if h.Flags != 0 {
+			return []byte{h.Mode, h.Flags}, nil
+		}
+		return []byte{h.Mode}, nil
+	}
+	if len(h.Tenant) > maxHelloString {
+		return nil, fmt.Errorf("%w: tenant id too long", ErrBadMessage)
+	}
+	if len(h.Token) > maxHelloString {
+		return nil, fmt.Errorf("%w: tenant token too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 5+len(h.Tenant)+len(h.Token))
+	out = append(out, h.Version, h.Mode, h.Flags, uint8(len(h.Tenant)))
+	out = append(out, h.Tenant...)
+	out = append(out, uint8(len(h.Token)))
+	out = append(out, h.Token...)
+	return out, nil
+}
+
+// UnmarshalHello decodes a MsgHello body, accepting both forms. Bodies of
+// 0–2 bytes are the legacy version-0 preamble ([mode[, flags]]; empty
+// means CoIC) — a structured hello is always >= 5 bytes, and its first
+// byte (version >= 1) can never collide with a legacy length: the only
+// 1-byte legacy bodies are a bare mode byte, which decode as version 0
+// here, never as a truncated structured frame.
+func UnmarshalHello(body []byte) (Hello, error) {
+	if len(body) <= 2 {
+		h := Hello{Version: 0, Mode: HelloModeCoIC}
+		if len(body) >= 1 {
+			h.Mode = body[0]
+		}
+		if len(body) == 2 {
+			h.Flags = body[1]
+		}
+		return h, nil
+	}
+	if body[0] == 0 {
+		return Hello{}, fmt.Errorf("%w: structured hello with version 0", ErrBadMessage)
+	}
+	if len(body) < 5 {
+		return Hello{}, fmt.Errorf("%w: hello too short", ErrBadMessage)
+	}
+	h := Hello{Version: body[0], Mode: body[1], Flags: body[2]}
+	tn := int(body[3])
+	off := 4 + tn
+	if off+1 > len(body) {
+		return Hello{}, fmt.Errorf("%w: hello tenant overruns", ErrBadMessage)
+	}
+	h.Tenant = string(body[4:off])
+	kn := int(body[off])
+	if off+1+kn != len(body) {
+		return Hello{}, fmt.Errorf("%w: hello token length", ErrBadMessage)
+	}
+	h.Token = string(body[off+1 : off+1+kn])
+	return h, nil
+}

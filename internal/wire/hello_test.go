@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Legacy 0–2 byte bodies — everything a pre-tenant client can send — must
+// decode as version 0 with the historical semantics: empty means CoIC,
+// the first byte is the mode, the optional second byte carries flags.
+func TestUnmarshalHelloLegacy(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+		want Hello
+	}{
+		{"empty is coic", nil, Hello{Version: 0, Mode: HelloModeCoIC}},
+		{"origin", []byte{HelloModeOrigin}, Hello{Version: 0, Mode: HelloModeOrigin}},
+		{"coic", []byte{HelloModeCoIC}, Hello{Version: 0, Mode: HelloModeCoIC}},
+		{"coic unordered", []byte{HelloModeCoIC, HelloFlagUnordered},
+			Hello{Version: 0, Mode: HelloModeCoIC, Flags: HelloFlagUnordered}},
+		{"origin unordered", []byte{HelloModeOrigin, HelloFlagUnordered},
+			Hello{Version: 0, Mode: HelloModeOrigin, Flags: HelloFlagUnordered}},
+	}
+	for _, tc := range cases {
+		got, err := UnmarshalHello(tc.body)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// A legacy marshal must be byte-identical to what the pre-tenant code
+// wrote inline: [mode] without flags, [mode, flags] with.
+func TestMarshalHelloLegacyBytes(t *testing.T) {
+	b, err := Hello{Version: 0, Mode: HelloModeOrigin}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || b[0] != HelloModeOrigin {
+		t.Fatalf("legacy origin marshal = %v", b)
+	}
+	b, err = Hello{Version: 0, Mode: HelloModeCoIC, Flags: HelloFlagUnordered}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 || b[0] != HelloModeCoIC || b[1] != HelloFlagUnordered {
+		t.Fatalf("legacy flagged marshal = %v", b)
+	}
+	if _, err := (Hello{Version: 0, Tenant: "app"}).Marshal(); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("legacy marshal with tenant: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	cases := []Hello{
+		{Version: HelloVersion, Mode: HelloModeCoIC},
+		{Version: HelloVersion, Mode: HelloModeOrigin, Flags: HelloFlagUnordered},
+		{Version: HelloVersion, Mode: HelloModeCoIC, Tenant: "ar-app"},
+		{Version: HelloVersion, Mode: HelloModeCoIC, Flags: HelloFlagUnordered,
+			Tenant: "vr-suite", Token: "s3cret-token"},
+		{Version: HelloVersion, Mode: HelloModeCoIC,
+			Tenant: strings.Repeat("t", 255), Token: strings.Repeat("k", 255)},
+	}
+	for _, h := range cases {
+		body, err := h.Marshal()
+		if err != nil {
+			t.Fatalf("%+v: marshal: %v", h, err)
+		}
+		got, err := UnmarshalHello(body)
+		if err != nil {
+			t.Fatalf("%+v: unmarshal: %v", h, err)
+		}
+		if got != h {
+			t.Errorf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestHelloMarshalRejectsOversize(t *testing.T) {
+	if _, err := (Hello{Version: 1, Tenant: strings.Repeat("t", 256)}).Marshal(); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("oversize tenant: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := (Hello{Version: 1, Token: strings.Repeat("k", 256)}).Marshal(); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("oversize token: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestUnmarshalHelloMalformed(t *testing.T) {
+	cases := [][]byte{
+		{0, 1, 0, 0, 0},           // structured framing with version 0
+		{1, 1, 0},                 // too short for a structured hello
+		{1, 1, 0, 0},              // missing token length
+		{1, 1, 0, 9, 'a', 0},      // tenant length overruns the body
+		{1, 1, 0, 1, 'a', 5},      // token length overruns the body
+		{1, 1, 0, 0, 0, 'x'},      // trailing garbage past the token
+		{1, 1, 0, 1, 'a', 0, 'x'}, // trailing garbage, nonempty tenant
+	}
+	for _, body := range cases {
+		if _, err := UnmarshalHello(body); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("body %v: err = %v, want ErrBadMessage", body, err)
+		}
+	}
+}

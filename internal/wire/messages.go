@@ -608,6 +608,14 @@ const (
 	// would have been stale on arrival. Retrying is safe but usually
 	// pointless; the next frame has already superseded this one.
 	CodeDeadlineExceeded uint16 = 7
+	// CodeQuotaExceeded is the per-tenant admission reply: the
+	// connection's tenant exhausted its token-bucket quota, so the
+	// request was rejected without queueing or processing. Unlike
+	// CodeOverloaded (the server as a whole is saturated) this is
+	// rationing — other tenants' requests still flow. The client may
+	// retry after backing off; the connection stays healthy and the
+	// reply keeps its place in the response order.
+	CodeQuotaExceeded uint16 = 8
 )
 
 // Marshal encodes the body.

@@ -100,21 +100,21 @@ func TestOpsMetricsEndToEnd(t *testing.T) {
 			t.Fatalf("/metrics status = %d", status)
 		}
 		metrics = parseMetrics(t, body)
-		return metrics[`coic_requests_total{class="best-effort",outcome="ok"}`] == perClass &&
-			metrics[`coic_requests_total{class="interactive",outcome="ok"}`] == perClass
+		return metrics[`coic_requests_total{tenant="default",class="best-effort",outcome="ok"}`] == perClass &&
+			metrics[`coic_requests_total{tenant="default",class="interactive",outcome="ok"}`] == perClass
 	})
 
 	// The scrape must agree with the server's own counters.
 	stats := edge.Stats()
 	for sample, want := range map[string]float64{
-		`coic_sched_admitted_total{class="best-effort"}`:              float64(stats.AdmittedBestEffort),
-		`coic_sched_admitted_total{class="interactive"}`:              float64(stats.AdmittedInteractive),
-		`coic_sched_deadline_sheds_total`:                             float64(stats.DeadlineSheds),
-		`coic_sched_overloads_total`:                                  float64(stats.Overloads),
-		`coic_cloud_fetches_total`:                                    float64(stats.CloudFetches),
-		`coic_requests_total{class="best-effort",outcome="deadline"}`: 0,
-		`coic_connections_total`:                                      1,
-		`coic_connections_active`:                                     1,
+		`coic_sched_admitted_total{class="best-effort"}`:                               float64(stats.AdmittedBestEffort),
+		`coic_sched_admitted_total{class="interactive"}`:                               float64(stats.AdmittedInteractive),
+		`coic_sched_deadline_sheds_total`:                                              float64(stats.DeadlineSheds),
+		`coic_sched_overloads_total`:                                                   float64(stats.Overloads),
+		`coic_cloud_fetches_total`:                                                     float64(stats.CloudFetches),
+		`coic_requests_total{tenant="default",class="best-effort",outcome="deadline"}`: 0,
+		`coic_connections_total`:                                                       1,
+		`coic_connections_active`:                                                      1,
 	} {
 		if got, ok := metrics[sample]; !ok || got != want {
 			t.Errorf("%s = %v (present=%v), want %v", sample, got, ok, want)

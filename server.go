@@ -6,6 +6,8 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -46,6 +48,8 @@ type serverConfig struct {
 	slowThreshold time.Duration
 	slowSet       bool
 	logger        *slog.Logger
+
+	tenants map[string]TenantConfig
 
 	// edgeOnly names edge-specific options applied to a cloud server, an
 	// error surfaced at Serve.
@@ -140,6 +144,114 @@ func WithMaxUpstream(n int) ServerOption {
 	return func(c *serverConfig) error { c.markEdgeOnly("WithMaxUpstream"); c.maxUpstream = n; return nil }
 }
 
+// DefaultTenant is the tenant identity of every connection that does
+// not authenticate an explicit one: tenantless NewClient dials and
+// legacy (pre-versioned-hello) clients. Per-tenant maps (ServerStats,
+// SystemStats, metric labels) file their traffic under this name.
+const DefaultTenant = core.DefaultTenant
+
+// TenantConfig describes one tenant's share of a server for
+// WithTenantQuota. The zero value means "no limits" — no token
+// required, unlimited admission, weight 1, unbounded cache share —
+// which is exactly what tenants without any configuration get, so
+// rationing one tenant never locks the others out.
+type TenantConfig struct {
+	// Token, when nonempty, is the shared secret the tenant's clients
+	// must present via WithTenant. Tenants without a token authenticate
+	// by name alone.
+	Token string
+	// Rate is the sustained admission rate in requests per second; 0
+	// leaves the tenant unmetered.
+	Rate float64
+	// Burst is the token-bucket capacity in requests; 0 with a nonzero
+	// Rate defaults to the larger of 1 and one second's worth of Rate.
+	Burst int
+	// Weight is the tenant's fair-share weight within each service
+	// class: under contention a weight-4 tenant drains four queued
+	// requests for every one of a weight-1 tenant. <= 0 means 1.
+	Weight int
+	// CacheBytes bounds the tenant's resident bytes in the edge cache;
+	// 0 shares the global capacity unbounded. Edge servers only (the
+	// cloud has no IC cache); ignored on clouds.
+	CacheBytes int64
+}
+
+// WithTenantQuota installs (or replaces) tenant's limits: admission
+// rate, fair-share weight, cache share, and optionally a token its
+// clients must present. An empty tenant names the default tenant, which
+// is where tenantless and legacy clients land. Tenants never named by
+// any option run unlimited.
+func WithTenantQuota(tenant string, cfg TenantConfig) ServerOption {
+	return func(c *serverConfig) error {
+		if c.tenants == nil {
+			c.tenants = make(map[string]TenantConfig)
+		}
+		c.tenants[tenant] = cfg
+		return nil
+	}
+}
+
+// WithTenantWeight sets only tenant's fair-share weight, merging with
+// any limits already configured for it. Shorthand for the common case
+// of weighted sharing without admission caps.
+func WithTenantWeight(tenant string, weight int) ServerOption {
+	return func(c *serverConfig) error {
+		if c.tenants == nil {
+			c.tenants = make(map[string]TenantConfig)
+		}
+		cfg := c.tenants[tenant]
+		cfg.Weight = weight
+		c.tenants[tenant] = cfg
+		return nil
+	}
+}
+
+// ParseTenantQuota parses the daemons' -tenant-quota flag syntax,
+// "name:key=value[,key=value...]", into the tenant's name and config.
+// Keys: token (string), rate (requests/sec, float), burst (requests),
+// weight (fair-share weight), cache (resident cache bytes). A bare
+// "name" with no colon configures a tenant with no limits — useful to
+// require the name to exist without rationing it.
+//
+//	-tenant-quota "acme:token=s3cret,rate=100,burst=20,weight=4"
+//	-tenant-quota "guest:rate=5,cache=16777216"
+func ParseTenantQuota(spec string) (string, TenantConfig, error) {
+	name, args, hasArgs := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", TenantConfig{}, fmt.Errorf("coic: tenant quota %q: empty tenant name", spec)
+	}
+	var cfg TenantConfig
+	if !hasArgs {
+		return name, cfg, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", TenantConfig{}, fmt.Errorf("coic: tenant quota %q: %q is not key=value", spec, kv)
+		}
+		var err error
+		switch key {
+		case "token":
+			cfg.Token = val
+		case "rate":
+			cfg.Rate, err = strconv.ParseFloat(val, 64)
+		case "burst":
+			cfg.Burst, err = strconv.Atoi(val)
+		case "weight":
+			cfg.Weight, err = strconv.Atoi(val)
+		case "cache":
+			cfg.CacheBytes, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return "", TenantConfig{}, fmt.Errorf("coic: tenant quota %q: unknown key %q", spec, key)
+		}
+		if err != nil {
+			return "", TenantConfig{}, fmt.Errorf("coic: tenant quota %q: %s: %v", spec, key, err)
+		}
+	}
+	return name, cfg, nil
+}
+
 // WithSlowRequestThreshold sets the latency above which a successful
 // request is captured in the /debug/requests ring (failed requests are
 // always captured). The default is 1s; zero or negative keeps successes
@@ -205,6 +317,27 @@ func (s *Server) initObs() {
 	s.rlog = obs.NewRequestLog(128, slow, s.cfg.logger)
 }
 
+// tenantPolicy builds the admission policy from WithTenantQuota /
+// WithTenantWeight options, or nil — the open single-tenant policy —
+// when none were given, keeping untenanted servers on the exact
+// pre-tenant fast path.
+func (s *Server) tenantPolicy() *core.TenantPolicy {
+	if len(s.cfg.tenants) == 0 {
+		return nil
+	}
+	p := core.NewTenantPolicy(nil)
+	for t, cfg := range s.cfg.tenants {
+		p.Set(t, core.TenantLimit{
+			Token:      cfg.Token,
+			Rate:       cfg.Rate,
+			Burst:      cfg.Burst,
+			Weight:     cfg.Weight,
+			CacheBytes: cfg.CacheBytes,
+		})
+	}
+	return p
+}
+
 func (s *Server) apply(opts []ServerOption) {
 	for _, opt := range opts {
 		if err := opt(&s.cfg); err != nil && s.err == nil {
@@ -246,6 +379,34 @@ type ServerStats struct {
 	// Both are zero unless WithBatch enabled batching.
 	Batches         uint64
 	BatchedRequests uint64
+	// QuotaRejections is how many requests per-tenant admission quotas
+	// rejected, summed over tenants. Zero unless WithTenantQuota set a
+	// rate for some tenant.
+	QuotaRejections uint64
+	// Tenants breaks admissions and quota rejections down by tenant.
+	// Tenantless deployments see a single "default" entry.
+	Tenants map[string]TenantStats
+}
+
+// TenantStats is one tenant's slice of a server's admission ledger.
+type TenantStats struct {
+	AdmittedInteractive uint64
+	AdmittedBestEffort  uint64
+	QuotaRejections     uint64
+}
+
+// tenantStats converts the scheduler's per-tenant ledger to the public
+// shape.
+func tenantStats(counts map[string]core.TenantCounters) map[string]TenantStats {
+	out := make(map[string]TenantStats, len(counts))
+	for t, tc := range counts {
+		out[t] = TenantStats{
+			AdmittedInteractive: tc.Admitted[int(QoSInteractive)],
+			AdmittedBestEffort:  tc.Admitted[int(QoSBestEffort)],
+			QuotaRejections:     tc.QuotaRejections,
+		}
+	}
+	return out
 }
 
 // Stats snapshots the server's counters.
@@ -263,6 +424,8 @@ func (s *Server) Stats() ServerStats {
 			AdmittedBestEffort:  es.Admitted(QoSBestEffort),
 			Batches:             es.Batches(),
 			BatchedRequests:     es.BatchedRequests(),
+			QuotaRejections:     es.QuotaRejections(),
+			Tenants:             tenantStats(es.TenantCounts()),
 		}
 	case cs != nil:
 		return ServerStats{
@@ -272,6 +435,8 @@ func (s *Server) Stats() ServerStats {
 			AdmittedBestEffort:  cs.Admitted(QoSBestEffort),
 			Batches:             cs.Batches(),
 			BatchedRequests:     cs.BatchedRequests(),
+			QuotaRejections:     cs.QuotaRejections(),
+			Tenants:             tenantStats(cs.TenantCounts()),
 		}
 	default:
 		return ServerStats{}
@@ -307,6 +472,7 @@ func (s *Server) Serve(ctx context.Context) error {
 		s.mu.Unlock()
 	}()
 	sobs := core.NewServerObs(s.reg, s.rlog)
+	tenants := s.tenantPolicy()
 
 	if s.role == "cloud" {
 		srv := &core.CloudServer{
@@ -315,6 +481,7 @@ func (s *Server) Serve(ctx context.Context) error {
 			QueueDepth: s.cfg.queueDepth,
 			Batch:      s.cfg.batch,
 			BatchSlack: s.cfg.batchSlack,
+			Tenants:    tenants,
 			Obs:        sobs,
 		}
 		s.registerSchedBridges(srv.Admitted, srv.DeadlineSheds, srv.Overloads)
@@ -339,7 +506,11 @@ func (s *Server) Serve(ctx context.Context) error {
 		BatchSlack:   s.cfg.batchSlack,
 		FetchTimeout: s.cfg.fetchTimeout,
 		MaxUpstream:  s.cfg.maxUpstream,
+		Tenants:      tenants,
 		Obs:          sobs,
+	}
+	for t, capBytes := range tenants.CacheShares() {
+		srv.Edge.Cache.SetTenantCap(t, capBytes)
 	}
 	if len(s.cfg.peers) > 0 {
 		if err := srv.SetupFederation(s.cfg.self, s.cfg.peers); err != nil {
@@ -356,6 +527,16 @@ func (s *Server) Serve(ctx context.Context) error {
 	s.reg.GaugeFunc("coic_cache_bytes",
 		"Bytes resident in the edge IC cache.",
 		func() float64 { st, _ := srv.Edge.Cache.Stats(); return float64(st.BytesUsed) })
+	for t := range s.cfg.tenants {
+		name := t
+		if name == "" {
+			name = core.DefaultTenant
+		}
+		s.reg.GaugeFunc("coic_tenant_cache_bytes",
+			"Bytes resident in the edge IC cache attributed to the tenant.",
+			func() float64 { return float64(srv.Edge.Cache.StatsSnapshot().Tenants[name].Bytes) },
+			obs.L("tenant", name))
+	}
 	s.mu.Lock()
 	s.ln = ln
 	s.edge = srv

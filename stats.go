@@ -14,6 +14,11 @@ type (
 	InflightStats = cache.InflightStats
 	// FederationStats counts cooperative peer-lookup outcomes.
 	FederationStats = cache.FederationStats
+	// TenantCacheStats counts one tenant's cache traffic and resident
+	// footprint (lookups are tenant-blind — a hit on another tenant's
+	// entry still counts as this tenant's hit — while bytes are owned by
+	// whichever tenant inserted the entry).
+	TenantCacheStats = cache.TenantCacheStats
 )
 
 // StoreStats describes the edge cache's resident state and raw store
@@ -84,6 +89,11 @@ type SystemStats struct {
 	Coalesced uint64
 	// QoS counts per-class traffic and deadline misses (System.Do).
 	QoS QoSStats
+	// Tenants breaks cache traffic and resident bytes down by tenant,
+	// read in the same lock epoch as Store and Queries so the per-tenant
+	// ledger cannot skew against the totals. Tenantless traffic appears
+	// under "default".
+	Tenants map[string]TenantCacheStats
 }
 
 // Stats snapshots the system's edge-side counters. Store and query
@@ -110,6 +120,7 @@ func (s *System) Stats() SystemStats {
 		PrivacyBlocked: es.PrivacyBlocked,
 		Coalesced:      es.Coalesced,
 		QoS:            s.qos,
+		Tenants:        snap.Tenants,
 	}
 	if fed := s.edge.Federation(); fed != nil {
 		out.Federation = fed.Stats()
