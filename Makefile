@@ -48,7 +48,7 @@ cover:
 # as artifacts.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
-	$(GO) run ./cmd/coic-bench -experiment qos,batch -json > bench-qos.json
+	$(GO) run ./cmd/coic-bench -experiment qos,noisy,batch,scene -json > bench-qos.json
 	$(GO) run ./cmd/coic-bench -experiment burst -json > bench-burst.json
 	$(GO) run ./cmd/coic-benchdiff BENCH_stream.json bench-qos.json
 
@@ -73,8 +73,9 @@ smoke:
 	curl -fsS http://127.0.0.1:19191/healthz && \
 	curl -fsS http://127.0.0.1:19191/readyz && \
 	./bin/coic-client -edge 127.0.0.1:19091 -task pano -n 8 -request-id 0xC1C0FFEE >/dev/null && \
+	./bin/coic-client -edge 127.0.0.1:19091 -scene smoke -publish-rate 50 -n 4 >/dev/null && \
 	./bin/coic-promlint -url http://127.0.0.1:19191/metrics \
-		-require coic_requests_total,coic_connections_total,coic_stage_duration_seconds
+		-require coic_requests_total,coic_connections_total,coic_stage_duration_seconds,coic_scene_publish_total
 
 # api = the CI apidiff job: the public surface of the root package must
 # stay compatible with the committed baseline commit (skipped with a

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, noisy, finegrained, batch, pano, privacy, qoe")
+		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, noisy, finegrained, batch, pano, privacy, qoe, scene")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of {title, columns, rows, notes} objects")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
@@ -109,6 +109,9 @@ func main() {
 		}},
 		{"qoe", func() (*coic.Table, error) {
 			return coic.RunQoE(scaled(p), 12, p.Seed)
+		}},
+		{"scene", func() (*coic.Table, error) {
+			return coic.RunSharedScene(scaled(p), []int{2, 8, 32}, 24)
 		}},
 	}
 

@@ -16,6 +16,12 @@
 // either way the printed trace=... token is greppable in the edge and
 // cloud logs and /debug/requests rings.
 //
+// -scene switches the client to the collaborative surface: it joins the
+// named shared scene and prints every server-pushed update with the
+// publishing request's trace ID (the same trace=... token the tiers
+// log). With -publish-rate it also writes -n updates into the scene at
+// that rate; at 0 it listens until interrupted.
+//
 // SIGINT/SIGTERM cancels the run: in-flight requests are aborted with
 // MsgCancel frames (the edge stops working on them) and the client exits
 // after printing the statistics gathered so far.
@@ -25,6 +31,8 @@
 //	coic-client -edge localhost:9091 -task recognize -n 20
 //	coic-client -edge localhost:9091 -task pano -n 60 -window 8 -qos interactive -deadline 100ms
 //	coic-client -edge localhost:9091 -task render -model scene/1073kb -mode origin
+//	coic-client -edge localhost:9091 -scene lobby                       # listen
+//	coic-client -edge localhost:9091 -scene lobby -publish-rate 5 -n 20 # write too
 package main
 
 import (
@@ -55,6 +63,8 @@ func main() {
 	reqID := flag.String("request-id", "", "base trace ID (decimal or 0x-hex); request i is sent as base+i and shows up under that ID in every tier's logs. Empty: the stream mints random IDs, printed per completion")
 	tenant := flag.String("tenant", "", "tenant to authenticate as on the hello handshake (empty = the default tenant)")
 	tenantToken := flag.String("tenant-token", "", "shared secret for -tenant, when the edge requires one")
+	sceneName := flag.String("scene", "", "join this shared scene instead of streaming -task requests; pushed updates print their trace IDs")
+	publishRate := flag.Float64("publish-rate", 0, "updates per second to publish into -scene (-n bounds the count; 0 = listen until interrupted)")
 	flag.Parse()
 
 	var traceBase uint64
@@ -93,6 +103,11 @@ func main() {
 		log.Fatalf("coic-client: %v", err)
 	}
 	defer cli.Close()
+
+	if *sceneName != "" {
+		runScene(ctx, cli, *sceneName, *publishRate, *n)
+		return
+	}
 
 	stream, err := cli.Stream(ctx, coic.WithWindow(*window))
 	if err != nil {
@@ -227,3 +242,67 @@ func main() {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runScene drives the collaborative surface: join the scene, print every
+// pushed update (with its trace ID, like task completions), and — at a
+// nonzero rate — publish n timestamped updates of our own. Our writes
+// come back as pushes like everyone else's, so the printed stream is the
+// converged view every member sees.
+func runScene(ctx context.Context, cli *coic.Client, name string, rate float64, n int) {
+	sc, err := cli.JoinScene(ctx, name)
+	if err != nil {
+		log.Fatalf("coic-client: join scene %q: %v", name, err)
+	}
+	entries, version := sc.Snapshot()
+	fmt.Printf("joined scene %q: %d keys at version %d\n", name, len(entries), version)
+
+	events := make(chan struct{})
+	go func() {
+		defer close(events)
+		for ev := range sc.Events() {
+			fmt.Printf("push %-24s = %-16q seq=%-6d v=%-6d trace=%016x\n",
+				name+"/"+ev.Key, truncate(ev.Value, 16), ev.Seq, ev.Version, ev.TraceID)
+		}
+	}()
+
+	published := 0
+	if rate > 0 {
+		tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer tick.Stop()
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			val := []byte(time.Now().Format(time.RFC3339Nano))
+			if _, err := sc.Publish(ctx, fmt.Sprintf("k%d", i), val); err != nil {
+				if ctx.Err() != nil {
+					break
+				}
+				log.Fatalf("coic-client: publish: %v", err)
+			}
+			published++
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+			}
+		}
+		// Give our last write's push a beat to land before leaving.
+		select {
+		case <-time.After(200 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	} else {
+		<-ctx.Done() // listen-only: run until interrupted
+	}
+
+	leaveCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	sc.Leave(leaveCtx)
+	<-events
+	_, version = sc.Snapshot()
+	fmt.Printf("\nleft scene %q: %d published, mirror at version %d\n", name, published, version)
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "…"
+	}
+	return string(b)
+}

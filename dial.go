@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/core"
@@ -86,6 +87,11 @@ type Client struct {
 	Mode Mode
 
 	mux *core.MuxClient
+
+	// Open shared-scene memberships, keyed by scene name; lazily built on
+	// the first JoinScene, which also installs the push handler (scene.go).
+	sceneMu sync.Mutex
+	scenes  map[string]*Scene
 }
 
 // NewClient connects a mobile client to a running edge. ctx bounds the

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/edge-immersion/coic/internal/cache"
@@ -983,5 +986,109 @@ func runNoisyRow(p Params, t *Table, name string, load, tenants, quota bool, vic
 		stats.Tenants[noisyTenant].AdmittedBestEffort,
 		stats.Tenants[noisyTenant].QuotaRejections,
 		bgCompleted)
+	return nil
+}
+
+// RunSharedScene is the collaborative-session ablation: one edge hosts a
+// shared scene, M members join it over real TCP connections, and one of
+// them publishes a stream of updates. Each update is a unique key, so
+// every member's arrival can be correlated with the publish that caused
+// it; propagation is wall-clock time from the Publish call to the pushed
+// event landing on a member (the publisher's own loopback push
+// included). At quiesce the row verifies convergence — every member's
+// mirror holds the publisher's exact version vector — which is the
+// CRDT-lite guarantee the fan-out is supposed to deliver.
+//
+// memberCounts sizes the room per row (the paper's shared-immersion
+// scenario is a handful of co-located users; 32 stresses the fan-out);
+// updates is how many publishes each row measures.
+func RunSharedScene(p Params, memberCounts []int, updates int) (*Table, error) {
+	t := metrics.NewTable(
+		"A-scene — shared-scene update propagation vs room size",
+		"members", "updates", "deliveries", "p50_ms", "p99_ms", "converged")
+	for _, m := range memberCounts {
+		if err := runSceneRow(p, t, m, updates); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("propagation = Publish call to pushed event arrival, across all members (publisher included)")
+	t.AddNote("converged = every member's version vector equals the publisher's at quiesce")
+	return t, nil
+}
+
+func runSceneRow(p Params, t *Table, members, updates int) error {
+	h, err := newQoSHarness(p, WithWorkers(4))
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	// t0[i] is when update i was published, stamped (atomically — the
+	// member goroutines read it on arrival) before the publish ships.
+	t0 := make([]atomic.Int64, updates)
+
+	clients := []*Client{h.Client}
+	for i := 1; i < members; i++ {
+		cli, err := h.Dial()
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		clients = append(clients, cli)
+	}
+	scenes := make([]*Scene, len(clients))
+	for i, cli := range clients {
+		sc, err := cli.JoinScene(h.ctx, "bench", WithSceneWindow(updates+1))
+		if err != nil {
+			return fmt.Errorf("coic: scene row %d members: join: %w", members, err)
+		}
+		scenes[i] = sc
+	}
+
+	// Every member (the publisher too — its own update comes back as a
+	// push) records each update's propagation delay.
+	hist := &metrics.Histogram{}
+	var histMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sc := range scenes {
+		wg.Add(1)
+		go func(sc *Scene) {
+			defer wg.Done()
+			seen := 0
+			for ev := range sc.Events() {
+				var idx int
+				if _, err := fmt.Sscanf(ev.Key, "u%d", &idx); err != nil || idx >= updates {
+					continue
+				}
+				d := time.Duration(time.Now().UnixNano() - t0[idx].Load())
+				histMu.Lock()
+				hist.Record(d)
+				histMu.Unlock()
+				if seen++; seen == updates {
+					return
+				}
+			}
+		}(sc)
+	}
+
+	pub := scenes[0]
+	for i := 0; i < updates; i++ {
+		t0[i].Store(time.Now().UnixNano())
+		if _, err := pub.Publish(h.ctx, fmt.Sprintf("u%d", i), []byte{byte(i)}); err != nil {
+			return fmt.Errorf("coic: scene row %d members: publish: %w", members, err)
+		}
+		time.Sleep(2 * time.Millisecond) // display-rate pacing
+	}
+	wg.Wait() // every member saw every update
+
+	want := pub.VersionVector()
+	converged := true
+	for _, sc := range scenes {
+		if !maps.Equal(sc.VersionVector(), want) {
+			converged = false
+		}
+	}
+	t.AddRow(members, updates, hist.Count(),
+		msCol(hist.Median()), msCol(hist.P99()), converged)
 	return nil
 }

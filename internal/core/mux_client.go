@@ -31,6 +31,24 @@ type MuxClient struct {
 	pending map[uint64]chan wire.Message
 	seq     uint64
 	closed  bool
+
+	// onPush, when set, receives server-initiated frames (scene events)
+	// before the pending-reply lookup. It runs on the read loop and must
+	// not block; handlers hand the frame to their own pump. onClose runs
+	// once when the read loop exits, after pending waiters are failed.
+	onPush  func(wire.Message)
+	onClose func()
+}
+
+// SetPushHandler installs the handler for server-initiated frames
+// (MsgSceneEvent) and an optional connection-loss callback. Install
+// before the first push can arrive — in practice, before any scene
+// join is sent. The handler runs on the read loop: it must not block.
+func (m *MuxClient) SetPushHandler(onPush func(wire.Message), onClose func()) {
+	m.mu.Lock()
+	m.onPush = onPush
+	m.onClose = onClose
+	m.mu.Unlock()
 }
 
 // ErrConnClosed reports a request whose connection died before its reply
@@ -123,9 +141,25 @@ func (m *MuxClient) readLoop() {
 				delete(m.pending, id)
 				close(ch)
 			}
+			onClose := m.onClose
 			m.mu.Unlock()
 			m.conn.Close()
+			if onClose != nil {
+				onClose()
+			}
 			return
+		}
+		// Server-initiated frames (scene pushes ride RequestID 0, which
+		// Start never assigns) are demuxed by type before the pending
+		// lookup — they answer no request.
+		if reply.Type == wire.MsgSceneEvent {
+			m.mu.Lock()
+			onPush := m.onPush
+			m.mu.Unlock()
+			if onPush != nil {
+				onPush(reply)
+			}
+			continue
 		}
 		m.mu.Lock()
 		ch := m.pending[reply.RequestID]

@@ -18,6 +18,7 @@ const (
 	StageCloudFetch  = "cloud_fetch"  // upstream round trip (incl. coalesced wait)
 	StageReplyWrite  = "reply_write"  // frame write back to the client
 	StageBatchWait   = "batch_wait"   // slack a batch head spent waiting for fill
+	StageSceneFanout = "scene_fanout" // scene publish to push frame on a member's socket
 )
 
 // batchSizeBuckets bound the coic_batch_size histogram: executed batch
@@ -51,6 +52,7 @@ type ServerObs struct {
 	replyWrite  *obs.Histogram
 	batchWait   *obs.Histogram
 	batchSize   *obs.Histogram
+	sceneFanout *obs.Histogram
 
 	// Per-tenant counter sets, registered lazily on a tenant's first
 	// request (tenants arrive at runtime via the hello handshake, so the
@@ -91,6 +93,7 @@ func NewServerObs(reg *obs.Registry, rlog *obs.RequestLog) *ServerObs {
 	o.cloudFetch = stage(StageCloudFetch)
 	o.replyWrite = stage(StageReplyWrite)
 	o.batchWait = stage(StageBatchWait)
+	o.sceneFanout = stage(StageSceneFanout)
 	o.batchSize = reg.Histogram("coic_batch_size",
 		"Executed batch sizes, in requests per batch.", batchSizeBuckets)
 	o.reg = reg
@@ -211,6 +214,15 @@ func (o *ServerObs) observeReplyWrite(d time.Duration) {
 func (o *ServerObs) observeBatchWait(d time.Duration) {
 	if o != nil {
 		o.batchWait.Observe(d)
+	}
+}
+
+// observeSceneFanout records one pushed scene event's fan-out delay: the
+// time from the publisher's worker handing the event to a member's
+// outbox until the frame is on that member's socket.
+func (o *ServerObs) observeSceneFanout(d time.Duration) {
+	if o != nil {
+		o.sceneFanout.Observe(d)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/edge-immersion/coic/internal/cache"
 	"github.com/edge-immersion/coic/internal/feature"
 	"github.com/edge-immersion/coic/internal/pano"
+	"github.com/edge-immersion/coic/internal/scene"
 	"github.com/edge-immersion/coic/internal/vision"
 	"github.com/edge-immersion/coic/internal/wire"
 )
@@ -157,7 +158,15 @@ func isCanceled(err error) bool {
 // client disconnect, by contrast, cancels every in-flight request on the
 // connection: nobody is left to read the replies, so the work (and any
 // coalesced fetch it alone keeps alive) is abandoned.
-func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenants *TenantPolicy, dispatch func(ctx context.Context, msg wire.Message, mode Mode, tenant string) wire.Message, batch *batchPlan, hooks pipelineHooks, obsv *ServerObs) {
+//
+// scenes, when non-nil, lets this connection host shared-scene traffic:
+// join/publish/leave frames dispatch against the registry, pushed
+// MsgSceneEvent frames from any member's publish ride this connection's
+// writer, and the connection's memberships are torn down when the
+// reader exits (disconnect, shutdown, or a poisoned preamble alike).
+// Servers that host no scenes (the cloud) pass nil and scene frames
+// fall through to their dispatcher's default rejection.
+func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenants *TenantPolicy, dispatch func(ctx context.Context, msg wire.Message, mode Mode, tenant string) wire.Message, batch *batchPlan, hooks pipelineHooks, obsv *ServerObs, scenes *scene.Registry) {
 	defer conn.Close()
 	obsv.connOpened()
 	defer obsv.connClosed()
@@ -201,36 +210,96 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenant
 	// the reorder buffer, so a completed interactive reply is never
 	// head-of-line blocked behind a queued best-effort one.
 	var unordered atomic.Bool
+
+	// connID and outbox are the connection's scene identity: the registry
+	// addresses pushes to the outbox, and the writer below drains it.
+	connID := nextConnID.Add(1)
+	outbox := newPushOutbox()
+
+	// Writer ordering contract. Exactly ONE goroutine — this one — ever
+	// writes to conn or touches the ReplyBuffer (which panics on misuse;
+	// see wire/sequence.go). It now serves two producers:
+	//
+	//   1. In-order replies: the reader acquires a slot per request, and
+	//      emit releases one per reply written. Ordered connections flow
+	//      through the ReplyBuffer; unordered ones emit on completion.
+	//   2. Scene pushes: server-minted frames enqueued on the outbox by
+	//      any room member's publish. They consume NO slot (there is no
+	//      request behind them) and never enter the ReplyBuffer (they
+	//      have no seq). They are only ever sent on unordered
+	//      connections — dispatchScene refuses joins without the flag —
+	//      so interleaving them between reply frames cannot desynchronize
+	//      a positional client.
+	//
+	// Because both producers funnel through this single goroutine, frames
+	// stay whole on the wire: a push can land between two replies, never
+	// inside one.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		buf := wire.NewReplyBuffer(1)
 		dead := false
-		emit := func(m wire.Message) {
-			<-slots
+		write := func(m wire.Message) bool {
 			if dead {
-				return
+				return false
 			}
-			start := time.Now()
 			if err := wire.WriteMessage(conn, m); err != nil {
 				// Keep draining so workers never block behind a dead
 				// connection; closing it also unsticks the reader.
 				dead = true
 				conn.Close()
-				return
+				return false
 			}
-			obsv.observeReplyWrite(time.Since(start))
+			return true
 		}
-		for r := range replies {
-			if unordered.Load() {
-				emit(r.Msg)
-				continue
+		emit := func(m wire.Message) {
+			<-slots
+			start := time.Now()
+			if write(m) {
+				obsv.observeReplyWrite(time.Since(start))
 			}
-			for _, m := range buf.Add(r.Seq, r.Msg) {
-				emit(m)
+		}
+		emitPushes := func() {
+			for _, p := range outbox.drain() {
+				if write(p.msg) {
+					obsv.observeSceneFanout(time.Since(p.enq))
+				}
+			}
+		}
+		for {
+			select {
+			case r, ok := <-replies:
+				if !ok {
+					return
+				}
+				if unordered.Load() {
+					emit(r.Msg)
+					continue
+				}
+				for _, m := range buf.Add(r.Seq, r.Msg) {
+					emit(m)
+				}
+			case <-outbox.wake:
+				emitPushes()
 			}
 		}
 	}()
+
+	// Scene frames dispatch locally against the registry, with this
+	// connection's identity and outbox; everything else flows to the
+	// server's dispatcher. A server without a registry rejects them here
+	// rather than learning about scenes.
+	baseDispatch := dispatch
+	dispatch = func(jctx context.Context, msg wire.Message, mode Mode, tnt string) wire.Message {
+		switch msg.Type {
+		case wire.MsgSceneJoin, wire.MsgScenePublish, wire.MsgSceneLeave:
+			if scenes == nil {
+				return errorReply(msg.RequestID, wire.CodeBadRequest, "this server hosts no scenes")
+			}
+			return dispatchScene(scenes, tenants, obsv, connID, outbox, &unordered, msg, tnt)
+		}
+		return baseDispatch(jctx, msg, mode, tnt)
+	}
 
 	// finishJob releases a job's cancel registration, accounts it and
 	// hands its reply to the writer — every job exits through here
@@ -493,6 +562,13 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenant
 		// coalesced fetches it alone keeps alive can abort.
 		connCancel()
 	}
+	// Membership dies with the connection: close the outbox so room
+	// publishers stop targeting it, then leave every joined scene (the
+	// last member out garbage-collects the room).
+	outbox.close()
+	if scenes != nil {
+		scenes.Disconnect(connID)
+	}
 	sched.close()
 	wg.Wait()
 	close(replies)
@@ -672,7 +748,7 @@ func (s *CloudServer) ServeContext(ctx context.Context, ln net.Listener) error {
 func (s *CloudServer) handle(ctx context.Context, conn net.Conn) {
 	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.Tenants, func(jctx context.Context, msg wire.Message, _ Mode, _ string) wire.Message {
 		return s.dispatch(jctx, msg)
-	}, s.batchPlan(), s.sched.hooks(), s.Obs)
+	}, s.batchPlan(), s.sched.hooks(), s.Obs, nil)
 }
 
 // Batches reports how many multi-request batches this server executed;
@@ -785,9 +861,10 @@ type EdgeServer struct {
 	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
 	Obs *ServerObs
 
-	mu    sync.Mutex
-	cloud *cloudMux
-	peers map[string]*peerConn
+	mu     sync.Mutex
+	cloud  *cloudMux
+	peers  map[string]*peerConn
+	scenes *scene.Registry
 
 	cloudFetches atomic.Uint64
 	sched        schedCounters
@@ -1272,7 +1349,31 @@ func (s *EdgeServer) roundTripCloud(ctx context.Context, tenant string, msg wire
 }
 
 func (s *EdgeServer) handle(ctx context.Context, conn net.Conn) {
-	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.Tenants, s.dispatch, s.batchPlan(), s.sched.hooks(), s.Obs)
+	connPipeline(ctx, conn, s.Workers, s.QueueDepth, s.Tenants, s.dispatch, s.batchPlan(), s.sched.hooks(), s.Obs, s.sceneRegistry())
+}
+
+// sceneRegistry lazily builds the edge's shared-scene room registry —
+// every client connection shares one, which is what makes rooms span
+// connections.
+func (s *EdgeServer) sceneRegistry() *scene.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scenes == nil {
+		s.scenes = scene.NewRegistry()
+	}
+	return s.scenes
+}
+
+// SceneStats reports the edge's live scene rooms and members plus the
+// publish total, for the stats surface and the metrics bridges.
+func (s *EdgeServer) SceneStats() (rooms, members int, publishes uint64) {
+	s.mu.Lock()
+	reg := s.scenes
+	s.mu.Unlock()
+	if reg == nil {
+		return 0, 0, 0
+	}
+	return reg.Stats()
 }
 
 // Batches reports how many multi-request batches this server executed;

@@ -38,6 +38,12 @@ type TenantLimit struct {
 	// CacheBytes bounds the tenant's resident bytes in the edge cache;
 	// 0 means unbounded (shares the global capacity like before).
 	CacheBytes int64
+	// SceneMembers caps how many scene members (joined connections,
+	// summed across the tenant's rooms) the tenant may hold at once; 0
+	// means unlimited. Publish rates need no extra knob — every
+	// MsgScenePublish spends a token from the same bucket as any other
+	// request.
+	SceneMembers int
 }
 
 // TenantPolicy authenticates tenants and meters their admission. All
@@ -169,6 +175,20 @@ func (p *TenantPolicy) SlotCap(tenant string, slots int) int {
 	}
 	cap := (slots*w + total - 1) / total
 	return min(max(cap, 1), slots)
+}
+
+// SceneMemberCap reports the tenant's cap on concurrently joined scene
+// members across all of its rooms (0 = unlimited).
+func (p *TenantPolicy) SceneMemberCap(tenant string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lim, ok := p.limits[tenant]; ok {
+		return lim.SceneMembers
+	}
+	return 0
 }
 
 // CacheShares returns the configured per-tenant cache byte bounds

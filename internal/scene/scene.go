@@ -1,0 +1,288 @@
+// Package scene implements edge-hosted shared-scene rooms: named,
+// tenant-scoped sessions whose members mirror one versioned per-key
+// document. The document is CRDT-lite — per-key last-writer-wins ordered
+// by a monotonic sequence number the room assigns at publish time — so
+// applying the same event twice, or applying events out of order, always
+// converges every mirror to the same state. The package is transport-free
+// (internal/core adapts it to the wire protocol): members are push
+// callbacks, and all methods are safe for concurrent use.
+package scene
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrMemberQuota is wrapped by Join when the tenant's scene-member cap
+// is exhausted, so the transport layer can answer with the quota error
+// code rather than a generic rejection.
+var ErrMemberQuota = errors.New("scene member quota exhausted")
+
+// Entry is one key of a scene document: the value, and the sequence
+// number of the write that set it.
+type Entry struct {
+	Key   string
+	Value []byte
+	Seq   uint64
+}
+
+// Event is one applied write, fanned out to every member of the room
+// (including the publisher). Version is the document version after the
+// write; Trace is the publishing request's trace ID, carried through so
+// a push can be correlated with the publish that caused it.
+type Event struct {
+	Scene   string
+	Key     string
+	Value   []byte
+	Seq     uint64
+	Version uint64
+	Trace   uint64
+}
+
+// Doc is the LWW-per-key scene document. The zero value is empty and
+// ready to use. Publish is the authoritative path (the edge's copy);
+// Apply is the mirror path (a member replaying pushed events or a
+// snapshot, in any order, any number of times).
+type Doc struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+	version uint64
+}
+
+// Publish assigns the next sequence number to a write, applies it, and
+// returns the resulting event fields. Only the room's authoritative copy
+// publishes; mirrors use Apply.
+func (d *Doc) Publish(key string, value []byte) (seq, version uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.version++
+	if d.entries == nil {
+		d.entries = make(map[string]Entry)
+	}
+	d.entries[key] = Entry{Key: key, Value: value, Seq: d.version}
+	return d.version, d.version
+}
+
+// Apply merges one write into a mirror if it is newer than what the
+// mirror holds for that key, reporting whether the document changed.
+// Replays (same seq) and reorders (older seq) are no-ops, which is what
+// makes pushed events safe to deliver at-least-once and in any order.
+func (d *Doc) Apply(key string, value []byte, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.entries[key]; ok && cur.Seq >= seq {
+		return false
+	}
+	if d.entries == nil {
+		d.entries = make(map[string]Entry)
+	}
+	d.entries[key] = Entry{Key: key, Value: value, Seq: seq}
+	if seq > d.version {
+		d.version = seq
+	}
+	return true
+}
+
+// Snapshot returns every entry (sorted by key, values copied) and the
+// document version, atomically.
+func (d *Doc) Snapshot() ([]Entry, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		e.Value = append([]byte(nil), e.Value...)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, d.version
+}
+
+// Version reports the highest sequence number the document has seen.
+func (d *Doc) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
+// VersionVector returns the per-key sequence map. Two mirrors hold the
+// same document exactly when their version vectors are equal — the
+// convergence check the tests and the bench harness run at quiesce.
+func (d *Doc) VersionVector() map[string]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	vv := make(map[string]uint64, len(d.entries))
+	for k, e := range d.entries {
+		vv[k] = e.Seq
+	}
+	return vv
+}
+
+// Pusher delivers one event toward a member. It must not block: the
+// registry calls it from the publisher's goroutine while holding room
+// state. Returning false means the member is gone (its connection writer
+// closed) and delivery was dropped.
+type Pusher func(Event) bool
+
+// member is one joined connection.
+type member struct {
+	id   uint64
+	push Pusher
+}
+
+// room is one live scene: its authoritative document plus members.
+type room struct {
+	key     string // tenant-scoped registry key
+	name    string // wire-visible scene name
+	tenant  string
+	doc     Doc
+	members map[uint64]*member
+}
+
+// Registry owns every live room on an edge, keyed by (tenant, scene
+// name) so one tenant's "lobby" never collides with another's. Rooms are
+// created on first join and garbage-collected when the last member
+// leaves; an idle registry holds nothing.
+type Registry struct {
+	mu        sync.Mutex
+	rooms     map[string]*room
+	byConn    map[uint64]map[string]*room // connID -> rooms joined
+	members   int
+	publishes uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		rooms:  make(map[string]*room),
+		byConn: make(map[uint64]map[string]*room),
+	}
+}
+
+func roomKey(tenant, name string) string { return tenant + "\x00" + name }
+
+// Join adds a connection to a scene, creating the room on first join,
+// and returns the document snapshot the member seeds its mirror from.
+// The snapshot and the membership are taken under one lock, so every
+// write not in the snapshot reaches the member as an event. maxMembers,
+// when positive, caps the tenant's total joined members across all of
+// its rooms (the tenancy quota); 0 means unlimited. Joining a scene the
+// connection is already in just re-snapshots (idempotent).
+func (r *Registry) Join(tenant, name string, connID uint64, maxMembers int, push Pusher) ([]Entry, uint64, error) {
+	if name == "" {
+		return nil, 0, fmt.Errorf("empty scene name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := roomKey(tenant, name)
+	rm := r.rooms[key]
+	if rm == nil {
+		rm = &room{key: key, name: name, tenant: tenant, members: make(map[uint64]*member)}
+	}
+	if _, already := rm.members[connID]; !already {
+		if maxMembers > 0 && r.tenantMembersLocked(tenant) >= maxMembers {
+			return nil, 0, fmt.Errorf("tenant %q: %w (%d members)", tenant, ErrMemberQuota, maxMembers)
+		}
+		rm.members[connID] = &member{id: connID, push: push}
+		r.rooms[key] = rm
+		joined := r.byConn[connID]
+		if joined == nil {
+			joined = make(map[string]*room)
+			r.byConn[connID] = joined
+		}
+		joined[key] = rm
+		r.members++
+	}
+	entries, version := rm.doc.Snapshot()
+	return entries, version, nil
+}
+
+// Leave removes a connection from one scene, garbage-collecting the room
+// when it was the last member. Leaving a scene the connection is not in
+// is a no-op (idempotent, like the rest of the event plane).
+func (r *Registry) Leave(tenant, name string, connID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leaveLocked(roomKey(tenant, name), connID)
+}
+
+// Disconnect removes a connection from every scene it joined — the
+// membership half of connection teardown.
+func (r *Registry) Disconnect(connID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key := range r.byConn[connID] {
+		r.leaveLocked(key, connID)
+	}
+}
+
+func (r *Registry) leaveLocked(key string, connID uint64) {
+	rm := r.rooms[key]
+	if rm == nil {
+		return
+	}
+	if _, ok := rm.members[connID]; !ok {
+		return
+	}
+	delete(rm.members, connID)
+	r.members--
+	if joined := r.byConn[connID]; joined != nil {
+		delete(joined, key)
+		if len(joined) == 0 {
+			delete(r.byConn, connID)
+		}
+	}
+	if len(rm.members) == 0 {
+		delete(r.rooms, key) // scene GC: last member out turns the lights off
+	}
+}
+
+// Publish applies one write to a scene's authoritative document and fans
+// the resulting event out to every member, returning the assigned
+// sequence number and document version. The publisher must have joined
+// the scene (membership is what scopes writes to the tenant's room).
+// fanout reports how many members the event was handed to.
+func (r *Registry) Publish(tenant, name string, connID uint64, pubKey string, value []byte, trace uint64) (seq, version uint64, fanout int, err error) {
+	r.mu.Lock()
+	rm := r.rooms[roomKey(tenant, name)]
+	if rm == nil || rm.members[connID] == nil {
+		r.mu.Unlock()
+		return 0, 0, 0, fmt.Errorf("scene %q: not a member", name)
+	}
+	seq, version = rm.doc.Publish(pubKey, value)
+	ev := Event{Scene: name, Key: pubKey, Value: value, Seq: seq, Version: version, Trace: trace}
+	targets := make([]*member, 0, len(rm.members))
+	for _, m := range rm.members {
+		targets = append(targets, m)
+	}
+	r.publishes++
+	r.mu.Unlock()
+	// Pushers are non-blocking enqueues; calling them outside the lock
+	// keeps a slow member from serializing the whole room. LWW sequence
+	// numbers make the resulting cross-member interleavings safe.
+	for _, m := range targets {
+		if m.push(ev) {
+			fanout++
+		}
+	}
+	return seq, version, fanout, nil
+}
+
+func (r *Registry) tenantMembersLocked(tenant string) int {
+	n := 0
+	for _, rm := range r.rooms {
+		if rm.tenant == tenant {
+			n += len(rm.members)
+		}
+	}
+	return n
+}
+
+// Stats reports live room and member counts plus the publish total, for
+// metrics bridges and tests.
+func (r *Registry) Stats() (rooms, members int, publishes uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rooms), r.members, r.publishes
+}

@@ -1,0 +1,226 @@
+package scene
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDocLWWReplayAndReorderSafe(t *testing.T) {
+	var authority Doc
+	type write struct {
+		key   string
+		value []byte
+		seq   uint64
+	}
+	var writes []write
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i%5)
+		val := []byte{byte(i)}
+		seq, version := authority.Publish(key, val)
+		if seq != version {
+			t.Fatalf("publish %d: seq %d != version %d", i, seq, version)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("publish %d: seq %d not monotonic", i, seq)
+		}
+		writes = append(writes, write{key, val, seq})
+	}
+
+	// A mirror replaying the log in a deterministic shuffled order, with
+	// every write applied twice, must converge to the authority.
+	var mirror Doc
+	rng := rand.New(rand.NewSource(7))
+	shuffled := append([]write(nil), writes...)
+	shuffled = append(shuffled, writes...) // at-least-once delivery
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, w := range shuffled {
+		mirror.Apply(w.key, w.value, w.seq)
+	}
+	if !reflect.DeepEqual(mirror.VersionVector(), authority.VersionVector()) {
+		t.Fatalf("version vectors diverge:\nmirror    %v\nauthority %v",
+			mirror.VersionVector(), authority.VersionVector())
+	}
+	me, mv := mirror.Snapshot()
+	ae, av := authority.Snapshot()
+	if mv != av || len(me) != len(ae) {
+		t.Fatalf("snapshots diverge: version %d vs %d, %d vs %d entries", mv, av, len(me), len(ae))
+	}
+	for i := range ae {
+		if me[i].Key != ae[i].Key || !bytes.Equal(me[i].Value, ae[i].Value) || me[i].Seq != ae[i].Seq {
+			t.Fatalf("entry %d diverges: %+v vs %+v", i, me[i], ae[i])
+		}
+	}
+
+	// A stale write must not regress a newer one.
+	if mirror.Apply(writes[len(writes)-1].key, []byte("old"), 1) {
+		t.Fatal("stale seq applied over a newer write")
+	}
+}
+
+func TestRegistryJoinSnapshotAndFanout(t *testing.T) {
+	r := NewRegistry()
+	var got []Event
+	push := func(ev Event) bool { got = append(got, ev); return true }
+
+	entries, version, err := r.Join("default", "lobby", 1, 0, push)
+	if err != nil || len(entries) != 0 || version != 0 {
+		t.Fatalf("join: %v %d %v", entries, version, err)
+	}
+	seq, ver, fanout, err := r.Publish("default", "lobby", 1, "pose", []byte{1}, 0x42)
+	if err != nil || seq != 1 || ver != 1 || fanout != 1 {
+		t.Fatalf("publish: seq=%d ver=%d fanout=%d err=%v", seq, ver, fanout, err)
+	}
+	if len(got) != 1 || got[0].Key != "pose" || got[0].Trace != 0x42 {
+		t.Fatalf("event: %+v", got)
+	}
+
+	// A second member's join snapshot carries the first write.
+	entries, version, err = r.Join("default", "lobby", 2, 0, func(Event) bool { return true })
+	if err != nil || version != 1 || len(entries) != 1 || entries[0].Key != "pose" {
+		t.Fatalf("late join snapshot: %v %d %v", entries, version, err)
+	}
+	if _, _, fanout, _ := r.Publish("default", "lobby", 2, "pose", []byte{2}, 0); fanout != 2 {
+		t.Fatal("fanout should reach both members")
+	}
+}
+
+func TestRegistryMembershipRules(t *testing.T) {
+	r := NewRegistry()
+	push := func(Event) bool { return true }
+
+	// Publishing without membership is rejected.
+	if _, _, _, err := r.Publish("default", "lobby", 9, "k", nil, 0); err == nil {
+		t.Fatal("non-member publish accepted")
+	}
+	// Empty scene names are rejected.
+	if _, _, err := r.Join("default", "", 1, 0, push); err == nil {
+		t.Fatal("empty scene name accepted")
+	}
+
+	// Scenes are tenant-scoped: same name, different tenants, different docs.
+	if _, _, err := r.Join("acme", "lobby", 1, 0, push); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Join("initech", "lobby", 2, 0, push); err != nil {
+		t.Fatal(err)
+	}
+	r.Publish("acme", "lobby", 1, "k", []byte("acme"), 0)
+	entries, _, _ := r.Join("initech", "lobby", 3, 0, push)
+	if len(entries) != 0 {
+		t.Fatal("tenant scoping leaked a document across tenants")
+	}
+
+	// The member quota counts across one tenant's rooms only.
+	if _, _, err := r.Join("acme", "other", 4, 2, push); err != nil {
+		t.Fatalf("second member within cap rejected: %v", err)
+	}
+	if _, _, err := r.Join("acme", "third", 5, 2, push); err == nil {
+		t.Fatal("member over tenant cap accepted")
+	}
+	// Rejoining an existing membership is idempotent, never double-counted.
+	if _, _, err := r.Join("acme", "lobby", 1, 2, push); err != nil {
+		t.Fatalf("idempotent rejoin rejected: %v", err)
+	}
+}
+
+func TestRegistrySceneGC(t *testing.T) {
+	r := NewRegistry()
+	push := func(Event) bool { return true }
+	r.Join("default", "a", 1, 0, push)
+	r.Join("default", "a", 2, 0, push)
+	r.Join("default", "b", 2, 0, push)
+
+	if rooms, members, _ := r.Stats(); rooms != 2 || members != 3 {
+		t.Fatalf("stats: %d rooms %d members", rooms, members)
+	}
+	r.Leave("default", "a", 1)
+	r.Leave("default", "a", 1) // idempotent
+	if rooms, members, _ := r.Stats(); rooms != 2 || members != 2 {
+		t.Fatalf("after leave: %d rooms %d members", rooms, members)
+	}
+	// Disconnect sweeps every membership; last member out GCs the rooms.
+	r.Disconnect(2)
+	if rooms, members, _ := r.Stats(); rooms != 0 || members != 0 {
+		t.Fatalf("after disconnect: %d rooms %d members — rooms leaked", rooms, members)
+	}
+	// The document is gone with the room: a rejoin starts fresh.
+	r.Join("default", "a", 3, 0, push)
+	r.Publish("default", "a", 3, "k", []byte{1}, 0)
+	r.Disconnect(3)
+	entries, version, _ := r.Join("default", "a", 4, 0, push)
+	if len(entries) != 0 || version != 0 {
+		t.Fatal("GC'd room kept its document")
+	}
+}
+
+// TestConvergence32Members is the deterministic convergence check: a
+// 32-member room absorbing interleaved publishes from several writers,
+// with each member's mirror fed the fan-out events in a per-member
+// deterministic shuffled order (modelling cross-connection reordering).
+// At quiesce every surviving member must hold the authority's version
+// vector, even after a third of the members left mid-stream.
+func TestConvergence32Members(t *testing.T) {
+	const members = 32
+	r := NewRegistry()
+	mirrors := make([]*Doc, members)
+	queues := make([][]Event, members)
+	for i := 0; i < members; i++ {
+		mirrors[i] = &Doc{}
+		i := i
+		_, _, err := r.Join("default", "room", uint64(i+1), 0, func(ev Event) bool {
+			queues[i] = append(queues[i], ev)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1234))
+	leavers := map[int]bool{}
+	for i := 0; i < members/3; i++ {
+		leavers[rng.Intn(members)] = true
+	}
+	for step := 0; step < 400; step++ {
+		writer := rng.Intn(members)
+		if leavers[writer] && step > 200 {
+			continue // departed members stop writing
+		}
+		key := fmt.Sprintf("pose/%d", rng.Intn(40))
+		if _, _, _, err := r.Publish("default", "room", uint64(writer+1), key, []byte{byte(step)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if step == 200 {
+			for id := range leavers {
+				r.Leave("default", "room", uint64(id+1))
+			}
+		}
+	}
+
+	authorityEntries, _, err := r.Join("default", "room", 999, 0, func(Event) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	authority := map[string]uint64{}
+	for _, e := range authorityEntries {
+		authority[e.Key] = e.Seq
+	}
+
+	for i := 0; i < members; i++ {
+		if leavers[i] {
+			continue // only surviving members must converge
+		}
+		q := queues[i]
+		rng := rand.New(rand.NewSource(int64(i))) // per-member reorder
+		rng.Shuffle(len(q), func(a, b int) { q[a], q[b] = q[b], q[a] })
+		for _, ev := range q {
+			mirrors[i].Apply(ev.Key, ev.Value, ev.Seq)
+		}
+		if vv := mirrors[i].VersionVector(); !reflect.DeepEqual(vv, authority) {
+			t.Fatalf("member %d diverged: %d keys vs %d", i, len(vv), len(authority))
+		}
+	}
+}

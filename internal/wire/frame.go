@@ -52,6 +52,18 @@ const (
 	// edge->cloud aborts a forwarded fetch whose last coalesced waiter
 	// departed.
 	MsgCancel MsgType = 14
+
+	// Shared scenes (client<->edge). A scene is an edge-hosted room whose
+	// members mirror one versioned per-key document; MsgSceneEvent is the
+	// protocol's only server-initiated frame, pushed by the edge to every
+	// member when any member publishes. Pushes are delivered only on
+	// connections that negotiated HelloFlagUnordered — positional clients
+	// (and every version-0 hello) count replies by arrival order and never
+	// receive them.
+	MsgSceneJoin    MsgType = 15 // client->edge: join a named scene (reply: snapshot)
+	MsgScenePublish MsgType = 16 // client->edge: LWW write into the scene document (reply: ack)
+	MsgSceneEvent   MsgType = 17 // edge->client: server-push scene delta fan-out
+	MsgSceneLeave   MsgType = 18 // client->edge: leave the scene (reply: echo)
 )
 
 // HelloFlagUnordered, carried in Hello.Flags (the second body byte of a
@@ -73,7 +85,8 @@ func AllMsgTypes() []MsgType {
 		MsgProbe, MsgProbeReply, MsgExec, MsgExecReply,
 		MsgModelFetch, MsgModelReply, MsgPanoFetch, MsgPanoReply,
 		MsgError, MsgHello, MsgPeerLookup, MsgPeerReply, MsgPeerInsert,
-		MsgCancel,
+		MsgCancel, MsgSceneJoin, MsgScenePublish, MsgSceneEvent,
+		MsgSceneLeave,
 	}
 }
 
@@ -108,6 +121,14 @@ func (t MsgType) String() string {
 		return "peer-insert"
 	case MsgCancel:
 		return "cancel"
+	case MsgSceneJoin:
+		return "scene-join"
+	case MsgScenePublish:
+		return "scene-publish"
+	case MsgSceneEvent:
+		return "scene-event"
+	case MsgSceneLeave:
+		return "scene-leave"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}

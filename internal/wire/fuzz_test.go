@@ -12,10 +12,30 @@ import (
 // that decodes re-encodes to exactly the bytes the reader consumed (the
 // frame format has one canonical encoding).
 func FuzzReadMessage(f *testing.F) {
+	joinBody, err := (SceneJoin{Scene: "gallery", QoS: QoSInteractive, TraceID: 0xAB}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	publishBody, err := (ScenePublish{Scene: "gallery", Key: "pose/a", Value: []byte{1, 2}, TraceID: 0xCD}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	eventBody, err := (SceneEvent{Scene: "gallery", Key: "pose/a", Value: []byte{1, 2}, Seq: 3, Version: 3, TraceID: 0xCD}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	leaveBody, err := (SceneLeave{Scene: "gallery"}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
 	for _, m := range []Message{
 		{Type: MsgHello, RequestID: 1, Body: []byte{0}},
 		{Type: MsgExec, RequestID: 42, Body: []byte("payload")},
 		{Type: MsgError, RequestID: 7, Body: nil},
+		{Type: MsgSceneJoin, RequestID: 2, Body: joinBody},
+		{Type: MsgScenePublish, RequestID: 3, Body: publishBody},
+		{Type: MsgSceneEvent, RequestID: 0, Body: eventBody},
+		{Type: MsgSceneLeave, RequestID: 4, Body: leaveBody},
 	} {
 		enc, err := m.Encode()
 		if err != nil {

@@ -139,6 +139,28 @@ func trailerBase(t MsgType, body []byte) int {
 			return -1
 		}
 		return 6 + int(binary.LittleEndian.Uint16(body[4:]))
+	case MsgSceneJoin, MsgSceneLeave:
+		if len(body) < 2 {
+			return -1
+		}
+		return 2 + int(binary.LittleEndian.Uint16(body[0:]))
+	case MsgScenePublish, MsgSceneEvent:
+		if len(body) < 8 {
+			return -1
+		}
+		so := 2 + int(binary.LittleEndian.Uint16(body[0:]))
+		if so+2 > len(body) {
+			return -1
+		}
+		ko := so + 2 + int(binary.LittleEndian.Uint16(body[so:]))
+		if ko+4 > len(body) {
+			return -1
+		}
+		end := ko + 4 + int(binary.LittleEndian.Uint32(body[ko:]))
+		if t == MsgSceneEvent {
+			end += 16 // seq u64 | version u64 follow the value blob
+		}
+		return end
 	default:
 		return -1
 	}

@@ -1,0 +1,333 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Shared-scene bodies. A scene is an edge-hosted room: members join by
+// name, publish per-key values into a shared document, and the edge fans
+// every applied write back out to all members as MsgSceneEvent pushes.
+// The document is CRDT-lite — per-key last-writer-wins ordered by a
+// monotonic sequence number the edge assigns at publish time — so
+// event replays and reorders are safe to apply on any mirror.
+//
+// The request frames (join, publish, leave) carry the standard QoS/trace
+// trailer and flow through the scheduler like any other request. The
+// pushed MsgSceneEvent reuses the traced trailer form so clients can log
+// the originating publish's trace ID without decoding the payload.
+
+// SceneJoin asks the edge to add this connection to a named scene. The
+// reply is a SceneSnapshot of the scene document at join time; every
+// write after the snapshot arrives as a MsgSceneEvent push.
+type SceneJoin struct {
+	Scene    string
+	QoS      QoS
+	Deadline int64
+	TraceID  uint64
+}
+
+// Marshal encodes the body: sceneLen u16 | scene | trailer.
+func (s SceneJoin) Marshal() ([]byte, error) {
+	return marshalSceneName(s.Scene, s.QoS, s.Deadline, s.TraceID)
+}
+
+// UnmarshalSceneJoin decodes a SceneJoin body.
+func UnmarshalSceneJoin(body []byte) (SceneJoin, error) {
+	name, qos, deadline, trace, err := unmarshalSceneName(body, "scene-join")
+	if err != nil {
+		return SceneJoin{}, err
+	}
+	return SceneJoin{Scene: name, QoS: qos, Deadline: deadline, TraceID: trace}, nil
+}
+
+// SceneLeave removes this connection from a scene it joined. The reply
+// is an empty echo; events stop once the leave is applied (pushes
+// already queued on the connection may still drain after it).
+type SceneLeave struct {
+	Scene    string
+	QoS      QoS
+	Deadline int64
+	TraceID  uint64
+}
+
+// Marshal encodes the body (same layout as SceneJoin).
+func (s SceneLeave) Marshal() ([]byte, error) {
+	return marshalSceneName(s.Scene, s.QoS, s.Deadline, s.TraceID)
+}
+
+// UnmarshalSceneLeave decodes a SceneLeave body.
+func UnmarshalSceneLeave(body []byte) (SceneLeave, error) {
+	name, qos, deadline, trace, err := unmarshalSceneName(body, "scene-leave")
+	if err != nil {
+		return SceneLeave{}, err
+	}
+	return SceneLeave{Scene: name, QoS: qos, Deadline: deadline, TraceID: trace}, nil
+}
+
+func marshalSceneName(name string, qos QoS, deadline int64, trace uint64) ([]byte, error) {
+	if len(name) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: scene name too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 2+len(name)+traceTrailerLen)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(name)))
+	out = append(out, name...)
+	return appendQoSTrailer(out, qos, deadline, trace), nil
+}
+
+func unmarshalSceneName(body []byte, what string) (string, QoS, int64, uint64, error) {
+	if len(body) < 2 {
+		return "", 0, 0, 0, fmt.Errorf("%w: %s too short", ErrBadMessage, what)
+	}
+	end := 2 + int(binary.LittleEndian.Uint16(body[0:]))
+	if end > len(body) {
+		return "", 0, 0, 0, fmt.Errorf("%w: %s scene name length", ErrBadMessage, what)
+	}
+	qos, deadline, trace, err := splitQoSTrailer(body[end:])
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	return string(body[2:end]), qos, deadline, trace, nil
+}
+
+// ScenePublish writes one key of the scene document. The edge applies it
+// last-writer-wins (assigning the next scene sequence number), fans a
+// SceneEvent out to every member, and replies with a ScenePublishAck.
+type ScenePublish struct {
+	Scene    string
+	Key      string
+	Value    []byte
+	QoS      QoS
+	Deadline int64
+	TraceID  uint64
+}
+
+// Marshal encodes the body:
+//
+//	sceneLen u16 | scene | keyLen u16 | key | valueLen u32 | value | trailer
+func (s ScenePublish) Marshal() ([]byte, error) {
+	if len(s.Scene) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: scene name too long", ErrBadMessage)
+	}
+	if len(s.Key) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: scene key too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 2+len(s.Scene)+2+len(s.Key)+4+len(s.Value)+traceTrailerLen)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Scene)))
+	out = append(out, s.Scene...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Key)))
+	out = append(out, s.Key...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Value)))
+	out = append(out, s.Value...)
+	return appendQoSTrailer(out, s.QoS, s.Deadline, s.TraceID), nil
+}
+
+// UnmarshalScenePublish decodes a ScenePublish body.
+func UnmarshalScenePublish(body []byte) (ScenePublish, error) {
+	scene, key, value, end, err := splitSceneKeyValue(body, "scene-publish")
+	if err != nil {
+		return ScenePublish{}, err
+	}
+	qos, deadline, trace, err := splitQoSTrailer(body[end:])
+	if err != nil {
+		return ScenePublish{}, err
+	}
+	return ScenePublish{Scene: scene, Key: key, Value: value, QoS: qos, Deadline: deadline, TraceID: trace}, nil
+}
+
+// ScenePublishAck answers a ScenePublish: the sequence number the write
+// was assigned and the scene document version after applying it (for
+// this single-writer-ordered document the two coincide; both are kept on
+// the wire so the ack stays meaningful if versioning ever diverges).
+type ScenePublishAck struct {
+	Seq     uint64
+	Version uint64
+}
+
+// Marshal encodes the body: seq u64 | version u64.
+func (a ScenePublishAck) Marshal() ([]byte, error) {
+	out := make([]byte, 0, 16)
+	out = binary.LittleEndian.AppendUint64(out, a.Seq)
+	return binary.LittleEndian.AppendUint64(out, a.Version), nil
+}
+
+// UnmarshalScenePublishAck decodes a ScenePublishAck body.
+func UnmarshalScenePublishAck(body []byte) (ScenePublishAck, error) {
+	if len(body) != 16 {
+		return ScenePublishAck{}, fmt.Errorf("%w: scene-publish ack length %d", ErrBadMessage, len(body))
+	}
+	return ScenePublishAck{
+		Seq:     binary.LittleEndian.Uint64(body[0:]),
+		Version: binary.LittleEndian.Uint64(body[8:]),
+	}, nil
+}
+
+// SceneEvent is one applied write, pushed by the edge to every scene
+// member (including the publisher, so one code path converges every
+// mirror). Seq orders the write: a mirror applies the event only when
+// Seq exceeds the key's current sequence, which makes replays and
+// reorders harmless. Version is the scene document version after this
+// write. The publisher's trace ID rides the traced trailer.
+type SceneEvent struct {
+	Scene   string
+	Key     string
+	Value   []byte
+	Seq     uint64
+	Version uint64
+	QoS     QoS
+	TraceID uint64
+}
+
+// Marshal encodes the body:
+//
+//	sceneLen u16 | scene | keyLen u16 | key | valueLen u32 | value |
+//	seq u64 | version u64 | trailer
+func (e SceneEvent) Marshal() ([]byte, error) {
+	if len(e.Scene) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: scene name too long", ErrBadMessage)
+	}
+	if len(e.Key) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: scene key too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 2+len(e.Scene)+2+len(e.Key)+4+len(e.Value)+16+traceTrailerLen)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Scene)))
+	out = append(out, e.Scene...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Key)))
+	out = append(out, e.Key...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Value)))
+	out = append(out, e.Value...)
+	out = binary.LittleEndian.AppendUint64(out, e.Seq)
+	out = binary.LittleEndian.AppendUint64(out, e.Version)
+	return appendQoSTrailer(out, e.QoS, 0, e.TraceID), nil
+}
+
+// UnmarshalSceneEvent decodes a SceneEvent body.
+func UnmarshalSceneEvent(body []byte) (SceneEvent, error) {
+	scene, key, value, end, err := splitSceneKeyValue(body, "scene-event")
+	if err != nil {
+		return SceneEvent{}, err
+	}
+	if end+16 > len(body) {
+		return SceneEvent{}, fmt.Errorf("%w: scene-event too short", ErrBadMessage)
+	}
+	qos, _, trace, err := splitQoSTrailer(body[end+16:])
+	if err != nil {
+		return SceneEvent{}, err
+	}
+	return SceneEvent{
+		Scene:   scene,
+		Key:     key,
+		Value:   value,
+		Seq:     binary.LittleEndian.Uint64(body[end:]),
+		Version: binary.LittleEndian.Uint64(body[end+8:]),
+		QoS:     qos,
+		TraceID: trace,
+	}, nil
+}
+
+// splitSceneKeyValue decodes the shared scene|key|value prefix of
+// ScenePublish and SceneEvent bodies, returning the offset past the
+// value blob.
+func splitSceneKeyValue(body []byte, what string) (scene, key string, value []byte, end int, err error) {
+	if len(body) < 8 {
+		return "", "", nil, 0, fmt.Errorf("%w: %s too short", ErrBadMessage, what)
+	}
+	so := 2 + int(binary.LittleEndian.Uint16(body[0:]))
+	if so+2 > len(body) {
+		return "", "", nil, 0, fmt.Errorf("%w: %s scene name overruns", ErrBadMessage, what)
+	}
+	ko := so + 2 + int(binary.LittleEndian.Uint16(body[so:]))
+	if ko+4 > len(body) {
+		return "", "", nil, 0, fmt.Errorf("%w: %s key overruns", ErrBadMessage, what)
+	}
+	end = ko + 4 + int(binary.LittleEndian.Uint32(body[ko:]))
+	if end > len(body) {
+		return "", "", nil, 0, fmt.Errorf("%w: %s value length", ErrBadMessage, what)
+	}
+	return string(body[2:so]), string(body[so+2 : ko]), append([]byte(nil), body[ko+4:end]...), end, nil
+}
+
+// SceneEntry is one key of a snapshotted scene document.
+type SceneEntry struct {
+	Key   string
+	Value []byte
+	Seq   uint64
+}
+
+// SceneSnapshot is the reply to a SceneJoin: the whole scene document at
+// the instant the member was added. The member seeds its mirror from the
+// entries and then applies pushed events LWW — because both paths compare
+// sequence numbers, an event racing past the snapshot is harmless in
+// either order.
+type SceneSnapshot struct {
+	Scene   string
+	Version uint64
+	Entries []SceneEntry
+}
+
+// Marshal encodes the body:
+//
+//	sceneLen u16 | scene | version u64 | count u32 |
+//	count x (keyLen u16 | key | valueLen u32 | value | seq u64)
+func (s SceneSnapshot) Marshal() ([]byte, error) {
+	if len(s.Scene) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: scene name too long", ErrBadMessage)
+	}
+	out := make([]byte, 0, 2+len(s.Scene)+8+4)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Scene)))
+	out = append(out, s.Scene...)
+	out = binary.LittleEndian.AppendUint64(out, s.Version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s.Entries)))
+	for _, e := range s.Entries {
+		if len(e.Key) > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: scene key too long", ErrBadMessage)
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Key)))
+		out = append(out, e.Key...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Value)))
+		out = append(out, e.Value...)
+		out = binary.LittleEndian.AppendUint64(out, e.Seq)
+	}
+	return out, nil
+}
+
+// UnmarshalSceneSnapshot decodes a SceneSnapshot body.
+func UnmarshalSceneSnapshot(body []byte) (SceneSnapshot, error) {
+	if len(body) < 14 {
+		return SceneSnapshot{}, fmt.Errorf("%w: scene-snapshot too short", ErrBadMessage)
+	}
+	so := 2 + int(binary.LittleEndian.Uint16(body[0:]))
+	if so+12 > len(body) {
+		return SceneSnapshot{}, fmt.Errorf("%w: scene-snapshot name overruns", ErrBadMessage)
+	}
+	s := SceneSnapshot{
+		Scene:   string(body[2:so]),
+		Version: binary.LittleEndian.Uint64(body[so:]),
+	}
+	count := int(binary.LittleEndian.Uint32(body[so+8:]))
+	off := so + 12
+	for i := 0; i < count; i++ {
+		if off+2 > len(body) {
+			return SceneSnapshot{}, fmt.Errorf("%w: scene-snapshot entry %d truncated", ErrBadMessage, i)
+		}
+		ko := off + 2 + int(binary.LittleEndian.Uint16(body[off:]))
+		if ko+4 > len(body) {
+			return SceneSnapshot{}, fmt.Errorf("%w: scene-snapshot key overruns", ErrBadMessage)
+		}
+		vo := ko + 4 + int(binary.LittleEndian.Uint32(body[ko:]))
+		if vo+8 > len(body) {
+			return SceneSnapshot{}, fmt.Errorf("%w: scene-snapshot value overruns", ErrBadMessage)
+		}
+		s.Entries = append(s.Entries, SceneEntry{
+			Key:   string(body[off+2 : ko]),
+			Value: append([]byte(nil), body[ko+4:vo]...),
+			Seq:   binary.LittleEndian.Uint64(body[vo:]),
+		})
+		off = vo + 8
+	}
+	if off != len(body) {
+		return SceneSnapshot{}, fmt.Errorf("%w: scene-snapshot trailing bytes", ErrBadMessage)
+	}
+	return s, nil
+}

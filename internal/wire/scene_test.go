@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSceneJoinRoundTrip(t *testing.T) {
+	j := SceneJoin{Scene: "gallery/3f", QoS: QoSInteractive, Deadline: 1_700_000_000_000_000, TraceID: 0xABCD}
+	body, err := j.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSceneJoin(body)
+	if err != nil || got != j {
+		t.Fatalf("%+v, %v", got, err)
+	}
+	// The trailer is peekable without a decode, like every request frame.
+	if q, d := PeekQoS(MsgSceneJoin, body); q != j.QoS || d != j.Deadline {
+		t.Fatalf("PeekQoS = %v, %d", q, d)
+	}
+	if tr := PeekTrace(MsgSceneJoin, body); tr != j.TraceID {
+		t.Fatalf("PeekTrace = %x", tr)
+	}
+	// A trailerless join stays at the minimal layout.
+	plain, _ := SceneJoin{Scene: "s"}.Marshal()
+	if len(plain) != 2+1 {
+		t.Fatalf("plain join grew a trailer: %d bytes", len(plain))
+	}
+}
+
+func TestSceneLeaveRoundTrip(t *testing.T) {
+	l := SceneLeave{Scene: "gallery/3f", TraceID: 0x77}
+	body, err := l.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSceneLeave(body)
+	if err != nil || got != l {
+		t.Fatalf("%+v, %v", got, err)
+	}
+	if tr := PeekTrace(MsgSceneLeave, body); tr != l.TraceID {
+		t.Fatalf("PeekTrace = %x", tr)
+	}
+}
+
+func TestScenePublishRoundTrip(t *testing.T) {
+	p := ScenePublish{
+		Scene: "gallery", Key: "pose/alice", Value: []byte{1, 2, 3, 4},
+		QoS: QoSInteractive, Deadline: 42_000_000, TraceID: 0xFEEDFACE,
+	}
+	body, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScenePublish(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scene != p.Scene || got.Key != p.Key || !bytes.Equal(got.Value, p.Value) ||
+		got.QoS != p.QoS || got.Deadline != p.Deadline || got.TraceID != p.TraceID {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if q, d := PeekQoS(MsgScenePublish, body); q != p.QoS || d != p.Deadline {
+		t.Fatalf("PeekQoS = %v, %d", q, d)
+	}
+	if tr := PeekTrace(MsgScenePublish, body); tr != p.TraceID {
+		t.Fatalf("PeekTrace = %x", tr)
+	}
+	// Empty values are legal (a key can be cleared).
+	empty, _ := ScenePublish{Scene: "s", Key: "k"}.Marshal()
+	ge, err := UnmarshalScenePublish(empty)
+	if err != nil || len(ge.Value) != 0 {
+		t.Fatalf("%+v, %v", ge, err)
+	}
+}
+
+func TestScenePublishAckRoundTrip(t *testing.T) {
+	body, err := (ScenePublishAck{Seq: 9, Version: 9}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalScenePublishAck(body)
+	if err != nil || got.Seq != 9 || got.Version != 9 {
+		t.Fatalf("%+v, %v", got, err)
+	}
+	for _, bad := range [][]byte{nil, {1}, make([]byte, 15), make([]byte, 17)} {
+		if _, err := UnmarshalScenePublishAck(bad); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("body %v accepted (err=%v)", bad, err)
+		}
+	}
+}
+
+func TestSceneEventRoundTrip(t *testing.T) {
+	e := SceneEvent{
+		Scene: "gallery", Key: "anchor/door", Value: []byte("mesh-bytes"),
+		Seq: 17, Version: 17, QoS: QoSInteractive, TraceID: 0xC0FFEE,
+	}
+	body, err := e.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSceneEvent(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scene != e.Scene || got.Key != e.Key || !bytes.Equal(got.Value, e.Value) ||
+		got.Seq != e.Seq || got.Version != e.Version || got.QoS != e.QoS || got.TraceID != e.TraceID {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Clients log pushed events by trace without decoding the payload.
+	if tr := PeekTrace(MsgSceneEvent, body); tr != e.TraceID {
+		t.Fatalf("PeekTrace = %x", tr)
+	}
+	// An untraced best-effort event encodes without a trailer and still
+	// decodes (trace reads as zero).
+	plain, _ := SceneEvent{Scene: "s", Key: "k", Value: []byte{9}, Seq: 1, Version: 1}.Marshal()
+	gp, err := UnmarshalSceneEvent(plain)
+	if err != nil || gp.TraceID != 0 || gp.Seq != 1 {
+		t.Fatalf("%+v, %v", gp, err)
+	}
+	if tr := PeekTrace(MsgSceneEvent, plain); tr != 0 {
+		t.Fatalf("PeekTrace on untraced event = %x", tr)
+	}
+}
+
+func TestSceneSnapshotRoundTrip(t *testing.T) {
+	s := SceneSnapshot{
+		Scene:   "gallery",
+		Version: 5,
+		Entries: []SceneEntry{
+			{Key: "pose/alice", Value: []byte{1, 2}, Seq: 3},
+			{Key: "recognized/door", Value: []byte("stop-sign"), Seq: 5},
+			{Key: "cleared", Value: nil, Seq: 4},
+		},
+	}
+	body, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSceneSnapshot(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scene != s.Scene || got.Version != s.Version || len(got.Entries) != len(s.Entries) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i, e := range s.Entries {
+		g := got.Entries[i]
+		if g.Key != e.Key || !bytes.Equal(g.Value, e.Value) || g.Seq != e.Seq {
+			t.Fatalf("entry %d: %+v", i, g)
+		}
+	}
+	// Empty documents snapshot and decode.
+	eb, _ := SceneSnapshot{Scene: "fresh", Version: 0}.Marshal()
+	ge, err := UnmarshalSceneSnapshot(eb)
+	if err != nil || ge.Scene != "fresh" || len(ge.Entries) != 0 {
+		t.Fatalf("%+v, %v", ge, err)
+	}
+	// Truncated entry lists are rejected, not misread.
+	if _, err := UnmarshalSceneSnapshot(body[:len(body)-3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := UnmarshalSceneSnapshot(append(body, 0)); err == nil {
+		t.Fatal("snapshot with trailing bytes accepted")
+	}
+}
+
+func TestSceneMsgTypeStrings(t *testing.T) {
+	for mt, want := range map[MsgType]string{
+		MsgSceneJoin:    "scene-join",
+		MsgScenePublish: "scene-publish",
+		MsgSceneEvent:   "scene-event",
+		MsgSceneLeave:   "scene-leave",
+	} {
+		if mt.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", mt, mt.String(), want)
+		}
+	}
+}

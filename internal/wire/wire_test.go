@@ -357,6 +357,18 @@ func TestBodyDecodersRejectGarbage(t *testing.T) {
 		"pano-reply":  func(b []byte) error { _, err := UnmarshalPanoReply(b); return err },
 		"error":       func(b []byte) error { _, err := UnmarshalErrorReply(b); return err },
 		"recognition": func(b []byte) error { _, err := UnmarshalRecognitionResult(b); return err },
+		"scene-join":  func(b []byte) error { _, err := UnmarshalSceneJoin(b); return err },
+		"scene-leave": func(b []byte) error { _, err := UnmarshalSceneLeave(b); return err },
+		"scene-publish": func(b []byte) error {
+			_, err := UnmarshalScenePublish(b)
+			return err
+		},
+		"scene-publish-ack": func(b []byte) error {
+			_, err := UnmarshalScenePublishAck(b)
+			return err
+		},
+		"scene-event":    func(b []byte) error { _, err := UnmarshalSceneEvent(b); return err },
+		"scene-snapshot": func(b []byte) error { _, err := UnmarshalSceneSnapshot(b); return err },
 	}
 	for name, dec := range decoders {
 		for _, b := range [][]byte{nil, {}, {1}, {1, 2, 3}, bytes.Repeat([]byte{0xFF}, 9)} {

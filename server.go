@@ -174,6 +174,12 @@ type TenantConfig struct {
 	// 0 shares the global capacity unbounded. Edge servers only (the
 	// cloud has no IC cache); ignored on clouds.
 	CacheBytes int64
+	// SceneMembers caps how many shared-scene members (joined
+	// connections, summed across the tenant's rooms) the tenant may hold
+	// at once; 0 means unlimited. Scene publish rates need no extra knob
+	// — every publish spends a token from the same bucket as any other
+	// request (Rate/Burst). Edge servers only; ignored on clouds.
+	SceneMembers int
 }
 
 // WithTenantQuota installs (or replaces) tenant's limits: admission
@@ -209,12 +215,13 @@ func WithTenantWeight(tenant string, weight int) ServerOption {
 // ParseTenantQuota parses the daemons' -tenant-quota flag syntax,
 // "name:key=value[,key=value...]", into the tenant's name and config.
 // Keys: token (string), rate (requests/sec, float), burst (requests),
-// weight (fair-share weight), cache (resident cache bytes). A bare
-// "name" with no colon configures a tenant with no limits — useful to
-// require the name to exist without rationing it.
+// weight (fair-share weight), cache (resident cache bytes), members
+// (concurrent scene members). A bare "name" with no colon configures a
+// tenant with no limits — useful to require the name to exist without
+// rationing it.
 //
 //	-tenant-quota "acme:token=s3cret,rate=100,burst=20,weight=4"
-//	-tenant-quota "guest:rate=5,cache=16777216"
+//	-tenant-quota "guest:rate=5,cache=16777216,members=8"
 func ParseTenantQuota(spec string) (string, TenantConfig, error) {
 	name, args, hasArgs := strings.Cut(spec, ":")
 	name = strings.TrimSpace(name)
@@ -242,6 +249,8 @@ func ParseTenantQuota(spec string) (string, TenantConfig, error) {
 			cfg.Weight, err = strconv.Atoi(val)
 		case "cache":
 			cfg.CacheBytes, err = strconv.ParseInt(val, 10, 64)
+		case "members":
+			cfg.SceneMembers, err = strconv.Atoi(val)
 		default:
 			return "", TenantConfig{}, fmt.Errorf("coic: tenant quota %q: unknown key %q", spec, key)
 		}
@@ -328,11 +337,12 @@ func (s *Server) tenantPolicy() *core.TenantPolicy {
 	p := core.NewTenantPolicy(nil)
 	for t, cfg := range s.cfg.tenants {
 		p.Set(t, core.TenantLimit{
-			Token:      cfg.Token,
-			Rate:       cfg.Rate,
-			Burst:      cfg.Burst,
-			Weight:     cfg.Weight,
-			CacheBytes: cfg.CacheBytes,
+			Token:        cfg.Token,
+			Rate:         cfg.Rate,
+			Burst:        cfg.Burst,
+			Weight:       cfg.Weight,
+			CacheBytes:   cfg.CacheBytes,
+			SceneMembers: cfg.SceneMembers,
 		})
 	}
 	return p
@@ -383,6 +393,13 @@ type ServerStats struct {
 	// rejected, summed over tenants. Zero unless WithTenantQuota set a
 	// rate for some tenant.
 	QuotaRejections uint64
+	// SceneRooms / SceneMembers are the live shared-scene rooms hosted on
+	// the edge and their joined members; ScenePublishes counts scene
+	// writes applied since start. All zero for cloud servers (scenes are
+	// edge-hosted).
+	SceneRooms     int
+	SceneMembers   int
+	ScenePublishes uint64
 	// Tenants breaks admissions and quota rejections down by tenant.
 	// Tenantless deployments see a single "default" entry.
 	Tenants map[string]TenantStats
@@ -416,6 +433,7 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Unlock()
 	switch {
 	case es != nil:
+		rooms, members, publishes := es.SceneStats()
 		return ServerStats{
 			CloudFetches:        es.CloudFetches(),
 			Overloads:           es.Overloads(),
@@ -425,6 +443,9 @@ func (s *Server) Stats() ServerStats {
 			Batches:             es.Batches(),
 			BatchedRequests:     es.BatchedRequests(),
 			QuotaRejections:     es.QuotaRejections(),
+			SceneRooms:          rooms,
+			SceneMembers:        members,
+			ScenePublishes:      publishes,
 			Tenants:             tenantStats(es.TenantCounts()),
 		}
 	case cs != nil:
@@ -527,6 +548,15 @@ func (s *Server) Serve(ctx context.Context) error {
 	s.reg.GaugeFunc("coic_cache_bytes",
 		"Bytes resident in the edge IC cache.",
 		func() float64 { st, _ := srv.Edge.Cache.Stats(); return float64(st.BytesUsed) })
+	s.reg.GaugeFunc("coic_scene_members",
+		"Connections currently joined to shared scenes on this edge.",
+		func() float64 { _, members, _ := srv.SceneStats(); return float64(members) })
+	s.reg.GaugeFunc("coic_scene_rooms",
+		"Shared-scene rooms currently live on this edge.",
+		func() float64 { rooms, _, _ := srv.SceneStats(); return float64(rooms) })
+	s.reg.CounterFunc("coic_scene_publish_total",
+		"Shared-scene writes applied and fanned out since start.",
+		func() float64 { _, _, publishes := srv.SceneStats(); return float64(publishes) })
 	for t := range s.cfg.tenants {
 		name := t
 		if name == "" {
