@@ -7,7 +7,7 @@ API_BASELINE_FILE := .github/api-baseline-ref
 # The apidiff version CI pins; bump deliberately alongside Go bumps.
 APIDIFF_VERSION := v0.0.0-20240909161429-701f63a606c0
 
-.PHONY: all build lint test bench cover api smoke fuzz ci
+.PHONY: all build lint test bench cover api smoke smoke-gossip fuzz ci
 
 # How long each fuzz target mutates (the CI fuzz-smoke duration).
 FUZZ_TIME ?= 30s
@@ -48,7 +48,7 @@ cover:
 # as artifacts.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -timeout 20m ./...
-	$(GO) run ./cmd/coic-bench -experiment qos,noisy,batch,scene -json > bench-qos.json
+	$(GO) run ./cmd/coic-bench -experiment qos,noisy,batch,scene,churn -json > bench-qos.json
 	$(GO) run ./cmd/coic-bench -experiment burst -json > bench-burst.json
 	$(GO) run ./cmd/coic-benchdiff BENCH_stream.json bench-qos.json
 
@@ -77,6 +77,39 @@ smoke:
 	./bin/coic-promlint -url http://127.0.0.1:19191/metrics \
 		-require coic_requests_total,coic_connections_total,coic_stage_duration_seconds,coic_scene_publish_total
 
+# smoke-gossip = the CI gossip-fleet smoke: a seed edge serves traffic
+# alone, two more edges gossip in (migration re-homes the seed's cached
+# keys), then one is killed ungracefully: the survivors must detect the
+# death (coic_member_alive converges to 2) while staying ready.
+smoke-gossip:
+	@$(GO) build -o bin/ ./cmd/coic-cloud ./cmd/coic-edge ./cmd/coic-client ./cmd/coic-promlint
+	@./bin/coic-cloud -listen 127.0.0.1:19095 & cloud=$$!; \
+	./bin/coic-edge -listen 127.0.0.1:19101 -self 127.0.0.1:19101 \
+		-gossip-seeds 127.0.0.1:19101 -rf 2 \
+		-cloud 127.0.0.1:19095 -http 127.0.0.1:19201 & e1=$$!; \
+	trap 'kill $$e1 $$e2 $$e3 $$cloud 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS -o /dev/null http://127.0.0.1:19201/healthz 2>/dev/null && break; sleep 0.2; done; \
+	./bin/coic-client -edge 127.0.0.1:19101 -task pano -n 8 -request-id 0xC1C0FFEE >/dev/null && \
+	for i in 2 3; do \
+		./bin/coic-edge -listen 127.0.0.1:1910$$i -self 127.0.0.1:1910$$i \
+			-gossip-seeds 127.0.0.1:19101 -rf 2 \
+			-cloud 127.0.0.1:19095 -http 127.0.0.1:1920$$i & eval "e$$i=\$$!"; \
+	done; \
+	alive() { curl -fsS "http://127.0.0.1:$$1/metrics" 2>/dev/null | awk '$$1 == "coic_member_alive" {print int($$2)}'; }; \
+	for i in $$(seq 1 100); do \
+		[ "$$(alive 19201)" = 3 ] && [ "$$(alive 19202)" = 3 ] && [ "$$(alive 19203)" = 3 ] && break; sleep 0.2; done; \
+	[ "$$(alive 19203)" = 3 ] && \
+	kill -9 $$e3 && \
+	for i in $$(seq 1 150); do \
+		[ "$$(alive 19201)" = 2 ] && [ "$$(alive 19202)" = 2 ] && break; sleep 0.2; done; \
+	[ "$$(alive 19201)" = 2 ] && [ "$$(alive 19202)" = 2 ] && \
+	curl -fsS -o /dev/null http://127.0.0.1:19201/readyz && \
+	./bin/coic-client -edge 127.0.0.1:19102 -task pano -n 8 -request-id 0xC1C0FFEE >/dev/null && \
+	./bin/coic-promlint -url http://127.0.0.1:19201/metrics \
+		-require coic_member_alive,coic_ring_version,coic_migration_keys_total && \
+	echo "gossip fleet smoke: converged to 2 after the kill, survivors ready"
+
 # api = the CI apidiff job: the public surface of the root package must
 # stay compatible with the committed baseline commit (skipped with a
 # notice if the tool is not installed; CI always runs it).
@@ -96,4 +129,4 @@ api:
 		echo "apidiff not installed (go install golang.org/x/exp/cmd/apidiff@$(APIDIFF_VERSION), the version CI pins); skipping"; \
 	fi
 
-ci: lint build test bench fuzz api smoke
+ci: lint build test bench fuzz api smoke smoke-gossip

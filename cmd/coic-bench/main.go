@@ -29,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, burst, qos, noisy, finegrained, batch, pano, privacy, qoe, scene")
+		"comma-separated experiments to run: all, fig2a, fig2b, hitratio, policy, threshold, index, coop, federation, churn, burst, qos, noisy, finegrained, batch, pano, privacy, qoe, scene")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of {title, columns, rows, notes} objects")
 	seed := flag.Uint64("seed", 0, "override the reproduction seed (0 = default)")
@@ -85,6 +85,9 @@ func main() {
 		}},
 		{"federation", func() (*coic.Table, error) {
 			return coic.RunFederation(scaled(p), []int{1, 2, 4, 8}, 24, 2, p.Seed)
+		}},
+		{"churn", func() (*coic.Table, error) {
+			return coic.RunChurn(scaled(p), []int{0, 1, 2}, 4, 2, 24, 2, p.Seed)
 		}},
 		{"burst", func() (*coic.Table, error) {
 			return coic.RunBurst(scaled(p), []int{4, 16, 64}, []float64{0, 0.5, 1})

@@ -107,7 +107,7 @@ func main() {
 			fmt.Println("  " + p)
 		}
 		fmt.Println("If the experiment changed intentionally, regenerate the baseline:")
-		fmt.Printf("  go run ./cmd/coic-bench -experiment qos,noisy,batch,scene -json > %s\n", os.Args[1])
+		fmt.Printf("  go run ./cmd/coic-bench -experiment qos,noisy,batch,scene,churn -json > %s\n", os.Args[1])
 		os.Exit(1)
 	}
 	fmt.Printf("coic-benchdiff: %s matches the structure of %s (%d tables)\n", os.Args[2], os.Args[1], len(base))

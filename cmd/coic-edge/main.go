@@ -9,6 +9,16 @@
 // other member, and -self must be this edge's address exactly as the
 // others list it.
 //
+// With -gossip-seeds, membership is discovered instead of declared: the
+// edge joins by contacting any listed seed (a seed node lists itself and
+// waits to be found), learns the fleet over SWIM-lite gossip, rebuilds
+// the consistent-hash ring on every join, failure or leave, and migrates
+// cached keys whose ownership moved. -rf replicates each published key
+// across that many ring owners so one member's death loses nothing.
+// SIGTERM decommissions gracefully: home keys drain to their successors
+// and a member-leave broadcast retires this edge without a suspicion
+// phase.
+//
 // Each client connection is served pipelined by a bounded worker pool
 // (-workers / -queue) behind a deadline-aware scheduler: queued requests
 // dispatch strictly by QoS class (interactive before best-effort),
@@ -60,8 +70,10 @@ func main() {
 	listen := flag.String("listen", ":9091", "address to serve clients on")
 	cloud := flag.String("cloud", "localhost:9090", "cloud address to forward misses to")
 	cloudShape := flag.String("cloud-shape", "", `tc-style spec for the edge->cloud link, e.g. "rate 20mbit delay 10ms"`)
-	peers := flag.String("peers", "", "comma-separated peer edge addresses to federate with")
-	self := flag.String("self", "", "this edge's advertised address in the federation (required with -peers; must match what peers list)")
+	peers := flag.String("peers", "", "comma-separated peer edge addresses to federate with (static membership)")
+	self := flag.String("self", "", "this edge's advertised address in the federation (required with -peers or -gossip-seeds; must be how other members dial this edge)")
+	gossipSeeds := flag.String("gossip-seeds", "", "comma-separated seed addresses for gossip-discovered federation membership; a seed node lists itself")
+	rf := flag.Int("rf", 0, "federation replication factor: copies of each published key across ring owners (0 or 1 = home only)")
 	workers := flag.Int("workers", 0, "concurrent requests per client connection (0 = default)")
 	queue := flag.Int("queue", 0, "requests buffered per connection before overload replies (0 = default)")
 	batch := flag.Int("batch", 0, "max exec requests one worker dispatches together, coalescing duplicates and bursting misses upstream (0 or 1 = serial)")
@@ -92,11 +104,19 @@ func main() {
 	})
 	flag.Parse()
 
-	var peerAddrs []string
-	for _, p := range strings.Split(*peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			peerAddrs = append(peerAddrs, p)
+	splitAddrs := func(list string) []string {
+		var out []string
+		for _, p := range strings.Split(list, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				out = append(out, p)
+			}
 		}
+		return out
+	}
+	peerAddrs := splitAddrs(*peers)
+	seedAddrs := splitAddrs(*gossipSeeds)
+	if len(peerAddrs) > 0 && len(seedAddrs) > 0 {
+		log.Fatal("coic-edge: -peers and -gossip-seeds are mutually exclusive — declare the fleet or discover it, not both")
 	}
 	// -self must be explicit: every member hashes the same address
 	// strings into the ring, and a defaulted listen address like ":9091"
@@ -104,6 +124,9 @@ func main() {
 	// the federation would silently mis-home every key.
 	if len(peerAddrs) > 0 && *self == "" {
 		log.Fatal("coic-edge: -peers requires -self, the dialable address the other members list for this edge")
+	}
+	if len(seedAddrs) > 0 && *self == "" {
+		log.Fatal("coic-edge: -gossip-seeds requires -self, the dialable address gossip advertises for this edge")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -113,10 +136,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("coic-edge: %v", err)
 	}
-	if len(peerAddrs) > 0 {
+	switch {
+	case len(peerAddrs) > 0:
 		fmt.Printf("coic-edge: serving on %s, cloud at %s, federated as %s with %v\n",
 			ln.Addr(), *cloud, *self, peerAddrs)
-	} else {
+	case len(seedAddrs) > 0:
+		fmt.Printf("coic-edge: serving on %s, cloud at %s, gossiping as %s via seeds %v\n",
+			ln.Addr(), *cloud, *self, seedAddrs)
+	default:
 		fmt.Printf("coic-edge: serving on %s, cloud at %s\n", ln.Addr(), *cloud)
 	}
 	opts := []coic.ServerOption{
@@ -134,6 +161,12 @@ func main() {
 	opts = append(opts, tenantOpts...)
 	if len(peerAddrs) > 0 {
 		opts = append(opts, coic.WithFederation(*self, peerAddrs...))
+	}
+	if len(seedAddrs) > 0 {
+		opts = append(opts, coic.WithGossip(*self, seedAddrs...))
+	}
+	if *rf > 1 {
+		opts = append(opts, coic.WithReplication(*rf))
 	}
 	srv := coic.NewEdgeServer(opts...)
 	if *httpAddr != "" {
@@ -158,6 +191,9 @@ func main() {
 		st.AdmittedInteractive, st.AdmittedBestEffort, st.CloudFetches, st.DeadlineSheds, st.Overloads)
 	if st.Batches > 0 {
 		fmt.Printf("coic-edge: executed %d batches carrying %d requests\n", st.Batches, st.BatchedRequests)
+	}
+	if len(seedAddrs) > 0 {
+		fmt.Printf("coic-edge: decommissioned at ring version %d, %d keys migrated\n", st.RingVersion, st.MigratedKeys)
 	}
 	fmt.Println("coic-edge: shut down cleanly")
 }

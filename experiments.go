@@ -361,6 +361,60 @@ func FederationTable(rows []FederationRow) *Table {
 	return t
 }
 
+// ChurnRow is one point of the membership-churn ablation.
+type ChurnRow = core.ChurnRow
+
+// RunChurn is the dynamic-membership ablation: a replicated federation
+// (rf-way publish) replays one workload while members crash and rejoin
+// mid-run, comparing a ring that follows the membership — rebuilt on
+// every change, moved keys migrated from surviving replicas — against
+// the static boot-time ring, where a dead member's arc of the keyspace
+// degrades to cloud fetches until it returns. The hit-ratio and p99 gap
+// between the rows is what gossip-driven membership buys the fleet.
+func RunChurn(p Params, cycleCounts []int, edges, rf, users, capacityMB int, seed uint64) (*Table, error) {
+	events, err := trace.Generate(trace.Config{
+		Users: users, Cells: 8, Duration: 40 * time.Second,
+		RatePerUser: 1, Objects: 96, ZipfAlpha: 0.8,
+		Locality: 0.7, HotSetSize: 12,
+		TaskMix: trace.TaskMix{Recognize: 0.4, Render: 0.4, Pano: 0.2},
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pp := p
+	pp.EdgeCacheBytes = int64(capacityMB) << 20
+	rows, err := core.RunChurn(pp, core.ChurnConfigExp{
+		Edges:       edges,
+		RF:          rf,
+		CycleCounts: cycleCounts,
+		Events:      events,
+		Baseline:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ChurnTable(rows), nil
+}
+
+// ChurnTable renders churn ablation rows.
+func ChurnTable(rows []ChurnRow) *Table {
+	t := metrics.NewTable(
+		"A-churn — membership churn: dynamic ring + migration vs static ring",
+		"edges", "cycles", "mode", "rf", "hit_ratio", "peer_hits", "repaired", "migrated", "ring_ver", "cloud_fetches", "p50_ms", "p99_ms")
+	for _, r := range rows {
+		mode := "static"
+		if r.Dynamic {
+			mode = "dynamic"
+		}
+		t.AddRow(r.Edges, r.Cycles, mode, r.RF,
+			fmt.Sprintf("%.3f", r.HitRatio), r.PeerHits, r.Repaired, r.Migrated,
+			r.RingVersion, r.CloudFetches, msCol(r.P50), msCol(r.P99))
+	}
+	t.AddNote("dynamic = ring rebuilt on every crash/rejoin and moved keys migrated; static = boot-time ring, dead arcs fall through to the cloud")
+	return t
+}
+
 // BurstRow is one point of the burst-coalescing ablation.
 type BurstRow = core.BurstRow
 

@@ -26,9 +26,9 @@ import (
 // peer's own cache query time. Probes must be safe for concurrent use.
 type PeerProbe func(ctx context.Context, requester int, task uint8, desc feature.Descriptor) ([]byte, LookupResult, time.Duration)
 
-// PeerInsert publishes a freshly computed result to a remote peer (the
-// key's home node). It runs off the request's critical path — replication
-// is asynchronous in spirit — so it returns nothing.
+// PeerInsert publishes a freshly computed result to a remote peer (one of
+// the key's owners). It runs off the request's critical path —
+// replication is asynchronous in spirit — so it returns nothing.
 type PeerInsert func(desc feature.Descriptor, value []byte, cost float64)
 
 // Peer bundles the two directions of cooperation with one remote edge.
@@ -48,21 +48,33 @@ type FederationStats struct {
 	// Coalesced counts lookups that joined an in-flight probe for the
 	// same key instead of issuing their own (concurrent TCP misses).
 	Coalesced uint64
-	// Published counts inserts routed to a key's home peer.
+	// Published counts inserts routed to a key's owners (one count per
+	// peer insert, so rf=2 publishes from a non-owner count twice).
 	Published uint64
+	// Repaired counts read-repair inserts: an owner earlier in a key's
+	// successor list missed while a later replica hit, so the value was
+	// pushed back to the peer that should have had it.
+	Repaired uint64
 }
 
 // Federation routes cache misses across a set of cooperating edges. With
-// a Ring, every key has a home node: lookups probe only the home (one
-// cheap hop) and inserts are published to it, so the federation behaves
-// like one partitioned cache. Without a Ring it degrades to the broadcast
+// a Ring, every key has an owner list (the home plus rf-1 successors):
+// lookups probe the owners in order and inserts are published to the
+// first rf of them, so the federation behaves like one partitioned,
+// rf-way replicated cache. Without a Ring it degrades to the broadcast
 // cooperation of the seed reproduction: probe every registered peer in
 // order until one hits.
+//
+// The ring is swappable (SetRing): a membership layer rebuilds it on
+// every epoch change, and in-flight lookups simply use whichever ring
+// they started with — at worst a probe lands on a peer that no longer
+// owns the key and misses.
 type Federation struct {
 	self string
-	ring *Ring
 
 	mu    sync.Mutex
+	ring  *Ring
+	rf    int // replication factor; <=1 means home-only
 	order []string
 	peers map[string]Peer
 	stats FederationStats
@@ -84,16 +96,58 @@ type probeOutcome struct {
 }
 
 // NewFederation builds the federation view of node `self`. ring may be
-// nil for broadcast cooperation.
+// nil for broadcast cooperation. Replication factor starts at 1
+// (home-only); raise it with SetReplication.
 func NewFederation(self string, ring *Ring) *Federation {
-	return &Federation{self: self, ring: ring, peers: map[string]Peer{}}
+	return &Federation{self: self, ring: ring, rf: 1, peers: map[string]Peer{}}
 }
 
 // Self reports this node's federation ID.
 func (f *Federation) Self() string { return f.self }
 
-// Ring exposes the keyspace partition (nil in broadcast mode).
-func (f *Federation) Ring() *Ring { return f.ring }
+// Ring exposes the current keyspace partition (nil in broadcast mode).
+func (f *Federation) Ring() *Ring {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring
+}
+
+// SetRing swaps in a new keyspace partition. The membership layer calls
+// this on every epoch change; Lookup/Publish pick up the new ring on
+// their next routing decision.
+func (f *Federation) SetRing(r *Ring) {
+	f.mu.Lock()
+	f.ring = r
+	f.mu.Unlock()
+}
+
+// RingVersion reports the current ring's version (0 in broadcast mode).
+func (f *Federation) RingVersion() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ring == nil {
+		return 0
+	}
+	return f.ring.Version()
+}
+
+// SetReplication sets the replication factor: keys are published to, and
+// probed at, their first rf ring owners. Values <= 1 mean home-only.
+func (f *Federation) SetReplication(rf int) {
+	f.mu.Lock()
+	if rf < 1 {
+		rf = 1
+	}
+	f.rf = rf
+	f.mu.Unlock()
+}
+
+// Replication reports the configured replication factor.
+func (f *Federation) Replication() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rf
+}
 
 // AddPeer registers a remote edge. Re-registering an ID replaces its
 // callbacks (a reconnecting TCP peer).
@@ -106,37 +160,73 @@ func (f *Federation) AddPeer(id string, p Peer) {
 	f.peers[id] = p
 }
 
+// RemovePeer forgets a remote edge (a member declared dead). Probes and
+// publishes stop routing to it immediately; re-adding later is fine.
+func (f *Federation) RemovePeer(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.peers[id]; !ok {
+		return
+	}
+	delete(f.peers, id)
+	for i, o := range f.order {
+		if o == id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Peers lists the registered peer IDs in registration order.
+func (f *Federation) Peers() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
 // Owner reports the home node of key: ring owner when partitioned, ""
 // (no single owner) in broadcast mode.
 func (f *Federation) Owner(key string) string {
-	if f.ring == nil {
+	f.mu.Lock()
+	ring := f.ring
+	f.mu.Unlock()
+	if ring == nil {
 		return ""
 	}
-	return f.ring.Owner(key)
+	return ring.Owner(key)
 }
 
-// probeOrder lists the peers to consult for key, most promising first.
+// probeOrder lists the peers to consult for key, most promising first:
+// the key's owners in successor order, minus this node and any owner with
+// no registered peer. A nil return means nobody else is worth asking —
+// the caller degrades to its own fallback (local result, then cloud).
 func (f *Federation) probeOrder(key string) []string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.ring != nil {
-		owner := f.ring.Owner(key)
-		if owner == f.self {
-			return nil // we are the home; nobody else should have it
+		var order []string
+		for _, owner := range f.ring.OwnersFor(key, f.rf) {
+			if owner == f.self {
+				continue
+			}
+			if _, ok := f.peers[owner]; ok {
+				order = append(order, owner)
+			}
 		}
-		if _, ok := f.peers[owner]; ok {
-			return []string{owner}
-		}
-		return nil // owner unreachable/unregistered: degrade to local-only
+		return order
 	}
 	return append([]string(nil), f.order...)
 }
 
-// Lookup runs the peer phase of a cache miss: probe the key's home (or
-// every peer in broadcast mode) and return the first usable value,
-// bounded by ctx — probes inherit the caller's deadline, and a caller
-// that departs mid-probe detaches from the coalesced round. peer
-// names who answered; cost accumulates over every hop taken, hit or not.
+// Lookup runs the peer phase of a cache miss: probe the key's owners in
+// successor order (or every peer in broadcast mode) and return the first
+// usable value, bounded by ctx — probes inherit the caller's deadline,
+// and a caller that departs mid-probe detaches from the coalesced round.
+// peer names who answered; cost accumulates over every hop taken, hit or
+// not. When a later replica hits after an earlier owner missed, the value
+// is pushed back to the owners that missed (read-repair), so a home
+// recovering from a restart or a freshly promoted successor converges
+// back to full coverage without waiting for republication.
 // Concurrent lookups for the same (requester, key) coalesce onto one
 // probe round whose outcome fans out to all of them; the requester is
 // part of the flight key because the remote privacy gate answers per
@@ -166,6 +256,7 @@ func (f *Federation) Lookup(ctx context.Context, requester int, task uint8, key 
 // aborting any probe still on the wire.
 func (f *Federation) probeRound(ctx context.Context, requester int, task uint8, key string, desc feature.Descriptor) probeOutcome {
 	var cost time.Duration
+	var missed []string // owners probed before the hit, for read-repair
 	for _, id := range f.probeOrder(key) {
 		if ctx.Err() != nil {
 			break
@@ -181,34 +272,65 @@ func (f *Federation) probeRound(ctx context.Context, requester int, task uint8, 
 		cost += c
 		if r.Hit() {
 			f.addStat(func(s *FederationStats) { s.Hits++ })
+			f.readRepair(missed, desc, v)
 			return probeOutcome{value: v, res: r, peer: id, cost: cost, ok: true}
 		}
 		f.addStat(func(s *FederationStats) { s.Misses++ })
+		missed = append(missed, id)
 	}
 	return probeOutcome{res: LookupResult{Outcome: OutcomeMiss}, cost: cost}
 }
 
-// Publish routes a freshly computed result to its home peer so future
-// lookups from any edge find it in one hop. It is a no-op in broadcast
-// mode, when the home is this node, or when the home peer has no insert
-// path. Returns the peer published to, if any.
-func (f *Federation) Publish(desc feature.Descriptor, value []byte, cost float64) (string, bool) {
-	if f.ring == nil {
-		return "", false
+// readRepair pushes a value a replica served back to the owners earlier
+// in its successor list that missed.
+func (f *Federation) readRepair(missed []string, desc feature.Descriptor, value []byte) {
+	for _, id := range missed {
+		f.mu.Lock()
+		p, ok := f.peers[id]
+		f.mu.Unlock()
+		if !ok || p.Insert == nil {
+			continue
+		}
+		p.Insert(desc, value, 0)
+		f.addStat(func(s *FederationStats) { s.Repaired++ })
 	}
-	owner := f.ring.Owner(desc.Key())
-	if owner == f.self {
-		return "", false
-	}
+}
+
+// Publish routes a freshly computed result to the first rf owners of its
+// key so future lookups from any edge find it in one hop even when one
+// owner dies. This node is skipped (it already holds the value locally),
+// as are owners with no insert path. It is a no-op in broadcast mode.
+// Returns the peers published to, if any.
+func (f *Federation) Publish(desc feature.Descriptor, value []byte, cost float64) []string {
 	f.mu.Lock()
-	p, ok := f.peers[owner]
+	ring, rf := f.ring, f.rf
 	f.mu.Unlock()
-	if !ok || p.Insert == nil {
-		return "", false
+	if ring == nil {
+		return nil
 	}
-	p.Insert(desc, value, cost)
-	f.addStat(func(s *FederationStats) { s.Published++ })
-	return owner, true
+	return f.publishTo(ring.OwnersFor(desc.Key(), rf), desc, value, cost)
+}
+
+// publishTo inserts the value at every listed owner except this node,
+// counting each successful routing. It is the shared sink for Publish,
+// read-repair-style migration sweeps and decommission drains.
+func (f *Federation) publishTo(owners []string, desc feature.Descriptor, value []byte, cost float64) []string {
+	var sent []string
+	for _, owner := range owners {
+		if owner == f.self {
+			continue
+		}
+		f.mu.Lock()
+		p, ok := f.peers[owner]
+		f.mu.Unlock()
+		if !ok || p.Insert == nil {
+			continue
+		}
+		p.Insert(desc, value, cost)
+		f.addStat(func(s *FederationStats) { s.Published++ })
+		sent = append(sent, owner)
+	}
+	return sent
 }
 
 func (f *Federation) addStat(fn func(*FederationStats)) {

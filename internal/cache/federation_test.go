@@ -103,16 +103,17 @@ func TestFederationPublishRoutesToOwner(t *testing.T) {
 	fed.AddPeer("b", pb.peer())
 
 	remote := ownedBy(t, ring, "b")
-	if peer, ok := fed.Publish(remote, []byte("v"), 1); !ok || peer != "b" {
-		t.Fatalf("publish = %q, %v", peer, ok)
+	if sent := fed.Publish(remote, []byte("v"), 1); len(sent) != 1 || sent[0] != "b" {
+		t.Fatalf("publish = %v", sent)
 	}
 	if pb.inserts != 1 || pa.inserts != 0 {
 		t.Fatalf("inserts a=%d b=%d", pa.inserts, pb.inserts)
 	}
 
+	// rf=1: a self-owned key has no other owner to publish to.
 	local := ownedBy(t, ring, "self")
-	if _, ok := fed.Publish(local, []byte("v"), 1); ok {
-		t.Fatal("self-owned key must not publish")
+	if sent := fed.Publish(local, []byte("v"), 1); len(sent) != 0 {
+		t.Fatalf("self-owned key published to %v at rf=1", sent)
 	}
 	if got := fed.Stats().Published; got != 1 {
 		t.Fatalf("published = %d", got)
@@ -121,8 +122,116 @@ func TestFederationPublishRoutesToOwner(t *testing.T) {
 	// Broadcast mode never publishes.
 	bfed := NewFederation("self", nil)
 	bfed.AddPeer("a", pa.peer())
-	if _, ok := bfed.Publish(remote, []byte("v"), 1); ok {
+	if sent := bfed.Publish(remote, []byte("v"), 1); len(sent) != 0 {
 		t.Fatal("broadcast federation must not publish")
+	}
+}
+
+func TestFederationReplicatedPublishAndProbe(t *testing.T) {
+	ring := NewRing([]string{"self", "a", "b"}, 0)
+	fed := NewFederation("self", ring)
+	fed.SetReplication(2)
+	pa, pb := &fakePeer{}, &fakePeer{}
+	fed.AddPeer("a", pa.peer())
+	fed.AddPeer("b", pb.peer())
+
+	// Find a key whose first two owners are both remote peers.
+	var desc feature.Descriptor
+	found := false
+	for i := 0; i < 10000 && !found; i++ {
+		d := descForTest(i)
+		owners := ring.OwnersFor(d.Key(), 2)
+		if owners[0] == "a" && owners[1] == "b" {
+			desc, found = d, true
+		}
+	}
+	if !found {
+		t.Fatal("no key with owners [a b] in 10000 tries")
+	}
+
+	if sent := fed.Publish(desc, []byte("v"), 1); len(sent) != 2 {
+		t.Fatalf("rf=2 publish reached %v, want both owners", sent)
+	}
+	if pa.inserts != 1 || pb.inserts != 1 {
+		t.Fatalf("inserts a=%d b=%d", pa.inserts, pb.inserts)
+	}
+
+	// With the home dead (unregistered), the replica still answers.
+	fed.RemovePeer("a")
+	pb.value = []byte("vb")
+	v, _, peer, _, ok := fed.Lookup(context.Background(), -1, 0, desc.Key(), desc)
+	if !ok || peer != "b" || string(v) != "vb" {
+		t.Fatalf("replica lookup = %q from %q ok=%v", v, peer, ok)
+	}
+
+	// Self-owned keys still replicate to their successor at rf=2.
+	selfHome := ownedBy(t, ring, "self")
+	if sent := fed.Publish(selfHome, []byte("v"), 1); len(sent) != 1 {
+		t.Fatalf("self-homed rf=2 publish = %v, want one successor", sent)
+	}
+}
+
+func TestFederationReadRepair(t *testing.T) {
+	ring := NewRing([]string{"self", "a", "b"}, 0)
+	fed := NewFederation("self", ring)
+	fed.SetReplication(2)
+	// Home "a" lost the value (restart); replica "b" still has it.
+	pa, pb := &fakePeer{}, &fakePeer{value: []byte("v")}
+	fed.AddPeer("a", pa.peer())
+	fed.AddPeer("b", pb.peer())
+
+	var desc feature.Descriptor
+	found := false
+	for i := 0; i < 10000 && !found; i++ {
+		d := descForTest(i)
+		owners := ring.OwnersFor(d.Key(), 2)
+		if owners[0] == "a" && owners[1] == "b" {
+			desc, found = d, true
+		}
+	}
+	if !found {
+		t.Fatal("no key with owners [a b] in 10000 tries")
+	}
+
+	v, _, peer, _, ok := fed.Lookup(context.Background(), -1, 0, desc.Key(), desc)
+	if !ok || peer != "b" || string(v) != "v" {
+		t.Fatalf("lookup = %q from %q ok=%v", v, peer, ok)
+	}
+	if pa.inserts != 1 {
+		t.Fatalf("home received %d read-repair inserts, want 1", pa.inserts)
+	}
+	if st := fed.Stats(); st.Repaired != 1 {
+		t.Fatalf("Repaired = %d, want 1", st.Repaired)
+	}
+}
+
+func TestFederationSetRingRedirectsRouting(t *testing.T) {
+	ring := NewRing([]string{"self", "a"}, 0)
+	fed := NewFederation("self", ring)
+	pa, pb := &fakePeer{}, &fakePeer{}
+	fed.AddPeer("a", pa.peer())
+	fed.AddPeer("b", pb.peer())
+	if fed.RingVersion() != 1 {
+		t.Fatalf("ring version = %d", fed.RingVersion())
+	}
+
+	desc := ownedBy(t, ring, "a")
+	fed.Publish(desc, []byte("v"), 1)
+	if pa.inserts != 1 {
+		t.Fatalf("pre-swap publish went to a=%d b=%d", pa.inserts, pb.inserts)
+	}
+
+	// Membership change: "a" left, "b" joined. Publishes must re-route.
+	next := NewRingVersion([]string{"self", "b"}, 0, 2)
+	fed.SetRing(next)
+	fed.RemovePeer("a")
+	if fed.RingVersion() != 2 {
+		t.Fatalf("ring version after swap = %d", fed.RingVersion())
+	}
+	moved := ownedBy(t, next, "b")
+	fed.Publish(moved, []byte("v"), 1)
+	if pb.inserts != 1 || pa.inserts != 1 {
+		t.Fatalf("post-swap publish went to a=%d b=%d", pa.inserts, pb.inserts)
 	}
 }
 

@@ -8,18 +8,25 @@ import (
 
 // Ring is a consistent-hash ring partitioning the descriptor keyspace
 // across a federation of edge nodes. Every cache key has exactly one
-// "home" node; an edge that misses locally asks the key's home first, and
-// new results are published to the home, so one cheap edge-to-edge hop
-// resolves any key the federation has seen — without broadcasting to all
-// peers. Virtual nodes smooth the partition so capacity imbalance across
-// edges stays small even with few members.
+// "home" node — the first virtual node clockwise from the key's hash —
+// and, for replication factor rf > 1, a successor list of rf-1 backup
+// owners (OwnersFor). An edge that misses locally asks the key's owners
+// in order, and new results are published to the first rf owners, so one
+// cheap edge-to-edge hop resolves any key the federation has seen —
+// without broadcasting to all peers. Virtual nodes smooth the partition
+// so capacity imbalance across edges stays small even with few members.
 //
-// The ring is immutable after construction: membership changes in this
-// reproduction rebuild the ring (edges are provisioned, not churning), so
-// reads need no locking.
+// A Ring value is immutable after construction, so reads need no
+// locking. Membership changes build a *new* ring (see Federation.SetRing)
+// carrying a higher Version; the version is how migrators and metrics
+// observe rebalances. Because every federation member builds its own ring
+// and all must place a key identically, ring contents are a pure function
+// of the (order-independent) member set, and ringHash is fixed forever.
 type Ring struct {
-	nodes  []string
-	points []ringPoint // sorted by hash
+	nodes   []string
+	points  []ringPoint // sorted by hash
+	vnodes  int
+	version uint64
 }
 
 type ringPoint struct {
@@ -33,17 +40,23 @@ type ringPoint struct {
 const DefaultVnodes = 64
 
 // NewRing builds a ring over the given node IDs with `vnodes` virtual
-// nodes each (DefaultVnodes when <= 0). It panics on an empty or
-// duplicate membership — a construction bug.
+// nodes each (DefaultVnodes when <= 0), at Version 1. An empty membership
+// yields an empty ring — no owners for any key, so a federation degrades
+// to local-only operation rather than crashing (a node whose last peer
+// died keeps serving its own cache). Duplicate members still panic — that
+// is a construction bug, not a runtime condition.
 func NewRing(nodes []string, vnodes int) *Ring {
-	if len(nodes) == 0 {
-		panic("cache: ring needs at least one node")
-	}
+	return NewRingVersion(nodes, vnodes, 1)
+}
+
+// NewRingVersion is NewRing with an explicit version, used by membership
+// layers that rebuild the ring on every epoch change.
+func NewRingVersion(nodes []string, vnodes int, version uint64) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
 	seen := map[string]bool{}
-	r := &Ring{nodes: append([]string(nil), nodes...)}
+	r := &Ring{nodes: append([]string(nil), nodes...), vnodes: vnodes, version: version}
 	for i, n := range r.nodes {
 		if seen[n] {
 			panic(fmt.Sprintf("cache: duplicate ring node %q", n))
@@ -75,14 +88,72 @@ func ringHash(s string) uint64 {
 }
 
 // Owner returns the node ID responsible for key: the first virtual node
-// clockwise from the key's hash.
+// clockwise from the key's hash. An empty ring owns nothing ("").
 func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
 	h := ringHash(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
 	return r.nodes[r.points[i].node]
+}
+
+// OwnersFor returns the first rf distinct nodes clockwise from key's hash
+// — the home followed by its successors, the replica set for replication
+// factor rf. rf is clamped to the member count; an empty ring returns
+// nil. OwnersFor(key, 1)[0] == Owner(key).
+func (r *Ring) OwnersFor(key string, rf int) []string {
+	if len(r.points) == 0 || rf <= 0 {
+		return nil
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, rf)
+	taken := make(map[int]bool, rf)
+	for i := 0; i < len(r.points) && len(owners) < rf; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.node] {
+			continue
+		}
+		taken[p.node] = true
+		owners = append(owners, r.nodes[p.node])
+	}
+	return owners
+}
+
+// Without derives the ring that results from removing node — same vnode
+// count, version bumped by one. Used at decommission time to compute
+// where this node's home keys go once it leaves. Removing an absent node
+// just reproduces the ring at the bumped version.
+func (r *Ring) Without(node string) *Ring {
+	nodes := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			nodes = append(nodes, n)
+		}
+	}
+	return NewRingVersion(nodes, r.vnodes, r.version+1)
+}
+
+// Version reports the ring's membership epoch. Rings built by NewRing
+// start at 1; membership layers bump it on every rebuild so observers
+// (migrator, metrics) can detect rebalances.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Contains reports whether node is a ring member.
+func (r *Ring) Contains(node string) bool {
+	for _, n := range r.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 // Nodes returns the membership in construction order.

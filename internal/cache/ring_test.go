@@ -43,16 +43,102 @@ func TestRingSingleNodeOwnsEverything(t *testing.T) {
 	}
 }
 
-func TestRingRejectsBadMembership(t *testing.T) {
-	for _, nodes := range [][]string{{}, {"a", "a"}} {
-		nodes := nodes
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("NewRing(%v) must panic", nodes)
-				}
-			}()
-			NewRing(nodes, 0)
-		}()
+func TestRingRejectsDuplicateMembership(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewRing with duplicate nodes must panic")
+		}
+	}()
+	NewRing([]string{"a", "a"}, 0)
+}
+
+// Regression: an empty membership used to panic, crashing a node whose
+// last peer died. It must instead degrade to a ring that owns nothing so
+// the federation falls back to local-only operation.
+func TestRingEmptyMembershipDegrades(t *testing.T) {
+	r := NewRing(nil, 0)
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("Owner on empty ring = %q, want \"\"", got)
+	}
+	if got := r.OwnersFor("k", 2); got != nil {
+		t.Fatalf("OwnersFor on empty ring = %v, want nil", got)
+	}
+	// A federation over an empty ring must serve local-only, not crash.
+	f := NewFederation("solo", r)
+	if order := f.probeOrder("k"); len(order) != 0 {
+		t.Fatalf("probeOrder over empty ring = %v, want none", order)
+	}
+}
+
+func TestRingOwnersFor(t *testing.T) {
+	nodes := []string{"edge-0", "edge-1", "edge-2", "edge-3"}
+	r := NewRing(nodes, 0)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.OwnersFor(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("OwnersFor(%q, 2) = %v", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("first owner %q != Owner %q for %q", owners[0], r.Owner(key), key)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("duplicate owners for %q: %v", key, owners)
+		}
+		// rf beyond the member count clamps; all members appear once.
+		all := r.OwnersFor(key, 99)
+		if len(all) != len(nodes) {
+			t.Fatalf("OwnersFor(%q, 99) = %v, want all %d members", key, all, len(nodes))
+		}
+		seen := map[string]bool{}
+		for _, o := range all {
+			if seen[o] {
+				t.Fatalf("member %q repeated in %v", o, all)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// The successor list must be stable under unrelated membership changes:
+// removing a node only reassigns keys that node owned.
+func TestRingOwnersForStableUnderRemoval(t *testing.T) {
+	full := NewRing([]string{"edge-0", "edge-1", "edge-2", "edge-3"}, 0)
+	reduced := full.Without("edge-3")
+	if reduced.Version() != full.Version()+1 {
+		t.Fatalf("Without must bump version: %d -> %d", full.Version(), reduced.Version())
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before != "edge-3" && before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed alive", key, before, after)
+		}
+		if before == "edge-3" {
+			moved++
+			if after == "edge-3" {
+				t.Fatalf("key %q still owned by removed node", key)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("sweep never exercised a removed-owner key")
+	}
+}
+
+func TestRingVersion(t *testing.T) {
+	if v := NewRing([]string{"a"}, 0).Version(); v != 1 {
+		t.Fatalf("NewRing version = %d, want 1", v)
+	}
+	if v := NewRingVersion([]string{"a"}, 0, 7).Version(); v != 7 {
+		t.Fatalf("NewRingVersion(7) = %d", v)
+	}
+	r := NewRingVersion([]string{"a", "b"}, 0, 3)
+	if !r.Contains("a") || r.Contains("c") {
+		t.Fatalf("Contains misreports membership")
 	}
 }

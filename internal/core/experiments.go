@@ -531,3 +531,303 @@ func RunThresholdSweep(p Params, thresholds []float64, pairs int) []ThresholdPoi
 func dist(a, b feature.Descriptor) float64 {
 	return feature.L2Distance(a.Vec, b.Vec)
 }
+
+// ChurnRow is one point of the membership-churn ablation.
+type ChurnRow struct {
+	Edges int
+	// Cycles is how many crash+rejoin cycles hit the fleet mid-run.
+	Cycles int
+	// Dynamic: the ring is rebuilt (and keys migrated) on every
+	// membership change — the gossip pipeline's routing behaviour.
+	// False is the static-ring baseline: dead members keep their ring
+	// arc and every lookup homed there pays a cloud fetch.
+	Dynamic bool
+	// RF is the replication factor both modes run with.
+	RF     int
+	Events int
+	Errors int
+	// HitRatio aggregates exact+similar+peer hits over lookups across
+	// every edge.
+	HitRatio  float64
+	PeerHits  uint64
+	Published uint64
+	// Repaired counts read-repair inserts (a replica answered a probe
+	// its home missed).
+	Repaired uint64
+	// Migrated counts keys re-homed by post-change migration sweeps.
+	Migrated int
+	// RingVersion is the final ring version (1 when the ring never moved).
+	RingVersion  uint64
+	CloudFetches int
+	P50, P99     time.Duration
+}
+
+// ChurnConfigExp parameterises RunChurn.
+type ChurnConfigExp struct {
+	// Cond is the per-edge client/cloud network condition (the 200/20
+	// mid-sweep when zero); PeerCond shapes the edge↔edge mesh.
+	Cond     netsim.Condition
+	PeerCond netsim.PeerCondition
+	// Edges is the fleet size (4 when 0); RF the replication factor
+	// (2 when 0).
+	Edges int
+	RF    int
+	// CycleCounts sweeps how many crash+rejoin cycles are spread across
+	// the run (0 = stable fleet).
+	CycleCounts []int
+	// Events is the shared workload replayed at every point.
+	Events []trace.Event
+	// Baseline also runs each point against a static ring.
+	Baseline bool
+}
+
+// RunChurn is the dynamic-membership ablation: the same workload
+// replayed over a replicated federation while members crash and rejoin
+// mid-run. In dynamic mode the ring is rebuilt on every change and
+// migration sweeps re-home the moved keys (what the gossip protocol
+// automates over TCP); the static baseline keeps the boot-time ring, so
+// a dead member's arc of the keyspace degrades to cloud fetches until it
+// returns. The gap between the two rows is what dynamic membership buys.
+func RunChurn(p Params, cfg ChurnConfigExp) ([]ChurnRow, error) {
+	if cfg.Cond.MobileEdge == 0 {
+		cfg.Cond = netsim.Condition{Name: "200/20", MobileEdge: 200, EdgeCloud: 20}
+	}
+	if cfg.PeerCond.BandwidthMbps == 0 {
+		cfg.PeerCond = netsim.DefaultPeerCondition()
+	}
+	if cfg.Edges <= 0 {
+		cfg.Edges = 4
+	}
+	if cfg.RF <= 0 {
+		cfg.RF = 2
+	}
+	if len(cfg.CycleCounts) == 0 {
+		cfg.CycleCounts = []int{0, 1, 2}
+	}
+	var rows []ChurnRow
+	for _, cycles := range cfg.CycleCounts {
+		modes := []bool{true}
+		if cfg.Baseline && cycles > 0 {
+			// A stable fleet makes both modes identical; one row suffices.
+			modes = []bool{false, true}
+		}
+		for _, dynamic := range modes {
+			row, err := runChurnPoint(p, cfg, cycles, dynamic)
+			if err != nil {
+				return nil, fmt.Errorf("churn %d cycles dynamic=%v: %w", cycles, dynamic, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runChurnPoint(p Params, cfg ChurnConfigExp, cycles int, dynamic bool) (ChurnRow, error) {
+	n := cfg.Edges
+	cloud := NewCloud(p)
+	edges := make([]*Edge, n)
+	topos := make([]*netsim.Topology, n)
+	for i := range edges {
+		edges[i] = NewEdge(p)
+		topos[i] = netsim.NewTopology(cfg.Cond, p.Seed+uint64(i))
+	}
+	mesh := netsim.NewMesh(n, cfg.PeerCond, p.Seed)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = EdgeID(i)
+	}
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	row := ChurnRow{Edges: n, Cycles: cycles, Dynamic: dynamic, RF: cfg.RF}
+	staticRing := cache.NewRing(ids, 0)
+	curRing := staticRing
+	version := uint64(1)
+	var published, repaired uint64
+
+	// deadPeer keeps a crashed member addressable on the static ring:
+	// probes miss and publishes vanish, exactly what routing to a dead
+	// TCP peer degrades to after its dial backoff.
+	deadPeer := cache.Peer{
+		Probe: func(context.Context, int, uint8, feature.Descriptor) ([]byte, cache.LookupResult, time.Duration) {
+			return nil, cache.LookupResult{Outcome: cache.OutcomeMiss}, 0
+		},
+		Insert: func(feature.Descriptor, []byte, float64) {},
+	}
+
+	// refederate rebuilds every live edge's federation over the current
+	// membership. Dynamic mode shrinks the ring to the alive set at a
+	// bumped version; the baseline keeps the full boot-time ring and
+	// swaps dead members' transports for tombstones.
+	refederate := func() {
+		if dynamic {
+			var liveIDs []string
+			for i, ok := range alive {
+				if ok {
+					liveIDs = append(liveIDs, ids[i])
+				}
+			}
+			curRing = cache.NewRingVersion(liveIDs, 0, version)
+		}
+		for i, e := range edges {
+			if dynamic && !alive[i] {
+				continue // a crashed member routes nothing until it rejoins
+			}
+			fed := cache.NewFederation(ids[i], curRing)
+			fed.SetReplication(cfg.RF)
+			for j, pe := range edges {
+				if j == i {
+					continue
+				}
+				if alive[j] {
+					link := mesh.Link(i, j)
+					fed.AddPeer(ids[j], cache.Peer{
+						Probe:  peerProbe(pe, link),
+						Insert: peerInsert(pe, link),
+					})
+				} else if !dynamic {
+					fed.AddPeer(ids[j], deadPeer)
+				}
+			}
+			if old := e.Federation(); old != nil {
+				st := old.Stats()
+				published += st.Published
+				repaired += st.Repaired
+			}
+			e.SetFederation(fed, true)
+		}
+	}
+	refederate()
+
+	// Crash drops a member without warning (no drain — that is the
+	// graceful path); in dynamic mode the survivors rebuild the ring and
+	// sweep their residents so keys the dead member owned re-home from
+	// surviving replicas. Rejoin brings it back warm (a restart that kept
+	// its disk cache); survivors sweep again to hand over its arc.
+	applyChange := func(victim int, up bool) {
+		alive[victim] = up
+		if !dynamic {
+			refederate()
+			return
+		}
+		version++
+		prev := curRing
+		refederate()
+		for i, e := range edges {
+			if !alive[i] {
+				continue
+			}
+			mig := cache.NewMigrator(e.Cache, e.Federation(), 0)
+			row.Migrated += mig.Sweep(context.Background(), prev)
+		}
+	}
+
+	// Route each client to its cell's edge, falling over to the next
+	// live one while it is down (the client reconnects elsewhere).
+	edgeFor := func(ev trace.Event) int {
+		base := ev.Cell % n
+		for k := 0; k < n; k++ {
+			if alive[(base+k)%n] {
+				return (base + k) % n
+			}
+		}
+		return base
+	}
+
+	full := dnn.NewEdgeNet(p.Classes(), p.DNNInput, p.Seed)
+	trunk := full.Trunk()
+	sessions := map[int]*Session{}
+	sessionFor := func(user, edge int) *Session {
+		key := user*n + edge
+		if s, ok := sessions[key]; ok {
+			return s
+		}
+		c := &Client{ID: user, Params: p, Trunk: trunk}
+		s := NewSession(c, edges[edge], cloud, topos[edge])
+		sessions[key] = s
+		return s
+	}
+
+	var last time.Duration
+	for _, ev := range cfg.Events {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+
+	all := &metrics.Histogram{}
+	renderModels := cloud.AnnotationModelIDs()
+	eng := sim.New(epoch)
+	// Spread 2*cycles membership changes evenly through the run: cycle k
+	// crashes member 1+k%(n-1) (member 0 is the stable seed) and rejoins
+	// it one slot later.
+	for j := 0; j < 2*cycles; j++ {
+		victim := 1 + (j/2)%(n-1)
+		up := j%2 == 1
+		at := last * time.Duration(j+1) / time.Duration(2*cycles+1)
+		eng.Schedule(epoch.Add(at), func() { applyChange(victim, up) })
+	}
+	for _, ev := range cfg.Events {
+		ev := ev
+		eng.Schedule(epoch.Add(ev.At), func() {
+			sess := sessionFor(ev.User, edgeFor(ev))
+			var (
+				b   Breakdown
+				err error
+			)
+			switch ev.Task {
+			case wire.TaskRecognize:
+				class := vision.Class(ev.Object % int(vision.NumClasses))
+				b, _, err = sess.Recognize(context.Background(), eng.Now(), class, ev.ViewSeed, ModeCoIC)
+			case wire.TaskRender:
+				id := renderModels[ev.Object%len(renderModels)]
+				b, err = sess.Render(context.Background(), eng.Now(), id, ModeCoIC)
+			case wire.TaskPano:
+				video := fmt.Sprintf("video-%d", ev.Object%4)
+				vp := pano.Viewport{Yaw: float64(ev.ViewSeed%628) / 100, FOV: 1.6}
+				b, err = sess.Pano(context.Background(), eng.Now(), video, ev.Frame, vp, ModeCoIC)
+			default:
+				err = fmt.Errorf("core: unknown task %v", ev.Task)
+			}
+			row.Events++
+			if err != nil {
+				row.Errors++
+				return
+			}
+			if b.Cloud > 0 {
+				row.CloudFetches++
+			}
+			all.Record(b.Total())
+		})
+	}
+	eng.Run()
+
+	var lookups, hits uint64
+	for _, e := range edges {
+		st := e.Stats()
+		row.PeerHits += st.PeerHits
+		for _, v := range st.Lookups {
+			lookups += v
+		}
+		for _, v := range st.Exact {
+			hits += v
+		}
+		for _, v := range st.Similar {
+			hits += v
+		}
+		if fed := e.Federation(); fed != nil {
+			fst := fed.Stats()
+			published += fst.Published
+			repaired += fst.Repaired
+		}
+	}
+	row.Published, row.Repaired = published, repaired
+	if lookups > 0 {
+		row.HitRatio = float64(hits) / float64(lookups)
+	}
+	row.RingVersion = curRing.Version()
+	row.P50, row.P99 = all.Median(), all.P99()
+	return row, nil
+}

@@ -501,10 +501,11 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenant
 		class, deadlineMicros := wire.PeekQoS(msg.Type, msg.Body)
 		trace := wire.PeekTrace(msg.Type, msg.Body)
 		// Federation frames carry no trailer but sit on another edge's
-		// client critical path: schedule them as interactive, or a
-		// sustained interactive stream here would starve peer probes
-		// into timeout+backoff and silently degrade the federation.
-		if msg.Type == wire.MsgPeerLookup || msg.Type == wire.MsgPeerInsert {
+		// client critical path (or carry the fleet's failure detector):
+		// schedule them as interactive, or a sustained interactive stream
+		// here would starve peer probes and gossip into timeout+backoff
+		// and silently degrade the federation.
+		if isFederationFrame(msg.Type) {
 			class = wire.QoSInteractive
 		}
 		var deadline time.Time
@@ -515,7 +516,7 @@ func connPipeline(ctx context.Context, conn net.Conn, workers, depth int, tenant
 		// tenant's token bucket rejects never competes for queue room.
 		// Federation frames ride another edge's client critical path and
 		// are exempt — they are not this tenant's traffic to ration.
-		if msg.Type != wire.MsgPeerLookup && msg.Type != wire.MsgPeerInsert && !tenants.Admit(tenant) {
+		if !isFederationFrame(msg.Type) && !tenants.Admit(tenant) {
 			if hooks.onQuota != nil {
 				hooks.onQuota(tenant)
 			}
@@ -860,11 +861,22 @@ type EdgeServer struct {
 	Tenants *TenantPolicy
 	// Obs, when non-nil, feeds the live metrics plane (see NewServerObs).
 	Obs *ServerObs
+	// Replication is how many ring owners each published key is copied
+	// to (the federation's replication factor); 0 or 1 is home-only.
+	// Read by SetupFederation and SetupGossip.
+	Replication int
+	// GossipInterval is the membership protocol period (the member
+	// package's default when 0); MigrateRate caps background key
+	// migration in keys/second (0 is unthrottled). Both only matter
+	// after SetupGossip.
+	GossipInterval time.Duration
+	MigrateRate    int
 
 	mu     sync.Mutex
 	cloud  *cloudMux
 	peers  map[string]*peerConn
 	scenes *scene.Registry
+	gossip *gossipState
 
 	cloudFetches atomic.Uint64
 	sched        schedCounters
@@ -1255,6 +1267,7 @@ func (s *EdgeServer) SetupFederation(self string, peerAddrs []string) error {
 	nodes := append([]string{self}, peerAddrs...)
 	ring := cache.NewRing(nodes, 0)
 	fed := cache.NewFederation(self, ring)
+	fed.SetReplication(s.Replication)
 	s.peers = map[string]*peerConn{}
 	for _, addr := range peerAddrs {
 		pc := &peerConn{addr: addr, wrap: s.WrapPeer}
@@ -1319,8 +1332,25 @@ func (s *EdgeServer) Serve(ln net.Listener) error {
 
 // ServeContext accepts client connections until the listener closes or
 // ctx is cancelled; cancellation drains in-flight requests before
-// returning nil (graceful shutdown).
+// returning nil (graceful shutdown). With gossip configured
+// (SetupGossip) it also runs the membership protocol and the migration
+// worker, and on cancellation performs the graceful decommission —
+// drain home keys to ring successors, broadcast member-leave — before
+// returning, so a SIGTERMed edge exits without losing the fleet's keys.
 func (s *EdgeServer) ServeContext(ctx context.Context, ln net.Listener) error {
+	if g := s.gossip; g != nil {
+		gctx, gcancel := context.WithCancel(context.Background())
+		defer gcancel()
+		go g.agent.Run(gctx)
+		go s.migrateLoop(gctx)
+		// Decommission runs after serveLoop has drained in-flight work
+		// but before gcancel (LIFO), while outbound transports still work.
+		defer func() {
+			if ctx.Err() != nil {
+				s.Decommission()
+			}
+		}()
+	}
 	return serveLoop(ctx, ln, s.WrapClient, s.handle)
 }
 
@@ -1585,6 +1615,25 @@ func (s *EdgeServer) dispatch(ctx context.Context, msg wire.Message, mode Mode, 
 		s.Edge.AdoptRemote(req.Desc, req.Value, req.Cost)
 		body, _ := (wire.PeerReply{Outcome: wire.ProbeMiss}).Marshal()
 		return wire.Message{Type: wire.MsgPeerReply, RequestID: msg.RequestID, Body: body}
+
+	case wire.MsgMemberPing, wire.MsgMemberGossip, wire.MsgMemberLeave:
+		// A fleet member gossiping its view (the kinds differ only in
+		// intent — a leave is just the sender marked dead). Merge it and
+		// ack with ours: every exchange is bidirectional anti-entropy.
+		g := s.gossip
+		if g == nil {
+			return fail(wire.CodeBadRequest, "membership gossip not enabled on this edge")
+		}
+		req, err := wire.UnmarshalMembership(msg.Body)
+		if err != nil {
+			return fail(wire.CodeBadRequest, "bad membership frame: %v", err)
+		}
+		ack := g.agent.HandleDigest(digestFromWire(req))
+		body, err := digestToWire(ack).Marshal()
+		if err != nil {
+			return fail(wire.CodeInternal, "membership ack: %v", err)
+		}
+		return wire.Message{Type: wire.MsgMemberAck, RequestID: msg.RequestID, Body: body}
 
 	default:
 		return fail(wire.CodeBadRequest, "edge cannot handle %v", msg.Type)

@@ -1,0 +1,201 @@
+package member
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+)
+
+// Kind selects what a transmitted digest means; the transport maps it to
+// the corresponding wire frame (member-ping / member-gossip /
+// member-leave — member-ack is the reply direction and never originated).
+type Kind uint8
+
+const (
+	KindPing   Kind = iota // liveness probe, ack expected
+	KindGossip             // unsolicited push (join announcement)
+	KindLeave              // graceful departure notice
+)
+
+// ProbeFunc delivers a digest to addr and returns the peer's answering
+// digest. Every membership exchange is bidirectional anti-entropy: even
+// gossip and leave notices are acked with the receiver's view, which the
+// sender merges for free. An error means the peer could not be reached
+// (for KindPing that is evidence of failure; for the others it is
+// ignored — they are best-effort).
+type ProbeFunc func(ctx context.Context, addr string, kind Kind, d Digest) (Digest, error)
+
+// Config assembles an Agent.
+type Config struct {
+	// Self is this node's member ID — its dialable edge address.
+	Self string
+	// Seeds are addresses to contact when the view holds no other live
+	// member: initial join, and rejoin after everyone else vanished.
+	// Self is skipped, so all fleet members can share one seed list.
+	Seeds []string
+	// Interval is the protocol period (one probe per period).
+	// Defaults to 500ms.
+	Interval time.Duration
+	// SuspectTimeout is how long a suspicion lasts before the member is
+	// declared dead. Defaults to 4 intervals.
+	SuspectTimeout time.Duration
+	// Probe is the transport (required).
+	Probe ProbeFunc
+	// OnChange fires after any view change, outside the view's lock —
+	// the serving glue rebuilds the ring there. Optional.
+	OnChange func()
+	// Now is the clock (time.Now when nil); tests inject a manual one.
+	Now func() time.Time
+}
+
+// Agent runs the gossip protocol over a View: one probe per period to
+// the next member in ID order (round-robin over alive + suspect members,
+// so a suspect gets a chance to refute before it expires), seed dialing
+// when alone, suspicion on probe failure, and expiry sweeps.
+type Agent struct {
+	cfg  Config
+	view *View
+
+	rrNext int // round-robin cursor into the sorted target list
+}
+
+// NewAgent validates cfg and builds the agent (not yet running — call
+// Run, or drive Tick manually in tests).
+func NewAgent(cfg Config) (*Agent, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("member: Config.Self required")
+	}
+	if cfg.Probe == nil {
+		return nil, errors.New("member: Config.Probe required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 4 * cfg.Interval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Agent{cfg: cfg, view: NewView(cfg.Self, cfg.Now())}, nil
+}
+
+// View exposes the agent's membership table.
+func (a *Agent) View() *View { return a.view }
+
+// Run executes protocol periods until ctx dies. The first period runs
+// immediately so a booting node joins without waiting out an interval.
+func (a *Agent) Run(ctx context.Context) {
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	a.Tick(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			a.Tick(ctx)
+		}
+	}
+}
+
+// Tick runs one protocol period: expire overdue suspects, pick the next
+// probe target (a live/suspect member, or a seed when alone), ping it,
+// and fold the outcome into the view. Tick is not safe for concurrent
+// use with itself (Run serialises it); it is safe against HandleDigest.
+func (a *Agent) Tick(ctx context.Context) {
+	now := a.cfg.Now()
+	changed := a.view.Expire(now, a.cfg.SuspectTimeout)
+
+	target, seeded := a.nextTarget()
+	if target != "" {
+		d, err := a.cfg.Probe(ctx, target, KindPing, a.view.Digest())
+		if err == nil {
+			if a.view.Merge(d, now) {
+				changed = true
+			}
+			if a.view.ObserveAlive(target, now) {
+				changed = true
+			}
+		} else if !seeded {
+			// A seed that does not answer is not a member yet — there is
+			// nothing to suspect. A member that does not answer is.
+			if a.view.MarkSuspect(target, now) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		a.notify()
+	}
+}
+
+// nextTarget picks who to probe this period: round-robin over the sorted
+// alive+suspect members (excluding self); when there are none, cycle
+// through the seeds not already in the view (initial join, or retry
+// after every peer died — the solo-degradation path keeps gossiping so a
+// healed partition re-forms the fleet).
+func (a *Agent) nextTarget() (addr string, seeded bool) {
+	var targets []string
+	d := a.view.Digest()
+	known := make(map[string]bool, len(d.Entries))
+	for _, e := range d.Entries {
+		known[e.ID] = true
+		if e.ID != a.cfg.Self && e.Status != Dead {
+			targets = append(targets, e.ID)
+		}
+	}
+	if len(targets) == 0 {
+		for _, s := range a.cfg.Seeds {
+			if s != a.cfg.Self && !known[s] {
+				targets = append(targets, s)
+			}
+		}
+		if len(targets) == 0 {
+			return "", false
+		}
+		seeded = true
+	}
+	sort.Strings(targets)
+	a.rrNext++
+	return targets[a.rrNext%len(targets)], seeded
+}
+
+// HandleDigest is the receive path: the serving glue calls it for every
+// incoming membership frame (ping, gossip or leave — the kinds differ
+// only in intent; a leave simply carries the sender marked dead) and
+// replies with the returned digest as member-ack.
+func (a *Agent) HandleDigest(d Digest) Digest {
+	if a.view.Merge(d, a.cfg.Now()) {
+		a.notify()
+	}
+	return a.view.Digest()
+}
+
+// Leave marks this node dead at a bumped incarnation and broadcasts the
+// notice to every member it believes alive, best-effort within ctx. The
+// caller drains its home keys (cache.Migrator.Drain) before or after —
+// order does not matter, since peers stop routing to us only once they
+// merge the leave.
+func (a *Agent) Leave(ctx context.Context) {
+	d := a.view.Leave(a.cfg.Now())
+	a.notify()
+	for _, e := range d.Entries {
+		if e.ID == a.cfg.Self || e.Status != Alive {
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		// Best effort: a peer we cannot reach will suspect and expire us
+		// on its own schedule.
+		_, _ = a.cfg.Probe(ctx, e.ID, KindLeave, d)
+	}
+}
+
+func (a *Agent) notify() {
+	if a.cfg.OnChange != nil {
+		a.cfg.OnChange()
+	}
+}

@@ -1,0 +1,343 @@
+package member
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2018, 8, 20, 9, 0, 0, 0, time.UTC)
+
+// manualClock is a deterministic injectable clock.
+type manualClock struct{ now time.Time }
+
+func (c *manualClock) Now() time.Time          { return c.now }
+func (c *manualClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestViewMergeConverges(t *testing.T) {
+	a := NewView("edge-a", t0)
+	b := NewView("edge-b", t0)
+
+	// One bidirectional exchange: both learn the other.
+	if !b.Merge(a.Digest(), t0) {
+		t.Fatal("b learned nothing from a")
+	}
+	if !a.Merge(b.Digest(), t0) {
+		t.Fatal("a learned nothing from b")
+	}
+	wantAlive := []string{"edge-a", "edge-b"}
+	if got := a.AliveIDs(); !reflect.DeepEqual(got, wantAlive) {
+		t.Fatalf("a alive = %v", got)
+	}
+	if got := b.AliveIDs(); !reflect.DeepEqual(got, wantAlive) {
+		t.Fatalf("b alive = %v", got)
+	}
+	// Re-merging identical state changes nothing and keeps the epoch.
+	e := a.Epoch()
+	if a.Merge(b.Digest(), t0) {
+		t.Fatal("idempotent merge reported a change")
+	}
+	if a.Epoch() != e {
+		t.Fatalf("epoch moved on a no-op merge: %d -> %d", e, a.Epoch())
+	}
+}
+
+func TestViewSeverityAndIncarnationOrder(t *testing.T) {
+	v := NewView("self", t0)
+	v.Merge(Digest{From: "x", Entries: []Entry{{ID: "x", Incarnation: 2, Status: Alive}}}, t0)
+
+	// Same incarnation: suspect beats alive, dead beats suspect.
+	if !v.Merge(Digest{From: "y", Entries: []Entry{{ID: "x", Incarnation: 2, Status: Suspect}}}, t0) {
+		t.Fatal("equal-incarnation suspect did not supersede alive")
+	}
+	// Lower incarnation never wins, whatever the status.
+	if v.Merge(Digest{From: "y", Entries: []Entry{{ID: "x", Incarnation: 1, Status: Dead}}}, t0) {
+		t.Fatal("stale dead rumour superseded fresher state")
+	}
+	// Alive at the same incarnation cannot undo suspicion…
+	if v.Merge(Digest{From: "y", Entries: []Entry{{ID: "x", Incarnation: 2, Status: Alive}}}, t0) {
+		t.Fatal("equal-incarnation alive resurrected a suspect")
+	}
+	// …but a higher incarnation (x refuting) can.
+	if !v.Merge(Digest{From: "x", Entries: []Entry{{ID: "x", Incarnation: 3, Status: Alive}}}, t0) {
+		t.Fatal("refutation at a higher incarnation was ignored")
+	}
+	st, _ := v.Status("x")
+	if st.Status != Alive || st.Incarnation != 3 {
+		t.Fatalf("x = %+v", st)
+	}
+}
+
+func TestViewSelfRefutation(t *testing.T) {
+	v := NewView("self", t0)
+	before, _ := v.Status("self")
+
+	// A rumour of our death must be refuted by outbidding its incarnation.
+	if !v.Merge(Digest{From: "x", Entries: []Entry{{ID: "self", Incarnation: 5, Status: Dead}}}, t0) {
+		t.Fatal("self-death rumour ignored")
+	}
+	after, _ := v.Status("self")
+	if after.Status != Alive || after.Incarnation != 6 {
+		t.Fatalf("self = %+v after refuting inc-5 death (was %+v)", after, before)
+	}
+
+	// After Leave, the death is ours and must NOT be refuted.
+	v.Leave(t0)
+	v.Merge(Digest{From: "x", Entries: []Entry{{ID: "self", Incarnation: 7, Status: Suspect}}}, t0)
+	final, _ := v.Status("self")
+	if final.Status != Dead {
+		t.Fatalf("left node refuted its own departure: %+v", final)
+	}
+}
+
+func TestViewSuspectExpiryAndRecovery(t *testing.T) {
+	v := NewView("self", t0)
+	v.Merge(Digest{From: "x", Entries: []Entry{{ID: "x", Incarnation: 1, Status: Alive}}}, t0)
+
+	if !v.MarkSuspect("x", t0) {
+		t.Fatal("MarkSuspect on an alive member returned false")
+	}
+	if v.MarkSuspect("x", t0.Add(time.Second)) {
+		t.Fatal("re-suspecting must not restart the timer")
+	}
+	// Direct evidence (a completed probe) clears the suspicion.
+	if !v.ObserveAlive("x", t0.Add(time.Second)) {
+		t.Fatal("ObserveAlive on a suspect returned false")
+	}
+	st, _ := v.Status("x")
+	if st.Status != Alive {
+		t.Fatalf("x = %+v after direct evidence", st)
+	}
+
+	// Unrefuted suspicion expires into death.
+	v.MarkSuspect("x", t0)
+	if v.Expire(t0.Add(time.Second), 2*time.Second) {
+		t.Fatal("expired before the timeout")
+	}
+	if !v.Expire(t0.Add(2*time.Second), 2*time.Second) {
+		t.Fatal("did not expire at the timeout")
+	}
+	alive, suspect, dead := v.Counts()
+	if alive != 1 || suspect != 0 || dead != 1 {
+		t.Fatalf("counts = %d/%d/%d", alive, suspect, dead)
+	}
+	if ids := v.AliveIDs(); !reflect.DeepEqual(ids, []string{"self"}) {
+		t.Fatalf("alive = %v", ids)
+	}
+}
+
+// Suspects keep their ring arc: RingMembers drops a member only once it
+// is declared dead, so a single dropped probe cannot re-home keys.
+func TestViewRingMembersKeepSuspects(t *testing.T) {
+	v := NewView("self", t0)
+	v.Merge(Digest{From: "x", Entries: []Entry{{ID: "x", Incarnation: 1, Status: Alive}}}, t0)
+	v.MarkSuspect("x", t0)
+	if got := v.RingMembers(); !reflect.DeepEqual(got, []string{"self", "x"}) {
+		t.Fatalf("ring members with a suspect = %v", got)
+	}
+	v.Expire(t0.Add(time.Minute), time.Second)
+	if got := v.RingMembers(); !reflect.DeepEqual(got, []string{"self"}) {
+		t.Fatalf("ring members after death = %v", got)
+	}
+	// A left node excludes itself (its own status is dead).
+	v.Leave(t0.Add(time.Minute))
+	if got := v.RingMembers(); len(got) != 0 {
+		t.Fatalf("ring members after leave = %v", got)
+	}
+}
+
+// A node that restarts (fresh incarnation 1) must be able to rejoin a
+// fleet that still holds its death at a higher incarnation — by merging
+// the tombstone and refuting it.
+func TestViewRestartRejoinsThroughRefutation(t *testing.T) {
+	fleet := NewView("a", t0)
+	fleet.Merge(Digest{From: "b", Entries: []Entry{{ID: "b", Incarnation: 4, Status: Dead}}}, t0)
+
+	restarted := NewView("b", t0)
+	// The restarted node announces itself; the fleet's tombstone wins.
+	fleet.Merge(restarted.Digest(), t0)
+	if st, _ := fleet.Status("b"); st.Status != Dead {
+		t.Fatalf("fresh inc-1 alive beat inc-4 dead: %+v", st)
+	}
+	// The ack carries the tombstone back; the node refutes it…
+	restarted.Merge(fleet.Digest(), t0)
+	if st, _ := restarted.Status("b"); st.Status != Alive || st.Incarnation != 5 {
+		t.Fatalf("restarted node failed to refute its tombstone: %+v", st)
+	}
+	// …and the next exchange resurrects it fleet-wide.
+	fleet.Merge(restarted.Digest(), t0)
+	if st, _ := fleet.Status("b"); st.Status != Alive || st.Incarnation != 5 {
+		t.Fatalf("fleet did not accept the refutation: %+v", st)
+	}
+}
+
+// pipe wires two agents' probes directly to each other's HandleDigest.
+type pipe struct {
+	agents map[string]*Agent
+	fail   map[string]bool // addresses that drop probes
+}
+
+func (p *pipe) probe(_ context.Context, addr string, kind Kind, d Digest) (Digest, error) {
+	if p.fail[addr] {
+		return Digest{}, errors.New("unreachable")
+	}
+	a, ok := p.agents[addr]
+	if !ok {
+		return Digest{}, errors.New("no such member")
+	}
+	return a.HandleDigest(d), nil
+}
+
+func agentFor(t *testing.T, p *pipe, clk *manualClock, self string, seeds ...string) *Agent {
+	t.Helper()
+	a, err := NewAgent(Config{
+		Self:           self,
+		Seeds:          seeds,
+		Interval:       100 * time.Millisecond,
+		SuspectTimeout: 300 * time.Millisecond,
+		Probe:          p.probe,
+		Now:            clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.agents[self] = a
+	return a
+}
+
+func TestAgentJoinViaSeedAndConvergence(t *testing.T) {
+	clk := &manualClock{now: t0}
+	p := &pipe{agents: map[string]*Agent{}, fail: map[string]bool{}}
+	seed := agentFor(t, p, clk, "edge-seed")
+	a := agentFor(t, p, clk, "edge-a", "edge-seed")
+	b := agentFor(t, p, clk, "edge-b", "edge-seed")
+
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		a.Tick(ctx)
+		b.Tick(ctx)
+		seed.Tick(ctx)
+		clk.Advance(100 * time.Millisecond)
+	}
+	want := []string{"edge-a", "edge-b", "edge-seed"}
+	for _, ag := range []*Agent{seed, a, b} {
+		if got := ag.View().AliveIDs(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s alive = %v, want %v", ag.View().Self(), got, want)
+		}
+	}
+}
+
+func TestAgentDeathConvergesSuspectThenDead(t *testing.T) {
+	clk := &manualClock{now: t0}
+	p := &pipe{agents: map[string]*Agent{}, fail: map[string]bool{}}
+	a := agentFor(t, p, clk, "edge-a")
+	b := agentFor(t, p, clk, "edge-b", "edge-a")
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		a.Tick(ctx)
+		b.Tick(ctx)
+		clk.Advance(100 * time.Millisecond)
+	}
+
+	// b dies. a must suspect it on the next failed probe, then expire it.
+	p.fail["edge-b"] = true
+	changed := 0
+	for i := 0; i < 10; i++ {
+		a.Tick(ctx)
+		clk.Advance(100 * time.Millisecond)
+		if st, ok := a.View().Status("edge-b"); ok && st.Status == Dead {
+			changed = i
+			break
+		}
+	}
+	if st, _ := a.View().Status("edge-b"); st.Status != Dead {
+		t.Fatalf("edge-b never declared dead: %+v", st)
+	}
+	if changed < 3 {
+		t.Fatalf("death after %d ticks; suspicion must last SuspectTimeout", changed)
+	}
+	if got := a.View().AliveIDs(); !reflect.DeepEqual(got, []string{"edge-a"}) {
+		t.Fatalf("alive = %v", got)
+	}
+}
+
+// A node whose every peer died keeps gossiping at its seeds, so a
+// restarted seed re-forms the fleet (the solo-degradation retry path).
+func TestAgentSoloRetriesSeeds(t *testing.T) {
+	clk := &manualClock{now: t0}
+	p := &pipe{agents: map[string]*Agent{}, fail: map[string]bool{}}
+	a := agentFor(t, p, clk, "edge-a", "edge-seed")
+	ctx := context.Background()
+
+	// Seed absent: a stays solo but keeps trying.
+	for i := 0; i < 3; i++ {
+		a.Tick(ctx)
+		clk.Advance(100 * time.Millisecond)
+	}
+	if got := a.View().AliveIDs(); !reflect.DeepEqual(got, []string{"edge-a"}) {
+		t.Fatalf("alive = %v", got)
+	}
+
+	// Seed comes up; the very next periods find it.
+	seed := agentFor(t, p, clk, "edge-seed")
+	for i := 0; i < 4; i++ {
+		a.Tick(ctx)
+		seed.Tick(ctx)
+		clk.Advance(100 * time.Millisecond)
+	}
+	want := []string{"edge-a", "edge-seed"}
+	if got := a.View().AliveIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("alive after seed recovery = %v", got)
+	}
+}
+
+func TestAgentLeaveBroadcasts(t *testing.T) {
+	clk := &manualClock{now: t0}
+	p := &pipe{agents: map[string]*Agent{}, fail: map[string]bool{}}
+	a := agentFor(t, p, clk, "edge-a")
+	b := agentFor(t, p, clk, "edge-b", "edge-a")
+	c := agentFor(t, p, clk, "edge-c", "edge-a")
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		a.Tick(ctx)
+		b.Tick(ctx)
+		c.Tick(ctx)
+		clk.Advance(100 * time.Millisecond)
+	}
+
+	changes := 0
+	a.cfg.OnChange = func() { changes++ }
+	a.Leave(ctx)
+	if changes == 0 {
+		t.Fatal("Leave did not notify OnChange")
+	}
+	// The leave reached b and c synchronously: no suspicion phase.
+	for _, peer := range []*Agent{b, c} {
+		st, _ := peer.View().Status("edge-a")
+		if st.Status != Dead {
+			t.Fatalf("%s sees edge-a as %v after leave", peer.View().Self(), st.Status)
+		}
+	}
+	want := []string{"edge-b", "edge-c"}
+	if got := b.View().AliveIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("b alive = %v", got)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent(Config{Probe: (&pipe{}).probe}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := NewAgent(Config{Self: "x"}); err == nil {
+		t.Fatal("missing Probe accepted")
+	}
+	a, err := NewAgent(Config{Self: "x", Probe: (&pipe{}).probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.cfg.Interval <= 0 || a.cfg.SuspectTimeout <= 0 {
+		t.Fatalf("defaults not applied: %+v", a.cfg)
+	}
+}

@@ -1,0 +1,327 @@
+// Package member implements SWIM-lite gossip membership for the edge
+// federation: every node keeps a View of the fleet (who is alive, suspect
+// or dead, each with an incarnation number), exchanges it with one peer
+// per protocol period, and deterministically derives the federation's
+// consistent-hash ring from the sorted alive set — so all converged nodes
+// agree on every key's owners without any coordinator.
+//
+// The protocol is deliberately smaller than full SWIM: edge fleets are
+// tens of nodes, so frames carry the complete member list (any exchange
+// is a full anti-entropy round) and there is no indirect-probe stage —
+// a failed direct probe suspects the target immediately, and suspicion
+// ages into death after a timeout unless the target refutes it by
+// gossiping a higher incarnation. The three SWIM invariants that matter
+// are kept exactly:
+//
+//   - Only a member itself bumps its incarnation (to refute suspicion).
+//   - A higher incarnation supersedes any lower-incarnation state.
+//   - At equal incarnation, the more severe status wins
+//     (dead > suspect > alive), so rumours cannot resurrect a node.
+//
+// The package is transport-agnostic and clock-injected: the Agent speaks
+// through a ProbeFunc callback and tests drive it with a manual clock,
+// mirroring how cache.Federation injects its peer transport.
+package member
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status is a member's health as believed by one view.
+type Status uint8
+
+const (
+	Alive Status = iota
+	Suspect
+	Dead
+)
+
+// String names the status for logs.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one member's state within a digest: ID (the dialable edge
+// address the ring partitions on), the member's incarnation, and status.
+type Entry struct {
+	ID          string
+	Incarnation uint64
+	Status      Status
+}
+
+// Digest is a serialisable snapshot of a view: the observing member, its
+// epoch, and every entry (including the observer itself), sorted by ID.
+// It is what membership frames carry.
+type Digest struct {
+	From    string
+	Epoch   uint64
+	Entries []Entry
+}
+
+// state is one member's slot in a view.
+type state struct {
+	incarnation uint64
+	status      Status
+	since       time.Time // when the current status was set
+}
+
+// View is one node's membership table. All methods are safe for
+// concurrent use. The epoch is a node-local version counter: it bumps on
+// every state change, and because it only grows, rings rebuilt from the
+// view carry monotonic versions. Epochs of different nodes need not
+// agree — ring *contents* converge because they are a pure function of
+// the alive set, which gossip converges.
+type View struct {
+	mu      sync.Mutex
+	self    string
+	left    bool // graceful leave in progress: never refute our own death
+	epoch   uint64
+	entries map[string]*state
+}
+
+// NewView builds a view knowing only itself: alive, incarnation 1,
+// epoch 1.
+func NewView(self string, now time.Time) *View {
+	return &View{
+		self:  self,
+		epoch: 1,
+		entries: map[string]*state{
+			self: {incarnation: 1, status: Alive, since: now},
+		},
+	}
+}
+
+// Self reports the observing member's ID.
+func (v *View) Self() string { return v.self }
+
+// Epoch reports the view's version counter.
+func (v *View) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// Digest snapshots the view for gossip, entries sorted by ID.
+func (v *View) Digest() Digest {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	d := Digest{From: v.self, Epoch: v.epoch}
+	for id, st := range v.entries {
+		d.Entries = append(d.Entries, Entry{ID: id, Incarnation: st.incarnation, Status: st.status})
+	}
+	sort.Slice(d.Entries, func(a, b int) bool { return d.Entries[a].ID < d.Entries[b].ID })
+	return d
+}
+
+// AliveIDs returns the sorted alive member set, always including self
+// unless this node has left. This is the ring membership.
+func (v *View) AliveIDs() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var ids []string
+	for id, st := range v.entries {
+		if st.status == Alive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RingMembers returns the sorted non-dead member set — the federation
+// ring's membership. Suspects keep their ring arc: only confirmed death
+// (or a graceful leave) moves key ownership, so one dropped probe cannot
+// trigger a migration storm, and replicas cover reads while a suspect is
+// being re-probed.
+func (v *View) RingMembers() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var ids []string
+	for id, st := range v.entries {
+		if st.status != Dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Counts reports how many members are alive, suspect and dead.
+func (v *View) Counts() (alive, suspect, dead int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, st := range v.entries {
+		switch st.status {
+		case Alive:
+			alive++
+		case Suspect:
+			suspect++
+		case Dead:
+			dead++
+		}
+	}
+	return
+}
+
+// Merge folds a received digest into the view, returning whether
+// anything changed. now stamps freshly changed statuses so suspicion
+// timers restart on new evidence. Receiving a frame *from* a member is
+// direct evidence it is alive, handled by the From entry it carries
+// (every sender includes itself).
+func (v *View) Merge(d Digest, now time.Time) (changed bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, e := range d.Entries {
+		if e.ID == v.self {
+			if v.mergeSelf(e, now) {
+				changed = true
+			}
+			continue
+		}
+		st, known := v.entries[e.ID]
+		if !known {
+			v.entries[e.ID] = &state{incarnation: e.Incarnation, status: e.Status, since: now}
+			changed = true
+			continue
+		}
+		if e.Incarnation > st.incarnation ||
+			(e.Incarnation == st.incarnation && e.Status > st.status) {
+			st.incarnation = e.Incarnation
+			st.status = e.Status
+			st.since = now
+			changed = true
+		}
+	}
+	if changed {
+		v.epoch++
+	}
+	return changed
+}
+
+// mergeSelf applies a gossiped entry about this node: rumours of our
+// suspicion or death are refuted by bumping our incarnation past the
+// rumour's, unless we are deliberately leaving.
+func (v *View) mergeSelf(e Entry, now time.Time) bool {
+	st := v.entries[v.self]
+	if v.left {
+		// We announced our own death; let it propagate, and adopt a
+		// higher incarnation if a peer somehow has one so dead still wins.
+		if e.Incarnation > st.incarnation {
+			st.incarnation = e.Incarnation
+			st.status = Dead
+			return true
+		}
+		return false
+	}
+	if e.Status != Alive && e.Incarnation >= st.incarnation {
+		st.incarnation = e.Incarnation + 1
+		st.status = Alive
+		st.since = now
+		return true
+	}
+	return false
+}
+
+// ObserveAlive records direct evidence that id answered a probe: a
+// suspect we can still reach returns to alive at its current incarnation.
+// (Gossip alone could not do this — at equal incarnation suspect beats
+// alive — but a completed round trip outranks any rumour we hold.)
+func (v *View) ObserveAlive(id string, now time.Time) (changed bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st, ok := v.entries[id]
+	if !ok || id == v.self {
+		return false
+	}
+	if st.status == Suspect {
+		st.status = Alive
+		st.since = now
+		v.epoch++
+		return true
+	}
+	return false
+}
+
+// MarkSuspect records a failed probe of id: alive becomes suspect and
+// the suspicion timer starts. Suspect and dead members are unchanged
+// (repeated failures do not restart the timer — that would let a flapping
+// link postpone death forever).
+func (v *View) MarkSuspect(id string, now time.Time) (changed bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st, ok := v.entries[id]
+	if !ok || id == v.self || st.status != Alive {
+		return false
+	}
+	st.status = Suspect
+	st.since = now
+	v.epoch++
+	return true
+}
+
+// Expire ages suspects into dead members once their suspicion has lasted
+// at least timeout without refutation.
+func (v *View) Expire(now time.Time, timeout time.Duration) (changed bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for id, st := range v.entries {
+		if id == v.self || st.status != Suspect {
+			continue
+		}
+		if now.Sub(st.since) >= timeout {
+			st.status = Dead
+			st.since = now
+			changed = true
+		}
+	}
+	if changed {
+		v.epoch++
+	}
+	return changed
+}
+
+// Leave marks this node dead at a bumped incarnation (so the
+// announcement supersedes every alive rumour in flight) and suppresses
+// future self-refutation. It returns the digest to broadcast.
+func (v *View) Leave(now time.Time) Digest {
+	v.mu.Lock()
+	st := v.entries[v.self]
+	if !v.left {
+		v.left = true
+		st.incarnation++
+		st.status = Dead
+		st.since = now
+		v.epoch++
+	}
+	v.mu.Unlock()
+	return v.Digest()
+}
+
+// Left reports whether Leave has been called.
+func (v *View) Left() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.left
+}
+
+// Status reports one member's state (ok=false when unknown).
+func (v *View) Status(id string) (Entry, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st, ok := v.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{ID: id, Incarnation: st.incarnation, Status: st.status}, true
+}

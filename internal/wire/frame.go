@@ -64,6 +64,17 @@ const (
 	MsgScenePublish MsgType = 16 // client->edge: LWW write into the scene document (reply: ack)
 	MsgSceneEvent   MsgType = 17 // edge->client: server-push scene delta fan-out
 	MsgSceneLeave   MsgType = 18 // client->edge: leave the scene (reply: echo)
+
+	// Federation membership (edge<->edge). SWIM-lite gossip: every frame
+	// carries the sender's full epoch-versioned member list (Membership),
+	// and every recipient merges it and answers member-ack with its own,
+	// so any exchange is bidirectional anti-entropy. Like the peer frames,
+	// membership frames are local-only — a recipient never re-forwards
+	// them — and carry no QoS trailer.
+	MsgMemberPing   MsgType = 19 // edge->edge: liveness probe + state exchange
+	MsgMemberAck    MsgType = 20 // edge->edge: ping/gossip/leave answer with own state
+	MsgMemberGossip MsgType = 21 // edge->edge: unsolicited state push (join announcement)
+	MsgMemberLeave  MsgType = 22 // edge->edge: graceful departure (sender marked dead)
 )
 
 // HelloFlagUnordered, carried in Hello.Flags (the second body byte of a
@@ -86,7 +97,8 @@ func AllMsgTypes() []MsgType {
 		MsgModelFetch, MsgModelReply, MsgPanoFetch, MsgPanoReply,
 		MsgError, MsgHello, MsgPeerLookup, MsgPeerReply, MsgPeerInsert,
 		MsgCancel, MsgSceneJoin, MsgScenePublish, MsgSceneEvent,
-		MsgSceneLeave,
+		MsgSceneLeave, MsgMemberPing, MsgMemberAck, MsgMemberGossip,
+		MsgMemberLeave,
 	}
 }
 
@@ -129,6 +141,14 @@ func (t MsgType) String() string {
 		return "scene-event"
 	case MsgSceneLeave:
 		return "scene-leave"
+	case MsgMemberPing:
+		return "member-ping"
+	case MsgMemberAck:
+		return "member-ack"
+	case MsgMemberGossip:
+		return "member-gossip"
+	case MsgMemberLeave:
+		return "member-leave"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}

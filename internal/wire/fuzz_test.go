@@ -28,6 +28,18 @@ func FuzzReadMessage(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	memberBody, err := (Membership{
+		From:  "edge-a:1",
+		Epoch: 5,
+		Members: []MemberEntry{
+			{ID: "edge-a:1", Incarnation: 2, Status: MemberAlive},
+			{ID: "edge-b:1", Incarnation: 1, Status: MemberSuspect},
+			{ID: "edge-c:1", Incarnation: 4, Status: MemberDead},
+		},
+	}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
 	for _, m := range []Message{
 		{Type: MsgHello, RequestID: 1, Body: []byte{0}},
 		{Type: MsgExec, RequestID: 42, Body: []byte("payload")},
@@ -36,6 +48,10 @@ func FuzzReadMessage(f *testing.F) {
 		{Type: MsgScenePublish, RequestID: 3, Body: publishBody},
 		{Type: MsgSceneEvent, RequestID: 0, Body: eventBody},
 		{Type: MsgSceneLeave, RequestID: 4, Body: leaveBody},
+		{Type: MsgMemberPing, RequestID: 5, Body: memberBody},
+		{Type: MsgMemberAck, RequestID: 5, Body: memberBody},
+		{Type: MsgMemberGossip, RequestID: 6, Body: memberBody},
+		{Type: MsgMemberLeave, RequestID: 7, Body: memberBody},
 	} {
 		enc, err := m.Encode()
 		if err != nil {

@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestMembershipRoundTrip(t *testing.T) {
+	m := Membership{
+		From:  "127.0.0.1:19091",
+		Epoch: 42,
+		Members: []MemberEntry{
+			{ID: "127.0.0.1:19091", Incarnation: 3, Status: MemberAlive},
+			{ID: "127.0.0.1:19092", Incarnation: 1, Status: MemberSuspect},
+			{ID: "127.0.0.1:19093", Incarnation: 7, Status: MemberDead},
+		},
+	}
+	body, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMembership(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMembershipEmptyListRoundTrip(t *testing.T) {
+	// A brand-new node knows only itself-as-sender; an empty member list
+	// must still frame (the receiver learns the sender from From).
+	m := Membership{From: "edge-a", Epoch: 1}
+	body, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMembership(body)
+	if err != nil || got.From != "edge-a" || got.Epoch != 1 || len(got.Members) != 0 {
+		t.Fatalf("%+v, %v", got, err)
+	}
+}
+
+func TestMembershipRejectsBadBodies(t *testing.T) {
+	good, err := Membership{
+		From:    "a",
+		Epoch:   9,
+		Members: []MemberEntry{{ID: "b", Incarnation: 1, Status: MemberAlive}},
+	}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated header": good[:3],
+		"truncated entry":  good[:len(good)-1],
+		"trailing bytes":   append(append([]byte(nil), good...), 0),
+	}
+	// Corrupt the final status byte to an undefined value.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] = MemberDead + 1
+	cases["bad status"] = bad
+
+	for name, body := range cases {
+		if _, err := UnmarshalMembership(body); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("%s: err = %v, want ErrBadMessage", name, err)
+		}
+	}
+
+	// A count field promising more entries than the body holds must be
+	// rejected before allocation.
+	big := append([]byte(nil), good...)
+	big[2+1+8] = 0xFF // count low byte (from "a" -> 2+1 prefix, epoch 8)
+	big[2+1+8+1] = 0xFF
+	if _, err := UnmarshalMembership(big); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("oversized count accepted: %v", err)
+	}
+
+	// Marshal refuses undefined statuses too.
+	if _, err := (Membership{Members: []MemberEntry{{Status: 9}}}).Marshal(); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("marshal accepted bad status: %v", err)
+	}
+}
+
+func TestMemberMsgTypeStrings(t *testing.T) {
+	for mt, want := range map[MsgType]string{
+		MsgMemberPing:   "member-ping",
+		MsgMemberAck:    "member-ack",
+		MsgMemberGossip: "member-gossip",
+		MsgMemberLeave:  "member-leave",
+	} {
+		if got := mt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", mt, got, want)
+		}
+	}
+}
+
+// Membership frames carry no QoS trailer: PeekQoS must fall back to the
+// default class and PeekTrace must report no trace regardless of body.
+func TestMembershipFramesHaveNoTrailer(t *testing.T) {
+	body, err := Membership{From: "a", Epoch: 1}.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range []MsgType{MsgMemberPing, MsgMemberAck, MsgMemberGossip, MsgMemberLeave} {
+		if q, deadline := PeekQoS(mt, body); q != QoSBestEffort || deadline != 0 {
+			t.Errorf("%v: PeekQoS = %v, %d", mt, q, deadline)
+		}
+		if tr := PeekTrace(mt, body); tr != 0 {
+			t.Errorf("%v: PeekTrace = %x", mt, tr)
+		}
+	}
+}

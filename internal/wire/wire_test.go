@@ -369,6 +369,7 @@ func TestBodyDecodersRejectGarbage(t *testing.T) {
 		},
 		"scene-event":    func(b []byte) error { _, err := UnmarshalSceneEvent(b); return err },
 		"scene-snapshot": func(b []byte) error { _, err := UnmarshalSceneSnapshot(b); return err },
+		"membership":     func(b []byte) error { _, err := UnmarshalMembership(b); return err },
 	}
 	for name, dec := range decoders {
 		for _, b := range [][]byte{nil, {}, {1}, {1, 2, 3}, bytes.Repeat([]byte{0xFF}, 9)} {

@@ -38,6 +38,9 @@ type serverConfig struct {
 	cloudShape   ShapeSpec
 	self         string
 	peers        []string
+	gossip       bool
+	seeds        []string
+	replication  int
 	workers      int
 	queueDepth   int
 	batch        int
@@ -97,6 +100,39 @@ func WithFederation(self string, peers ...string) ServerOption {
 		c.markEdgeOnly("WithFederation")
 		c.self = self
 		c.peers = append([]string(nil), peers...)
+		return nil
+	}
+}
+
+// WithGossip joins the edge to a dynamically-membered federation: self
+// is this edge's advertised, dialable address — its gossip identity and
+// ring position — and seeds are addresses contacted for the initial join
+// (any live member works; listing self is fine, it is skipped). Unlike
+// WithFederation the fleet is discovered, not declared: members learn of
+// joins, failures and graceful leaves via gossip, rebuild the
+// consistent-hash ring on every change, and migrate cached keys whose
+// ownership moved. A seed node boots with no seeds and waits to be
+// found. Mutually exclusive with WithFederation. Edge servers only.
+func WithGossip(self string, seeds ...string) ServerOption {
+	return func(c *serverConfig) error {
+		c.markEdgeOnly("WithGossip")
+		c.self = self
+		c.gossip = true
+		c.seeds = append([]string(nil), seeds...)
+		return nil
+	}
+}
+
+// WithReplication sets the federation's replication factor: every
+// published cache entry is copied to the first rf owners on the ring, so
+// one member's failure leaves rf-1 live replicas (reads fall over to
+// them, and read-repair restores the home once it changes). 0 or 1 is
+// home-only. Applies to both WithFederation and WithGossip topologies.
+// Edge servers only.
+func WithReplication(rf int) ServerOption {
+	return func(c *serverConfig) error {
+		c.markEdgeOnly("WithReplication")
+		c.replication = rf
 		return nil
 	}
 }
@@ -400,6 +436,16 @@ type ServerStats struct {
 	SceneRooms     int
 	SceneMembers   int
 	ScenePublishes uint64
+	// RingVersion is the federation ring's node-local version (0 when
+	// standalone or broadcast); MembersAlive counts fleet members this
+	// edge believes alive, itself included (a declared static federation
+	// reports its full ring; a standalone edge reports 1); MigratedKeys
+	// counts cached keys re-homed by migration sweeps and the
+	// decommission drain (gossip topologies only). All zero for cloud
+	// servers.
+	RingVersion  uint64
+	MembersAlive int
+	MigratedKeys uint64
 	// Tenants breaks admissions and quota rejections down by tenant.
 	// Tenantless deployments see a single "default" entry.
 	Tenants map[string]TenantStats
@@ -434,7 +480,11 @@ func (s *Server) Stats() ServerStats {
 	switch {
 	case es != nil:
 		rooms, members, publishes := es.SceneStats()
+		alive, _, _ := es.MemberCounts()
 		return ServerStats{
+			RingVersion:         es.RingVersion(),
+			MembersAlive:        alive,
+			MigratedKeys:        es.MigratedKeys(),
 			CloudFetches:        es.CloudFetches(),
 			Overloads:           es.Overloads(),
 			DeadlineSheds:       es.DeadlineSheds(),
@@ -533,7 +583,15 @@ func (s *Server) Serve(ctx context.Context) error {
 	for t, capBytes := range tenants.CacheShares() {
 		srv.Edge.Cache.SetTenantCap(t, capBytes)
 	}
-	if len(s.cfg.peers) > 0 {
+	srv.Replication = s.cfg.replication
+	if s.cfg.gossip && len(s.cfg.peers) > 0 {
+		return fmt.Errorf("coic: WithFederation and WithGossip are mutually exclusive — declare the fleet or discover it, not both")
+	}
+	if s.cfg.gossip {
+		if err := srv.SetupGossip(s.cfg.self, s.cfg.seeds); err != nil {
+			return err
+		}
+	} else if len(s.cfg.peers) > 0 {
 		if err := srv.SetupFederation(s.cfg.self, s.cfg.peers); err != nil {
 			return err
 		}
@@ -557,6 +615,21 @@ func (s *Server) Serve(ctx context.Context) error {
 	s.reg.CounterFunc("coic_scene_publish_total",
 		"Shared-scene writes applied and fanned out since start.",
 		func() float64 { _, _, publishes := srv.SceneStats(); return float64(publishes) })
+	s.reg.GaugeFunc("coic_ring_version",
+		"Version of the federation consistent-hash ring. Node-local and monotonic; 0 when standalone or on the broadcast topology.",
+		func() float64 { return float64(srv.RingVersion()) })
+	s.reg.GaugeFunc("coic_member_alive",
+		"Federation members this edge believes alive (itself included).",
+		func() float64 { alive, _, _ := srv.MemberCounts(); return float64(alive) })
+	s.reg.GaugeFunc("coic_member_suspect",
+		"Federation members this edge suspects failed (awaiting refutation or expiry).",
+		func() float64 { _, suspect, _ := srv.MemberCounts(); return float64(suspect) })
+	s.reg.GaugeFunc("coic_member_dead",
+		"Federation members this edge has declared dead.",
+		func() float64 { _, _, dead := srv.MemberCounts(); return float64(dead) })
+	s.reg.CounterFunc("coic_migration_keys_total",
+		"Cached keys re-homed by migration sweeps and the decommission drain.",
+		func() float64 { return float64(srv.MigratedKeys()) })
 	for t := range s.cfg.tenants {
 		name := t
 		if name == "" {
